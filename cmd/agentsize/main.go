@@ -1,0 +1,42 @@
+// Command agentsize regenerates the paper's Table 3-1: the source sizes
+// of agents split into toolkit code used versus agent-specific code,
+// measured in statements (the Go analog of the paper's semicolon count).
+//
+//	agentsize            # the paper's table (timex, trace, union)
+//	agentsize DIR...     # statement counts for arbitrary package dirs
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"interpose/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		for _, dir := range os.Args[1:] {
+			n, err := experiments.CountDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agentsize:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%8d %s\n", n, dir)
+		}
+		return
+	}
+	rows, err := experiments.RunTable31()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agentsize:", err)
+		os.Exit(1)
+	}
+	experiments.PrintTable31(os.Stdout, rows)
+
+	kStmts, aStmts, err := experiments.DFSTraceSizes()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agentsize:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("DFSTrace implementations: kernel-based %d statements, agent-based %d statements\n",
+		kStmts, aStmts)
+}

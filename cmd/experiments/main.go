@@ -1,0 +1,73 @@
+// Command experiments regenerates every table of the paper's evaluation
+// section against this reproduction:
+//
+//	experiments              # all tables
+//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs)
+//	experiments -runs 9      # timed repetitions per row (paper used 9)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interpose/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, all")
+	runs := flag.Int("runs", 9, "timed repetitions per row (after one discarded run)")
+	programs := flag.Int("programs", 8, "program count for the make workload")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	want := func(name string) bool { return *table == "all" || *table == name }
+
+	if want("3-1") {
+		rows, err := experiments.RunTable31()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable31(os.Stdout, rows)
+	}
+	if want("3-2") {
+		rows, err := experiments.RunTable32(*runs)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintMacro(os.Stdout, "Table 3-2: Time to format the dissertation", rows)
+	}
+	if want("3-3") {
+		rows, err := experiments.RunTable33(*runs, *programs)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintMacro(os.Stdout,
+			fmt.Sprintf("Table 3-3: Time to make %d programs", *programs), rows)
+	}
+	if want("3-4") {
+		experiments.PrintTable34(os.Stdout, experiments.RunTable34())
+	}
+	if want("3-5") {
+		rows, err := experiments.RunTable35()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable35(os.Stdout, rows)
+	}
+	if want("dfs") {
+		res, err := experiments.RunDFSTraceComparison()
+		if err != nil {
+			fail(err)
+		}
+		kStmts, aStmts, err := experiments.DFSTraceSizes()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintDFSTrace(os.Stdout, res, kStmts, aStmts)
+	}
+}

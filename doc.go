@@ -1,0 +1,22 @@
+// Package interpose is a reproduction of "Interposition Agents:
+// Transparently Interposing User Code at the System Interface"
+// (Michael B. Jones, SOSP 1993) as a Go library.
+//
+// The repository contains a complete simulated 4.3BSD system (kernel,
+// filesystem, processes, signals — internal/kernel and friends), the
+// paper's layered interposition toolkit (internal/core), the paper's
+// agents and several more (internal/agents/...), the applications used by
+// the paper's evaluation (internal/apps), and a harness that regenerates
+// every table of the evaluation (internal/experiments, cmd/experiments).
+//
+// Start with examples/quickstart, or run a program under agents with
+// cmd/agentrun:
+//
+//	go run ./examples/quickstart
+//	go run ./cmd/agentrun -a trace -- echo hello
+//	go run ./cmd/experiments -table 3-3
+//
+// The benchmarks in bench_test.go regenerate the paper's tables under
+// `go test -bench`. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-versus-paper results.
+package interpose

@@ -1,0 +1,90 @@
+// Sandbox: a protected environment for running untrusted binaries (paper
+// §1.4) — the "malicious" script believes its attacks succeeded, but they
+// were monitored and emulated instead of performed.
+//
+//	go run ./examples/sandbox
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"interpose/internal/agents/sandbox"
+	"interpose/internal/apps"
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+func main() {
+	k, err := apps.NewWorld()
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(k.MkdirAll("/jail", 0o777))
+	must(k.MkdirAll("/secrets", 0o755))
+	must(k.WriteFile("/secrets/payroll", []byte("everyone's salary\n"), 0o644))
+
+	// An untrusted script: it probes secrets, tries to trash /etc, kills a
+	// random process, and also does some honest work in its own directory.
+	malicious := `#!/bin/sh
+echo probing secrets...
+cat /secrets/payroll
+echo trashing the system...
+rm /etc/passwd
+echo vandalized > /etc/motd
+kill -9 42
+echo doing honest work...
+echo results > /jail/results.txt
+cat /jail/results.txt
+echo done
+`
+	must(k.WriteFile("/jail/malware.sh", []byte(malicious), 0o755))
+
+	agent, err := sandbox.New(sandbox.Policy{
+		WriteRoot: "/jail",
+		Hidden:    []string{"/secrets"},
+		Emulate:   true, // pretend denied actions succeeded
+		MaxProcs:  64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	status, out, err := core.Run(k, []core.Agent{agent}, "/jail/malware.sh",
+		[]string{"/jail/malware.sh"}, []string{"PATH=/bin"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- untrusted binary's view ---")
+	fmt.Print(out)
+	fmt.Printf("(exit status %d)\n\n", sys.WExitStatus(status))
+
+	fmt.Println("--- what actually happened ---")
+	if _, err := k.ReadFile("/etc/passwd"); err == nil {
+		fmt.Println("/etc/passwd: intact")
+	}
+	motd, _ := k.ReadFile("/etc/motd")
+	fmt.Printf("/etc/motd: %q (unvandalized)\n", firstLine(motd))
+	results, _ := k.ReadFile("/jail/results.txt")
+	fmt.Printf("/jail/results.txt: %q (honest work allowed)\n", firstLine(results))
+
+	fmt.Println("\n--- violations the agent recorded ---")
+	for _, v := range agent.Violations() {
+		fmt.Printf("pid %d: %s %s\n", v.PID, v.Action, v.Path)
+	}
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Transactional environments (paper §1.4): a "run_transaction" command —
+// arbitrary unmodified programs execute with all persistent side effects
+// buffered; the user then commits or aborts. One transactional invocation
+// runs inside another, giving nested transactions.
+//
+//	go run ./examples/transactional
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"interpose/internal/agents/txn"
+	"interpose/internal/apps"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+)
+
+func main() {
+	k, err := apps.NewWorld()
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(k.MkdirAll("/data", 0o777))
+	must(k.WriteFile("/data/ledger.txt", []byte("balance: 100\n"), 0o644))
+
+	workload := "echo balance: 40 > /data/ledger.txt; echo receipt > /data/receipt.txt; cat /data/ledger.txt"
+
+	// Run 1: abort. The program sees its changes, the system keeps none.
+	fmt.Println("=== run_transaction (abort) ===")
+	runTxn(k, "/tmp/txn1", false, workload)
+	show(k, "after abort")
+
+	// Run 2: commit. Same workload; this time the changes persist.
+	fmt.Println("\n=== run_transaction (commit) ===")
+	runTxn(k, "/tmp/txn2", true, workload)
+	show(k, "after commit")
+
+	// Nested: an inner committed transaction inside an outer aborted one.
+	fmt.Println("\n=== nested transactions ===")
+	must(k.WriteFile("/data/ledger.txt", []byte("balance: 100\n"), 0o644))
+	must(k.Remove("/data/receipt.txt"))
+	outer, err := txn.New("/tmp/outer", false) // outer aborts
+	must(err)
+	inner, err := txn.New("/tmp/inner", true) // inner commits (into the outer!)
+	must(err)
+	status, out, rerr := core.Run(k, []core.Agent{outer, inner}, "/bin/sh",
+		[]string{"sh", "-c", "echo balance: 0 > /data/ledger.txt; cat /data/ledger.txt"},
+		[]string{"PATH=/bin"})
+	must(rerr)
+	fmt.Printf("inside nested txn (exit %d):\n%s", sys.WExitStatus(status), out)
+	writes, _ := outer.Changes()
+	// The outer transaction also sees the inner one's shadow bookkeeping;
+	// only the /data changes are interesting here.
+	var dataWrites []string
+	for _, w := range writes {
+		if len(w) >= 6 && w[:6] == "/data/" {
+			dataWrites = append(dataWrites, w)
+		}
+	}
+	fmt.Printf("the inner commit surfaced in the OUTER transaction: %v\n", dataWrites)
+	show(k, "after the outer abort, the real ledger")
+}
+
+func runTxn(k *kernel.Kernel, shadow string, commit bool, workload string) {
+	agent, err := txn.New(shadow, commit)
+	must(err)
+	status, out, rerr := core.Run(k, []core.Agent{agent}, "/bin/sh",
+		[]string{"sh", "-c", workload}, []string{"PATH=/bin"})
+	must(rerr)
+	fmt.Printf("inside the transaction (exit %d):\n%s", sys.WExitStatus(status), out)
+	writes, removes := agent.Changes()
+	fmt.Printf("buffered changes: writes=%v removes=%v\n", writes, removes)
+}
+
+func show(k *kernel.Kernel, when string) {
+	ledger, _ := k.ReadFile("/data/ledger.txt")
+	_, receiptErr := k.ReadFile("/data/receipt.txt")
+	receipt := "absent"
+	if receiptErr == nil {
+		receipt = "present"
+	}
+	fmt.Printf("%s: ledger=%q receipt=%s\n", when, trim(ledger), receipt)
+}
+
+func trim(b []byte) string {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		return string(b[:n-1])
+	}
+	return string(b)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module interpose
+
+go 1.22

@@ -1,0 +1,42 @@
+// Package agenttest provides shared helpers for agent behavioural tests:
+// booting a full application world and running programs under agent
+// stacks.
+package agenttest
+
+import (
+	"testing"
+
+	"interpose/internal/apps"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+)
+
+// World boots a kernel with all applications installed in /bin.
+func World(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	k, err := apps.NewWorld()
+	if err != nil {
+		t.Fatalf("agenttest: world: %v", err)
+	}
+	return k
+}
+
+// Run executes argv[0] from /bin under the given agent stack and returns
+// its exit status and console output. It fails the test on spawn errors
+// or death by signal.
+func Run(t testing.TB, k *kernel.Kernel, agents []core.Agent, argv ...string) (int, string) {
+	t.Helper()
+	path := argv[0]
+	if path[0] != '/' {
+		path = "/bin/" + path
+	}
+	st, out, err := core.Run(k, agents, path, argv, []string{"PATH=/bin"})
+	if err != nil {
+		t.Fatalf("agenttest: run %v: %v", argv, err)
+	}
+	if !sys.WIfExited(st) {
+		t.Fatalf("agenttest: %v killed by %s\n%s", argv, sys.SignalName(sys.WTermSig(st)), out)
+	}
+	return sys.WExitStatus(st), out
+}

@@ -1,0 +1,148 @@
+// Package agents catalogs the interposition agents shipped with the
+// toolkit, so loaders (cmd/agentrun, the examples, the experiment
+// harness) can construct them from command-line specifications.
+package agents
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"interpose/internal/agents/crypt"
+	"interpose/internal/agents/dfstrace"
+	"interpose/internal/agents/hpux"
+	"interpose/internal/agents/monitor"
+	"interpose/internal/agents/nullagent"
+	"interpose/internal/agents/sandbox"
+	"interpose/internal/agents/timex"
+	"interpose/internal/agents/trace"
+	"interpose/internal/agents/txn"
+	"interpose/internal/agents/union"
+	"interpose/internal/agents/userdev"
+	"interpose/internal/agents/zip"
+	"interpose/internal/core"
+)
+
+// Instance is one constructed agent plus its loader-side reporting hook.
+type Instance struct {
+	Name  string
+	Agent core.Agent
+	// Finish, when non-nil, writes the agent's end-of-run report.
+	Finish func(w io.Writer)
+}
+
+// Names lists the catalog's agent names with their argument syntax.
+func Names() []string {
+	return []string{
+		"timex=SECONDS",
+		"trace",
+		"null",
+		"monitor[=report]",
+		"union=/mnt=/dirA:/dirB[;...]",
+		"dfstrace",
+		"sandbox=/writable[:emulate]",
+		"txn=/shadowdir[:commit]",
+		"zip=/subtree",
+		"crypt=/subtree:KEY",
+		"hpux",
+		"userdev=/dir",
+	}
+}
+
+// New constructs an agent from a "name" or "name=argument" specification.
+func New(spec string) (*Instance, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	switch name {
+	case "timex":
+		a, err := timex.New(arg)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a}, nil
+	case "trace":
+		return &Instance{Name: name, Agent: trace.New()}, nil
+	case "null", "time_symbolic":
+		return &Instance{Name: name, Agent: nullagent.New()}, nil
+	case "monitor":
+		a := monitor.New(arg == "report")
+		return &Instance{Name: name, Agent: a, Finish: func(w io.Writer) {
+			fmt.Fprint(w, a.Report(0))
+		}}, nil
+	case "union":
+		a, err := union.New(arg)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a}, nil
+	case "dfstrace":
+		cl := dfstrace.NewCollector()
+		a := dfstrace.New(cl)
+		return &Instance{Name: name, Agent: a, Finish: func(w io.Writer) {
+			for _, r := range cl.Records() {
+				fmt.Fprintln(w, r.String())
+			}
+		}}, nil
+	case "sandbox":
+		root := arg
+		emulate := false
+		if s, ok := strings.CutSuffix(root, ":emulate"); ok {
+			root, emulate = s, true
+		}
+		a, err := sandbox.New(sandbox.Policy{WriteRoot: root, Emulate: emulate})
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a, Finish: func(w io.Writer) {
+			for _, v := range a.Violations() {
+				fmt.Fprintf(w, "sandbox: pid %d denied %s %s\n", v.PID, v.Action, v.Path)
+			}
+		}}, nil
+	case "txn":
+		shadow := arg
+		commit := false
+		if s, ok := strings.CutSuffix(shadow, ":commit"); ok {
+			shadow, commit = s, true
+		}
+		a, err := txn.New(shadow, commit)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a, Finish: func(w io.Writer) {
+			writes, removes := a.Changes()
+			for _, p := range writes {
+				fmt.Fprintf(w, "txn: would write %s\n", p)
+			}
+			for _, p := range removes {
+				fmt.Fprintf(w, "txn: would remove %s\n", p)
+			}
+		}}, nil
+	case "zip":
+		a, err := zip.New(arg)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a}, nil
+	case "crypt":
+		i := strings.LastIndexByte(arg, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("crypt: want /subtree:KEY")
+		}
+		a, err := crypt.New(arg[:i], arg[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a}, nil
+	case "hpux":
+		return &Instance{Name: name, Agent: hpux.New()}, nil
+	case "userdev":
+		a, err := userdev.New(arg)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a}, nil
+	}
+	return nil, fmt.Errorf("agents: unknown agent %q (known: %s)", name, strings.Join(Names(), ", "))
+}

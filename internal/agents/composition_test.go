@@ -1,0 +1,117 @@
+package agents_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/crypt"
+	"interpose/internal/agents/sandbox"
+	"interpose/internal/agents/trace"
+	"interpose/internal/agents/userdev"
+	"interpose/internal/agents/zip"
+	"interpose/internal/core"
+)
+
+// TestZipOverCrypt stacks transparent compression above transparent
+// encryption on the same subtree: the client sees plain text; the disk
+// holds the encryption of the compressed form. This is the paper's
+// Figure 1-3 composition — each agent uses the instance of the system
+// interface below it without knowing what provides it.
+func TestZipOverCrypt(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/safe", 0o777)
+	cryptA, err := crypt.New("/safe", "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipA, err := zip.New("/safe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// crypt below (near the kernel), zip above (near the app).
+	stack := []core.Agent{cryptA, zipA}
+
+	msg := strings.Repeat("the quick brown fox jumps over the lazy dog ", 10)
+	st, _ := agenttest.Run(t, k, stack, "sh", "-c", "echo "+msg+" > /safe/f")
+	if st != 0 {
+		t.Fatal("write failed")
+	}
+
+	// Reading through the full stack recovers the plain text.
+	st, out := agenttest.Run(t, k, stack, "cat", "/safe/f")
+	if st != 0 || !strings.Contains(out, "quick brown fox") {
+		t.Fatalf("read through stack: %d %.60q", st, out)
+	}
+
+	// On disk: neither plain text nor a valid compressed stream.
+	raw, ferr := k.ReadFile("/safe/f")
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if strings.Contains(string(raw), "quick") {
+		t.Fatal("stored in the clear")
+	}
+	if _, ok := zip.Decompress(raw); ok {
+		t.Fatal("stored compressed but unencrypted")
+	}
+
+	// Through only the crypt layer: a valid compressed stream (and much
+	// shorter than the plain text).
+	st, _ = agenttest.Run(t, k, []core.Agent{cryptA}, "cp", "/safe/f", "/tmp/peeled")
+	if st != 0 {
+		t.Fatal("peel failed")
+	}
+	peeled, _ := k.ReadFile("/tmp/peeled")
+	plain, ok := zip.Decompress(peeled)
+	if !ok || !strings.Contains(string(plain), "quick brown fox") {
+		t.Fatal("crypt layer did not yield the compressed form")
+	}
+	if len(peeled) >= len(plain) {
+		t.Fatalf("compression ineffective: %d >= %d", len(peeled), len(plain))
+	}
+}
+
+// TestSandboxedUserdev gives a sandboxed program synthetic devices: the
+// device agent sits below the sandbox, so reads of /udev pass the policy
+// while the rest of the filesystem stays confined.
+func TestSandboxedUserdev(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/jail", 0o777)
+	dev, err := userdev.New("/jail/dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := sandbox.New(sandbox.Policy{WriteRoot: "/jail"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Agent{dev, box}
+	st, out := agenttest.Run(t, k, stack, "sh", "-c",
+		"cat /jail/dev/fortune > /jail/saying && cat /jail/saying")
+	if st != 0 || !strings.Contains(out, "\n") || len(out) < 10 {
+		t.Fatalf("sandboxed device read: %d %q", st, out)
+	}
+	// Writes outside the jail are still denied.
+	st, _ = agenttest.Run(t, k, stack, "sh", "-c", "echo x > /etc/oops")
+	if st == 0 {
+		t.Fatal("sandbox leak")
+	}
+}
+
+// TestTraceOfUserdev traces another agent's synthetic devices: trace on
+// top sees the calls; userdev below serves them.
+func TestTraceOfUserdev(t *testing.T) {
+	k := agenttest.World(t)
+	dev, err := userdev.New("/udev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, out := agenttest.Run(t, k, []core.Agent{dev, trace.New()}, "cat", "/udev/fortune")
+	if st != 0 {
+		t.Fatalf("run: %d", st)
+	}
+	if !strings.Contains(out, `open("/udev/fortune"`) {
+		t.Fatalf("trace of synthetic open missing:\n%s", out)
+	}
+}

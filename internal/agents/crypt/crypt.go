@@ -1,0 +1,221 @@
+// Package crypt implements a transparent encryption agent (paper §1.4):
+// file contents under a configured subtree are stored enciphered with a
+// position-dependent keystream, but clients read and write plain data.
+// Because the keystream is seekable, reads and writes at any offset are
+// transformed in place without buffering whole files.
+package crypt
+
+import (
+	"fmt"
+	gopath "path"
+	"strings"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// Keystream is a seekable XOR keystream: byte i of the stream depends
+// only on the key and i, so any extent can be (de)ciphered independently.
+type Keystream struct {
+	seed uint64
+}
+
+// NewKeystream derives a keystream from a key string (FNV-1a).
+func NewKeystream(key string) Keystream {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return Keystream{seed: h}
+}
+
+// XOR transforms p in place as the stream bytes [off, off+len(p)).
+func (k Keystream) XOR(p []byte, off int64) {
+	for i := range p {
+		pos := uint64(off) + uint64(i)
+		x := k.seed ^ (pos/8+1)*0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		p[i] ^= byte(x >> (8 * (pos % 8)))
+	}
+}
+
+// Agent provides transparent encryption under a subtree.
+type Agent struct {
+	core.PathnameSet
+	root string
+	ks   Keystream
+}
+
+// New creates an encryption agent for the given absolute subtree and key.
+func New(root, key string) (*Agent, error) {
+	if !strings.HasPrefix(root, "/") {
+		return nil, fmt.Errorf("crypt: root must be absolute")
+	}
+	a := &Agent{root: gopath.Clean(root), ks: NewKeystream(key)}
+	a.BindPathnames(a)
+	a.RegisterPathCalls()
+	a.RegisterDescriptorCalls()
+	return a, nil
+}
+
+func (a *Agent) covers(path string) bool {
+	clean := path
+	if strings.HasPrefix(path, "/") {
+		clean = gopath.Clean(path)
+	}
+	return clean == a.root || strings.HasPrefix(clean, a.root+"/")
+}
+
+// GetPN wraps covered pathnames in enciphering pathname objects.
+func (a *Agent) GetPN(c sys.Ctx, path string, op core.PathOp) (core.Pathname, sys.Errno) {
+	if !a.covers(path) {
+		return a.PathnameSet.GetPN(c, path, op)
+	}
+	return &cryptPathname{BasePathname: core.BasePathname{P: path}, a: a}, sys.OK
+}
+
+type cryptPathname struct {
+	core.BasePathname
+	a *Agent
+}
+
+// Open opens the real file and interposes an enciphering open object on
+// regular files.
+func (p *cryptPathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, core.OpenObject, sys.Errno) {
+	rv, _, err := p.BasePathname.Open(c, flags, mode)
+	if err != sys.OK {
+		return rv, nil, err
+	}
+	fd := int(rv[0])
+	st, serr := downFstat(c, fd)
+	if serr != sys.OK || !st.IsReg() {
+		return rv, nil, sys.OK
+	}
+	oo := &cryptOpen{a: p.a, flags: flags}
+	oo.FD = fd
+	oo.Ref()
+	if flags&sys.O_APPEND != 0 {
+		oo.off = int64(st.Size)
+	}
+	return rv, oo, sys.OK
+}
+
+func downFstat(c sys.Ctx, fd int) (sys.Stat, sys.Errno) {
+	mark := core.StageMark(c)
+	defer core.StageRelease(c, mark)
+	addr, err := core.StageAlloc(c, sys.StatSize)
+	if err != sys.OK {
+		return sys.Stat{}, err
+	}
+	if _, err := core.Down(c, sys.SYS_fstat, sys.Args{sys.Word(fd), addr}); err != sys.OK {
+		return sys.Stat{}, err
+	}
+	var b [sys.StatSize]byte
+	if e := c.CopyIn(addr, b[:]); e != sys.OK {
+		return sys.Stat{}, e
+	}
+	return sys.DecodeStat(b[:]), sys.OK
+}
+
+// cryptOpen transforms data at the interface: the underlying file holds
+// ciphertext; the client sees plain bytes. It maintains its own offset so
+// the keystream position is known (the underlying descriptor is kept in
+// step with explicit seeks).
+type cryptOpen struct {
+	core.BaseOpenObject
+	a     *Agent
+	off   int64
+	flags int
+}
+
+// Read reads ciphertext below and deciphers it in the client's buffer.
+func (o *cryptOpen) Read(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	rv, err := o.BaseOpenObject.Read(c, fd, buf, cnt)
+	if err != sys.OK {
+		return rv, err
+	}
+	n := int(rv[0])
+	if n > 0 {
+		p := make([]byte, n)
+		if e := c.CopyIn(buf, p); e != sys.OK {
+			return rv, e
+		}
+		o.a.ks.XOR(p, o.off)
+		if e := c.CopyOut(buf, p); e != sys.OK {
+			return rv, e
+		}
+		o.off += int64(n)
+	}
+	return rv, sys.OK
+}
+
+// Write enciphers the client's data into agent scratch and writes the
+// ciphertext below; the client's buffer is left untouched.
+func (o *cryptOpen) Write(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	if o.flags&sys.O_APPEND != 0 {
+		st, err := downFstat(c, fd)
+		if err != sys.OK {
+			return sys.Retval{}, err
+		}
+		o.off = int64(st.Size)
+	}
+	total := 0
+	const chunk = 16 * 1024
+	for total < cnt {
+		n := cnt - total
+		if n > chunk {
+			n = chunk
+		}
+		p := make([]byte, n)
+		if e := c.CopyIn(buf+sys.Word(total), p); e != sys.OK {
+			return sys.Retval{}, e
+		}
+		o.a.ks.XOR(p, o.off)
+		mark := core.StageMark(c)
+		addr, err := core.StageBytes(c, p)
+		if err != sys.OK {
+			return sys.Retval{}, err
+		}
+		rv, err := core.Down(c, sys.SYS_write, sys.Args{sys.Word(fd), addr, sys.Word(n)})
+		core.StageRelease(c, mark)
+		if err != sys.OK {
+			if total > 0 {
+				break
+			}
+			return sys.Retval{}, err
+		}
+		wrote := int(rv[0])
+		o.off += int64(wrote)
+		total += wrote
+		if wrote < n {
+			break
+		}
+	}
+	return sys.Retval{sys.Word(total)}, sys.OK
+}
+
+// Lseek repositions both the underlying descriptor and the keystream.
+func (o *cryptOpen) Lseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno) {
+	rv, err := o.BaseOpenObject.Lseek(c, fd, off, whence)
+	if err == sys.OK {
+		o.off = int64(int32(rv[0]))
+	}
+	return rv, err
+}
+
+// Ftruncate truncates below (XOR keystreams need no re-ciphering).
+func (o *cryptOpen) Ftruncate(c sys.Ctx, fd int, length int32) (sys.Retval, sys.Errno) {
+	rv, err := o.BaseOpenObject.Ftruncate(c, fd, length)
+	if err == sys.OK && int64(length) < o.off {
+		o.off = int64(length)
+	}
+	return rv, err
+}

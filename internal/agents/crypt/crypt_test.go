@@ -1,0 +1,115 @@
+package crypt_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/crypt"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+)
+
+func setup(t *testing.T, key string) (*kernel.Kernel, *crypt.Agent) {
+	k := agenttest.World(t)
+	k.MkdirAll("/vault", 0o777)
+	a, err := crypt.New("/vault", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, a
+}
+
+func TestKeystreamRoundTrip(t *testing.T) {
+	ks := crypt.NewKeystream("secret")
+	f := func(data []byte, off uint16) bool {
+		enc := append([]byte(nil), data...)
+		ks.XOR(enc, int64(off))
+		ks.XOR(enc, int64(off))
+		return bytes.Equal(enc, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeystreamSplitMatchesWhole(t *testing.T) {
+	// Enciphering in two chunks equals enciphering at once — the property
+	// that makes seeks work.
+	ks := crypt.NewKeystream("k")
+	data := []byte("a seekable keystream transforms extents independently")
+	whole := append([]byte(nil), data...)
+	ks.XOR(whole, 100)
+	split := append([]byte(nil), data...)
+	ks.XOR(split[:20], 100)
+	ks.XOR(split[20:], 120)
+	if !bytes.Equal(whole, split) {
+		t.Fatal("keystream not position-independent")
+	}
+}
+
+func TestCryptTransparentWriteRead(t *testing.T) {
+	k, a := setup(t, "secret")
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo attack at dawn > /vault/plan.txt")
+	if st != 0 {
+		t.Fatal("write failed")
+	}
+	// Stored ciphertext differs from the plaintext.
+	raw, err := k.ReadFile("/vault/plan.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "attack") {
+		t.Fatalf("stored in the clear: %q", raw)
+	}
+	if len(raw) != len("attack at dawn\n") {
+		t.Fatalf("length changed: %d", len(raw))
+	}
+	// Read back through the agent: plaintext.
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "cat", "/vault/plan.txt")
+	if st != 0 || out != "attack at dawn\n" {
+		t.Fatalf("read back: %d %q", st, out)
+	}
+}
+
+func TestCryptWrongKeyGarbles(t *testing.T) {
+	k, a := setup(t, "rightkey")
+	agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo sensitive > /vault/f")
+	wrong, err := crypt.New("/vault", "wrongkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, out := agenttest.Run(t, k, []core.Agent{wrong}, "cat", "/vault/f")
+	if st != 0 {
+		t.Fatal("read failed entirely")
+	}
+	if strings.Contains(out, "sensitive") {
+		t.Fatal("wrong key decrypted the file")
+	}
+}
+
+func TestCryptAppend(t *testing.T) {
+	k, a := setup(t, "k")
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo line one > /vault/log; echo line two >> /vault/log")
+	if st != 0 {
+		t.Fatal("append failed")
+	}
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "cat", "/vault/log")
+	if st != 0 || out != "line one\nline two\n" {
+		t.Fatalf("append read: %d %q", st, out)
+	}
+}
+
+func TestCryptGrepThroughAgent(t *testing.T) {
+	k, a := setup(t, "k")
+	agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo alpha > /vault/w; echo beta >> /vault/w")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "grep", "beta", "/vault/w")
+	if st != 0 || out != "beta\n" {
+		t.Fatalf("grep over encrypted file: %d %q", st, out)
+	}
+}

@@ -1,0 +1,223 @@
+// Package dfstrace implements the paper's dfs_trace agent (§3.5.3): file
+// reference tracing tools compatible with the kernel-based DFSTrace
+// collection originally built for the Coda filesystem project. The agent
+// gathers the same records as the kernel-based implementation
+// (NewKernelTracer) so the two can be compared directly — the paper's
+// "best available implementation" comparison.
+//
+// The agent is built from the pathname, open object, and descriptor
+// levels of the toolkit: GetPN is the central collection point for name
+// references, and a derived open object records the per-descriptor
+// operations (close, seek) on files opened through traced names.
+package dfstrace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+)
+
+// Record is one file-reference trace record.
+type Record struct {
+	Seq   int
+	Time  time.Time
+	PID   int
+	Op    string
+	Path  string
+	Path2 string
+	FD    int
+	Err   sys.Errno
+}
+
+// String formats a record one-per-line, DFSTrace style.
+func (r Record) String() string {
+	s := fmt.Sprintf("%06d %d %s", r.Seq, r.PID, r.Op)
+	if r.Path != "" {
+		s += " " + r.Path
+	}
+	if r.Path2 != "" {
+		s += " " + r.Path2
+	}
+	if r.FD >= 0 {
+		s += fmt.Sprintf(" fd=%d", r.FD)
+	}
+	if r.Err != sys.OK {
+		s += " err=" + r.Err.Name()
+	}
+	return s
+}
+
+// Collector accumulates trace records from either implementation.
+type Collector struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewCollector returns an empty collector. Record storage is preallocated
+// so collection costs no allocation on the hot path, as the original
+// DFSTrace's in-kernel buffer did not.
+func NewCollector() *Collector { return &Collector{recs: make([]Record, 0, 16384)} }
+
+// Add appends a record, assigning its sequence number.
+func (cl *Collector) Add(r Record) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	r.Seq = len(cl.recs)
+	cl.recs = append(cl.recs, r)
+}
+
+// Records returns a copy of the collected records.
+func (cl *Collector) Records() []Record {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]Record(nil), cl.recs...)
+}
+
+// Len returns the number of collected records.
+func (cl *Collector) Len() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return len(cl.recs)
+}
+
+// CountOp returns how many records carry the given operation.
+func (cl *Collector) CountOp(op string) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := 0
+	for _, r := range cl.recs {
+		if r.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards collected records, keeping the storage.
+func (cl *Collector) Reset() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.recs = cl.recs[:0]
+}
+
+// Agent is the interposition-based file reference tracer.
+type Agent struct {
+	core.PathnameSet
+	cl *Collector
+}
+
+// New creates a dfstrace agent feeding the collector.
+func New(cl *Collector) *Agent {
+	a := &Agent{cl: cl}
+	a.BindPathnames(a)
+	a.RegisterPathCalls()
+	a.RegisterDescriptorCalls()
+	a.RegisterInterest(sys.SYS_fork)
+	a.RegisterInterest(sys.SYS_exit)
+	return a
+}
+
+// Collector returns the agent's record collector.
+func (a *Agent) Collector() *Collector { return a.cl }
+
+// opName maps a resolution operation to a DFSTrace record name.
+func opName(op core.PathOp) string {
+	switch op {
+	case core.OpOpen:
+		return "open"
+	case core.OpCreate:
+		return "create"
+	case core.OpDelete:
+		return "remove"
+	case core.OpExec:
+		return "execve"
+	default:
+		return "lookup"
+	}
+}
+
+// GetPN is the central name-reference collection point: every pathname
+// crossing the interface is recorded here.
+func (a *Agent) GetPN(c sys.Ctx, path string, op core.PathOp) (core.Pathname, sys.Errno) {
+	a.cl.Add(Record{Time: time.Now(), PID: c.PID(), Op: opName(op), Path: path, FD: -1})
+	return &tracedPathname{BasePathname: core.BasePathname{P: path}, a: a}, sys.OK
+}
+
+// SysFork records process creation.
+func (a *Agent) SysFork(c sys.Ctx) (sys.Retval, sys.Errno) {
+	rv, err := a.PathnameSet.SysFork(c)
+	a.cl.Add(Record{Time: time.Now(), PID: c.PID(), Op: "fork", FD: int(rv[0]), Err: err})
+	return rv, err
+}
+
+// SysExit records process termination.
+func (a *Agent) SysExit(c sys.Ctx, status int) (sys.Retval, sys.Errno) {
+	a.cl.Add(Record{Time: time.Now(), PID: c.PID(), Op: "exit", FD: status, Err: sys.OK})
+	return a.PathnameSet.SysExit(c, status)
+}
+
+// tracedPathname records the outcomes of operations on traced names and
+// hands out tracking open objects.
+type tracedPathname struct {
+	core.BasePathname
+	a *Agent
+}
+
+// Open performs the open and wraps the descriptor in a tracking object so
+// close and seek on it are recorded too.
+func (p *tracedPathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, core.OpenObject, sys.Errno) {
+	rv, _, err := p.BasePathname.Open(c, flags, mode)
+	if err != sys.OK {
+		p.a.cl.Add(Record{Time: time.Now(), PID: c.PID(), Op: "open-fail", Path: p.P, FD: -1, Err: err})
+		return rv, nil, err
+	}
+	oo := &tracedOpen{a: p.a, path: p.P}
+	oo.FD = int(rv[0])
+	oo.Ref()
+	oo.OnRelease = func(rc sys.Ctx) {
+		p.a.cl.Add(Record{Time: time.Now(), PID: rc.PID(), Op: "close", Path: p.P, FD: oo.FD})
+	}
+	return rv, oo, sys.OK
+}
+
+// tracedOpen is the derived open object recording seeks.
+type tracedOpen struct {
+	core.BaseOpenObject
+	a    *Agent
+	path string
+}
+
+// Lseek records the seek and performs it.
+func (o *tracedOpen) Lseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno) {
+	rv, err := o.BaseOpenObject.Lseek(c, fd, off, whence)
+	o.a.cl.Add(Record{Time: time.Now(), PID: c.PID(), Op: "seek", Path: o.path, FD: fd, Err: err})
+	return rv, err
+}
+
+// kernelTracer adapts a Collector to the kernel's built-in tracing hooks:
+// the monolithic implementation the paper compares against.
+type kernelTracer struct {
+	cl *Collector
+}
+
+// NewKernelTracer returns a kernel.Tracer feeding the collector with
+// records equivalent to the agent's.
+func NewKernelTracer(cl *Collector) kernel.Tracer { return kernelTracer{cl: cl} }
+
+// Event implements kernel.Tracer.
+func (t kernelTracer) Event(e kernel.TraceEvent) {
+	op := e.Op
+	switch op {
+	case "stat", "lstat", "chdir", "chmod", "chown", "truncate", "utimes":
+		op = "lookup"
+	case "unlink", "rmdir":
+		op = "remove"
+	case "mkdir", "symlink", "link":
+		op = "create"
+	}
+	t.cl.Add(Record{Time: e.Time, PID: e.PID, Op: op, Path: e.Path, Path2: e.Path2, FD: e.FD, Err: e.Err})
+}

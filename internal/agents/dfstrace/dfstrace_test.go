@@ -1,0 +1,119 @@
+package dfstrace_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/dfstrace"
+	"interpose/internal/core"
+)
+
+func TestAgentCollectsFileReferences(t *testing.T) {
+	k := agenttest.World(t)
+	k.WriteFile("/tmp/traced.txt", []byte("data\n"), 0o644)
+	cl := dfstrace.NewCollector()
+	a := dfstrace.New(cl)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"cat /tmp/traced.txt; rm /tmp/traced.txt")
+	if st != 0 {
+		t.Fatal("workload failed")
+	}
+	if cl.CountOp("open") == 0 {
+		t.Fatal("no open records")
+	}
+	if cl.CountOp("close") == 0 {
+		t.Fatal("no close records")
+	}
+	if cl.CountOp("remove") == 0 {
+		t.Fatal("no remove records")
+	}
+	if cl.CountOp("execve") == 0 {
+		t.Fatal("no exec records")
+	}
+	found := false
+	for _, r := range cl.Records() {
+		if r.Op == "open" && r.Path == "/tmp/traced.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("target path never recorded; records:\n%s", dump(cl))
+	}
+}
+
+func dump(cl *dfstrace.Collector) string {
+	var b strings.Builder
+	for _, r := range cl.Records() {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestKernelTracerProducesEquivalentRecords(t *testing.T) {
+	// The monolithic, compiled-into-the-kernel implementation yields
+	// records comparable to the agent's (paper §3.5.3): same operations on
+	// the same pathnames, modulo resolution-time differences.
+	runOnce := func(useAgent bool) *dfstrace.Collector {
+		k := agenttest.World(t)
+		k.WriteFile("/tmp/f1", []byte("1"), 0o644)
+		cl := dfstrace.NewCollector()
+		var agents []core.Agent
+		if useAgent {
+			agents = append(agents, dfstrace.New(cl))
+		} else {
+			k.SetTracer(dfstrace.NewKernelTracer(cl))
+		}
+		st, _ := agenttest.Run(t, k, agents, "sh", "-c",
+			"cat /tmp/f1; cp /tmp/f1 /tmp/f2; rm /tmp/f2")
+		if st != 0 {
+			t.Fatal("workload failed")
+		}
+		return cl
+	}
+	agentCl := runOnce(true)
+	kernCl := runOnce(false)
+	for _, op := range []string{"open", "remove", "execve"} {
+		if agentCl.CountOp(op) == 0 || kernCl.CountOp(op) == 0 {
+			t.Fatalf("op %s missing: agent=%d kernel=%d (agent records:\n%s\nkernel records:\n%s)",
+				op, agentCl.CountOp(op), kernCl.CountOp(op), dump(agentCl), dump(kernCl))
+		}
+	}
+	// Both saw the same essential references.
+	for _, cl := range []*dfstrace.Collector{agentCl, kernCl} {
+		seen := false
+		for _, r := range cl.Records() {
+			if strings.Contains(r.Path, "/tmp/f2") && r.Op == "remove" {
+				seen = true
+			}
+		}
+		if !seen {
+			t.Fatalf("remove of /tmp/f2 missing:\n%s", dump(cl))
+		}
+	}
+}
+
+func TestCollectorSequenceAndReset(t *testing.T) {
+	cl := dfstrace.NewCollector()
+	cl.Add(dfstrace.Record{Op: "a"})
+	cl.Add(dfstrace.Record{Op: "b"})
+	recs := cl.Records()
+	if len(recs) != 2 || recs[0].Seq != 0 || recs[1].Seq != 1 {
+		t.Fatalf("seq wrong: %+v", recs)
+	}
+	cl.Reset()
+	if cl.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := dfstrace.Record{Seq: 7, PID: 3, Op: "open", Path: "/x", FD: 4}
+	s := r.String()
+	for _, want := range []string{"000007", "3", "open", "/x", "fd=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("record string %q missing %q", s, want)
+		}
+	}
+}

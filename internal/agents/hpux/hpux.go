@@ -1,0 +1,131 @@
+// Package hpux implements an emulator for a variant operating system's
+// system call interface (paper §1.4, "Emulation of Other Operating
+// Systems"): binaries compiled against an HP-UX-flavoured ABI run
+// unmodified on the 4.3BSD system underneath. Most call numbers coincide,
+// as they did between the UNIX descendants of the era; the agent
+// intercepts and translates the ones that differ:
+//
+//   - time(2), call 13, which 4.3BSD does not have (its 13 is fchdir):
+//     emulated with gettimeofday.
+//   - stat(2), call 18 with a different (packed, 16-bit field) struct
+//     layout: translated to the native call 38 and layout.
+//
+// Everything else passes straight through to the native interface.
+package hpux
+
+import (
+	"encoding/binary"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// HP-UX-flavoured call numbers that differ from 4.3BSD.
+const (
+	SysTime = 13 // time(tloc) — native 13 is fchdir
+	SysStat = 18 // stat(path, buf) with the packed layout — native 18 is unused
+)
+
+// StatSize is the size of the HP-UX-flavoured packed stat structure.
+const StatSize = 28
+
+// EncodeStat packs a native stat into the HP-UX layout: 16-bit mode,
+// nlink, uid and gid, and bare second timestamps.
+func EncodeStat(st sys.Stat, b []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], st.Dev)
+	le.PutUint32(b[4:], st.Ino)
+	le.PutUint16(b[8:], uint16(st.Mode))
+	le.PutUint16(b[10:], uint16(st.Nlink))
+	le.PutUint16(b[12:], uint16(st.UID))
+	le.PutUint16(b[14:], uint16(st.GID))
+	le.PutUint32(b[16:], st.Size)
+	le.PutUint32(b[20:], st.Mtime.Sec)
+	le.PutUint32(b[24:], st.Ctime.Sec)
+}
+
+// DecodeStat unpacks the HP-UX layout (for tests and variant binaries).
+func DecodeStat(b []byte) sys.Stat {
+	le := binary.LittleEndian
+	return sys.Stat{
+		Dev:   le.Uint32(b[0:]),
+		Ino:   le.Uint32(b[4:]),
+		Mode:  uint32(le.Uint16(b[8:])),
+		Nlink: uint32(le.Uint16(b[10:])),
+		UID:   uint32(le.Uint16(b[12:])),
+		GID:   uint32(le.Uint16(b[14:])),
+		Size:  le.Uint32(b[16:]),
+		Mtime: sys.Timeval{Sec: le.Uint32(b[20:])},
+		Ctime: sys.Timeval{Sec: le.Uint32(b[24:])},
+	}
+}
+
+// Agent is the HP-UX system interface emulator.
+type Agent struct {
+	core.Numeric
+}
+
+// New creates the emulator agent.
+func New() *Agent {
+	a := &Agent{}
+	a.RegisterInterest(SysTime)
+	a.RegisterInterest(SysStat)
+	return a
+}
+
+// Syscall translates the variant calls onto the native interface.
+func (a *Agent) Syscall(c sys.Ctx, num int, args sys.Args) (sys.Retval, sys.Errno) {
+	switch num {
+	case SysTime:
+		return a.time(c, args[0])
+	case SysStat:
+		return a.stat(c, args[0], args[1])
+	}
+	return core.Down(c, num, args)
+}
+
+// time emulates HP-UX time(2) with native gettimeofday.
+func (a *Agent) time(c sys.Ctx, tloc sys.Word) (sys.Retval, sys.Errno) {
+	mark := core.StageMark(c)
+	defer core.StageRelease(c, mark)
+	tvAddr, err := core.StageAlloc(c, sys.TimevalSize)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	if _, err := core.Down(c, sys.SYS_gettimeofday, sys.Args{tvAddr, 0}); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	var b [sys.TimevalSize]byte
+	if e := c.CopyIn(tvAddr, b[:]); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	sec := sys.DecodeTimeval(b[:]).Sec
+	if tloc != 0 {
+		var ob [4]byte
+		binary.LittleEndian.PutUint32(ob[:], sec)
+		if e := c.CopyOut(tloc, ob[:]); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	return sys.Retval{sec}, sys.OK
+}
+
+// stat translates the variant stat call and structure onto the native one.
+func (a *Agent) stat(c sys.Ctx, pathAddr, bufAddr sys.Word) (sys.Retval, sys.Errno) {
+	mark := core.StageMark(c)
+	defer core.StageRelease(c, mark)
+	nativeAddr, err := core.StageAlloc(c, sys.StatSize)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	if _, err := core.Down(c, sys.SYS_stat, sys.Args{pathAddr, nativeAddr}); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	var nb [sys.StatSize]byte
+	if e := c.CopyIn(nativeAddr, nb[:]); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	var hb [StatSize]byte
+	EncodeStat(sys.DecodeStat(nb[:]), hb[:])
+	return sys.Retval{}, c.CopyOut(bufAddr, hb[:])
+}

@@ -1,0 +1,58 @@
+package hpux_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/hpux"
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+func TestVariantBinaryFailsNatively(t *testing.T) {
+	// Without the emulator, the HP-UX binary's time(13) call lands on the
+	// native fchdir and misbehaves.
+	k := agenttest.World(t)
+	st, out := agenttest.Run(t, k, nil, "hpuxdate")
+	if st == 0 {
+		t.Fatalf("variant binary ran natively?! out=%q", out)
+	}
+}
+
+func TestVariantBinaryRunsUnderEmulator(t *testing.T) {
+	k := agenttest.World(t)
+	st, out := agenttest.Run(t, k, []core.Agent{hpux.New()}, "hpuxdate")
+	if st != 0 {
+		t.Fatalf("emulated run failed: %d %q", st, out)
+	}
+	if !strings.Contains(out, "hpux time: ") {
+		t.Fatalf("time output missing: %q", out)
+	}
+	if !strings.Contains(out, "hpux stat: ino=") || !strings.Contains(out, "mode=644") {
+		t.Fatalf("stat output wrong: %q", out)
+	}
+}
+
+func TestEmulatorPassesNativeCallsThrough(t *testing.T) {
+	k := agenttest.World(t)
+	st, out := agenttest.Run(t, k, []core.Agent{hpux.New()}, "echo", "native still works")
+	if st != 0 || out != "native still works\n" {
+		t.Fatalf("%d %q", st, out)
+	}
+}
+
+func TestStatLayoutRoundTrip(t *testing.T) {
+	in := sys.Stat{
+		Dev: 1, Ino: 42, Mode: sys.S_IFREG | 0o755, Nlink: 2,
+		UID: 100, GID: 200, Size: 12345,
+		Mtime: sys.Timeval{Sec: 1000}, Ctime: sys.Timeval{Sec: 2000},
+	}
+	var b [hpux.StatSize]byte
+	hpux.EncodeStat(in, b[:])
+	out := hpux.DecodeStat(b[:])
+	if out.Ino != 42 || out.Mode != uint32(uint16(in.Mode)) || out.Size != 12345 ||
+		out.UID != 100 || out.GID != 200 || out.Mtime.Sec != 1000 {
+		t.Fatalf("round trip: %+v", out)
+	}
+}

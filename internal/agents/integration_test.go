@@ -1,0 +1,178 @@
+package agents_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"interpose/internal/agents"
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/dfstrace"
+	"interpose/internal/agents/monitor"
+	"interpose/internal/agents/nullagent"
+	"interpose/internal/agents/timex"
+	"interpose/internal/agents/trace"
+	"interpose/internal/agents/union"
+	"interpose/internal/apps"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+)
+
+// buildWorld boots a world with the make workload in /src.
+func buildWorld(t *testing.T, programs int) *kernel.Kernel {
+	t.Helper()
+	k := agenttest.World(t)
+	if err := apps.GenMakeTree(k, "/src", programs); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// runMake runs the build under an agent stack and checks it succeeded.
+func runMake(t *testing.T, k *kernel.Kernel, agentsList []core.Agent) string {
+	t.Helper()
+	st, out, err := core.Run(k, agentsList, "/bin/sh",
+		[]string{"sh", "-c", "cd /src; mk all"}, []string{"PATH=/bin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.WIfExited(st) || sys.WExitStatus(st) != 0 {
+		t.Fatalf("make failed: %#x\n%s", st, out)
+	}
+	return out
+}
+
+// verifyBuild runs the built programs and checks their outputs.
+func verifyBuild(t *testing.T, k *kernel.Kernel, programs int) {
+	t.Helper()
+	for i := 1; i <= programs; i++ {
+		st, out, err := core.Run(k, nil, "/src/prog"+itoa(i),
+			[]string{fmt.Sprintf("/src/prog%d", i)}, nil)
+		if err != nil || !sys.WIfExited(st) || sys.WExitStatus(st) != 0 {
+			t.Fatalf("prog%d: %v %#x %q", i, err, st, out)
+		}
+		if out != apps.ExpectedProgOutput(i) {
+			t.Fatalf("prog%d output = %q, want %q", i, out, apps.ExpectedProgOutput(i))
+		}
+	}
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+// TestMakeUnderEverySimpleAgent is the paper's transparency claim in test
+// form: the same unmodified build runs identically under each agent.
+func TestMakeUnderEverySimpleAgent(t *testing.T) {
+	const programs = 2
+	stacks := map[string]func(t *testing.T) []core.Agent{
+		"none":  func(t *testing.T) []core.Agent { return nil },
+		"timex": func(t *testing.T) []core.Agent { a, _ := timex.New("3600"); return []core.Agent{a} },
+		"null":  func(t *testing.T) []core.Agent { return []core.Agent{nullagent.New()} },
+		"trace": func(t *testing.T) []core.Agent { return []core.Agent{trace.New()} },
+		"monitor": func(t *testing.T) []core.Agent {
+			return []core.Agent{monitor.New(false)}
+		},
+		"dfstrace": func(t *testing.T) []core.Agent {
+			return []core.Agent{dfstrace.New(dfstrace.NewCollector())}
+		},
+	}
+	for name, mk := range stacks {
+		t.Run(name, func(t *testing.T) {
+			k := buildWorld(t, programs)
+			runMake(t, k, mk(t))
+			verifyBuild(t, k, programs)
+		})
+	}
+}
+
+// TestMakeWithUnionView reproduces the paper's motivating union use
+// (§1.4): "mount a search list of directories ... to allow distinct
+// source and object directories to appear as a single directory when
+// running make". Sources live in /srcs, objects land in /objs, and the
+// whole build addresses only the union /build.
+func TestMakeWithUnionView(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/srcs", 0o777)
+	k.MkdirAll("/objs", 0o777)
+	k.WriteFile("/srcs/defs.h", []byte("#define ANSWER 42\n"), 0o644)
+	k.WriteFile("/srcs/main.c", []byte(`#include "defs.h"
+main() { print(ANSWER); return 0; }
+`), 0o644)
+	k.WriteFile("/srcs/Makefile", []byte(
+		"/build/prog: /build/main.c /build/defs.h\n"+
+			"\tcc -o /build/prog /build/main.c\n"), 0o644)
+
+	a, err := union.New("/build=/objs:/srcs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, out, rerr := core.Run(k, []core.Agent{a}, "/bin/sh",
+		[]string{"sh", "-c", "mk -f /build/Makefile /build/prog && /build/prog"},
+		[]string{"PATH=/bin"})
+	if rerr != nil || !sys.WIfExited(st) || sys.WExitStatus(st) != 0 {
+		t.Fatalf("union build failed: %v %#x\n%s", rerr, st, out)
+	}
+	if !strings.Contains(out, "42\n") {
+		t.Fatalf("built program output: %q", out)
+	}
+	// The object landed in the object directory, not the source one.
+	if _, err := k.ReadFile("/objs/prog"); err != nil {
+		t.Fatalf("prog not in object dir: %v", err)
+	}
+	if _, err := k.ReadFile("/srcs/prog"); err == nil {
+		t.Fatal("prog leaked into source dir")
+	}
+	// Sources stayed pristine.
+	if data, _ := k.ReadFile("/srcs/main.c"); !strings.Contains(string(data), "ANSWER") {
+		t.Fatal("source modified")
+	}
+}
+
+// TestTraceOfMakeCountsWrites checks the paper's observation that trace
+// adds two write() calls per traced call.
+func TestTraceOfMakeCountsWrites(t *testing.T) {
+	k := buildWorld(t, 1)
+	out := runMake(t, k, []core.Agent{trace.New()})
+	calls := strings.Count(out, " ...\n")
+	results := strings.Count(out, "| ... ")
+	if calls < 100 {
+		t.Fatalf("implausibly few traced calls: %d", calls)
+	}
+	// Nearly every call line has a result line (exit/execve lack one).
+	if results < calls*8/10 {
+		t.Fatalf("calls=%d results=%d", calls, results)
+	}
+}
+
+// TestCatalogConstructsEveryAgent exercises the loader-facing catalog.
+func TestCatalogConstructsEveryAgent(t *testing.T) {
+	specs := []string{
+		"timex=60", "trace", "null", "monitor", "monitor=report",
+		"union=/u=/tmp:/etc", "dfstrace", "sandbox=/tmp",
+		"sandbox=/tmp:emulate", "txn=/tmp/sh", "txn=/tmp/sh:commit",
+		"zip=/tmp", "crypt=/tmp:key", "hpux",
+	}
+	for _, spec := range specs {
+		if _, err := agents.New(spec); err != nil {
+			t.Fatalf("catalog %q: %v", spec, err)
+		}
+	}
+	for _, bad := range []string{"nosuch", "timex=xyz", "union=bad", "crypt=/x"} {
+		if _, err := agents.New(bad); err == nil {
+			t.Fatalf("catalog accepted %q", bad)
+		}
+	}
+}
+
+// TestStackedAgentsDeep runs make under a three-agent stack.
+func TestStackedAgentsDeep(t *testing.T) {
+	k := buildWorld(t, 1)
+	tx, _ := timex.New("1000")
+	mon := monitor.New(false)
+	cl := dfstrace.NewCollector()
+	runMake(t, k, []core.Agent{dfstrace.New(cl), tx, mon})
+	verifyBuild(t, k, 1)
+	if mon.Total() == 0 || cl.Len() == 0 {
+		t.Fatalf("stacked agents inert: mon=%d dfs=%d", mon.Total(), cl.Len())
+	}
+}

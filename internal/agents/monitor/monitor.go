@@ -1,0 +1,119 @@
+// Package monitor implements a system call and resource usage monitoring
+// agent (paper §2.4, "System Call Tracing and Monitoring Facilities"): it
+// counts every system call made by its clients, per call and per process,
+// and can print a usage report when each client exits.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// Agent counts system calls.
+type Agent struct {
+	core.Numeric
+
+	mu     sync.Mutex
+	byNum  [sys.MaxSyscall]uint64
+	byPID  map[int]uint64
+	errs   uint64
+	total  uint64
+	report bool // print a report as each process exits
+}
+
+// New creates a monitoring agent. With report set, each exiting client
+// process gets a usage summary printed on its standard error.
+func New(report bool) *Agent {
+	a := &Agent{byPID: make(map[int]uint64), report: report}
+	a.RegisterAll()
+	return a
+}
+
+// Syscall counts and passes the call through (numeric-layer agent: no
+// argument decoding is needed to count).
+func (a *Agent) Syscall(c sys.Ctx, num int, args sys.Args) (sys.Retval, sys.Errno) {
+	a.mu.Lock()
+	if num >= 0 && num < sys.MaxSyscall {
+		a.byNum[num]++
+	}
+	a.byPID[c.PID()]++
+	a.total++
+	a.mu.Unlock()
+
+	if num == sys.SYS_exit && a.report {
+		core.DownWriteString(c, 2, a.Report(c.PID()))
+	}
+	rv, err := core.Down(c, num, args)
+	if err != sys.OK {
+		a.mu.Lock()
+		a.errs++
+		a.mu.Unlock()
+	}
+	return rv, err
+}
+
+// Total returns the number of calls observed.
+func (a *Agent) Total() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Errors returns the number of calls that failed.
+func (a *Agent) Errors() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.errs
+}
+
+// Count returns the number of calls observed for one call number.
+func (a *Agent) Count(num int) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if num < 0 || num >= sys.MaxSyscall {
+		return 0
+	}
+	return a.byNum[num]
+}
+
+// PIDCount returns the number of calls made by one process.
+func (a *Agent) PIDCount(pid int) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byPID[pid]
+}
+
+// Report formats a usage summary. pid of 0 reports totals only.
+func (a *Agent) Report(pid int) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	type entry struct {
+		num int
+		n   uint64
+	}
+	var entries []entry
+	for num, n := range a.byNum {
+		if n > 0 {
+			entries = append(entries, entry{num, n})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return entries[i].num < entries[j].num
+	})
+	s := fmt.Sprintf("monitor: %d calls, %d errors", a.total, a.errs)
+	if pid != 0 {
+		s += fmt.Sprintf(" (pid %d made %d)", pid, a.byPID[pid])
+	}
+	s += "\n"
+	for _, e := range entries {
+		s += fmt.Sprintf("monitor:   %-16s %8d\n", sys.SyscallName(e.num), e.n)
+	}
+	return s
+}

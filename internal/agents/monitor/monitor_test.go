@@ -1,0 +1,85 @@
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/monitor"
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+func TestMonitorCountsCalls(t *testing.T) {
+	k := agenttest.World(t)
+	a := monitor.New(false)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "syscount", "500", "getpid")
+	if st != 0 {
+		t.Fatal("syscount failed")
+	}
+	if got := a.Count(sys.SYS_getpid); got < 500 {
+		t.Fatalf("getpid count = %d, want >= 500", got)
+	}
+	if a.Total() < 500 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	if a.Count(sys.SYS_exit) != 1 {
+		t.Fatalf("exit count = %d", a.Count(sys.SYS_exit))
+	}
+}
+
+func TestMonitorCountsErrors(t *testing.T) {
+	k := agenttest.World(t)
+	a := monitor.New(false)
+	agenttest.Run(t, k, []core.Agent{a}, "cat", "/no/such/file")
+	if a.Errors() == 0 {
+		t.Fatal("failed open not counted as error")
+	}
+}
+
+func TestMonitorAggregatesProcessTree(t *testing.T) {
+	k := agenttest.World(t)
+	a := monitor.New(false)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo a; echo b")
+	if st != 0 {
+		t.Fatal("sh failed")
+	}
+	if a.Count(sys.SYS_fork) < 2 {
+		t.Fatalf("fork count = %d, want >= 2", a.Count(sys.SYS_fork))
+	}
+	if a.Count(sys.SYS_execve) < 2 {
+		t.Fatalf("execve count = %d, want >= 2", a.Count(sys.SYS_execve))
+	}
+	// Per-pid accounting: at least three pids participated.
+	pids := 0
+	for pid := 1; pid < 10; pid++ {
+		if a.PIDCount(pid) > 0 {
+			pids++
+		}
+	}
+	if pids < 3 {
+		t.Fatalf("pids with activity = %d", pids)
+	}
+}
+
+func TestMonitorReportAtExit(t *testing.T) {
+	k := agenttest.World(t)
+	a := monitor.New(true)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "echo", "hi")
+	if st != 0 {
+		t.Fatal("echo failed")
+	}
+	if !strings.Contains(out, "monitor:") || !strings.Contains(out, "write") {
+		t.Fatalf("report missing:\n%s", out)
+	}
+}
+
+func TestMonitorReportFormat(t *testing.T) {
+	k := agenttest.World(t)
+	a := monitor.New(false)
+	agenttest.Run(t, k, []core.Agent{a}, "echo", "x")
+	rep := a.Report(0)
+	if !strings.Contains(rep, "calls") || !strings.Contains(rep, "exit") {
+		t.Fatalf("report = %q", rep)
+	}
+}

@@ -1,0 +1,23 @@
+// Package nullagent implements the paper's time_symbolic measurement agent
+// (§3.5.1): it intercepts every system call, decodes each call and its
+// arguments through the symbolic layer, and takes the default action —
+// making the same call on the next-lower instance of the system interface.
+// Running a program under it measures the minimum toolkit overhead per
+// intercepted call (Table 3-5's "with agent" column).
+package nullagent
+
+import "interpose/internal/core"
+
+// Agent intercepts and passes through everything.
+type Agent struct {
+	core.Symbolic
+}
+
+// New creates a null (pass-through) agent.
+func New() *Agent {
+	a := &Agent{}
+	a.Bind(a)
+	a.RegisterAll()
+	a.RegisterAllSignals()
+	return a
+}

@@ -1,0 +1,286 @@
+// Package sandbox implements a protected environment for running
+// untrusted binaries (paper §1.4): a wrapper that monitors and restricts
+// the actions a client may take, in some cases emulating them without
+// actually performing them, such that the untrusted binary need not be
+// aware of the restrictions.
+//
+// The policy: filesystem modifications are confined to a writable subtree;
+// reads of a configurable set of secret paths are denied; signals may only
+// be sent within the client's own process tree; privileged operations
+// (setuid, sethostname, settimeofday, chroot, mknod) are denied; and fork
+// and written-byte budgets bound resource use. Denied modifications
+// outside the sandbox can optionally be *emulated* — reported successful
+// without being performed — so that sloppy programs keep running.
+package sandbox
+
+import (
+	"fmt"
+	gopath "path"
+	"strings"
+	"sync"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// Violation is one recorded policy violation.
+type Violation struct {
+	PID    int
+	Action string
+	Path   string
+}
+
+// Policy configures the sandbox.
+type Policy struct {
+	// WriteRoot is the subtree in which modifications are allowed.
+	WriteRoot string
+	// Hidden paths (and subtrees) may not be opened or statted at all.
+	Hidden []string
+	// Emulate, when set, pretends that denied modifications succeeded
+	// instead of failing them with EPERM.
+	Emulate bool
+	// MaxProcs bounds the number of forks (0 = unlimited).
+	MaxProcs int
+	// MaxWriteBytes bounds the total bytes written to files (0 = unlimited).
+	MaxWriteBytes int64
+}
+
+// Agent enforces a sandbox Policy.
+type Agent struct {
+	core.PathnameSet
+	policy Policy
+
+	mu         sync.Mutex
+	violations []Violation
+	forks      int
+	written    int64
+}
+
+// New creates a sandbox agent.
+func New(policy Policy) (*Agent, error) {
+	if policy.WriteRoot == "" || !strings.HasPrefix(policy.WriteRoot, "/") {
+		return nil, fmt.Errorf("sandbox: WriteRoot must be absolute")
+	}
+	policy.WriteRoot = gopath.Clean(policy.WriteRoot)
+	a := &Agent{policy: policy}
+	a.BindPathnames(a)
+	a.RegisterPathCalls()
+	a.RegisterInterest(sys.SYS_fork)
+	a.RegisterInterest(sys.SYS_kill)
+	a.RegisterInterest(sys.SYS_setuid)
+	a.RegisterInterest(sys.SYS_sethostname)
+	a.RegisterInterest(sys.SYS_settimeofday)
+	a.RegisterInterest(sys.SYS_write)
+	return a, nil
+}
+
+// Violations returns the recorded policy violations.
+func (a *Agent) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.violations...)
+}
+
+func (a *Agent) violate(c sys.Ctx, action, path string) {
+	a.mu.Lock()
+	a.violations = append(a.violations, Violation{PID: c.PID(), Action: action, Path: path})
+	a.mu.Unlock()
+}
+
+func under(root, path string) bool {
+	return path == root || strings.HasPrefix(path, root+"/")
+}
+
+func (a *Agent) writable(path string) bool {
+	return under(a.policy.WriteRoot, gopath.Clean(path))
+}
+
+func (a *Agent) hidden(path string) bool {
+	clean := gopath.Clean(path)
+	for _, h := range a.policy.Hidden {
+		if under(gopath.Clean(h), clean) {
+			return true
+		}
+	}
+	return false
+}
+
+// deny handles a rejected modification: recorded, and either emulated as
+// success or failed with EPERM.
+func (a *Agent) deny(c sys.Ctx, action, path string) (sys.Retval, sys.Errno) {
+	a.violate(c, action, path)
+	if a.policy.Emulate {
+		return sys.Retval{}, sys.OK
+	}
+	return sys.Retval{}, sys.EPERM
+}
+
+// GetPN hides secret paths and confines modifications: pathnames resolve
+// through sandboxed pathname objects that apply the policy per operation.
+func (a *Agent) GetPN(c sys.Ctx, path string, op core.PathOp) (core.Pathname, sys.Errno) {
+	if a.hidden(path) {
+		a.violate(c, "hidden", path)
+		return nil, sys.ENOENT
+	}
+	if (op == core.OpCreate || op == core.OpDelete) && !a.writable(path) {
+		// The caller-specific method will consult denied.
+		return &sandboxedPathname{BasePathname: core.BasePathname{P: path}, a: a, denied: true}, sys.OK
+	}
+	return &sandboxedPathname{BasePathname: core.BasePathname{P: path}, a: a}, sys.OK
+}
+
+// sandboxedPathname applies write confinement per operation.
+type sandboxedPathname struct {
+	core.BasePathname
+	a      *Agent
+	denied bool // name-level denial (create/delete outside the sandbox)
+}
+
+// Open refuses write access outside the sandbox.
+func (p *sandboxedPathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, core.OpenObject, sys.Errno) {
+	writeOpen := flags&(sys.O_WRONLY|sys.O_RDWR|sys.O_CREAT|sys.O_TRUNC) != 0
+	if writeOpen && !p.a.writable(p.P) {
+		rv, err := p.a.deny(c, "open-write", p.P)
+		if err == sys.OK {
+			// Emulation: hand out a descriptor onto /dev/null so writes
+			// are swallowed rather than performed.
+			rv, err = core.DownPath(c, sys.SYS_open, "/dev/null", sys.O_WRONLY)
+			return rv, nil, err
+		}
+		return rv, nil, err
+	}
+	return p.BasePathname.Open(c, flags, mode)
+}
+
+func (p *sandboxedPathname) mod(c sys.Ctx, action string, op func() (sys.Retval, sys.Errno)) (sys.Retval, sys.Errno) {
+	if p.denied || !p.a.writable(p.P) {
+		return p.a.deny(c, action, p.P)
+	}
+	return op()
+}
+
+// Unlink is confined to the writable subtree.
+func (p *sandboxedPathname) Unlink(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return p.mod(c, "unlink", func() (sys.Retval, sys.Errno) { return p.BasePathname.Unlink(c) })
+}
+
+// Rmdir is confined to the writable subtree.
+func (p *sandboxedPathname) Rmdir(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return p.mod(c, "rmdir", func() (sys.Retval, sys.Errno) { return p.BasePathname.Rmdir(c) })
+}
+
+// Mkdir is confined to the writable subtree.
+func (p *sandboxedPathname) Mkdir(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno) {
+	return p.mod(c, "mkdir", func() (sys.Retval, sys.Errno) { return p.BasePathname.Mkdir(c, mode) })
+}
+
+// Mknod is always denied.
+func (p *sandboxedPathname) Mknod(c sys.Ctx, mode uint32, dev sys.Word) (sys.Retval, sys.Errno) {
+	return p.a.deny(c, "mknod", p.P)
+}
+
+// Symlink is confined to the writable subtree.
+func (p *sandboxedPathname) Symlink(c sys.Ctx, target string) (sys.Retval, sys.Errno) {
+	return p.mod(c, "symlink", func() (sys.Retval, sys.Errno) { return p.BasePathname.Symlink(c, target) })
+}
+
+// Chmod is confined to the writable subtree.
+func (p *sandboxedPathname) Chmod(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno) {
+	return p.mod(c, "chmod", func() (sys.Retval, sys.Errno) { return p.BasePathname.Chmod(c, mode) })
+}
+
+// Chown is confined to the writable subtree.
+func (p *sandboxedPathname) Chown(c sys.Ctx, uid, gid sys.Word) (sys.Retval, sys.Errno) {
+	return p.mod(c, "chown", func() (sys.Retval, sys.Errno) { return p.BasePathname.Chown(c, uid, gid) })
+}
+
+// Truncate is confined to the writable subtree.
+func (p *sandboxedPathname) Truncate(c sys.Ctx, length int32) (sys.Retval, sys.Errno) {
+	return p.mod(c, "truncate", func() (sys.Retval, sys.Errno) { return p.BasePathname.Truncate(c, length) })
+}
+
+// Utimes is confined to the writable subtree.
+func (p *sandboxedPathname) Utimes(c sys.Ctx, tvAddr sys.Word) (sys.Retval, sys.Errno) {
+	return p.mod(c, "utimes", func() (sys.Retval, sys.Errno) { return p.BasePathname.Utimes(c, tvAddr) })
+}
+
+// Link requires both names inside the writable subtree.
+func (p *sandboxedPathname) Link(c sys.Ctx, newpn core.Pathname) (sys.Retval, sys.Errno) {
+	if !p.a.writable(newpn.String()) {
+		return p.a.deny(c, "link", newpn.String())
+	}
+	return p.BasePathname.Link(c, newpn)
+}
+
+// Rename requires both names inside the writable subtree.
+func (p *sandboxedPathname) Rename(c sys.Ctx, to core.Pathname) (sys.Retval, sys.Errno) {
+	if p.denied || !p.a.writable(p.P) || !p.a.writable(to.String()) {
+		return p.a.deny(c, "rename", p.P)
+	}
+	return p.BasePathname.Rename(c, to)
+}
+
+// Chroot is denied: it could escape the policy's path checks.
+func (p *sandboxedPathname) Chroot(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return p.a.deny(c, "chroot", p.P)
+}
+
+// SysFork enforces the process budget.
+func (a *Agent) SysFork(c sys.Ctx) (sys.Retval, sys.Errno) {
+	if a.policy.MaxProcs > 0 {
+		a.mu.Lock()
+		a.forks++
+		over := a.forks > a.policy.MaxProcs
+		a.mu.Unlock()
+		if over {
+			a.violate(c, "fork-budget", "")
+			return sys.Retval{}, sys.EAGAIN
+		}
+	}
+	return a.PathnameSet.SysFork(c)
+}
+
+// SysWrite enforces the write budget.
+func (a *Agent) SysWrite(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	if a.policy.MaxWriteBytes > 0 {
+		a.mu.Lock()
+		over := a.written+int64(cnt) > a.policy.MaxWriteBytes
+		if !over {
+			a.written += int64(cnt)
+		}
+		a.mu.Unlock()
+		if over {
+			a.violate(c, "write-budget", "")
+			return sys.Retval{}, sys.EFBIG
+		}
+	}
+	return a.PathnameSet.SysWrite(c, fd, buf, cnt)
+}
+
+// SysKill confines signals to the client's own process tree (approximated
+// as: the caller may signal itself or its process group, nothing else).
+func (a *Agent) SysKill(c sys.Ctx, pid, sig int) (sys.Retval, sys.Errno) {
+	if pid > 0 && pid != c.PID() {
+		a.violate(c, "kill", fmt.Sprintf("pid %d", pid))
+		if a.policy.Emulate {
+			return sys.Retval{}, sys.OK
+		}
+		return sys.Retval{}, sys.EPERM
+	}
+	return a.PathnameSet.SysKill(c, pid, sig)
+}
+
+// SysSetuid is denied.
+func (a *Agent) SysSetuid(c sys.Ctx, uid sys.Word) (sys.Retval, sys.Errno) {
+	return a.deny(c, "setuid", "")
+}
+
+// SysSethostname is denied.
+func (a *Agent) SysSethostname(c sys.Ctx, addr sys.Word, n int) (sys.Retval, sys.Errno) {
+	return a.deny(c, "sethostname", "")
+}
+
+// SysSettimeofday is denied.
+func (a *Agent) SysSettimeofday(c sys.Ctx, tv, tz sys.Word) (sys.Retval, sys.Errno) {
+	return a.deny(c, "settimeofday", "")
+}

@@ -1,0 +1,147 @@
+package sandbox_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/sandbox"
+	"interpose/internal/core"
+)
+
+func agent(t *testing.T, p sandbox.Policy) *sandbox.Agent {
+	t.Helper()
+	a, err := sandbox.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSandboxConfinesWrites(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/jail", 0o777)
+	a := agent(t, sandbox.Policy{WriteRoot: "/jail"})
+
+	// Writing inside the jail works.
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo ok > /jail/f")
+	if st != 0 {
+		t.Fatal("write inside jail failed")
+	}
+	if data, err := k.ReadFile("/jail/f"); err != nil || string(data) != "ok\n" {
+		t.Fatalf("jail file: %v %q", err, data)
+	}
+
+	// Writing outside is denied and recorded.
+	st, _ = agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo bad > /etc/evil")
+	if st == 0 {
+		t.Fatal("write outside jail succeeded")
+	}
+	if _, err := k.ReadFile("/etc/evil"); err == nil {
+		t.Fatal("file escaped the sandbox")
+	}
+	found := false
+	for _, v := range a.Violations() {
+		if v.Action == "open-write" && strings.Contains(v.Path, "/etc/evil") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation not recorded: %+v", a.Violations())
+	}
+}
+
+func TestSandboxEmulatesDenials(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/jail", 0o777)
+	k.WriteFile("/etc/target", []byte("precious"), 0o644)
+	a := agent(t, sandbox.Policy{WriteRoot: "/jail", Emulate: true})
+
+	// The untrusted binary believes it succeeded...
+	st, out := agenttest.Run(t, k, []core.Agent{a},
+		"sh", "-c", "rm /etc/target && echo removed")
+	if st != 0 || !strings.Contains(out, "removed") {
+		t.Fatalf("emulated rm not transparent: %d %q", st, out)
+	}
+	// ...but nothing actually happened.
+	if data, err := k.ReadFile("/etc/target"); err != nil || string(data) != "precious" {
+		t.Fatalf("emulation performed the action: %v %q", err, data)
+	}
+	// Emulated write-opens swallow data.
+	st, _ = agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo x > /etc/swallowed")
+	if st != 0 {
+		t.Fatal("emulated open failed")
+	}
+	if _, err := k.ReadFile("/etc/swallowed"); err == nil {
+		t.Fatal("swallowed write reached the filesystem")
+	}
+}
+
+func TestSandboxHidesSecrets(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/jail", 0o777)
+	k.WriteFile("/secrets/key", []byte("hunter2"), 0o644)
+	a := agent(t, sandbox.Policy{WriteRoot: "/jail", Hidden: []string{"/secrets"}})
+
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "cat", "/secrets/key")
+	if st == 0 || strings.Contains(out, "hunter2") {
+		t.Fatalf("secret leaked: %d %q", st, out)
+	}
+	// Reads elsewhere still work.
+	st, _ = agenttest.Run(t, k, []core.Agent{a}, "cat", "/etc/motd")
+	if st != 0 {
+		t.Fatal("benign read denied")
+	}
+}
+
+func TestSandboxForkBudget(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/jail", 0o777)
+	a := agent(t, sandbox.Policy{WriteRoot: "/jail", MaxProcs: 3})
+	// Each sh -c command forks once per simple command; a chain of five
+	// blows the budget of three.
+	st, _ := agenttest.Run(t, k, []core.Agent{a},
+		"sh", "-c", "true; true; true; true; true")
+	if st == 0 {
+		t.Fatal("fork budget not enforced")
+	}
+	found := false
+	for _, v := range a.Violations() {
+		if v.Action == "fork-budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("budget violation not recorded")
+	}
+}
+
+func TestSandboxKillConfinement(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/jail", 0o777)
+	a := agent(t, sandbox.Policy{WriteRoot: "/jail"})
+	// Kill of an unrelated pid is denied (pid 999 need not exist; the
+	// policy check precedes the lookup).
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "kill", "-9", "999")
+	if st == 0 {
+		t.Fatal("cross-tree kill allowed")
+	}
+	// Signalling itself is allowed.
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sigplay")
+	if st != 0 {
+		t.Fatalf("self-signal denied: %d %q", st, out)
+	}
+}
+
+func TestSandboxDeniesPrivilegedOps(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/jail", 0o777)
+	a := agent(t, sandbox.Policy{WriteRoot: "/jail"})
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "hostname")
+	if st != 0 {
+		t.Fatal("reading hostname should be allowed")
+	}
+	if len(a.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %+v", a.Violations())
+	}
+}

@@ -1,0 +1,97 @@
+package agents_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/monitor"
+	"interpose/internal/agents/union"
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// TestAgentServesMultipleClientTrees is the paper's Figure 1-4: one agent
+// instance provides the system interface to several independent client
+// process trees at once, sharing state across them.
+func TestAgentServesMultipleClientTrees(t *testing.T) {
+	k := agenttest.World(t)
+	mon := monitor.New(false)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := core.Launch(k, []core.Agent{mon}, "/bin/syscount",
+				[]string{"syscount", "200", "getpid"}, nil)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if st := k.WaitExit(p); sys.WExitStatus(st) != 0 {
+				errs <- "bad exit"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got := mon.Count(sys.SYS_getpid); got < 800 {
+		t.Fatalf("shared agent saw %d getpids, want >= 800 across the trees", got)
+	}
+	if mon.Count(sys.SYS_exit) < 4 {
+		t.Fatalf("exits seen = %d", mon.Count(sys.SYS_exit))
+	}
+}
+
+// TestConcurrentClientsUnderUnion hammers one union agent from several
+// concurrent process trees — exercised under -race by the test suite.
+func TestConcurrentClientsUnderUnion(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/srcdir", 0o777)
+	k.MkdirAll("/objdir", 0o777)
+	k.WriteFile("/srcdir/shared.txt", []byte("shared\n"), 0o644)
+	a, err := union.New("/u=/objdir:/srcdir")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			script := "cat /u/shared.txt > /u/out-" + name + "; ls /u | grep out-" + name
+			p, err := core.Launch(k, []core.Agent{a}, "/bin/sh",
+				[]string{"sh", "-c", script}, []string{"PATH=/bin"})
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			if st := k.WaitExit(p); sys.WExitStatus(st) != 0 {
+				fail <- "exit != 0 for " + name
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for f := range fail {
+		t.Fatal(f)
+	}
+	// Every client's output landed in the first member with the shared
+	// content.
+	for i := 0; i < 8; i++ {
+		data, err := k.ReadFile("/objdir/out-" + string(rune('a'+i)))
+		if err != nil || !strings.Contains(string(data), "shared") {
+			t.Fatalf("client %d output: %v %q", i, err, data)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package timex implements the paper's timex agent (§3.3.1): it changes
+// the apparent time of day seen by its clients by a fixed offset. It is
+// the canonical minimal symbolic-layer agent — the agent-specific code is
+// one overridden system call method plus an initialization routine.
+package timex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// Agent shifts gettimeofday results by Offset seconds.
+type Agent struct {
+	core.Symbolic
+	offset int32 // difference between real and funky time
+}
+
+// New creates a timex agent. The argument is the offset in seconds
+// (e.g. "3600" makes it appear one hour later than it is).
+func New(arg string) (*Agent, error) {
+	off, err := strconv.ParseInt(arg, 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("timex: bad offset %q: %v", arg, err)
+	}
+	a := &Agent{offset: int32(off)}
+	a.Bind(a)
+	a.RegisterInterest(sys.SYS_gettimeofday)
+	return a, nil
+}
+
+// Offset returns the configured offset in seconds.
+func (a *Agent) Offset() int32 { return a.offset }
+
+// SysGettimeofday performs the real call, then adjusts the seconds field
+// of the result in the client's address space.
+func (a *Agent) SysGettimeofday(c sys.Ctx, tv, tz sys.Word) (sys.Retval, sys.Errno) {
+	rv, err := a.Symbolic.SysGettimeofday(c, tv, tz)
+	if err == sys.OK && tv != 0 {
+		var b [4]byte
+		if e := c.CopyIn(tv, b[:]); e != sys.OK {
+			return rv, e
+		}
+		sec := binary.LittleEndian.Uint32(b[:])
+		binary.LittleEndian.PutUint32(b[:], sec+uint32(a.offset))
+		if e := c.CopyOut(tv, b[:]); e != sys.OK {
+			return rv, e
+		}
+	}
+	return rv, err
+}

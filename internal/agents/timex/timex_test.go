@@ -1,0 +1,80 @@
+package timex_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/timex"
+	"interpose/internal/core"
+)
+
+func dateSec(t *testing.T, out string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(strings.TrimSpace(out), 10, 64)
+	if err != nil {
+		t.Fatalf("date output %q: %v", out, err)
+	}
+	return v
+}
+
+func TestTimexOffsetsDate(t *testing.T) {
+	k := agenttest.World(t)
+	_, bareOut := agenttest.Run(t, k, nil, "date")
+	bare := dateSec(t, bareOut)
+
+	a, err := timex.New("86400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := agenttest.Run(t, k, []core.Agent{a}, "date")
+	shifted := dateSec(t, out)
+	if d := shifted - bare; d < 86395 || d > 86405 {
+		t.Fatalf("offset = %d, want ~86400", d)
+	}
+}
+
+func TestTimexNegativeOffset(t *testing.T) {
+	k := agenttest.World(t)
+	_, bareOut := agenttest.Run(t, k, nil, "date")
+	bare := dateSec(t, bareOut)
+
+	a, err := timex.New("-3600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := agenttest.Run(t, k, []core.Agent{a}, "date")
+	if d := bare - dateSec(t, out); d < 3595 || d > 3605 {
+		t.Fatalf("offset = %d, want ~3600", d)
+	}
+}
+
+func TestTimexDoesNotAffectOtherCalls(t *testing.T) {
+	k := agenttest.World(t)
+	a, _ := timex.New("1000000")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "echo", "unaffected")
+	if st != 0 || out != "unaffected\n" {
+		t.Fatalf("%d %q", st, out)
+	}
+}
+
+func TestTimexStacks(t *testing.T) {
+	// Two timex agents compose: offsets add.
+	k := agenttest.World(t)
+	_, bareOut := agenttest.Run(t, k, nil, "date")
+	bare := dateSec(t, bareOut)
+
+	a1, _ := timex.New("1000")
+	a2, _ := timex.New("2000")
+	_, out := agenttest.Run(t, k, []core.Agent{a1, a2}, "date")
+	if d := dateSec(t, out) - bare; d < 2995 || d > 3005 {
+		t.Fatalf("stacked offset = %d, want ~3000", d)
+	}
+}
+
+func TestTimexBadArg(t *testing.T) {
+	if _, err := timex.New("not-a-number"); err == nil {
+		t.Fatal("bad offset accepted")
+	}
+}

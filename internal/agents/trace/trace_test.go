@@ -1,0 +1,71 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/trace"
+	"interpose/internal/core"
+)
+
+func TestTraceRecordsCallsAndResults(t *testing.T) {
+	k := agenttest.World(t)
+	if err := k.WriteFile("/tmp/t.txt", []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, out := agenttest.Run(t, k, []core.Agent{trace.New()}, "cat", "/tmp/t.txt")
+	if st != 0 {
+		t.Fatalf("cat: %d", st)
+	}
+	for _, want := range []string{
+		`open("/tmp/t.txt"`, "... open -> 3",
+		"read(3,", "... read -> 2",
+		"close(3)", "exit(0)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q in:\n%s", want, out)
+		}
+	}
+	// The traced program's own output is interleaved on the console too.
+	if !strings.Contains(out, "x\n") {
+		t.Fatalf("program output lost:\n%s", out)
+	}
+}
+
+func TestTraceShowsErrors(t *testing.T) {
+	k := agenttest.World(t)
+	st, out := agenttest.Run(t, k, []core.Agent{trace.New()}, "cat", "/nonexistent")
+	if st == 0 {
+		t.Fatal("cat of missing file succeeded")
+	}
+	if !strings.Contains(out, "-> -1 ENOENT") {
+		t.Fatalf("errno not traced:\n%s", out)
+	}
+}
+
+func TestTraceFollowsChildren(t *testing.T) {
+	k := agenttest.World(t)
+	st, out := agenttest.Run(t, k, []core.Agent{trace.New()}, "sh", "-c", "echo hi")
+	if st != 0 {
+		t.Fatalf("sh: %d", st)
+	}
+	if !strings.Contains(out, "fork()") || !strings.Contains(out, "execve(") {
+		t.Fatalf("fork/exec not traced:\n%s", out)
+	}
+	// Child pid appears as a distinct prefix.
+	if !strings.Contains(out, "2| ") {
+		t.Fatalf("child calls not traced:\n%s", out)
+	}
+}
+
+func TestTraceSignals(t *testing.T) {
+	k := agenttest.World(t)
+	st, out := agenttest.Run(t, k, []core.Agent{trace.New()}, "sigplay")
+	if st != 0 {
+		t.Fatalf("sigplay: %d", st)
+	}
+	if !strings.Contains(out, "signal SIGUSR1") {
+		t.Fatalf("signal not traced:\n%s", out)
+	}
+}

@@ -1,0 +1,598 @@
+// Package txn implements a transactional software environment (paper
+// §1.4): arbitrary unmodified programs run such that all persistent
+// filesystem side effects are buffered in a shadow subtree and appear,
+// within the transaction, to have been performed normally; at the end the
+// transaction is either committed (replayed against the real filesystem)
+// or aborted (discarded). Because an agent's modifications are made
+// through the next-lower instance of the system interface, one
+// transactional invocation can run inside another, transparently
+// providing nested transactions.
+package txn
+
+import (
+	"fmt"
+	gopath "path"
+	"sort"
+	"strings"
+	"sync"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// entry records the transactional state of one real pathname.
+type entry struct {
+	shadowed bool // a shadow copy exists and is authoritative
+	whiteout bool // the name is deleted within the transaction
+	isDir    bool
+}
+
+// Agent is the transactional environment.
+type Agent struct {
+	core.PathnameSet
+
+	shadowRoot   string
+	commitOnExit bool
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	rootPID int
+	done    bool
+}
+
+// New creates a transactional agent buffering changes under shadowRoot
+// (which must be absolute and is created on demand). With commitOnExit
+// set, the buffered changes are replayed against the real filesystem when
+// the top client process exits; otherwise they are discarded.
+func New(shadowRoot string, commitOnExit bool) (*Agent, error) {
+	if !strings.HasPrefix(shadowRoot, "/") {
+		return nil, fmt.Errorf("txn: shadow root must be absolute")
+	}
+	a := &Agent{
+		shadowRoot:   gopath.Clean(shadowRoot),
+		commitOnExit: commitOnExit,
+		entries:      make(map[string]*entry),
+	}
+	a.BindPathnames(a)
+	a.RegisterPathCalls()
+	a.RegisterDescriptorCalls()
+	a.RegisterInterest(sys.SYS_fork)
+	return a, nil
+}
+
+// shadow maps a real pathname into the shadow subtree.
+func (a *Agent) shadow(real string) string { return a.shadowRoot + real }
+
+func (a *Agent) get(real string) entry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e := a.entries[real]; e != nil {
+		return *e
+	}
+	return entry{}
+}
+
+func (a *Agent) set(real string, e entry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.entries[real] = &e
+}
+
+// inTxnSpace reports whether the agent manages this pathname. The shadow
+// subtree itself is exempt so the agent's own downcalls are not recursed
+// on (they already are not, being downcalls, but clients poking at the
+// shadow would corrupt state).
+func (a *Agent) manages(path string) bool {
+	return !strings.HasPrefix(path, a.shadowRoot+"/") && path != a.shadowRoot
+}
+
+// clean canonicalizes an absolute pathname; relative names pass through
+// and are left unmanaged (the transactional loader runs clients with
+// absolute-path discipline).
+func clean(path string) (string, bool) {
+	if !strings.HasPrefix(path, "/") {
+		return path, false
+	}
+	return gopath.Clean(path), true
+}
+
+// GetPN routes each pathname through the transactional overlay.
+func (a *Agent) GetPN(c sys.Ctx, path string, op core.PathOp) (core.Pathname, sys.Errno) {
+	abs, ok := clean(path)
+	if !ok || !a.manages(abs) {
+		return a.PathnameSet.GetPN(c, path, op)
+	}
+	return &txnPathname{BasePathname: core.BasePathname{P: abs}, a: a}, sys.OK
+}
+
+// ensureShadowParents creates the shadow counterparts of a path's parent
+// directories.
+func (a *Agent) ensureShadowParents(c sys.Ctx, real string) sys.Errno {
+	dir := gopath.Dir(real)
+	return core.DownMkdirAll(c, a.shadow(dir), 0o777)
+}
+
+// copyUp materializes a shadow copy of a real file so it can be modified
+// privately.
+func (a *Agent) copyUp(c sys.Ctx, real string) sys.Errno {
+	e := a.get(real)
+	if e.shadowed || e.whiteout {
+		return sys.OK
+	}
+	st, err := core.DownStat(c, real)
+	if err != sys.OK {
+		return err
+	}
+	if err := a.ensureShadowParents(c, real); err != sys.OK {
+		return err
+	}
+	if st.IsDir() {
+		if err := core.DownMkdirAll(c, a.shadow(real), st.Mode&0o7777); err != sys.OK {
+			return err
+		}
+		a.set(real, entry{shadowed: true, isDir: true})
+		return sys.OK
+	}
+	if err := core.DownCopyFile(c, real, a.shadow(real)); err != sys.OK {
+		return err
+	}
+	a.set(real, entry{shadowed: true})
+	return sys.OK
+}
+
+// effective returns the pathname current operations should use for
+// reading, and whether the name exists in the transaction's view.
+func (a *Agent) effective(c sys.Ctx, real string) (string, bool) {
+	e := a.get(real)
+	switch {
+	case e.whiteout:
+		return "", false
+	case e.shadowed:
+		return a.shadow(real), true
+	default:
+		if _, err := core.DownLstat(c, real); err != sys.OK {
+			return real, false
+		}
+		return real, true
+	}
+}
+
+// txnPathname is the pathname object of the transactional view.
+type txnPathname struct {
+	core.BasePathname // P is the real (logical) pathname
+	a                 *Agent
+}
+
+// Open reads from the effective object; write-opens are redirected into
+// the shadow subtree after a copy-up.
+func (p *txnPathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, core.OpenObject, sys.Errno) {
+	a := p.a
+	writeOpen := flags&(sys.O_WRONLY|sys.O_RDWR|sys.O_CREAT|sys.O_TRUNC|sys.O_APPEND) != 0
+	eff, exists := a.effective(c, p.P)
+	if !writeOpen {
+		if !exists {
+			if eff == "" {
+				return sys.Retval{}, nil, sys.ENOENT
+			}
+			// Fall through so the real error surfaces.
+		}
+		// Directory reads get a merged view of real + shadow.
+		if exists {
+			if st, err := core.DownStat(c, eff); err == sys.OK && st.IsDir() {
+				return a.openMergedDir(c, p.P)
+			}
+		}
+		rv, err := core.DownPath(c, sys.SYS_open, eff, sys.Word(flags), mode)
+		return rv, nil, err
+	}
+
+	// Write path: everything happens in the shadow.
+	e := a.get(p.P)
+	switch {
+	case e.whiteout || !exists:
+		if flags&sys.O_CREAT == 0 {
+			return sys.Retval{}, nil, sys.ENOENT
+		}
+		if err := a.ensureShadowParents(c, p.P); err != sys.OK {
+			return sys.Retval{}, nil, err
+		}
+		a.set(p.P, entry{shadowed: true})
+	case !e.shadowed:
+		if flags&sys.O_TRUNC != 0 {
+			// The old contents are irrelevant; just create the shadow.
+			if err := a.ensureShadowParents(c, p.P); err != sys.OK {
+				return sys.Retval{}, nil, err
+			}
+			a.set(p.P, entry{shadowed: true})
+		} else if err := a.copyUp(c, p.P); err != sys.OK {
+			return sys.Retval{}, nil, err
+		}
+	}
+	rv, err := core.DownPath(c, sys.SYS_open, a.shadow(p.P), sys.Word(flags), mode)
+	return rv, nil, err
+}
+
+// openMergedDir opens a union of the shadow and real directories,
+// suppressing whiteouts.
+func (a *Agent) openMergedDir(c sys.Ctx, real string) (sys.Retval, core.OpenObject, sys.Errno) {
+	eff, _ := a.effective(c, real)
+	rv, err := core.DownPath(c, sys.SYS_open, eff, sys.O_RDONLY)
+	if err != sys.OK {
+		return sys.Retval{}, nil, err
+	}
+	names := make(map[string]uint32) // name → ino
+	var order []string
+	add := func(dir string) {
+		ents, err := core.DownReaddir(c, dir)
+		if err != sys.OK {
+			return
+		}
+		for _, n := range ents {
+			full := gopath.Join(real, n)
+			if a.get(full).whiteout {
+				continue
+			}
+			if _, dup := names[full]; dup {
+				continue
+			}
+			if _, seen := names[n]; seen {
+				continue
+			}
+			names[n] = 0
+			order = append(order, n)
+		}
+	}
+	// Shadow entries take precedence; then real ones not whited out.
+	if sh, e := core.DownStat(c, a.shadow(real)); e == sys.OK && sh.IsDir() {
+		add(a.shadow(real))
+	}
+	if eff != a.shadow(real) {
+		add(eff)
+	} else if _, e := core.DownStat(c, real); e == sys.OK {
+		add(real)
+	}
+	d := newListDir(int(rv[0]), order)
+	return rv, d, sys.OK
+}
+
+// listDir is a directory open object serving a precomputed name list.
+type listDir struct {
+	core.Directory
+	names []string
+	pos   int
+}
+
+func newListDir(fd int, names []string) *listDir {
+	d := &listDir{names: names}
+	d.FD = fd
+	d.Ref()
+	d.BindDirectory(d)
+	return d
+}
+
+// NextDirentry serves the precomputed merged listing. Inode numbers are
+// synthetic: the transactional view has no stable inodes until commit.
+func (d *listDir) NextDirentry(c sys.Ctx, fd int) (sys.Dirent, bool, sys.Errno) {
+	switch d.pos {
+	case 0:
+		d.pos++
+		return sys.Dirent{Ino: 1, Name: "."}, true, sys.OK
+	case 1:
+		d.pos++
+		return sys.Dirent{Ino: 1, Name: ".."}, true, sys.OK
+	}
+	i := d.pos - 2
+	if i >= len(d.names) {
+		return sys.Dirent{}, false, sys.OK
+	}
+	d.pos++
+	return sys.Dirent{Ino: uint32(2 + i), Name: d.names[i]}, true, sys.OK
+}
+
+// Rewind restarts the listing.
+func (d *listDir) Rewind(c sys.Ctx, fd int) sys.Errno {
+	d.pos = 0
+	return sys.OK
+}
+
+// Stat stats the effective object.
+func (p *txnPathname) Stat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	eff, exists := p.a.effective(c, p.P)
+	if !exists && eff == "" {
+		return sys.Retval{}, sys.ENOENT
+	}
+	return core.DownPath(c, sys.SYS_stat, eff, statAddr)
+}
+
+// Lstat lstats the effective object.
+func (p *txnPathname) Lstat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	eff, exists := p.a.effective(c, p.P)
+	if !exists && eff == "" {
+		return sys.Retval{}, sys.ENOENT
+	}
+	return core.DownPath(c, sys.SYS_lstat, eff, statAddr)
+}
+
+// Access checks the effective object.
+func (p *txnPathname) Access(c sys.Ctx, mode int) (sys.Retval, sys.Errno) {
+	eff, exists := p.a.effective(c, p.P)
+	if !exists && eff == "" {
+		return sys.Retval{}, sys.ENOENT
+	}
+	return core.DownPath(c, sys.SYS_access, eff, sys.Word(int32(mode)))
+}
+
+// Readlink reads through the effective object.
+func (p *txnPathname) Readlink(c sys.Ctx, buf sys.Word, n int) (sys.Retval, sys.Errno) {
+	eff, exists := p.a.effective(c, p.P)
+	if !exists && eff == "" {
+		return sys.Retval{}, sys.ENOENT
+	}
+	return core.DownPath(c, sys.SYS_readlink, eff, buf, sys.Word(int32(n)))
+}
+
+// Unlink records a whiteout; the real file is untouched until commit.
+func (p *txnPathname) Unlink(c sys.Ctx) (sys.Retval, sys.Errno) {
+	a := p.a
+	_, exists := a.effective(c, p.P)
+	if !exists {
+		return sys.Retval{}, sys.ENOENT
+	}
+	if a.get(p.P).shadowed {
+		core.DownPath(c, sys.SYS_unlink, a.shadow(p.P))
+	}
+	a.set(p.P, entry{whiteout: true})
+	return sys.Retval{}, sys.OK
+}
+
+// Rmdir whiteouts a directory if it is empty in the merged view.
+func (p *txnPathname) Rmdir(c sys.Ctx) (sys.Retval, sys.Errno) {
+	a := p.a
+	eff, exists := a.effective(c, p.P)
+	if !exists {
+		return sys.Retval{}, sys.ENOENT
+	}
+	names, err := core.DownReaddir(c, eff)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	for _, n := range names {
+		if !a.get(gopath.Join(p.P, n)).whiteout {
+			return sys.Retval{}, sys.ENOTEMPTY
+		}
+	}
+	if a.get(p.P).shadowed {
+		core.DownPath(c, sys.SYS_rmdir, a.shadow(p.P))
+	}
+	a.set(p.P, entry{whiteout: true, isDir: true})
+	return sys.Retval{}, sys.OK
+}
+
+// Mkdir creates the directory in the shadow.
+func (p *txnPathname) Mkdir(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno) {
+	a := p.a
+	if _, exists := a.effective(c, p.P); exists {
+		return sys.Retval{}, sys.EEXIST
+	}
+	if err := a.ensureShadowParents(c, p.P); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	rv, err := core.DownPath(c, sys.SYS_mkdir, a.shadow(p.P), mode)
+	if err == sys.OK || err == sys.EEXIST {
+		a.set(p.P, entry{shadowed: true, isDir: true})
+		err = sys.OK
+	}
+	return rv, err
+}
+
+// Symlink creates the link in the shadow.
+func (p *txnPathname) Symlink(c sys.Ctx, target string) (sys.Retval, sys.Errno) {
+	a := p.a
+	if _, exists := a.effective(c, p.P); exists {
+		return sys.Retval{}, sys.EEXIST
+	}
+	if err := a.ensureShadowParents(c, p.P); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	core.DownPath(c, sys.SYS_unlink, a.shadow(p.P))
+	rv, err := core.DownPath2(c, sys.SYS_symlink, target, a.shadow(p.P))
+	if err == sys.OK {
+		a.set(p.P, entry{shadowed: true})
+	}
+	return rv, err
+}
+
+// Chmod applies to the shadow copy.
+func (p *txnPathname) Chmod(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno) {
+	if err := p.a.copyUp(c, p.P); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return core.DownPath(c, sys.SYS_chmod, p.a.shadow(p.P), mode)
+}
+
+// Chown applies to the shadow copy.
+func (p *txnPathname) Chown(c sys.Ctx, uid, gid sys.Word) (sys.Retval, sys.Errno) {
+	if err := p.a.copyUp(c, p.P); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return core.DownPath(c, sys.SYS_chown, p.a.shadow(p.P), uid, gid)
+}
+
+// Utimes applies to the shadow copy.
+func (p *txnPathname) Utimes(c sys.Ctx, tvAddr sys.Word) (sys.Retval, sys.Errno) {
+	if err := p.a.copyUp(c, p.P); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return core.DownPath(c, sys.SYS_utimes, p.a.shadow(p.P), tvAddr)
+}
+
+// Truncate applies to the shadow copy.
+func (p *txnPathname) Truncate(c sys.Ctx, length int32) (sys.Retval, sys.Errno) {
+	if err := p.a.copyUp(c, p.P); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return core.DownPath(c, sys.SYS_truncate, p.a.shadow(p.P), sys.Word(length))
+}
+
+// Rename is modeled as copy-to-target plus whiteout-of-source, entirely
+// within the transaction.
+func (p *txnPathname) Rename(c sys.Ctx, to core.Pathname) (sys.Retval, sys.Errno) {
+	a := p.a
+	src, exists := a.effective(c, p.P)
+	if !exists {
+		return sys.Retval{}, sys.ENOENT
+	}
+	toReal, ok := clean(to.String())
+	if !ok || !a.manages(toReal) {
+		return sys.Retval{}, sys.EXDEV
+	}
+	if err := a.ensureShadowParents(c, toReal); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	if err := core.DownCopyFile(c, src, a.shadow(toReal)); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	a.set(toReal, entry{shadowed: true})
+	if a.get(p.P).shadowed {
+		core.DownPath(c, sys.SYS_unlink, a.shadow(p.P))
+	}
+	a.set(p.P, entry{whiteout: true})
+	return sys.Retval{}, sys.OK
+}
+
+// Link is modeled as a copy within the transaction (hard links across the
+// overlay are not preserved by commit).
+func (p *txnPathname) Link(c sys.Ctx, newpn core.Pathname) (sys.Retval, sys.Errno) {
+	a := p.a
+	src, exists := a.effective(c, p.P)
+	if !exists {
+		return sys.Retval{}, sys.ENOENT
+	}
+	toReal, ok := clean(newpn.String())
+	if !ok || !a.manages(toReal) {
+		return sys.Retval{}, sys.EXDEV
+	}
+	if _, exists := a.effective(c, toReal); exists {
+		return sys.Retval{}, sys.EEXIST
+	}
+	if err := a.ensureShadowParents(c, toReal); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	if err := core.DownCopyFile(c, src, a.shadow(toReal)); err != sys.OK {
+		return sys.Retval{}, err
+	}
+	a.set(toReal, entry{shadowed: true})
+	return sys.Retval{}, sys.OK
+}
+
+// Exec executes the effective image.
+func (p *txnPathname) Exec(c sys.Ctx, argvAddr, envpAddr sys.Word) (sys.Retval, sys.Errno) {
+	eff, exists := p.a.effective(c, p.P)
+	if !exists && eff == "" {
+		return sys.Retval{}, sys.ENOENT
+	}
+	return core.ExecveFromPrimitives(c, eff, argvAddr, envpAddr)
+}
+
+// SysFork tracks the client tree's root so commit can run at its exit.
+func (a *Agent) SysFork(c sys.Ctx) (sys.Retval, sys.Errno) {
+	a.noteRoot(c.PID())
+	return a.PathnameSet.SysFork(c)
+}
+
+func (a *Agent) noteRoot(pid int) {
+	a.mu.Lock()
+	if a.rootPID == 0 {
+		a.rootPID = pid
+	}
+	a.mu.Unlock()
+}
+
+// SysExit commits or aborts when the root client exits.
+func (a *Agent) SysExit(c sys.Ctx, status int) (sys.Retval, sys.Errno) {
+	a.noteRoot(c.PID())
+	a.mu.Lock()
+	isRoot := c.PID() == a.rootPID && !a.done
+	if isRoot {
+		a.done = true
+	}
+	a.mu.Unlock()
+	if isRoot && a.commitOnExit {
+		a.Commit(c)
+	}
+	return a.PathnameSet.SysExit(c, status)
+}
+
+// Changes describes the buffered modifications: paths that would be
+// written and paths that would be removed at commit.
+func (a *Agent) Changes() (writes, removes []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for path, e := range a.entries {
+		switch {
+		case e.whiteout:
+			removes = append(removes, path)
+		case e.shadowed:
+			writes = append(writes, path)
+		}
+	}
+	sort.Strings(writes)
+	sort.Strings(removes)
+	return writes, removes
+}
+
+// Commit replays the transaction against the real filesystem through
+// downcalls on c: directories first, then file contents, then removals.
+func (a *Agent) Commit(c sys.Ctx) sys.Errno {
+	writes, removes := a.Changes()
+	// Shorter paths (parents) first for creations.
+	sort.Slice(writes, func(i, j int) bool { return len(writes[i]) < len(writes[j]) })
+	var firstErr sys.Errno
+	for _, path := range writes {
+		mark := core.StageMark(c)
+		a.mu.Lock()
+		isDir := a.entries[path].isDir
+		a.mu.Unlock()
+		var err sys.Errno
+		if isDir {
+			err = core.DownMkdirAll(c, path, 0o777)
+		} else if st, e := core.DownLstat(c, a.shadow(path)); e == sys.OK && st.Mode&sys.S_IFMT == sys.S_IFLNK {
+			// Recreate symbolic links as links.
+			buf, e2 := core.StageAlloc(c, sys.PathMax)
+			if e2 == sys.OK {
+				rv, e3 := core.DownPath(c, sys.SYS_readlink, a.shadow(path), buf, sys.PathMax)
+				if e3 == sys.OK {
+					target := make([]byte, rv[0])
+					c.CopyIn(buf, target)
+					core.DownPath(c, sys.SYS_unlink, path)
+					_, err = core.DownPath2(c, sys.SYS_symlink, string(target), path)
+				}
+			}
+		} else {
+			err = core.DownCopyFile(c, a.shadow(path), path)
+		}
+		if err != sys.OK && firstErr == sys.OK {
+			firstErr = err
+		}
+		core.StageRelease(c, mark)
+	}
+	// Longer paths first for removals (children before parents).
+	sort.Slice(removes, func(i, j int) bool { return len(removes[i]) > len(removes[j]) })
+	for _, path := range removes {
+		mark := core.StageMark(c)
+		a.mu.Lock()
+		isDir := a.entries[path].isDir
+		a.mu.Unlock()
+		var err sys.Errno
+		if isDir {
+			_, err = core.DownPath(c, sys.SYS_rmdir, path)
+		} else {
+			_, err = core.DownPath(c, sys.SYS_unlink, path)
+		}
+		if err != sys.OK && firstErr == sys.OK {
+			firstErr = err
+		}
+		core.StageRelease(c, mark)
+	}
+	return firstErr
+}

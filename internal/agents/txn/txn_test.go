@@ -1,0 +1,183 @@
+package txn_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/txn"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+)
+
+func setup(t *testing.T) *kernel.Kernel {
+	k := agenttest.World(t)
+	k.MkdirAll("/work", 0o777)
+	k.WriteFile("/work/existing.txt", []byte("original\n"), 0o644)
+	k.WriteFile("/work/victim.txt", []byte("doomed\n"), 0o644)
+	return k
+}
+
+func agent(t *testing.T, commit bool) *txn.Agent {
+	a, err := txn.New("/tmp/shadow", commit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestTxnAbortDiscardsEverything(t *testing.T) {
+	k := setup(t)
+	a := agent(t, false)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo changed > /work/existing.txt; echo new > /work/new.txt; rm /work/victim.txt; cat /work/existing.txt /work/new.txt")
+	if st != 0 {
+		t.Fatalf("txn run: %d %q", st, out)
+	}
+	// Inside the transaction the changes were visible.
+	if !strings.Contains(out, "changed") || !strings.Contains(out, "new") {
+		t.Fatalf("changes invisible inside txn: %q", out)
+	}
+	// After abort nothing persisted.
+	if data, _ := k.ReadFile("/work/existing.txt"); string(data) != "original\n" {
+		t.Fatalf("existing mutated: %q", data)
+	}
+	if _, err := k.ReadFile("/work/new.txt"); err == nil {
+		t.Fatal("new file persisted after abort")
+	}
+	if _, err := k.ReadFile("/work/victim.txt"); err != nil {
+		t.Fatal("deleted file gone after abort")
+	}
+}
+
+func TestTxnCommitAppliesEverything(t *testing.T) {
+	k := setup(t)
+	a := agent(t, true)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo changed > /work/existing.txt; echo new > /work/new.txt; rm /work/victim.txt; mkdir /work/subdir; echo deep > /work/subdir/deep.txt")
+	if st != 0 {
+		t.Fatal("txn run failed")
+	}
+	if data, _ := k.ReadFile("/work/existing.txt"); string(data) != "changed\n" {
+		t.Fatalf("existing not committed: %q", data)
+	}
+	if data, _ := k.ReadFile("/work/new.txt"); string(data) != "new\n" {
+		t.Fatalf("new not committed: %q", data)
+	}
+	if _, err := k.ReadFile("/work/victim.txt"); err == nil {
+		t.Fatal("victim survived commit")
+	}
+	if data, _ := k.ReadFile("/work/subdir/deep.txt"); string(data) != "deep\n" {
+		t.Fatalf("nested dir not committed: %q", data)
+	}
+}
+
+func TestTxnReadYourWrites(t *testing.T) {
+	k := setup(t)
+	a := agent(t, false)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo v1 > /work/f; cat /work/f; echo v2 > /work/f; cat /work/f")
+	if st != 0 || !strings.Contains(out, "v1") || !strings.Contains(out, "v2") {
+		t.Fatalf("read-your-writes broken: %d %q", st, out)
+	}
+}
+
+func TestTxnWhiteoutHidesFile(t *testing.T) {
+	k := setup(t)
+	a := agent(t, false)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"rm /work/victim.txt; cat /work/victim.txt || echo GONE")
+	if st != 0 {
+		t.Fatalf("run: %d %q", st, out)
+	}
+	if !strings.Contains(out, "GONE") {
+		t.Fatalf("victim still readable inside txn: %q", out)
+	}
+	// And it disappears from the directory listing.
+	a2 := agent(t, false)
+	st, out = agenttest.Run(t, k, []core.Agent{a2}, "sh", "-c",
+		"rm /work/victim.txt; ls /work")
+	if st != 0 {
+		t.Fatalf("run: %d %q", st, out)
+	}
+	if strings.Contains(out, "victim.txt") {
+		t.Fatalf("victim still listed inside txn: %q", out)
+	}
+	if !strings.Contains(out, "existing.txt") {
+		t.Fatalf("real files missing from listing: %q", out)
+	}
+}
+
+func TestTxnListingShowsCreations(t *testing.T) {
+	k := setup(t)
+	a := agent(t, false)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo x > /work/created.txt; ls /work")
+	if st != 0 || !strings.Contains(out, "created.txt") {
+		t.Fatalf("created file not listed: %d %q", st, out)
+	}
+	if !strings.Contains(out, "existing.txt") {
+		t.Fatalf("real files vanished from listing: %q", out)
+	}
+}
+
+func TestTxnChangesReport(t *testing.T) {
+	k := setup(t)
+	a := agent(t, false)
+	agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo n > /work/new.txt; rm /work/victim.txt")
+	writes, removes := a.Changes()
+	if len(writes) != 1 || writes[0] != "/work/new.txt" {
+		t.Fatalf("writes = %v", writes)
+	}
+	if len(removes) != 1 || removes[0] != "/work/victim.txt" {
+		t.Fatalf("removes = %v", removes)
+	}
+}
+
+func TestTxnNestedTransactions(t *testing.T) {
+	// A transactional invocation within another: the inner commit lands
+	// in the outer transaction's view; the outer abort discards it all.
+	k := setup(t)
+	outer := agent(t, false)
+	inner, err := txn.New("/tmp/shadow-inner", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, out := agenttest.Run(t, k, []core.Agent{outer, inner}, "sh", "-c",
+		"echo nested > /work/nested.txt; cat /work/nested.txt")
+	if st != 0 || !strings.Contains(out, "nested") {
+		t.Fatalf("inner txn: %d %q", st, out)
+	}
+	// The inner commit wrote through to the outer layer...
+	writes, _ := outer.Changes()
+	found := false
+	for _, w := range writes {
+		if w == "/work/nested.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inner commit did not reach outer txn: %v", writes)
+	}
+	// ...but the outer abort keeps the real filesystem clean.
+	if _, err := k.ReadFile("/work/nested.txt"); err == nil {
+		t.Fatal("nested write escaped the outer transaction")
+	}
+}
+
+func TestTxnRenameWithin(t *testing.T) {
+	k := setup(t)
+	a := agent(t, true)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"mv /work/existing.txt /work/renamed.txt")
+	if st != 0 {
+		t.Fatal("mv failed")
+	}
+	if _, err := k.ReadFile("/work/existing.txt"); err == nil {
+		t.Fatal("source survived committed rename")
+	}
+	if data, _ := k.ReadFile("/work/renamed.txt"); string(data) != "original\n" {
+		t.Fatalf("renamed contents: %q", data)
+	}
+}

@@ -1,0 +1,208 @@
+// Package union implements the paper's union agent (§3.3.3): union
+// directories, which make the contents of a search list of actual
+// directories appear merged into a single logical directory. It is built
+// from derived versions of exactly the toolkit objects the paper names: a
+// pathname object that maps names under union directories onto the
+// underlying member objects, a directory object that lists the logical
+// contents via a new NextDirentry, and an initialization routine that
+// accepts union directory specifications.
+package union
+
+import (
+	"fmt"
+	gopath "path"
+	"sort"
+	"strings"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// Agent provides union directories to its clients.
+type Agent struct {
+	core.PathnameSet
+	mounts []mount // longest mount points first
+}
+
+// mount is one union directory: a logical pathname backed by members.
+type mount struct {
+	point   string
+	members []string
+}
+
+// New creates a union agent from a specification of the form
+// "/mnt=/dirA:/dirB[;/mnt2=...]". The first member of each union is the
+// preferred one: name conflicts resolve to it, and new names are created
+// in it.
+func New(spec string) (*Agent, error) {
+	a := &Agent{}
+	for _, ent := range strings.Split(spec, ";") {
+		if ent == "" {
+			continue
+		}
+		eq := strings.IndexByte(ent, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("union: bad mount %q (want /mnt=/a:/b)", ent)
+		}
+		m := mount{point: gopath.Clean(ent[:eq])}
+		for _, d := range strings.Split(ent[eq+1:], ":") {
+			if d != "" {
+				m.members = append(m.members, gopath.Clean(d))
+			}
+		}
+		if !strings.HasPrefix(m.point, "/") || len(m.members) == 0 {
+			return nil, fmt.Errorf("union: bad mount %q", ent)
+		}
+		a.mounts = append(a.mounts, m)
+	}
+	if len(a.mounts) == 0 {
+		return nil, fmt.Errorf("union: empty specification")
+	}
+	sort.Slice(a.mounts, func(i, j int) bool {
+		return len(a.mounts[i].point) > len(a.mounts[j].point)
+	})
+	a.BindPathnames(a)
+	a.RegisterPathCalls()
+	a.RegisterDescriptorCalls()
+	return a, nil
+}
+
+// GetPN maps pathnames under union mount points to their underlying
+// member objects; all other pathnames resolve normally.
+func (a *Agent) GetPN(c sys.Ctx, path string, op core.PathOp) (core.Pathname, sys.Errno) {
+	clean := path
+	if strings.HasPrefix(path, "/") {
+		clean = gopath.Clean(path)
+	}
+	for _, m := range a.mounts {
+		if clean == m.point {
+			return &unionDirPathname{BasePathname: core.BasePathname{P: m.members[0]}, m: m}, sys.OK
+		}
+		if strings.HasPrefix(clean, m.point+"/") {
+			rel := clean[len(m.point)+1:]
+			return &core.BasePathname{P: a.resolveMember(c, m, rel, op)}, sys.OK
+		}
+	}
+	return a.PathnameSet.GetPN(c, path, op)
+}
+
+// resolveMember picks the member path for a name under a union mount:
+// the first member in which the name exists, or the first member for
+// creations and misses.
+func (a *Agent) resolveMember(c sys.Ctx, m mount, rel string, op core.PathOp) string {
+	statAddr, err := core.StageAlloc(c, sys.StatSize)
+	if err != sys.OK {
+		return m.members[0] + "/" + rel
+	}
+	for _, member := range m.members {
+		cand := member + "/" + rel
+		if _, err := core.DownPath(c, sys.SYS_lstat, cand, statAddr); err == sys.OK {
+			return cand
+		}
+	}
+	return m.members[0] + "/" + rel
+}
+
+// unionDirPathname is the pathname object for a union mount point itself.
+// Metadata operations go to the first member; opening it produces the
+// merged directory object.
+type unionDirPathname struct {
+	core.BasePathname // P is the first member
+	m                 mount
+}
+
+// Open opens every member directory and returns a union directory open
+// object over them. The first member's descriptor is the one the client
+// sees.
+func (u *unionDirPathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, core.OpenObject, sys.Errno) {
+	if flags&sys.O_ACCMODE != sys.O_RDONLY {
+		return sys.Retval{}, nil, sys.EISDIR
+	}
+	rv, err := core.DownPath(c, sys.SYS_open, u.m.members[0], sys.O_RDONLY)
+	if err != sys.OK {
+		return sys.Retval{}, nil, err
+	}
+	fd := int(rv[0])
+	d := newUnionDir(fd)
+	for _, member := range u.m.members[1:] {
+		mrv, err := core.DownPath(c, sys.SYS_open, member, sys.O_RDONLY)
+		if err != sys.OK {
+			continue // absent members simply contribute nothing
+		}
+		sub := core.NewDirectory(int(mrv[0]))
+		d.subs = append(d.subs, sub)
+		d.subFDs = append(d.subFDs, int(mrv[0]))
+	}
+	d.OnRelease = func(rc sys.Ctx) {
+		for _, sfd := range d.subFDs {
+			core.Down(rc, sys.SYS_close, sys.Args{sys.Word(sfd)})
+		}
+	}
+	return rv, d, sys.OK
+}
+
+// unionDir is the union directory open object: a derived Directory whose
+// NextDirentry iterates over the contents of each member directory,
+// suppressing duplicate names (and, yes, that iteration is accomplished
+// via the underlying NextDirentry implementations).
+type unionDir struct {
+	core.Directory
+	subs   []*core.Directory
+	subFDs []int
+	cur    int
+	seen   map[string]bool
+}
+
+func newUnionDir(fd int) *unionDir {
+	d := &unionDir{seen: make(map[string]bool)}
+	d.FD = fd
+	d.Ref() // NewDirectory normally sets the initial reference
+	d.BindDirectory(d)
+	return d
+}
+
+// NextDirentry produces the next logical entry of the union.
+func (d *unionDir) NextDirentry(c sys.Ctx, fd int) (sys.Dirent, bool, sys.Errno) {
+	for {
+		var ent sys.Dirent
+		var ok bool
+		var err sys.Errno
+		if d.cur == 0 {
+			ent, ok, err = d.Directory.NextDirentry(c, fd)
+		} else if d.cur-1 < len(d.subs) {
+			ent, ok, err = d.subs[d.cur-1].NextDirentry(c, d.subFDs[d.cur-1])
+		} else {
+			return sys.Dirent{}, false, sys.OK
+		}
+		if err != sys.OK {
+			return sys.Dirent{}, false, err
+		}
+		if !ok {
+			d.cur++
+			continue
+		}
+		if d.cur > 0 && (ent.Name == "." || ent.Name == "..") {
+			continue
+		}
+		if d.seen[ent.Name] {
+			continue
+		}
+		d.seen[ent.Name] = true
+		return ent, true, sys.OK
+	}
+}
+
+// Rewind restarts the union iteration.
+func (d *unionDir) Rewind(c sys.Ctx, fd int) sys.Errno {
+	if err := d.Directory.Rewind(c, fd); err != sys.OK {
+		return err
+	}
+	for i, s := range d.subs {
+		if err := s.Rewind(c, d.subFDs[i]); err != sys.OK {
+			return err
+		}
+	}
+	d.cur = 0
+	d.seen = make(map[string]bool)
+	return sys.OK
+}

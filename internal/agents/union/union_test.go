@@ -1,0 +1,142 @@
+package union_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/union"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+)
+
+func setup(t *testing.T) *kernel.Kernel {
+	k := agenttest.World(t)
+	for _, dir := range []string{"/srcdir", "/objdir"} {
+		if err := k.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for path, content := range map[string]string{
+		"/srcdir/common.txt": "from src\n",
+		"/srcdir/source.c":   "int main;\n",
+		"/objdir/common.txt": "from obj\n",
+		"/objdir/object.o":   "OBJ\n",
+		"/objdir/extra.o":    "OBJ2\n",
+	} {
+		if err := k.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k
+}
+
+func agent(t *testing.T, spec string) *union.Agent {
+	a, err := union.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestUnionMergesListing(t *testing.T) {
+	k := setup(t)
+	a := agent(t, "/u=/srcdir:/objdir")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "ls", "/u")
+	if st != 0 {
+		t.Fatalf("ls: %d %q", st, out)
+	}
+	for _, want := range []string{"common.txt", "source.c", "object.o", "extra.o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// Duplicate name appears once.
+	if strings.Count(out, "common.txt") != 1 {
+		t.Fatalf("duplicate suppressed wrong:\n%s", out)
+	}
+}
+
+func TestUnionFirstMemberWins(t *testing.T) {
+	k := setup(t)
+	a := agent(t, "/u=/srcdir:/objdir")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "cat", "/u/common.txt")
+	if st != 0 || out != "from src\n" {
+		t.Fatalf("cat: %d %q", st, out)
+	}
+	// Names only in the second member resolve there.
+	st, out = agenttest.Run(t, k, []core.Agent{a}, "cat", "/u/object.o")
+	if st != 0 || out != "OBJ\n" {
+		t.Fatalf("cat: %d %q", st, out)
+	}
+}
+
+func TestUnionCreatesInFirstMember(t *testing.T) {
+	k := setup(t)
+	a := agent(t, "/u=/srcdir:/objdir")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo fresh > /u/new.txt")
+	if st != 0 {
+		t.Fatalf("write: %d %q", st, out)
+	}
+	data, err := k.ReadFile("/srcdir/new.txt")
+	if err != nil || string(data) != "fresh\n" {
+		t.Fatalf("create went to %v %q", err, data)
+	}
+	if _, err := k.ReadFile("/objdir/new.txt"); err == nil {
+		t.Fatal("create leaked into second member")
+	}
+}
+
+func TestUnionStatAndUnlink(t *testing.T) {
+	k := setup(t)
+	a := agent(t, "/u=/srcdir:/objdir")
+	// stat resolves through the union.
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "ls", "-l", "/u/object.o")
+	if st != 0 || !strings.Contains(out, "object.o") {
+		t.Fatalf("ls -l: %d %q", st, out)
+	}
+	// unlink of a second-member file removes the underlying object.
+	st, _ = agenttest.Run(t, k, []core.Agent{a}, "rm", "/u/extra.o")
+	if st != 0 {
+		t.Fatal("rm failed")
+	}
+	if _, err := k.ReadFile("/objdir/extra.o"); err == nil {
+		t.Fatal("underlying file still present")
+	}
+}
+
+func TestUnionMissingFile(t *testing.T) {
+	k := setup(t)
+	a := agent(t, "/u=/srcdir:/objdir")
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "cat", "/u/nosuch")
+	if st == 0 {
+		t.Fatal("cat of missing union name succeeded")
+	}
+}
+
+func TestUnionAbsentMember(t *testing.T) {
+	k := setup(t)
+	a := agent(t, "/u=/srcdir:/nonexistent:/objdir")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "ls", "/u")
+	if st != 0 || !strings.Contains(out, "object.o") {
+		t.Fatalf("ls with absent member: %d %q", st, out)
+	}
+}
+
+func TestUnionGrepThroughPipe(t *testing.T) {
+	// The paper's motivating use: union src and obj dirs for a build.
+	k := setup(t)
+	a := agent(t, "/u=/srcdir:/objdir")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "ls /u | grep .o")
+	if st != 0 || !strings.Contains(out, "object.o") {
+		t.Fatalf("pipeline over union: %d %q", st, out)
+	}
+}
+
+func TestUnionBadSpec(t *testing.T) {
+	for _, spec := range []string{"", "nomount", "/u=", "rel=/a"} {
+		if _, err := union.New(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package userdev_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/userdev"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+)
+
+func setup(t *testing.T) (*kernel.Kernel, *userdev.Agent) {
+	k := agenttest.World(t)
+	a, err := userdev.New("/udev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, a
+}
+
+func TestDevicesAreListed(t *testing.T) {
+	k, a := setup(t)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "ls", "/udev")
+	if st != 0 {
+		t.Fatalf("ls: %d %q", st, out)
+	}
+	for _, want := range []string{"rand", "fortune", "counter", "sink"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("device %q missing from listing:\n%s", want, out)
+		}
+	}
+	// The directory does not exist without the agent: it is purely logical.
+	st, _ = agenttest.Run(t, k, nil, "ls", "/udev")
+	if st == 0 {
+		t.Fatal("device directory exists without the agent")
+	}
+}
+
+func TestFortuneRotates(t *testing.T) {
+	k, a := setup(t)
+	st, out1 := agenttest.Run(t, k, []core.Agent{a}, "cat", "/udev/fortune")
+	if st != 0 || out1 == "" {
+		t.Fatalf("fortune 1: %d %q", st, out1)
+	}
+	_, out2 := agenttest.Run(t, k, []core.Agent{a}, "cat", "/udev/fortune")
+	if out1 == out2 {
+		t.Fatalf("fortune did not rotate: %q", out1)
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	k, a := setup(t)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"head /udev/counter; head /udev/counter")
+	if st != 0 {
+		t.Fatalf("counter: %d %q", st, out)
+	}
+	// Each read increments; head reads once per open here.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Fatalf("counter output: %q", out)
+	}
+}
+
+func TestSinkSwallowsAndCounts(t *testing.T) {
+	k, a := setup(t)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo twelve bytes > /udev/sink")
+	if st != 0 {
+		t.Fatal("sink write failed")
+	}
+	if a.Sunk() != int64(len("twelve bytes\n")) {
+		t.Fatalf("sunk = %d", a.Sunk())
+	}
+}
+
+func TestRandIsDeterministicPerOpen(t *testing.T) {
+	k, a := setup(t)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"head /udev/rand > /tmp/r1; head /udev/rand > /tmp/r2")
+	if st != 0 {
+		t.Fatalf("rand reads failed: %q", out)
+	}
+	r1, err1 := k.ReadFile("/tmp/r1")
+	r2, err2 := k.ReadFile("/tmp/r2")
+	if err1 != nil || err2 != nil || len(r1) == 0 {
+		t.Fatalf("rand output: %v %v %d", err1, err2, len(r1))
+	}
+	if string(r1) != string(r2) {
+		t.Fatal("rand stream not reproducible across opens")
+	}
+}
+
+func TestStatOfSyntheticDevice(t *testing.T) {
+	k, a := setup(t)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "ls", "-l", "/udev/rand")
+	if st != 0 || !strings.Contains(out, "c") { // character device in mode string
+		t.Fatalf("stat: %d %q", st, out)
+	}
+}
+
+func TestWritesToDevicesDoNotTouchFS(t *testing.T) {
+	k, a := setup(t)
+	before := k.FS().NumInodes()
+	agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo x > /udev/sink; cat /udev/fortune; head /udev/rand")
+	if after := k.FS().NumInodes(); after != before {
+		t.Fatalf("synthetic devices leaked inodes: %d → %d", before, after)
+	}
+}

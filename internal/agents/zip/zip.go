@@ -1,0 +1,338 @@
+// Package zip implements a transparent data compression agent (paper
+// §1.4): files under a configured subtree are stored compressed, but
+// clients read and write them as plain data. Compressed files carry a
+// small header recording the plain size; whole files are decompressed
+// into an agent open object on open and recompressed on last close —
+// the classic whole-file transparent compression design.
+package zip
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	gopath "path"
+	"strings"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// magic identifies a compressed file.
+var magic = []byte("IZIP1\n")
+
+// headerSize is the compressed-file header: magic plus plain size.
+const headerSize = 10
+
+// Compress produces the stored form of plain data.
+func Compress(plain []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic)
+	var szb [4]byte
+	binary.LittleEndian.PutUint32(szb[:], uint32(len(plain)))
+	buf.Write(szb[:])
+	zw, _ := flate.NewWriter(&buf, flate.BestSpeed)
+	zw.Write(plain)
+	zw.Close()
+	return buf.Bytes()
+}
+
+// Decompress recovers plain data from the stored form; ok is false if the
+// data is not in compressed form.
+func Decompress(stored []byte) (plain []byte, ok bool) {
+	if len(stored) < headerSize || !bytes.HasPrefix(stored, magic) {
+		return nil, false
+	}
+	size := binary.LittleEndian.Uint32(stored[len(magic):])
+	zr := flate.NewReader(bytes.NewReader(stored[headerSize:]))
+	plain, err := io.ReadAll(zr)
+	if err != nil || uint32(len(plain)) != size {
+		return nil, false
+	}
+	return plain, true
+}
+
+// storedPlainSize reads the plain size from a compressed header.
+func storedPlainSize(header []byte) (uint32, bool) {
+	if len(header) < headerSize || !bytes.HasPrefix(header, magic) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(header[len(magic):]), true
+}
+
+// Agent provides transparent compression under a subtree.
+type Agent struct {
+	core.PathnameSet
+	root string
+}
+
+// New creates a compression agent covering the given absolute subtree.
+func New(root string) (*Agent, error) {
+	if !strings.HasPrefix(root, "/") {
+		return nil, fmt.Errorf("zip: root must be absolute")
+	}
+	a := &Agent{root: gopath.Clean(root)}
+	a.BindPathnames(a)
+	a.RegisterPathCalls()
+	a.RegisterDescriptorCalls()
+	return a, nil
+}
+
+func (a *Agent) covers(path string) bool {
+	clean := path
+	if strings.HasPrefix(path, "/") {
+		clean = gopath.Clean(path)
+	}
+	return clean == a.root || strings.HasPrefix(clean, a.root+"/")
+}
+
+// GetPN wraps covered pathnames in compressing pathname objects.
+func (a *Agent) GetPN(c sys.Ctx, path string, op core.PathOp) (core.Pathname, sys.Errno) {
+	if !a.covers(path) {
+		return a.PathnameSet.GetPN(c, path, op)
+	}
+	return &zipPathname{BasePathname: core.BasePathname{P: path}, a: a}, sys.OK
+}
+
+// zipPathname opens covered files through compressing open objects and
+// reports their plain sizes from stat.
+type zipPathname struct {
+	core.BasePathname
+	a *Agent
+}
+
+// Open opens the real file and, if it is a compressed regular file (or a
+// write open that will become one), interposes a buffering open object.
+func (p *zipPathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, core.OpenObject, sys.Errno) {
+	rv, _, err := p.BasePathname.Open(c, flags, mode)
+	if err != sys.OK {
+		return rv, nil, err
+	}
+	fd := int(rv[0])
+	st, err := downFstat(c, fd)
+	if err != sys.OK || !st.IsReg() {
+		return rv, nil, sys.OK // directories, devices: untouched
+	}
+
+	var plain []byte
+	if flags&sys.O_TRUNC == 0 {
+		stored, err := core.DownReadFile(c, p.P)
+		if err != sys.OK {
+			return rv, nil, sys.OK
+		}
+		if dec, ok := Decompress(stored); ok {
+			plain = dec
+		} else {
+			plain = stored // pre-existing plain file: keep as-is
+		}
+	}
+	oo := &zipOpen{a: p.a, path: p.P, data: plain, flags: flags, mode: st.Mode & 0o7777}
+	oo.FD = fd
+	oo.Ref()
+	if flags&sys.O_APPEND != 0 {
+		oo.off = int64(len(plain))
+	}
+	oo.OnRelease = func(rc sys.Ctx) {
+		if oo.dirty {
+			core.DownWriteFile(rc, oo.path, Compress(oo.data), oo.mode)
+		}
+	}
+	return rv, oo, sys.OK
+}
+
+// Stat reports the plain size of compressed files.
+func (p *zipPathname) Stat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	rv, err := p.BasePathname.Stat(c, statAddr)
+	if err != sys.OK {
+		return rv, err
+	}
+	p.patchSize(c, statAddr)
+	return rv, sys.OK
+}
+
+// Lstat reports the plain size of compressed files.
+func (p *zipPathname) Lstat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	rv, err := p.BasePathname.Lstat(c, statAddr)
+	if err != sys.OK {
+		return rv, err
+	}
+	p.patchSize(c, statAddr)
+	return rv, sys.OK
+}
+
+// patchSize rewrites the size field of a stat result with the plain size
+// stored in the compressed header, if the file is compressed.
+func (p *zipPathname) patchSize(c sys.Ctx, statAddr sys.Word) {
+	var sb [sys.StatSize]byte
+	if e := c.CopyIn(statAddr, sb[:]); e != sys.OK {
+		return
+	}
+	st := sys.DecodeStat(sb[:])
+	if !st.IsReg() || st.Size < headerSize {
+		return
+	}
+	mark := core.StageMark(c)
+	defer core.StageRelease(c, mark)
+	rv, err := core.DownPath(c, sys.SYS_open, p.P, sys.O_RDONLY)
+	if err != sys.OK {
+		return
+	}
+	fd := rv[0]
+	defer core.Down(c, sys.SYS_close, sys.Args{fd})
+	hdrAddr, err := core.StageAlloc(c, headerSize)
+	if err != sys.OK {
+		return
+	}
+	hrv, err := core.Down(c, sys.SYS_read, sys.Args{fd, hdrAddr, headerSize})
+	if err != sys.OK || hrv[0] != headerSize {
+		return
+	}
+	var hdr [headerSize]byte
+	if e := c.CopyIn(hdrAddr, hdr[:]); e != sys.OK {
+		return
+	}
+	if size, ok := storedPlainSize(hdr[:]); ok {
+		st.Size = size
+		st.Encode(sb[:])
+		c.CopyOut(statAddr, sb[:])
+	}
+}
+
+// downFstat stats an open descriptor below the agent.
+func downFstat(c sys.Ctx, fd int) (sys.Stat, sys.Errno) {
+	addr, err := core.StageAlloc(c, sys.StatSize)
+	if err != sys.OK {
+		return sys.Stat{}, err
+	}
+	if _, err := core.Down(c, sys.SYS_fstat, sys.Args{sys.Word(fd), addr}); err != sys.OK {
+		return sys.Stat{}, err
+	}
+	var b [sys.StatSize]byte
+	if e := c.CopyIn(addr, b[:]); e != sys.OK {
+		return sys.Stat{}, e
+	}
+	return sys.DecodeStat(b[:]), sys.OK
+}
+
+// zipOpen is the in-memory plain image of an open compressed file.
+type zipOpen struct {
+	core.BaseOpenObject
+	a     *Agent
+	path  string
+	data  []byte
+	off   int64
+	flags int
+	mode  uint32
+	dirty bool
+}
+
+// Read serves plain data from the buffered image.
+func (o *zipOpen) Read(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	if o.flags&sys.O_ACCMODE == sys.O_WRONLY {
+		return sys.Retval{}, sys.EBADF
+	}
+	if o.off >= int64(len(o.data)) || cnt == 0 {
+		return sys.Retval{0}, sys.OK
+	}
+	end := o.off + int64(cnt)
+	if end > int64(len(o.data)) {
+		end = int64(len(o.data))
+	}
+	chunk := o.data[o.off:end]
+	if e := c.CopyOut(buf, chunk); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	o.off = end
+	return sys.Retval{sys.Word(len(chunk))}, sys.OK
+}
+
+// Write stores plain data into the buffered image.
+func (o *zipOpen) Write(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	if o.flags&sys.O_ACCMODE == sys.O_RDONLY {
+		return sys.Retval{}, sys.EBADF
+	}
+	if o.flags&sys.O_APPEND != 0 {
+		o.off = int64(len(o.data))
+	}
+	p := make([]byte, cnt)
+	if e := c.CopyIn(buf, p); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	end := o.off + int64(cnt)
+	if end > int64(len(o.data)) {
+		grown := make([]byte, end)
+		copy(grown, o.data)
+		o.data = grown
+	}
+	copy(o.data[o.off:], p)
+	o.off = end
+	o.dirty = true
+	return sys.Retval{sys.Word(cnt)}, sys.OK
+}
+
+// Lseek repositions within the plain image.
+func (o *zipOpen) Lseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno) {
+	var base int64
+	switch whence {
+	case sys.SEEK_SET:
+		base = 0
+	case sys.SEEK_CUR:
+		base = o.off
+	case sys.SEEK_END:
+		base = int64(len(o.data))
+	default:
+		return sys.Retval{}, sys.EINVAL
+	}
+	pos := base + int64(off)
+	if pos < 0 {
+		return sys.Retval{}, sys.EINVAL
+	}
+	o.off = pos
+	return sys.Retval{sys.Word(pos)}, sys.OK
+}
+
+// Ftruncate adjusts the plain image.
+func (o *zipOpen) Ftruncate(c sys.Ctx, fd int, length int32) (sys.Retval, sys.Errno) {
+	if length < 0 {
+		return sys.Retval{}, sys.EINVAL
+	}
+	n := int(length)
+	switch {
+	case n < len(o.data):
+		o.data = o.data[:n]
+	case n > len(o.data):
+		grown := make([]byte, n)
+		copy(grown, o.data)
+		o.data = grown
+	}
+	o.dirty = true
+	return sys.Retval{}, sys.OK
+}
+
+// Fstat reports the plain size.
+func (o *zipOpen) Fstat(c sys.Ctx, fd int, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	rv, err := o.BaseOpenObject.Fstat(c, fd, statAddr)
+	if err != sys.OK {
+		return rv, err
+	}
+	var b [sys.StatSize]byte
+	if e := c.CopyIn(statAddr, b[:]); e != sys.OK {
+		return rv, e
+	}
+	st := sys.DecodeStat(b[:])
+	st.Size = uint32(len(o.data))
+	st.Encode(b[:])
+	return rv, c.CopyOut(statAddr, b[:])
+}
+
+// Fsync writes the compressed image back early.
+func (o *zipOpen) Fsync(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	if o.dirty {
+		if err := core.DownWriteFile(c, o.path, Compress(o.data), o.mode); err != sys.OK {
+			return sys.Retval{}, err
+		}
+		o.dirty = false
+	}
+	return sys.Retval{}, sys.OK
+}

@@ -1,0 +1,130 @@
+package zip_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/zip"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+)
+
+func setup(t *testing.T) (*kernel.Kernel, *zip.Agent) {
+	k := agenttest.World(t)
+	k.MkdirAll("/arch", 0o777)
+	a, err := zip.New("/arch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, a
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, ok := zip.Decompress(zip.Compress(data))
+		return ok && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipTransparentWriteRead(t *testing.T) {
+	k, a := setup(t)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c",
+		"echo the quick brown fox > /arch/f.txt")
+	if st != 0 {
+		t.Fatal("write failed")
+	}
+	// On disk: compressed.
+	raw, err := k.ReadFile("/arch/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain, ok := zip.Decompress(raw); !ok || string(plain) != "the quick brown fox\n" {
+		t.Fatalf("stored form not compressed: %q", raw)
+	}
+	// Through the agent: plain.
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "cat", "/arch/f.txt")
+	if st != 0 || out != "the quick brown fox\n" {
+		t.Fatalf("read back: %d %q", st, out)
+	}
+}
+
+func TestZipCompressesLargeFile(t *testing.T) {
+	k, a := setup(t)
+	// Highly repetitive content compresses well.
+	line := strings.Repeat("all work and no play makes jack a dull boy ", 4) + "\n"
+	var script strings.Builder
+	script.WriteString("echo start > /arch/big.txt;")
+	for i := 0; i < 40; i++ {
+		script.WriteString("echo " + strings.TrimSpace(line) + " >> /arch/big.txt;")
+	}
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", script.String())
+	if st != 0 {
+		t.Fatal("append workload failed")
+	}
+	raw, _ := k.ReadFile("/arch/big.txt")
+	plain, ok := zip.Decompress(raw)
+	if !ok {
+		t.Fatal("not stored compressed")
+	}
+	if len(raw) >= len(plain) {
+		t.Fatalf("no space saved: stored %d, plain %d", len(raw), len(plain))
+	}
+}
+
+func TestZipStatReportsPlainSize(t *testing.T) {
+	k, a := setup(t)
+	agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo 0123456789 > /arch/s.txt")
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "ls", "-l", "/arch/s.txt")
+	if st != 0 {
+		t.Fatal("ls failed")
+	}
+	if !strings.Contains(out, " 11 ") {
+		t.Fatalf("plain size not reported: %q", out)
+	}
+}
+
+func TestZipOutsideSubtreeUntouched(t *testing.T) {
+	k, a := setup(t)
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo plain > /tmp/p.txt")
+	if st != 0 {
+		t.Fatal("write failed")
+	}
+	raw, _ := k.ReadFile("/tmp/p.txt")
+	if string(raw) != "plain\n" {
+		t.Fatalf("file outside subtree modified: %q", raw)
+	}
+}
+
+func TestZipPreexistingPlainFileReadable(t *testing.T) {
+	k, a := setup(t)
+	k.WriteFile("/arch/old.txt", []byte("uncompressed legacy\n"), 0o644)
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "cat", "/arch/old.txt")
+	if st != 0 || out != "uncompressed legacy\n" {
+		t.Fatalf("legacy read: %d %q", st, out)
+	}
+}
+
+func TestZipCopyThroughAgent(t *testing.T) {
+	// cp reads through the agent and writes through the agent: both sides
+	// transparent, destination compressed.
+	k, a := setup(t)
+	agenttest.Run(t, k, []core.Agent{a}, "sh", "-c", "echo payload > /arch/src.txt")
+	st, _ := agenttest.Run(t, k, []core.Agent{a}, "cp", "/arch/src.txt", "/arch/dst.txt")
+	if st != 0 {
+		t.Fatal("cp failed")
+	}
+	st, out := agenttest.Run(t, k, []core.Agent{a}, "cat", "/arch/dst.txt")
+	if st != 0 || out != "payload\n" {
+		t.Fatalf("dst read: %d %q", st, out)
+	}
+	raw, _ := k.ReadFile("/arch/dst.txt")
+	if _, ok := zip.Decompress(raw); !ok {
+		t.Fatal("destination not stored compressed")
+	}
+}

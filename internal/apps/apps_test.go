@@ -1,0 +1,272 @@
+package apps_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/apps"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+)
+
+func world(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	k, err := apps.NewWorld()
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	return k
+}
+
+// run spawns a program and returns (exitStatus, consoleOutput).
+func run(t *testing.T, k *kernel.Kernel, argv ...string) (int, string) {
+	t.Helper()
+	k.Console().TakeOutput()
+	p, err := k.Spawn("/bin/"+argv[0], argv, []string{"PATH=/bin"})
+	if err != nil {
+		t.Fatalf("spawn %v: %v", argv, err)
+	}
+	st := k.WaitExit(p)
+	if !sys.WIfExited(st) {
+		t.Fatalf("%v: killed by %s\n%s", argv, sys.SignalName(sys.WTermSig(st)), k.Console().Output())
+	}
+	return sys.WExitStatus(st), k.Console().TakeOutput()
+}
+
+func TestEcho(t *testing.T) {
+	k := world(t)
+	st, out := run(t, k, "echo", "hello", "world")
+	if st != 0 || out != "hello world\n" {
+		t.Fatalf("st=%d out=%q", st, out)
+	}
+}
+
+func TestCoreutilsRoundTrip(t *testing.T) {
+	k := world(t)
+	if err := k.WriteFile("/tmp/a.txt", []byte("one\ntwo\nthree\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st, out := run(t, k, "cat", "/tmp/a.txt"); st != 0 || out != "one\ntwo\nthree\n" {
+		t.Fatalf("cat: %d %q", st, out)
+	}
+	if st, out := run(t, k, "wc", "/tmp/a.txt"); st != 0 || !strings.Contains(out, "3") {
+		t.Fatalf("wc: %d %q", st, out)
+	}
+	if st, _ := run(t, k, "cp", "/tmp/a.txt", "/tmp/b.txt"); st != 0 {
+		t.Fatal("cp failed")
+	}
+	if st, out := run(t, k, "grep", "two", "/tmp/b.txt"); st != 0 || out != "two\n" {
+		t.Fatalf("grep: %d %q", st, out)
+	}
+	if st, _ := run(t, k, "mv", "/tmp/b.txt", "/tmp/c.txt"); st != 0 {
+		t.Fatal("mv failed")
+	}
+	if st, out := run(t, k, "ls", "/tmp"); st != 0 || !strings.Contains(out, "c.txt") || strings.Contains(out, "b.txt") {
+		t.Fatalf("ls: %d %q", st, out)
+	}
+	if st, _ := run(t, k, "rm", "/tmp/c.txt"); st != 0 {
+		t.Fatal("rm failed")
+	}
+	if st, _ := run(t, k, "cat", "/tmp/c.txt"); st == 0 {
+		t.Fatal("cat of removed file succeeded")
+	}
+}
+
+func TestShPipelineAndRedirect(t *testing.T) {
+	k := world(t)
+	if err := k.WriteFile("/tmp/in.txt", []byte("alpha\nbeta\ngamma\nbetamax\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, out := run(t, k, "sh", "-c", "cat /tmp/in.txt | grep beta > /tmp/out.txt; wc /tmp/out.txt")
+	if st != 0 {
+		t.Fatalf("sh: %d %q", st, out)
+	}
+	data, err := k.ReadFile("/tmp/out.txt")
+	if err != nil || string(data) != "beta\nbetamax\n" {
+		t.Fatalf("redirect: %v %q", err, data)
+	}
+	if !strings.Contains(out, "2") {
+		t.Fatalf("wc out: %q", out)
+	}
+}
+
+func TestShConditionals(t *testing.T) {
+	k := world(t)
+	if st, out := run(t, k, "sh", "-c", "true && echo yes || echo no"); st != 0 || out != "yes\n" {
+		t.Fatalf("and-or: %d %q", st, out)
+	}
+	if st, out := run(t, k, "sh", "-c", "false && echo yes || echo no"); st != 0 || out != "no\n" {
+		t.Fatalf("and-or: %d %q", st, out)
+	}
+}
+
+func TestShellScriptViaInterpreter(t *testing.T) {
+	k := world(t)
+	script := "#!/bin/sh\necho from script $GREETING\n"
+	if err := k.WriteFile("/tmp/run.sh", []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	k.Console().TakeOutput()
+	p, err := k.Spawn("/tmp/run.sh", []string{"/tmp/run.sh"}, []string{"PATH=/bin", "GREETING=hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.WaitExit(p)
+	out := k.Console().TakeOutput()
+	if sys.WExitStatus(st) != 0 || out != "from script hi\n" {
+		t.Fatalf("script: %#x %q", st, out)
+	}
+}
+
+func TestScribeFormatsDissertation(t *testing.T) {
+	k := world(t)
+	path, err := apps.GenDissertation(k, "/doc", 4, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, out := run(t, k, "scribe", path)
+	if st != 0 {
+		t.Fatalf("scribe: %d %q", st, out)
+	}
+	doc, rerr := k.ReadFile("/doc/dissertation.doc")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	text := string(doc)
+	for _, want := range []string{
+		"TRANSPARENTLY INTERPOSING USER CODE",
+		"Chapter 1.", "Chapter 4.",
+		"1.1  Section 1 of Chapter 1",
+		"Table of Contents",
+		"- 2 -", // page footers
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted doc missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "pages") {
+		t.Fatalf("scribe output: %q", out)
+	}
+}
+
+func TestCompilerPipeline(t *testing.T) {
+	k := world(t)
+	src := `#include "lib.h"
+main()
+{
+    int x = SIX * 7;
+    print(x);
+    prints("done\n");
+    return x - 42;
+}
+`
+	lib := "#define SIX 6\n"
+	if err := k.WriteFile("/tmp/t.c", []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WriteFile("/tmp/lib.h", []byte(lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, out := run(t, k, "sh", "-c", "cd /tmp; cc -o t t.c && ./t")
+	if st != 0 {
+		t.Fatalf("cc+run: %d %q", st, out)
+	}
+	if !strings.Contains(out, "42\n") || !strings.Contains(out, "done") {
+		t.Fatalf("program output: %q", out)
+	}
+}
+
+func TestMakeEightPrograms(t *testing.T) {
+	k := world(t)
+	if err := apps.GenMakeTree(k, "/src", 8); err != nil {
+		t.Fatal(err)
+	}
+	st, out := run(t, k, "sh", "-c", "cd /src; mk all")
+	if st != 0 {
+		t.Fatalf("mk: %d\n%s", st, out)
+	}
+	// All eight executables run and print their expected outputs.
+	st, out = run(t, k, "sh", "-c", "cd /src; ./prog1; ./prog5; ./prog8")
+	if st != 0 {
+		t.Fatalf("run progs: %d %q", st, out)
+	}
+	for _, i := range []int{1, 5, 8} {
+		if !strings.Contains(out, apps.ExpectedProgOutput(i)) {
+			t.Fatalf("prog%d output missing; got %q want %q", i, out, apps.ExpectedProgOutput(i))
+		}
+	}
+	// Second make is a no-op: everything up to date.
+	st, out = run(t, k, "sh", "-c", "cd /src; mk all")
+	if st != 0 || strings.Contains(out, "cc -o") {
+		t.Fatalf("rebuild not up-to-date: %d\n%s", st, out)
+	}
+}
+
+func TestMakeRebuildsOnTouch(t *testing.T) {
+	k := world(t)
+	if err := apps.GenMakeTree(k, "/src", 2); err != nil {
+		t.Fatal(err)
+	}
+	if st, out := run(t, k, "sh", "-c", "cd /src; mk all"); st != 0 {
+		t.Fatalf("mk: %d\n%s", st, out)
+	}
+	// Touch one source; only that program rebuilds.
+	st, out := run(t, k, "sh", "-c", "cd /src; touch prog2_sub.c; mk all")
+	if st != 0 {
+		t.Fatalf("mk: %d\n%s", st, out)
+	}
+	if !strings.Contains(out, "prog2") || strings.Contains(out, "-o prog1") {
+		t.Fatalf("rebuild selection wrong:\n%s", out)
+	}
+}
+
+func TestSigplay(t *testing.T) {
+	k := world(t)
+	st, out := run(t, k, "sigplay")
+	if st != 0 {
+		t.Fatalf("sigplay: %d %q", st, out)
+	}
+	for _, want := range []string{"caught SIGUSR1", "handled 1 signals", "blocked, handled 1", "unblocked, handled 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sigplay missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPwdAndGetwd(t *testing.T) {
+	k := world(t)
+	if err := k.MkdirAll("/home/user/deep/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st, out := run(t, k, "sh", "-c", "cd /home/user/deep/dir; pwd")
+	if st != 0 || out != "/home/user/deep/dir\n" {
+		t.Fatalf("pwd: %d %q", st, out)
+	}
+}
+
+func TestSortUniqTeePipeline(t *testing.T) {
+	k := world(t)
+	if err := k.WriteFile("/tmp/words", []byte("pear\napple\npear\nbanana\napple\npear\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, out := run(t, k, "sh", "-c",
+		"cat /tmp/words | sort | uniq -c | sort -r | tee /tmp/freq")
+	if st != 0 {
+		t.Fatalf("pipeline: %d %q", st, out)
+	}
+	if !strings.Contains(out, "3 pear") || !strings.Contains(out, "2 apple") || !strings.Contains(out, "1 banana") {
+		t.Fatalf("frequency output wrong: %q", out)
+	}
+	data, err := k.ReadFile("/tmp/freq")
+	if err != nil || string(data) != out {
+		t.Fatalf("tee copy differs: %v %q vs %q", err, data, out)
+	}
+}
+
+func TestSleepUtility(t *testing.T) {
+	k := world(t)
+	st, _ := run(t, k, "sleep", "0.02")
+	if st != 0 {
+		t.Fatal("sleep failed")
+	}
+}

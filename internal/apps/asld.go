@@ -1,0 +1,315 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// asMain is the assembler: as INPUT.s OUTPUT.o. It resolves local labels
+// to instruction offsets and emits an object file.
+func asMain(t *libc.T) int {
+	if len(t.Args) != 3 {
+		t.Errorf("usage: as INPUT OUTPUT")
+		return 2
+	}
+	data, err := t.ReadFile(t.Args[1])
+	if err != sys.OK {
+		t.Errorf("%s: %v", t.Args[1], err)
+		return 1
+	}
+	funcs, aerr := Assemble(string(data))
+	if aerr != nil {
+		t.Errorf("%s: %v", t.Args[1], aerr)
+		return 1
+	}
+	if err := t.WriteFile(t.Args[2], FormatVMObject(funcs), 0o644); err != sys.OK {
+		t.Errorf("%s: %v", t.Args[2], err)
+		return 1
+	}
+	return 0
+}
+
+// Assemble converts assembly text into object functions, resolving
+// labels. Exported for the assembler's unit tests.
+func Assemble(src string) ([]VMFunc, error) {
+	var funcs []VMFunc
+	var cur *VMFunc
+	labels := map[string]int{}
+	var fixups []struct {
+		insn  int
+		label string
+	}
+
+	finish := func() error {
+		if cur == nil {
+			return nil
+		}
+		for _, fx := range fixups {
+			off, ok := labels[fx.label]
+			if !ok {
+				return fmt.Errorf("as: undefined label %s in %s", fx.label, cur.Name)
+			}
+			cur.Code[fx.insn].N = off
+		}
+		funcs = append(funcs, *cur)
+		cur = nil
+		labels = map[string]int{}
+		fixups = fixups[:0]
+		return nil
+	}
+
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".func":
+			if cur != nil {
+				return nil, fmt.Errorf("as: line %d: nested .func", lineno+1)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("as: line %d: bad .func", lineno+1)
+			}
+			np, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("as: line %d: bad .func", lineno+1)
+			}
+			cur = &VMFunc{Name: fields[1], NParams: np}
+		case ".endfunc":
+			if cur == nil {
+				return nil, fmt.Errorf("as: line %d: .endfunc outside function", lineno+1)
+			}
+			if len(fields) == 2 {
+				nl, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, fmt.Errorf("as: line %d: bad .endfunc", lineno+1)
+				}
+				cur.NLocals = nl
+			}
+			if cur.NLocals < cur.NParams {
+				cur.NLocals = cur.NParams
+			}
+			if err := finish(); err != nil {
+				return nil, err
+			}
+		case "label":
+			if cur == nil || len(fields) != 2 {
+				return nil, fmt.Errorf("as: line %d: bad label", lineno+1)
+			}
+			labels[fields[1]] = len(cur.Code)
+		case "jmp", "jz":
+			if cur == nil || len(fields) != 2 {
+				return nil, fmt.Errorf("as: line %d: bad %s", lineno+1, fields[0])
+			}
+			fixups = append(fixups, struct {
+				insn  int
+				label string
+			}{len(cur.Code), fields[1]})
+			cur.Code = append(cur.Code, VMInsn{Op: fields[0]})
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("as: line %d: code outside function", lineno+1)
+			}
+			insn, err := parseVMInsn(line)
+			if err != nil {
+				return nil, fmt.Errorf("as: line %d: %v", lineno+1, err)
+			}
+			cur.Code = append(cur.Code, insn)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("as: missing .endfunc for %s", cur.Name)
+	}
+	return funcs, nil
+}
+
+// ldMain is the link editor: ld -o OUTPUT INPUT.o... It merges objects,
+// checks for duplicate and undefined symbols, and emits a runnable image.
+func ldMain(t *libc.T) int {
+	var out string
+	var inputs []string
+	args := t.Args[1:]
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-o" && i+1 < len(args) {
+			out = args[i+1]
+			i++
+			continue
+		}
+		inputs = append(inputs, args[i])
+	}
+	if out == "" || len(inputs) == 0 {
+		t.Errorf("usage: ld -o OUTPUT INPUT.o...")
+		return 2
+	}
+	var funcs []VMFunc
+	for _, in := range inputs {
+		data, err := t.ReadFile(in)
+		if err != sys.OK {
+			t.Errorf("%s: %v", in, err)
+			return 1
+		}
+		fs, perr := ParseVMImage(data)
+		if perr != nil {
+			t.Errorf("%s: %v", in, perr)
+			return 1
+		}
+		funcs = append(funcs, fs...)
+	}
+	if err := LinkCheck(funcs); err != nil {
+		t.Errorf("%v", err)
+		return 1
+	}
+	if err := t.WriteFile(out, FormatVMExecutable(funcs), 0o755); err != sys.OK {
+		t.Errorf("%s: %v", out, err)
+		return 1
+	}
+	return 0
+}
+
+// LinkCheck verifies that the merged program has a unique main and no
+// undefined call targets.
+func LinkCheck(funcs []VMFunc) error {
+	defined := map[string]bool{}
+	for _, f := range funcs {
+		if defined[f.Name] {
+			return fmt.Errorf("ld: duplicate symbol %s", f.Name)
+		}
+		defined[f.Name] = true
+	}
+	if !defined["main"] {
+		return fmt.Errorf("ld: undefined symbol main")
+	}
+	for _, f := range funcs {
+		for _, in := range f.Code {
+			if in.Op == "call" && !defined[in.S] {
+				return fmt.Errorf("ld: undefined symbol %s (from %s)", in.S, f.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// vmrunMain is the stack-machine interpreter that linked executables name
+// on their "#!" line: vmrun PROGRAM [args...].
+func vmrunMain(t *libc.T) int {
+	if len(t.Args) < 2 {
+		t.Errorf("usage: vmrun PROGRAM")
+		return 2
+	}
+	data, err := t.ReadFile(t.Args[1])
+	if err != sys.OK {
+		t.Errorf("%s: %v", t.Args[1], err)
+		return 1
+	}
+	funcs, perr := ParseVMImage(data)
+	if perr != nil {
+		t.Errorf("%s: %v", t.Args[1], perr)
+		return 1
+	}
+	code, rerr := RunVM(funcs, stdoutWriter{t.Stdout})
+	if rerr != nil {
+		t.Errorf("%s: %v", t.Args[1], rerr)
+		return 1
+	}
+	return int(code) & 0xff
+}
+
+// stdoutWriter adapts a stdio stream to the VM's io.StringWriter output.
+type stdoutWriter struct{ f *libc.FILE }
+
+func (w stdoutWriter) WriteString(s string) (int, error) {
+	w.f.WriteString(s)
+	return len(s), nil
+}
+
+// ccMain is the compiler driver: cc [-c] [-o OUT] FILE... It runs cpp,
+// cc1 and as for each .c source and ld for the final executable — each
+// stage a separate program run by fork/exec, as in the original pipeline.
+func ccMain(t *libc.T) int {
+	compileOnly := false
+	out := "a.out"
+	outSet := false
+	var files []string
+	args := t.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-c":
+			compileOnly = true
+		case args[i] == "-o" && i+1 < len(args):
+			out = args[i+1]
+			outSet = true
+			i++
+		default:
+			files = append(files, args[i])
+		}
+	}
+	if len(files) == 0 {
+		t.Errorf("usage: cc [-c] [-o OUT] FILE...")
+		return 2
+	}
+
+	run := func(argv ...string) bool {
+		path, err := t.SearchPath(argv[0])
+		if err != sys.OK {
+			t.Errorf("%s: not found", argv[0])
+			return false
+		}
+		st, e := t.System(path, argv)
+		if e != sys.OK || !sys.WIfExited(st) || sys.WExitStatus(st) != 0 {
+			return false
+		}
+		return true
+	}
+
+	var objects []string
+	var temps []string
+	defer func() {
+		for _, f := range temps {
+			t.Unlink(f)
+		}
+	}()
+	for _, f := range files {
+		if strings.HasSuffix(f, ".o") {
+			objects = append(objects, f)
+			continue
+		}
+		if !strings.HasSuffix(f, ".c") {
+			t.Errorf("%s: unknown file type", f)
+			return 1
+		}
+		base := strings.TrimSuffix(f, ".c")
+		iFile, sFile, oFile := base+".i", base+".s", base+".o"
+		if !run("cpp", f, iFile) {
+			return 1
+		}
+		temps = append(temps, iFile)
+		if !run("cc1", iFile, sFile) {
+			return 1
+		}
+		temps = append(temps, sFile)
+		if !run("as", sFile, oFile) {
+			return 1
+		}
+		objects = append(objects, oFile)
+		if !compileOnly {
+			temps = append(temps, oFile)
+		}
+	}
+	if compileOnly {
+		return 0
+	}
+	if !outSet && len(files) == 1 && strings.HasSuffix(files[0], ".c") {
+		out = "a.out"
+	}
+	ldArgs := append([]string{"ld", "-o", out}, objects...)
+	if !run(ldArgs...) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// benchMain is the micro-measurement program behind the paper's Table 3-5:
+// bench OP N performs exactly N repetitions of one system call pattern.
+//
+//	getpid       N getpid calls
+//	gettimeofday N gettimeofday calls
+//	fstat        N fstat calls on an open file
+//	read1k       N 1 KB reads (seeking back each time)
+//	stat         N stat calls on a six-component pathname
+//	fork         N fork/wait/_exit cycles
+//	execve       an exec chain N long (each exec re-enters this program)
+func benchMain(t *libc.T) int {
+	if len(t.Args) < 3 {
+		t.Errorf("usage: bench OP N")
+		return 2
+	}
+	op := t.Args[1]
+	n := atoi(t.Args[2])
+
+	// StatPath is the six-component pathname the measurements use,
+	// mirroring the paper's "pathnames ... contain 6 pathname components".
+	const statPath = "/usr/lib/bench/three/four/five/six"
+
+	switch op {
+	case "getpid":
+		for i := 0; i < n; i++ {
+			t.Syscall(sys.SYS_getpid)
+		}
+	case "gettimeofday":
+		addr := t.Malloc(sys.TimevalSize)
+		for i := 0; i < n; i++ {
+			t.Syscall(sys.SYS_gettimeofday, addr, 0)
+		}
+	case "fstat":
+		fd, err := t.Open("/etc/passwd", sys.O_RDONLY, 0)
+		if err != sys.OK {
+			t.Errorf("open: %v", err)
+			return 1
+		}
+		addr := t.Malloc(sys.StatSize)
+		for i := 0; i < n; i++ {
+			t.Syscall(sys.SYS_fstat, sys.Word(fd), addr)
+		}
+	case "read1k":
+		fd, err := t.Open("/usr/lib/bench/data1k", sys.O_RDONLY, 0)
+		if err != sys.OK {
+			t.Errorf("open: %v", err)
+			return 1
+		}
+		buf := t.Malloc(1024)
+		for i := 0; i < n; i++ {
+			t.Syscall(sys.SYS_read, sys.Word(fd), buf, 1024)
+			t.Syscall(sys.SYS_lseek, sys.Word(fd), 0, sys.SEEK_SET)
+		}
+	case "stat":
+		pathAddr := t.CString(statPath)
+		addr := t.Malloc(sys.StatSize)
+		for i := 0; i < n; i++ {
+			if _, err := t.Syscall(sys.SYS_stat, pathAddr, addr); err != sys.OK {
+				t.Errorf("stat: %v", err)
+				return 1
+			}
+		}
+	case "fork":
+		for i := 0; i < n; i++ {
+			pid, err := t.Fork(func(ct *libc.T) { ct.Exit(0) })
+			if err != sys.OK {
+				t.Errorf("fork: %v", err)
+				return 1
+			}
+			if _, _, err := t.Waitpid(pid); err != sys.OK {
+				t.Errorf("wait: %v", err)
+				return 1
+			}
+		}
+	case "execve":
+		if n <= 0 {
+			return 0
+		}
+		err := t.Exec("/bin/bench", []string{"bench", "execve", itoaApp(n - 1)}, t.Env)
+		t.Errorf("exec: %v", err)
+		return 1
+	default:
+		t.Errorf("unknown op %q", op)
+		return 2
+	}
+	return 0
+}
+
+func itoaApp(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// SetupBenchFiles creates the fixtures the bench program expects.
+func SetupBenchFiles(k benchWorld) error {
+	if err := k.MkdirAll("/usr/lib/bench/three/four/five", 0o755); err != nil {
+		return err
+	}
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := k.WriteFile("/usr/lib/bench/data1k", data, 0o644); err != nil {
+		return err
+	}
+	return k.WriteFile("/usr/lib/bench/three/four/five/six", []byte("x"), 0o644)
+}
+
+// benchWorld is the kernel surface SetupBenchFiles needs.
+type benchWorld interface {
+	MkdirAll(path string, perm uint32) error
+	WriteFile(path string, data []byte, perm uint32) error
+}

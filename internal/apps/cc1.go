@@ -1,0 +1,479 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// cc1Main is the compiler proper of the toy pipeline: cc1 INPUT OUTPUT.
+// It compiles MiniC — functions, int variables, arithmetic, comparisons,
+// if/else, while, calls, print/prints — into stack-machine assembly text
+// for as(1).
+func cc1Main(t *libc.T) int {
+	if len(t.Args) != 3 {
+		t.Errorf("usage: cc1 INPUT OUTPUT")
+		return 2
+	}
+	data, err := t.ReadFile(t.Args[1])
+	if err != sys.OK {
+		t.Errorf("%s: %v", t.Args[1], err)
+		return 1
+	}
+	asm, cerr := CompileMiniC(string(data))
+	if cerr != nil {
+		t.Errorf("%s: %v", t.Args[1], cerr)
+		return 1
+	}
+	asm = OptimizeAsm(asm)
+	if err := t.WriteFile(t.Args[2], []byte(asm), 0o644); err != sys.OK {
+		t.Errorf("%s: %v", t.Args[2], err)
+		return 1
+	}
+	return 0
+}
+
+// CompileMiniC translates MiniC source to assembly text. Exported for the
+// compiler's unit tests.
+func CompileMiniC(src string) (string, error) {
+	toks, err := lexMiniC(src)
+	if err != nil {
+		return "", err
+	}
+	p := &miniParser{toks: toks}
+	var out strings.Builder
+	for !p.eof() {
+		if err := p.function(&out); err != nil {
+			return "", err
+		}
+	}
+	return out.String(), nil
+}
+
+// Lexing.
+
+type miniTok struct {
+	kind string // "id", "num", "str", "punct"
+	text string
+	line int
+}
+
+func lexMiniC(src string) ([]miniTok, error) {
+	var toks []miniTok
+	line := 1
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == '\n':
+			line++
+			i++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			i++
+		case isIdentStart(ch):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, miniTok{"id", src[i:j], line})
+			i = j
+		case ch >= '0' && ch <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, miniTok{"num", src[i:j], line})
+			i = j
+		case ch == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("line %d: unterminated string", line)
+			}
+			toks = append(toks, miniTok{"str", src[i+1 : j], line})
+			i = j + 1
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, miniTok{"punct", two, line})
+				i += 2
+				continue
+			}
+			switch ch {
+			case '(', ')', '{', '}', ';', ',', '+', '-', '*', '/', '%', '<', '>', '=', '!':
+				toks = append(toks, miniTok{"punct", string(ch), line})
+				i++
+			default:
+				return nil, fmt.Errorf("line %d: stray %q", line, string(ch))
+			}
+		}
+	}
+	return toks, nil
+}
+
+// Parsing and code generation (single pass, stack machine).
+
+type miniParser struct {
+	toks []miniTok
+	pos  int
+
+	fn       string
+	locals   map[string]int
+	nlocals  int
+	labelSeq int
+}
+
+func (p *miniParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *miniParser) peek() miniTok {
+	if p.eof() {
+		return miniTok{kind: "eof"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *miniParser) next() miniTok {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *miniParser) accept(text string) bool {
+	if p.peek().kind == "punct" && p.peek().text == text ||
+		p.peek().kind == "id" && p.peek().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *miniParser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	t := p.peek()
+	return fmt.Errorf("line %d: expected %q, found %q", t.line, text, t.text)
+}
+
+func (p *miniParser) label() string {
+	p.labelSeq++
+	return fmt.Sprintf("L%d", p.labelSeq)
+}
+
+// function parses: name ( params ) { body }
+func (p *miniParser) function(out *strings.Builder) error {
+	name := p.next()
+	if name.kind != "id" {
+		return fmt.Errorf("line %d: expected function name, found %q", name.line, name.text)
+	}
+	if name.text == "int" { // allow "int name(...)"
+		name = p.next()
+		if name.kind != "id" {
+			return fmt.Errorf("line %d: expected function name", name.line)
+		}
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	p.fn = name.text
+	p.locals = map[string]int{}
+	p.nlocals = 0
+	nparams := 0
+	for !p.accept(")") {
+		if nparams > 0 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		p.accept("int")
+		prm := p.next()
+		if prm.kind != "id" {
+			return fmt.Errorf("line %d: expected parameter name", prm.line)
+		}
+		p.locals[prm.text] = p.nlocals
+		p.nlocals++
+		nparams++
+	}
+	var body strings.Builder
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	if err := p.blockBody(&body); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, ".func %s %d\n", name.text, nparams)
+	out.WriteString(body.String())
+	// Implicit "return 0" for functions that fall off the end.
+	out.WriteString("\tpush 0\n\tret\n")
+	fmt.Fprintf(out, ".endfunc %d\n", p.nlocals)
+	return nil
+}
+
+// blockBody parses statements until the closing brace.
+func (p *miniParser) blockBody(out *strings.Builder) error {
+	for !p.accept("}") {
+		if p.eof() {
+			return fmt.Errorf("unexpected end of input in %s", p.fn)
+		}
+		if err := p.statement(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *miniParser) statement(out *strings.Builder) error {
+	t := p.peek()
+	switch {
+	case t.kind == "punct" && t.text == "{":
+		p.next()
+		return p.blockBody(out)
+
+	case t.kind == "id" && t.text == "int":
+		p.next()
+		name := p.next()
+		if name.kind != "id" {
+			return fmt.Errorf("line %d: expected variable name", name.line)
+		}
+		if _, dup := p.locals[name.text]; dup {
+			return fmt.Errorf("line %d: %s redeclared", name.line, name.text)
+		}
+		slot := p.nlocals
+		p.locals[name.text] = slot
+		p.nlocals++
+		if p.accept("=") {
+			if err := p.expr(out); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\tstore %d\n", slot)
+		}
+		return p.expect(";")
+
+	case t.kind == "id" && t.text == "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		if err := p.expr(out); err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		elseL, endL := p.label(), p.label()
+		fmt.Fprintf(out, "\tjz %s\n", elseL)
+		if err := p.statement(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\tjmp %s\n", endL)
+		fmt.Fprintf(out, "label %s\n", elseL)
+		if p.accept("else") {
+			if err := p.statement(out); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "label %s\n", endL)
+		return nil
+
+	case t.kind == "id" && t.text == "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		topL, endL := p.label(), p.label()
+		fmt.Fprintf(out, "label %s\n", topL)
+		if err := p.expr(out); err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\tjz %s\n", endL)
+		if err := p.statement(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\tjmp %s\n", topL)
+		fmt.Fprintf(out, "label %s\n", endL)
+		return nil
+
+	case t.kind == "id" && t.text == "return":
+		p.next()
+		if p.peek().text == ";" {
+			out.WriteString("\tpush 0\n")
+		} else if err := p.expr(out); err != nil {
+			return err
+		}
+		out.WriteString("\tret\n")
+		return p.expect(";")
+
+	case t.kind == "id" && t.text == "print":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		if err := p.expr(out); err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		out.WriteString("\tprint\n")
+		return p.expect(";")
+
+	case t.kind == "id" && t.text == "prints":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		str := p.next()
+		if str.kind != "str" {
+			return fmt.Errorf("line %d: prints wants a string literal", str.line)
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\tprints %s\n", strconv.Quote(unescape(str.text)))
+		return p.expect(";")
+
+	case t.kind == "id":
+		// Assignment or expression statement.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == "punct" && p.toks[p.pos+1].text == "=" {
+			name := p.next()
+			p.next() // "="
+			slot, ok := p.locals[name.text]
+			if !ok {
+				return fmt.Errorf("line %d: %s undeclared", name.line, name.text)
+			}
+			if err := p.expr(out); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\tstore %d\n", slot)
+			return p.expect(";")
+		}
+		if err := p.expr(out); err != nil {
+			return err
+		}
+		out.WriteString("\tpop\n")
+		return p.expect(";")
+	}
+	return fmt.Errorf("line %d: unexpected %q", t.line, t.text)
+}
+
+// Expression parsing with precedence climbing.
+
+var miniOps = []struct {
+	tokens []string
+	ops    []string
+}{
+	{[]string{"||"}, []string{"or"}},
+	{[]string{"&&"}, []string{"and"}},
+	{[]string{"==", "!="}, []string{"eq", "ne"}},
+	{[]string{"<", ">", "<=", ">="}, []string{"lt", "gt", "le", "ge"}},
+	{[]string{"+", "-"}, []string{"add", "sub"}},
+	{[]string{"*", "/", "%"}, []string{"mul", "div", "mod"}},
+}
+
+func (p *miniParser) expr(out *strings.Builder) error { return p.binary(out, 0) }
+
+func (p *miniParser) binary(out *strings.Builder, level int) error {
+	if level == len(miniOps) {
+		return p.unary(out)
+	}
+	if err := p.binary(out, level+1); err != nil {
+		return err
+	}
+	for {
+		matched := false
+		for i, tok := range miniOps[level].tokens {
+			if p.peek().kind == "punct" && p.peek().text == tok {
+				p.next()
+				if err := p.binary(out, level+1); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "\t%s\n", miniOps[level].ops[i])
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil
+		}
+	}
+}
+
+func (p *miniParser) unary(out *strings.Builder) error {
+	switch {
+	case p.accept("-"):
+		if err := p.unary(out); err != nil {
+			return err
+		}
+		out.WriteString("\tneg\n")
+		return nil
+	case p.accept("!"):
+		if err := p.unary(out); err != nil {
+			return err
+		}
+		out.WriteString("\tnot\n")
+		return nil
+	}
+	return p.primary(out)
+}
+
+func (p *miniParser) primary(out *strings.Builder) error {
+	t := p.next()
+	switch t.kind {
+	case "num":
+		fmt.Fprintf(out, "\tpush %s\n", t.text)
+		return nil
+	case "id":
+		if p.accept("(") {
+			nargs := 0
+			for !p.accept(")") {
+				if nargs > 0 {
+					if err := p.expect(","); err != nil {
+						return err
+					}
+				}
+				if err := p.expr(out); err != nil {
+					return err
+				}
+				nargs++
+			}
+			fmt.Fprintf(out, "\tcall %s %d\n", t.text, nargs)
+			return nil
+		}
+		slot, ok := p.locals[t.text]
+		if !ok {
+			return fmt.Errorf("line %d: %s undeclared", t.line, t.text)
+		}
+		fmt.Fprintf(out, "\tload %d\n", slot)
+		return nil
+	case "punct":
+		if t.text == "(" {
+			if err := p.expr(out); err != nil {
+				return err
+			}
+			return p.expect(")")
+		}
+	}
+	return fmt.Errorf("line %d: unexpected %q in expression", t.line, t.text)
+}
+
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	s = strings.ReplaceAll(s, `\t`, "\t")
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return s
+}

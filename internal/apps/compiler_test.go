@@ -1,0 +1,279 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// compileAndRun pushes MiniC source through the whole in-process pipeline:
+// compile to assembly, assemble, link-check, run.
+func compileAndRun(t *testing.T, src string) (string, int32) {
+	t.Helper()
+	asm, err := CompileMiniC(src)
+	if err != nil {
+		t.Fatalf("compile: %v\nsource:\n%s", err, src)
+	}
+	funcs, err := Assemble(asm)
+	if err != nil {
+		t.Fatalf("assemble: %v\nassembly:\n%s", err, asm)
+	}
+	if err := LinkCheck(funcs); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	var out strings.Builder
+	code, err := RunVM(funcs, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String(), code
+}
+
+func TestMiniCArithmetic(t *testing.T) {
+	out, code := compileAndRun(t, `
+main() {
+    print(2 + 3 * 4);
+    print((2 + 3) * 4);
+    print(10 / 3);
+    print(10 % 3);
+    print(-5 + 2);
+    return 0;
+}`)
+	if out != "14\n20\n3\n1\n-3\n" || code != 0 {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+}
+
+func TestMiniCComparisonsAndLogic(t *testing.T) {
+	out, _ := compileAndRun(t, `
+main() {
+    print(1 < 2);
+    print(2 <= 1);
+    print(3 == 3);
+    print(3 != 3);
+    print(1 && 0);
+    print(1 || 0);
+    print(!5);
+    print(!0);
+    return 0;
+}`)
+	if out != "1\n0\n1\n0\n0\n1\n0\n1\n" {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestMiniCControlFlow(t *testing.T) {
+	out, _ := compileAndRun(t, `
+main() {
+    int i = 0;
+    int sum = 0;
+    while (i < 10) {
+        if (i % 2 == 0) {
+            sum = sum + i;
+        } else {
+            sum = sum - 1;
+        }
+        i = i + 1;
+    }
+    print(sum);
+    return 0;
+}`)
+	if out != "15\n" { // 0+2+4+6+8 - 5
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestMiniCFunctionsAndRecursion(t *testing.T) {
+	out, code := compileAndRun(t, `
+fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+max(a, b) {
+    if (a > b) { return a; }
+    return b;
+}
+
+main() {
+    print(fib(15));
+    print(max(3, 9));
+    prints("bye\n");
+    return fib(10);
+}`)
+	if out != "610\n9\nbye\n" || code != 55 {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+}
+
+func TestMiniCErrors(t *testing.T) {
+	for _, src := range []string{
+		"main() { return undeclared; }",
+		"main() { int x; int x; }",
+		"main() { if (1 { } }",
+		"main() { prints(42); }",
+		"main() { @; }",
+		`main() { prints("unterminated); }`,
+	} {
+		if _, err := CompileMiniC(src); err == nil {
+			t.Errorf("compiled invalid source %q", src)
+		}
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	mk := func(src string) []VMFunc {
+		asm, err := CompileMiniC(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		funcs, err := Assemble(asm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return funcs
+	}
+	// Undefined symbol.
+	if err := LinkCheck(mk("main() { missing(); }")); err == nil {
+		t.Error("undefined symbol accepted")
+	}
+	// No main.
+	if err := LinkCheck(mk("helper() { return 1; }")); err == nil {
+		t.Error("missing main accepted")
+	}
+	// Duplicate symbol across objects.
+	dup := append(mk("main() { return 0; }"), mk("main() { return 1; }")...)
+	if err := LinkCheck(dup); err == nil {
+		t.Error("duplicate main accepted")
+	}
+}
+
+func TestVMDivideByZero(t *testing.T) {
+	asm, _ := CompileMiniC("main() { print(1 / 0); }")
+	funcs, _ := Assemble(asm)
+	var out strings.Builder
+	if _, err := RunVM(funcs, &out); err == nil {
+		t.Fatal("division by zero not caught")
+	}
+}
+
+func TestObjectFormatRoundTrip(t *testing.T) {
+	asm, _ := CompileMiniC(`
+main() {
+    int x = 6;
+    prints("s with \"quotes\" and\nnewlines\n");
+    print(x * 7);
+    return 0;
+}`)
+	funcs, err := Assemble(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseVMImage(FormatVMObject(funcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	RunVM(funcs, &a)
+	RunVM(reparsed, &b)
+	if a.String() != b.String() || a.String() == "" {
+		t.Fatalf("object round trip changed behaviour: %q vs %q", a.String(), b.String())
+	}
+	// Executable format too.
+	exe, err := ParseVMImage(FormatVMExecutable(funcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c strings.Builder
+	RunVM(exe, &c)
+	if c.String() != a.String() {
+		t.Fatal("executable round trip changed behaviour")
+	}
+}
+
+func TestMiniCExpressionProperty(t *testing.T) {
+	// Random arithmetic over small ints matches Go's evaluation.
+	f := func(a, b, c int8) bool {
+		if b == 0 || c == 0 {
+			return true
+		}
+		src := "main() { print((" + itoaSigned(int32(a)) + " * " + itoaSigned(int32(b)) +
+			" + " + itoaSigned(int32(c)) + ") / " + itoaSigned(int32(c)) + "); return 0; }"
+		asm, err := CompileMiniC(src)
+		if err != nil {
+			return false
+		}
+		funcs, err := Assemble(asm)
+		if err != nil {
+			return false
+		}
+		var out strings.Builder
+		if _, err := RunVM(funcs, &out); err != nil {
+			return false
+		}
+		want := (int32(a)*int32(b) + int32(c)) / int32(c)
+		return strings.TrimSpace(out.String()) == itoaSigned(want)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoaSigned(v int32) string {
+	if v < 0 {
+		return "-" + itoaApp(int(-v))
+	}
+	return itoaApp(int(v))
+}
+
+func TestCppStripComments(t *testing.T) {
+	src := `int a; // line comment
+/* block
+comment */ int b;
+"a // string /* keeps */ its text";
+`
+	out := stripComments(src)
+	if strings.Contains(out, "line comment") || strings.Contains(out, "block") {
+		t.Fatalf("comments survive: %q", out)
+	}
+	if !strings.Contains(out, `"a // string /* keeps */ its text"`) {
+		t.Fatalf("string literal mangled: %q", out)
+	}
+	// Newlines preserved for line numbering.
+	if strings.Count(out, "\n") != strings.Count(src, "\n") {
+		t.Fatalf("line count changed: %q", out)
+	}
+}
+
+func TestShWordSplitting(t *testing.T) {
+	vars := map[string]string{"X": "expanded", "EMPTY": ""}
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`a b  c`, "a|b|c"},
+		{`'single quoted arg' rest`, "single quoted arg|rest"},
+		{`"double $X" tail`, "double expanded|tail"},
+		{`$X$X`, "expandedexpanded"},
+		{`pre$EMPTY post`, "pre|post"},
+	}
+	for _, c := range cases {
+		got := strings.Join(shWords(c.in, vars), "|")
+		if got != c.want {
+			t.Errorf("shWords(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitTop(t *testing.T) {
+	got := splitTop(`a; 'b;c'; d`, ';')
+	if len(got) != 3 || strings.TrimSpace(got[1]) != `'b;c'` {
+		t.Fatalf("splitTop = %q", got)
+	}
+	// '|' splitting must not split "||".
+	got = splitTop(`a | b || c`, '|')
+	if len(got) != 2 {
+		t.Fatalf("pipe split = %q", got)
+	}
+}

@@ -1,0 +1,622 @@
+// Package apps contains the application programs of the simulated system:
+// the unmodified binaries that run under interposition agents. Every
+// program is written against libc only, issuing raw system calls against
+// whatever instance of the system interface it finds itself on — it
+// cannot tell whether agents are interposed.
+//
+// The package registers each program as a loadable image and provides
+// world-building helpers that install them in /bin and generate the
+// paper's evaluation workloads.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// echoMain prints its arguments.
+func echoMain(t *libc.T) int {
+	t.Println(strings.Join(t.Args[1:], " "))
+	return 0
+}
+
+// trueMain succeeds.
+func trueMain(t *libc.T) int { return 0 }
+
+// falseMain fails.
+func falseMain(t *libc.T) int { return 1 }
+
+// pwdMain prints the working directory (via the library getwd walk).
+func pwdMain(t *libc.T) int {
+	wd, err := t.Getwd()
+	if err != sys.OK {
+		t.Errorf("getwd: %v", err)
+		return 1
+	}
+	t.Println(wd)
+	return 0
+}
+
+// catMain concatenates files (or standard input) to standard output.
+func catMain(t *libc.T) int {
+	files := t.Args[1:]
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	status := 0
+	for _, name := range files {
+		fd := 0
+		if name != "-" {
+			var err sys.Errno
+			fd, err = t.Open(name, sys.O_RDONLY, 0)
+			if err != sys.OK {
+				t.Errorf("%s: %v", name, err)
+				status = 1
+				continue
+			}
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := t.Read(fd, buf)
+			if err != sys.OK {
+				t.Errorf("%s: read: %v", name, err)
+				status = 1
+				break
+			}
+			if n == 0 {
+				break
+			}
+			t.Stdout.Write(buf[:n])
+		}
+		if name != "-" {
+			t.Close(fd)
+		}
+	}
+	return status
+}
+
+// wcMain counts lines, words and bytes.
+func wcMain(t *libc.T) int {
+	status := 0
+	for _, name := range t.Args[1:] {
+		data, err := t.ReadFile(name)
+		if err != sys.OK {
+			t.Errorf("%s: %v", name, err)
+			status = 1
+			continue
+		}
+		lines, words := 0, 0
+		inWord := false
+		for _, b := range data {
+			if b == '\n' {
+				lines++
+			}
+			if b == ' ' || b == '\t' || b == '\n' {
+				inWord = false
+			} else if !inWord {
+				inWord = true
+				words++
+			}
+		}
+		t.Printf("%7d %7d %7d %s\n", lines, words, len(data), name)
+	}
+	return status
+}
+
+// lsMain lists directories (with -l for a long listing, -a for dot files).
+func lsMain(t *libc.T) int {
+	long, all := false, false
+	var paths []string
+	for _, a := range t.Args[1:] {
+		switch {
+		case strings.HasPrefix(a, "-"):
+			long = long || strings.Contains(a, "l")
+			all = all || strings.Contains(a, "a")
+		default:
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) == 0 {
+		paths = []string{"."}
+	}
+	status := 0
+	for _, p := range paths {
+		st, err := t.Stat(p)
+		if err != sys.OK {
+			t.Errorf("%s: %v", p, err)
+			status = 1
+			continue
+		}
+		if !st.IsDir() {
+			printEntry(t, long, p, st)
+			continue
+		}
+		names, err := t.ReadDir(p)
+		if err != sys.OK {
+			t.Errorf("%s: %v", p, err)
+			status = 1
+			continue
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if !all && strings.HasPrefix(n, ".") {
+				continue
+			}
+			if long {
+				est, err := t.Lstat(libc.JoinPath(p, n))
+				if err != sys.OK {
+					t.Errorf("%s: %v", n, err)
+					continue
+				}
+				printEntry(t, true, n, est)
+			} else {
+				t.Println(n)
+			}
+		}
+	}
+	return status
+}
+
+func printEntry(t *libc.T, long bool, name string, st sys.Stat) {
+	if !long {
+		t.Println(name)
+		return
+	}
+	t.Printf("%s %3d %4d %4d %8d %s\n", modeString(st.Mode), st.Nlink, st.UID, st.GID, st.Size, name)
+}
+
+func modeString(mode uint32) string {
+	var kind byte
+	switch mode & sys.S_IFMT {
+	case sys.S_IFDIR:
+		kind = 'd'
+	case sys.S_IFLNK:
+		kind = 'l'
+	case sys.S_IFCHR:
+		kind = 'c'
+	case sys.S_IFIFO:
+		kind = 'p'
+	default:
+		kind = '-'
+	}
+	bits := []byte("rwxrwxrwx")
+	for i := 0; i < 9; i++ {
+		if mode&(1<<(8-i)) == 0 {
+			bits[i] = '-'
+		}
+	}
+	return string(kind) + string(bits)
+}
+
+// cpMain copies a file.
+func cpMain(t *libc.T) int {
+	if len(t.Args) != 3 {
+		t.Errorf("usage: cp FROM TO")
+		return 2
+	}
+	from, to := t.Args[1], t.Args[2]
+	data, err := t.ReadFile(from)
+	if err != sys.OK {
+		t.Errorf("%s: %v", from, err)
+		return 1
+	}
+	if st, err := t.Stat(to); err == sys.OK && st.IsDir() {
+		to = libc.JoinPath(to, libc.Basename(from))
+	}
+	mode := uint32(0o644)
+	if st, err := t.Stat(from); err == sys.OK {
+		mode = st.Mode & 0o777
+	}
+	if err := t.WriteFile(to, data, mode); err != sys.OK {
+		t.Errorf("%s: %v", to, err)
+		return 1
+	}
+	return 0
+}
+
+// mvMain renames a file.
+func mvMain(t *libc.T) int {
+	if len(t.Args) != 3 {
+		t.Errorf("usage: mv FROM TO")
+		return 2
+	}
+	if err := t.Rename(t.Args[1], t.Args[2]); err != sys.OK {
+		t.Errorf("%v", err)
+		return 1
+	}
+	return 0
+}
+
+// rmMain removes files (-r for directories).
+func rmMain(t *libc.T) int {
+	recursive := false
+	status := 0
+	for _, a := range t.Args[1:] {
+		if a == "-r" {
+			recursive = true
+			continue
+		}
+		if err := rmPath(t, a, recursive); err != sys.OK {
+			t.Errorf("%s: %v", a, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+func rmPath(t *libc.T, path string, recursive bool) sys.Errno {
+	st, err := t.Lstat(path)
+	if err != sys.OK {
+		return err
+	}
+	if st.IsDir() {
+		if !recursive {
+			return sys.EISDIR
+		}
+		names, err := t.ReadDir(path)
+		if err != sys.OK {
+			return err
+		}
+		for _, n := range names {
+			if e := rmPath(t, libc.JoinPath(path, n), true); e != sys.OK {
+				return e
+			}
+		}
+		return t.Rmdir(path)
+	}
+	return t.Unlink(path)
+}
+
+// lnMain makes links (-s for symbolic).
+func lnMain(t *libc.T) int {
+	args := t.Args[1:]
+	symbolic := false
+	if len(args) > 0 && args[0] == "-s" {
+		symbolic = true
+		args = args[1:]
+	}
+	if len(args) != 2 {
+		t.Errorf("usage: ln [-s] TARGET LINK")
+		return 2
+	}
+	var err sys.Errno
+	if symbolic {
+		err = t.Symlink(args[0], args[1])
+	} else {
+		err = t.Link(args[0], args[1])
+	}
+	if err != sys.OK {
+		t.Errorf("%v", err)
+		return 1
+	}
+	return 0
+}
+
+// touchMain creates files or updates their times.
+func touchMain(t *libc.T) int {
+	status := 0
+	for _, a := range t.Args[1:] {
+		if _, err := t.Stat(a); err == sys.ENOENT {
+			fd, err := t.Open(a, sys.O_WRONLY|sys.O_CREAT, 0o644)
+			if err != sys.OK {
+				t.Errorf("%s: %v", a, err)
+				status = 1
+				continue
+			}
+			t.Close(fd)
+			continue
+		}
+		if err := t.Utimes(a, sys.Timeval{}, sys.Timeval{}); err != sys.OK {
+			t.Errorf("%s: %v", a, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// mkdirMain creates directories (-p for parents).
+func mkdirMain(t *libc.T) int {
+	parents := false
+	status := 0
+	for _, a := range t.Args[1:] {
+		if a == "-p" {
+			parents = true
+			continue
+		}
+		var err sys.Errno
+		if parents {
+			err = t.MkdirAll(a, 0o755)
+		} else {
+			err = t.Mkdir(a, 0o755)
+		}
+		if err != sys.OK {
+			t.Errorf("%s: %v", a, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// dateMain prints the time of day as seconds since the epoch.
+func dateMain(t *libc.T) int {
+	tv, err := t.Gettimeofday()
+	if err != sys.OK {
+		t.Errorf("%v", err)
+		return 1
+	}
+	t.Printf("%d\n", tv.Sec)
+	return 0
+}
+
+// hostnameMain prints the hostname.
+func hostnameMain(t *libc.T) int {
+	h, err := t.Gethostname()
+	if err != sys.OK {
+		t.Errorf("%v", err)
+		return 1
+	}
+	t.Println(h)
+	return 0
+}
+
+// killMain sends a signal: kill [-SIG] PID.
+func killMain(t *libc.T) int {
+	sig := sys.SIGTERM
+	args := t.Args[1:]
+	if len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		fmt.Sscanf(args[0][1:], "%d", &sig)
+		args = args[1:]
+	}
+	status := 0
+	for _, a := range args {
+		var pid int
+		fmt.Sscanf(a, "%d", &pid)
+		if err := t.Kill(pid, sig); err != sys.OK {
+			t.Errorf("%s: %v", a, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// grepMain prints lines containing a fixed pattern.
+func grepMain(t *libc.T) int {
+	if len(t.Args) < 2 {
+		t.Errorf("usage: grep PATTERN [FILE...]")
+		return 2
+	}
+	pat := t.Args[1]
+	files := t.Args[2:]
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	found := false
+	for _, name := range files {
+		var f *libc.FILE
+		if name == "-" {
+			f = t.Stdin
+		} else {
+			var err sys.Errno
+			f, err = t.Fopen(name, "r")
+			if err != sys.OK {
+				t.Errorf("%s: %v", name, err)
+				continue
+			}
+		}
+		for {
+			line, ok := f.ReadLine()
+			if !ok {
+				break
+			}
+			if strings.Contains(line, pat) {
+				found = true
+				if len(files) > 1 {
+					t.Printf("%s:%s\n", name, line)
+				} else {
+					t.Println(line)
+				}
+			}
+		}
+		if name != "-" {
+			f.Close()
+		}
+	}
+	if found {
+		return 0
+	}
+	return 1
+}
+
+// headMain prints the first 10 lines of each file.
+func headMain(t *libc.T) int {
+	for _, name := range t.Args[1:] {
+		f, err := t.Fopen(name, "r")
+		if err != sys.OK {
+			t.Errorf("%s: %v", name, err)
+			return 1
+		}
+		for i := 0; i < 10; i++ {
+			line, ok := f.ReadLine()
+			if !ok {
+				break
+			}
+			t.Println(line)
+		}
+		f.Close()
+	}
+	return 0
+}
+
+// teeMain copies standard input to standard output and the named files.
+func teeMain(t *libc.T) int {
+	appendMode := false
+	var files []*libc.FILE
+	for _, a := range t.Args[1:] {
+		if a == "-a" {
+			appendMode = true
+			continue
+		}
+		mode := "w"
+		if appendMode {
+			mode = "a"
+		}
+		f, err := t.Fopen(a, mode)
+		if err != sys.OK {
+			t.Errorf("%s: %v", a, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := t.Read(0, buf)
+		if err != sys.OK || n == 0 {
+			break
+		}
+		t.Stdout.Write(buf[:n])
+		for _, f := range files {
+			f.Write(buf[:n])
+		}
+	}
+	for _, f := range files {
+		f.Close()
+	}
+	return 0
+}
+
+// sortMain sorts the lines of its input files (or standard input).
+func sortMain(t *libc.T) int {
+	reverse := false
+	var lines []string
+	args := t.Args[1:]
+	var names []string
+	for _, a := range args {
+		if a == "-r" {
+			reverse = true
+			continue
+		}
+		names = append(names, a)
+	}
+	readFrom := func(f *libc.FILE) {
+		for {
+			line, ok := f.ReadLine()
+			if !ok {
+				return
+			}
+			lines = append(lines, line)
+		}
+	}
+	if len(names) == 0 {
+		readFrom(t.Stdin)
+	}
+	for _, name := range names {
+		f, err := t.Fopen(name, "r")
+		if err != sys.OK {
+			t.Errorf("%s: %v", name, err)
+			return 1
+		}
+		readFrom(f)
+		f.Close()
+	}
+	sort.Strings(lines)
+	if reverse {
+		for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+			lines[i], lines[j] = lines[j], lines[i]
+		}
+	}
+	for _, l := range lines {
+		t.Println(l)
+	}
+	return 0
+}
+
+// uniqMain drops adjacent duplicate lines (-c counts them).
+func uniqMain(t *libc.T) int {
+	count := false
+	var f *libc.FILE = t.Stdin
+	for _, a := range t.Args[1:] {
+		if a == "-c" {
+			count = true
+			continue
+		}
+		var err sys.Errno
+		f, err = t.Fopen(a, "r")
+		if err != sys.OK {
+			t.Errorf("%s: %v", a, err)
+			return 1
+		}
+	}
+	var prev string
+	n := 0
+	emit := func() {
+		if n == 0 {
+			return
+		}
+		if count {
+			t.Printf("%7d %s\n", n, prev)
+		} else {
+			t.Println(prev)
+		}
+	}
+	for {
+		line, ok := f.ReadLine()
+		if !ok {
+			break
+		}
+		if n > 0 && line == prev {
+			n++
+			continue
+		}
+		emit()
+		prev, n = line, 1
+	}
+	emit()
+	return 0
+}
+
+// sleepMain suspends for a number of seconds (decimals accepted).
+func sleepMain(t *libc.T) int {
+	if len(t.Args) < 2 {
+		t.Errorf("usage: sleep SECONDS")
+		return 2
+	}
+	arg := t.Args[1]
+	whole, frac, _ := strings.Cut(arg, ".")
+	usec := uint32(atoi(whole)) * 1_000_000
+	if frac != "" {
+		scale := uint32(100_000)
+		for _, ch := range frac {
+			if ch < '0' || ch > '9' || scale == 0 {
+				break
+			}
+			usec += uint32(ch-'0') * scale
+			scale /= 10
+		}
+	}
+	t.SleepUsec(usec)
+	return 0
+}
+
+// sigplayMain exercises signal handling: installs a handler for SIGUSR1,
+// signals itself, and reports.
+func sigplayMain(t *libc.T) int {
+	got := 0
+	t.Signal(sys.SIGUSR1, func(ht *libc.T, sig int) {
+		got++
+		ht.Printf("caught %s\n", sys.SignalName(sig))
+	})
+	t.Kill(t.Getpid(), sys.SIGUSR1)
+	t.Printf("handled %d signals\n", got)
+
+	// Blocked signals stay pending until unmasked.
+	t.Sigblock(sys.SigMask(sys.SIGUSR1))
+	t.Kill(t.Getpid(), sys.SIGUSR1)
+	t.Printf("blocked, handled %d\n", got)
+	t.Sigsetmask(0)
+	t.Printf("unblocked, handled %d\n", got)
+	return 0
+}

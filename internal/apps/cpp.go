@@ -1,0 +1,208 @@
+package apps
+
+import (
+	"strings"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// cppMain is the C preprocessor of the toy compiler pipeline:
+// cpp INPUT OUTPUT. It handles #include "file", object-like #define,
+// #undef, #ifdef/#ifndef/#else/#endif, and strips // and /* */ comments.
+func cppMain(t *libc.T) int {
+	if len(t.Args) != 3 {
+		t.Errorf("usage: cpp INPUT OUTPUT")
+		return 2
+	}
+	p := &cppState{t: t, defs: map[string]string{}}
+	var out strings.Builder
+	if !p.process(t.Args[1], &out, 0) {
+		return 1
+	}
+	if err := t.WriteFile(t.Args[2], []byte(out.String()), 0o644); err != sys.OK {
+		t.Errorf("%s: %v", t.Args[2], err)
+		return 1
+	}
+	return 0
+}
+
+type cppState struct {
+	t    *libc.T
+	defs map[string]string
+	// conditional-inclusion stack: true = emitting
+	conds []bool
+}
+
+func (p *cppState) emitting() bool {
+	for _, c := range p.conds {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *cppState) process(path string, out *strings.Builder, depth int) bool {
+	if depth > 8 {
+		p.t.Errorf("%s: includes nested too deeply", path)
+		return false
+	}
+	data, err := p.t.ReadFile(path)
+	if err != sys.OK {
+		p.t.Errorf("%s: %v", path, err)
+		return false
+	}
+	src := stripComments(string(data))
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			fields := libc.Fields(trimmed[1:])
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "include":
+				if !p.emitting() {
+					continue
+				}
+				name := strings.Trim(strings.TrimSpace(trimmed[len("#include"):]), `"<>`)
+				inc := name
+				if !strings.HasPrefix(inc, "/") {
+					inc = libc.JoinPath(libc.Dirname(path), inc)
+				}
+				if !p.process(inc, out, depth+1) {
+					return false
+				}
+			case "define":
+				if p.emitting() && len(fields) >= 2 {
+					val := ""
+					if len(fields) > 2 {
+						val = strings.Join(fields[2:], " ")
+					}
+					p.defs[fields[1]] = val
+				}
+			case "undef":
+				if p.emitting() && len(fields) >= 2 {
+					delete(p.defs, fields[1])
+				}
+			case "ifdef":
+				_, ok := p.defs[field(fields, 1)]
+				p.conds = append(p.conds, ok)
+			case "ifndef":
+				_, ok := p.defs[field(fields, 1)]
+				p.conds = append(p.conds, !ok)
+			case "else":
+				if n := len(p.conds); n > 0 {
+					p.conds[n-1] = !p.conds[n-1]
+				}
+			case "endif":
+				if n := len(p.conds); n > 0 {
+					p.conds = p.conds[:n-1]
+				}
+			default:
+				p.t.Errorf("%s: unknown directive #%s", path, fields[0])
+				return false
+			}
+			continue
+		}
+		if !p.emitting() {
+			continue
+		}
+		out.WriteString(p.substitute(line))
+		out.WriteString("\n")
+	}
+	return true
+}
+
+func field(fields []string, i int) string {
+	if i < len(fields) {
+		return fields[i]
+	}
+	return ""
+}
+
+// substitute replaces defined identifiers token-wise, leaving string
+// literals alone.
+func (p *cppState) substitute(line string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(line) {
+		ch := line[i]
+		switch {
+		case ch == '"':
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				j++
+			}
+			if j < len(line) {
+				j++
+			}
+			b.WriteString(line[i:j])
+			i = j
+		case isIdentStart(ch):
+			j := i
+			for j < len(line) && isIdentPart(line[j]) {
+				j++
+			}
+			word := line[i:j]
+			if val, ok := p.defs[word]; ok {
+				b.WriteString(val)
+			} else {
+				b.WriteString(word)
+			}
+			i = j
+		default:
+			b.WriteByte(ch)
+			i++
+		}
+	}
+	return b.String()
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func isIdentPart(b byte) bool { return isIdentStart(b) || b >= '0' && b <= '9' }
+
+// stripComments removes // and /* */ comments, preserving newlines so
+// diagnostics keep line numbers meaningful.
+func stripComments(src string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(src) {
+		switch {
+		case src[i] == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j < len(src) && src[j] == '"' {
+				j++
+			}
+			b.WriteString(src[i:j])
+			i = j
+		case strings.HasPrefix(src[i:], "//"):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "/*"):
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				i = len(src)
+				break
+			}
+			for _, ch := range src[i : i+2+j+2] {
+				if ch == '\n' {
+					b.WriteByte('\n')
+				}
+			}
+			i += 2 + j + 2
+		default:
+			b.WriteByte(src[i])
+			i++
+		}
+	}
+	return b.String()
+}

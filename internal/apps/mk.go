@@ -1,0 +1,239 @@
+package apps
+
+import (
+	"strings"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// mkMain is a make subset: variables (NAME = value, $(NAME) expansion),
+// rules with dependencies and tab-indented command lines, timestamp
+// comparison via stat, and recursive dependency builds. Commands are run
+// by fork/exec directly, or through /bin/sh -c when they contain shell
+// syntax. It is the driver of the paper's "make 8 programs" workload
+// (Table 3-3): a collection of related processes making heavy use of
+// system calls.
+func mkMain(t *libc.T) int {
+	file := "Makefile"
+	var goals []string
+	args := t.Args[1:]
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-f" && i+1 < len(args) {
+			file = args[i+1]
+			i++
+			continue
+		}
+		goals = append(goals, args[i])
+	}
+
+	m := &mkFile{t: t, vars: map[string]string{}, rules: map[string]*mkRule{}}
+	if !m.parse(file) {
+		return 2
+	}
+	if len(goals) == 0 {
+		if m.first == "" {
+			t.Errorf("%s: no targets", file)
+			return 2
+		}
+		goals = []string{m.first}
+	}
+	for _, g := range goals {
+		switch m.build(g, 0) {
+		case mkErr:
+			return 1
+		}
+	}
+	return 0
+}
+
+type mkRule struct {
+	target string
+	deps   []string
+	cmds   []string
+	done   bool
+	result mkStatus
+}
+
+type mkFile struct {
+	t     *libc.T
+	vars  map[string]string
+	rules map[string]*mkRule
+	first string
+}
+
+type mkStatus int
+
+const (
+	mkUpToDate mkStatus = iota
+	mkRebuilt
+	mkErr
+)
+
+// parse reads the makefile.
+func (m *mkFile) parse(path string) bool {
+	f, err := m.t.Fopen(path, "r")
+	if err != sys.OK {
+		m.t.Errorf("%s: %v", path, err)
+		return false
+	}
+	defer f.Close()
+	var cur *mkRule
+	for {
+		line, ok := f.ReadLine()
+		if !ok {
+			break
+		}
+		if strings.HasPrefix(line, "\t") {
+			if cur == nil {
+				m.t.Errorf("%s: command before rule", path)
+				return false
+			}
+			cmd := strings.TrimSpace(m.expand(line))
+			if cmd != "" {
+				cur.cmds = append(cur.cmds, cmd)
+			}
+			continue
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if eq := strings.Index(trimmed, "="); eq > 0 && !strings.Contains(trimmed[:eq], ":") {
+			name := strings.TrimSpace(trimmed[:eq])
+			m.vars[name] = strings.TrimSpace(m.expand(trimmed[eq+1:]))
+			continue
+		}
+		colon := strings.Index(trimmed, ":")
+		if colon < 0 {
+			m.t.Errorf("%s: bad line %q", path, trimmed)
+			return false
+		}
+		targets := libc.Fields(m.expand(trimmed[:colon]))
+		deps := libc.Fields(m.expand(trimmed[colon+1:]))
+		for _, tg := range targets {
+			r := &mkRule{target: tg, deps: deps}
+			m.rules[tg] = r
+			if m.first == "" {
+				m.first = tg
+			}
+			cur = r
+		}
+	}
+	return true
+}
+
+// expand substitutes $(VAR) references.
+func (m *mkFile) expand(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '$' && i+1 < len(s) && s[i+1] == '(' {
+			end := strings.IndexByte(s[i+2:], ')')
+			if end >= 0 {
+				b.WriteString(m.vars[s[i+2:i+2+end]])
+				i += 2 + end
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// mtime returns a file's modification time, ok=false if absent.
+func (m *mkFile) mtime(path string) (sys.Timeval, bool) {
+	st, err := m.t.Stat(path)
+	if err != sys.OK {
+		return sys.Timeval{}, false
+	}
+	return st.Mtime, true
+}
+
+func newer(a, b sys.Timeval) bool {
+	return a.Sec > b.Sec || (a.Sec == b.Sec && a.Usec > b.Usec)
+}
+
+// build brings target up to date, building dependencies first.
+func (m *mkFile) build(target string, depth int) mkStatus {
+	if depth > 64 {
+		m.t.Errorf("dependency loop at %s", target)
+		return mkErr
+	}
+	r := m.rules[target]
+	if r == nil {
+		if _, ok := m.mtime(target); ok {
+			return mkUpToDate
+		}
+		m.t.Errorf("don't know how to make %s", target)
+		return mkErr
+	}
+	if r.done {
+		return r.result
+	}
+	r.done = true
+
+	depsRebuilt := false
+	for _, d := range r.deps {
+		switch m.build(d, depth+1) {
+		case mkErr:
+			r.result = mkErr
+			return mkErr
+		case mkRebuilt:
+			depsRebuilt = true
+		}
+	}
+
+	tgtTime, exists := m.mtime(target)
+	need := !exists || depsRebuilt
+	if exists && !need {
+		for _, d := range r.deps {
+			if dt, ok := m.mtime(d); ok && newer(dt, tgtTime) {
+				need = true
+				break
+			}
+		}
+	}
+	if !need {
+		r.result = mkUpToDate
+		return mkUpToDate
+	}
+
+	for _, cmd := range r.cmds {
+		m.t.Printf("%s\n", cmd)
+		m.t.Stdout.Flush()
+		status, err := m.runCmd(cmd)
+		if err != sys.OK || status != 0 {
+			m.t.Errorf("*** %s: exit %d", target, status)
+			r.result = mkErr
+			return mkErr
+		}
+	}
+	r.result = mkRebuilt
+	return mkRebuilt
+}
+
+// runCmd executes one command line.
+func (m *mkFile) runCmd(cmd string) (int, sys.Errno) {
+	var argv []string
+	if strings.ContainsAny(cmd, "|<>;&$'\"") {
+		argv = []string{"sh", "-c", cmd}
+	} else {
+		argv = libc.Fields(cmd)
+	}
+	if len(argv) == 0 {
+		return 0, sys.OK
+	}
+	path, err := m.t.SearchPath(argv[0])
+	if err != sys.OK {
+		m.t.Errorf("%s: command not found", argv[0])
+		return 127, sys.OK
+	}
+	st, e := m.t.System(path, argv)
+	if e != sys.OK {
+		return 127, e
+	}
+	if sys.WIfExited(st) {
+		return sys.WExitStatus(st), sys.OK
+	}
+	return 128 + sys.WTermSig(st), sys.OK
+}

@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The peephole optimizer of the toy pipeline: cc1 runs it over generated
+// assembly before writing the .s file. It folds constant arithmetic and
+// removes trivially dead pushes — enough to make the compiler a real
+// multi-pass compiler without changing observable program behaviour.
+
+// OptimizeAsm rewrites assembly text, folding constant expressions until
+// a fixed point. Labels are barriers: no window crosses one, so jump
+// targets stay valid (they are label names until as(1) resolves them).
+func OptimizeAsm(asm string) string {
+	lines := strings.Split(asm, "\n")
+	for {
+		folded, changed := foldOnce(lines)
+		lines = folded
+		if !changed {
+			break
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// binaryFold maps instruction names to constant evaluation.
+var binaryFold = map[string]func(a, b int32) (int32, bool){
+	"add": func(a, b int32) (int32, bool) { return a + b, true },
+	"sub": func(a, b int32) (int32, bool) { return a - b, true },
+	"mul": func(a, b int32) (int32, bool) { return a * b, true },
+	"div": func(a, b int32) (int32, bool) {
+		if b == 0 {
+			return 0, false // preserve the runtime fault
+		}
+		return a / b, true
+	},
+	"mod": func(a, b int32) (int32, bool) {
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	},
+	"eq":  func(a, b int32) (int32, bool) { return b2i32(a == b), true },
+	"ne":  func(a, b int32) (int32, bool) { return b2i32(a != b), true },
+	"lt":  func(a, b int32) (int32, bool) { return b2i32(a < b), true },
+	"le":  func(a, b int32) (int32, bool) { return b2i32(a <= b), true },
+	"gt":  func(a, b int32) (int32, bool) { return b2i32(a > b), true },
+	"ge":  func(a, b int32) (int32, bool) { return b2i32(a >= b), true },
+	"and": func(a, b int32) (int32, bool) { return b2i32(a != 0 && b != 0), true },
+	"or":  func(a, b int32) (int32, bool) { return b2i32(a != 0 || b != 0), true },
+}
+
+var unaryFold = map[string]func(a int32) int32{
+	"neg": func(a int32) int32 { return -a },
+	"not": func(a int32) int32 { return b2i32(a == 0) },
+}
+
+func b2i32(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// pushValue parses a "push N" line.
+func pushValue(line string) (int32, bool) {
+	f := strings.Fields(line)
+	if len(f) != 2 || f[0] != "push" {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// barrier reports whether a line ends a peephole window: labels and
+// control transfers may be jumped to or change the stack unpredictably.
+func barrier(line string) bool {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return true
+	}
+	switch f[0] {
+	case "label", "jmp", "jz", "call", ".func", ".endfunc", "ret":
+		return true
+	}
+	return false
+}
+
+func opName(line string) string {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return ""
+	}
+	return f[0]
+}
+
+// foldOnce performs one pass of the rewrites.
+func foldOnce(lines []string) ([]string, bool) {
+	var out []string
+	changed := false
+	i := 0
+	for i < len(lines) {
+		// push A; push B; binop  →  push fold(A,B)
+		if i+2 < len(lines) && !barrier(lines[i+1]) && !barrier(lines[i+2]) {
+			if a, ok := pushValue(strings.TrimSpace(lines[i])); ok {
+				if b, ok2 := pushValue(strings.TrimSpace(lines[i+1])); ok2 {
+					if fold, ok3 := binaryFold[opName(strings.TrimSpace(lines[i+2]))]; ok3 {
+						if v, safe := fold(a, b); safe {
+							out = append(out, fmt.Sprintf("\tpush %d", v))
+							i += 3
+							changed = true
+							continue
+						}
+					}
+				}
+			}
+		}
+		// push A; unop  →  push fold(A)
+		if i+1 < len(lines) && !barrier(lines[i+1]) {
+			if a, ok := pushValue(strings.TrimSpace(lines[i])); ok {
+				if fold, ok2 := unaryFold[opName(strings.TrimSpace(lines[i+1]))]; ok2 {
+					out = append(out, fmt.Sprintf("\tpush %d", fold(a)))
+					i += 2
+					changed = true
+					continue
+				}
+			}
+		}
+		// push A; pop  →  (nothing)
+		if i+1 < len(lines) {
+			if _, ok := pushValue(strings.TrimSpace(lines[i])); ok &&
+				opName(strings.TrimSpace(lines[i+1])) == "pop" {
+				i += 2
+				changed = true
+				continue
+			}
+		}
+		out = append(out, lines[i])
+		i++
+	}
+	return out, changed
+}
+
+// CountInsns counts instruction lines in assembly text (for tests and the
+// -v driver output).
+func CountInsns(asm string) int {
+	n := 0
+	for _, line := range strings.Split(asm, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, ".") || strings.HasPrefix(t, "label ") || strings.HasPrefix(t, "#") {
+			continue
+		}
+		n++
+	}
+	return n
+}

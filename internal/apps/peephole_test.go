@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// optRun compiles, optimizes, assembles and runs, returning output.
+func optRun(t *testing.T, src string) (string, string) {
+	t.Helper()
+	asm, err := CompileMiniC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := OptimizeAsm(asm)
+	funcs, err := Assemble(opt)
+	if err != nil {
+		t.Fatalf("assemble optimized: %v\n%s", err, opt)
+	}
+	var out strings.Builder
+	if _, err := RunVM(funcs, &out); err != nil {
+		t.Fatalf("run optimized: %v", err)
+	}
+	return out.String(), opt
+}
+
+func TestPeepholeFoldsConstants(t *testing.T) {
+	out, opt := optRun(t, "main() { print(2 + 3 * 4); return 0; }")
+	if out != "14\n" {
+		t.Fatalf("out = %q", out)
+	}
+	if !strings.Contains(opt, "push 14") {
+		t.Fatalf("constants not folded:\n%s", opt)
+	}
+	if strings.Contains(opt, "mul") || strings.Contains(opt, "add") {
+		t.Fatalf("arithmetic survives folding:\n%s", opt)
+	}
+}
+
+func TestPeepholeShrinksCode(t *testing.T) {
+	asm, err := CompileMiniC(`
+main() {
+    print((1 + 2) * (3 + 4) - 5);
+    print(!0 && 1 < 2);
+    return 0 * 99;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := CountInsns(asm)
+	after := CountInsns(OptimizeAsm(asm))
+	if after >= before {
+		t.Fatalf("no shrink: %d → %d", before, after)
+	}
+}
+
+func TestPeepholePreservesDivideByZero(t *testing.T) {
+	asm, _ := CompileMiniC("main() { print(7 / 0); return 0; }")
+	opt := OptimizeAsm(asm)
+	if !strings.Contains(opt, "div") {
+		t.Fatalf("division by zero folded away:\n%s", opt)
+	}
+	funcs, _ := Assemble(opt)
+	var out strings.Builder
+	if _, err := RunVM(funcs, &out); err == nil {
+		t.Fatal("runtime fault optimized away")
+	}
+}
+
+func TestPeepholeRespectsLabels(t *testing.T) {
+	// A constant push before a label must not fold with an op after it:
+	// the label is a jump target and the stack differs per path.
+	out, _ := optRun(t, `
+main() {
+    int i = 0;
+    int acc = 0;
+    while (i < 3) {
+        acc = acc + 2 * 2;
+        i = i + 1;
+    }
+    print(acc);
+    return 0;
+}`)
+	if out != "12\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPeepholeSemanticsPreservedProperty(t *testing.T) {
+	// Optimized and unoptimized programs behave identically on random
+	// constant expressions.
+	f := func(a, b, c int8) bool {
+		src := "main() { print(" + itoaSigned(int32(a)) + " * (" + itoaSigned(int32(b)) +
+			" + " + itoaSigned(int32(c)) + ") - " + itoaSigned(int32(c)) + "); return 0; }"
+		asm, err := CompileMiniC(src)
+		if err != nil {
+			return false
+		}
+		run := func(text string) (string, bool) {
+			funcs, err := Assemble(text)
+			if err != nil {
+				return "", false
+			}
+			var out strings.Builder
+			if _, err := RunVM(funcs, &out); err != nil {
+				return "", false
+			}
+			return out.String(), true
+		}
+		plain, ok1 := run(asm)
+		opt, ok2 := run(OptimizeAsm(asm))
+		return ok1 && ok2 && plain == opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

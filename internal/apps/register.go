@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"interpose/internal/agents/hpux"
+	"interpose/internal/image"
+	"interpose/internal/kernel"
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// mains maps program names to their entry functions.
+var mains = map[string]func(*libc.T) int{
+	"echo":     echoMain,
+	"true":     trueMain,
+	"false":    falseMain,
+	"pwd":      pwdMain,
+	"cat":      catMain,
+	"wc":       wcMain,
+	"ls":       lsMain,
+	"cp":       cpMain,
+	"mv":       mvMain,
+	"rm":       rmMain,
+	"ln":       lnMain,
+	"touch":    touchMain,
+	"mkdir":    mkdirMain,
+	"date":     dateMain,
+	"hostname": hostnameMain,
+	"kill":     killMain,
+	"grep":     grepMain,
+	"head":     headMain,
+	"sigplay":  sigplayMain,
+	"sleep":    sleepMain,
+	"tee":      teeMain,
+	"sort":     sortMain,
+	"uniq":     uniqMain,
+	"sh":       shMain,
+	"scribe":   scribeMain,
+	"mk":       mkMain,
+	"cc":       ccMain,
+	"cpp":      cppMain,
+	"cc1":      cc1Main,
+	"as":       asMain,
+	"ld":       ldMain,
+	"vmrun":    vmrunMain,
+	"hpuxdate": hpuxdateMain,
+	"syscount": syscountMain,
+	"bench":    benchMain,
+}
+
+// Names returns the registered program names.
+func Names() []string {
+	out := make([]string, 0, len(mains))
+	for n := range mains {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Register adds every application to an image registry.
+func Register(reg *image.Registry) {
+	for name, fn := range mains {
+		reg.Register(name, libc.Main(fn))
+	}
+}
+
+// NewWorld boots a kernel with all applications registered and installed
+// in /bin.
+func NewWorld() (*kernel.Kernel, error) {
+	reg := image.NewRegistry()
+	Register(reg)
+	k := kernel.New(reg)
+	for name := range mains {
+		if err := k.InstallProgram("/bin/"+name, name); err != nil {
+			return nil, fmt.Errorf("apps: install %s: %w", name, err)
+		}
+	}
+	return k, nil
+}
+
+// hpuxdateMain is a binary from a variant operating system: it uses the
+// HP-UX-flavoured system interface — the time(2) call and the packed stat
+// layout — and therefore only runs correctly under the hpux emulation
+// agent (paper §1.4: running variant-OS binaries via interposition).
+func hpuxdateMain(t *libc.T) int {
+	rv, err := t.Syscall(hpux.SysTime, 0)
+	if err != sys.OK {
+		t.Errorf("time: %v", err)
+		return 1
+	}
+	t.Printf("hpux time: %d\n", rv[0])
+
+	// stat /etc/passwd with the HP-UX call number and struct layout.
+	pathAddr := t.CString("/etc/passwd")
+	bufAddr := t.Malloc(hpux.StatSize)
+	if _, err := t.Syscall(hpux.SysStat, pathAddr, bufAddr); err != sys.OK {
+		t.Errorf("stat: %v", err)
+		return 1
+	}
+	raw := make([]byte, hpux.StatSize)
+	t.Proc().CopyIn(bufAddr, raw)
+	st := hpux.DecodeStat(raw)
+	t.Printf("hpux stat: ino=%d mode=%o size=%d\n", st.Ino, st.Mode&0o7777, st.Size)
+	return 0
+}
+
+// syscountMain issues an exact number of cheap system calls, for
+// measurement harnesses: syscount N [call].
+func syscountMain(t *libc.T) int {
+	n := 1000
+	if len(t.Args) > 1 {
+		n = atoi(t.Args[1])
+	}
+	call := "getpid"
+	if len(t.Args) > 2 {
+		call = t.Args[2]
+	}
+	switch call {
+	case "getpid":
+		for i := 0; i < n; i++ {
+			t.Syscall(sys.SYS_getpid)
+		}
+	case "gettimeofday":
+		addr := t.Malloc(sys.TimevalSize)
+		for i := 0; i < n; i++ {
+			t.Syscall(sys.SYS_gettimeofday, addr, 0)
+		}
+	case "time-check":
+		// Report gettimeofday seconds as little-endian for harnesses.
+		tv, _ := t.Gettimeofday()
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], tv.Sec)
+		t.Printf("%d\n", tv.Sec)
+	}
+	return 0
+}

@@ -1,0 +1,416 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// scribeMain is a document formatter in the style of Scribe: it reads a
+// manuscript (.mss) with @-commands and produces a paginated, filled and
+// justified document. It is the paper's "format my dissertation" workload
+// (Table 3-2): a single process making moderate use of system calls.
+//
+// Supported commands: @Include(file), @Title(...), @Author(...),
+// @Chapter(...), @Section(...), @SubSection(...), @Begin(itemize|
+// verbatim|quotation) ... @End(...), @i[text] and @b[text] inline faces,
+// and @newpage.
+func scribeMain(t *libc.T) int {
+	if len(t.Args) < 2 {
+		t.Errorf("usage: scribe INPUT.mss [OUTPUT]")
+		return 2
+	}
+	input := t.Args[1]
+	output := strings.TrimSuffix(input, ".mss") + ".doc"
+	if len(t.Args) > 2 {
+		output = t.Args[2]
+	}
+
+	doc := &scribeDoc{t: t, width: 72, pageLen: 58}
+	if !doc.load(input, 0) {
+		return 1
+	}
+	doc.format()
+
+	out, err := t.Fopen(output, "w")
+	if err != sys.OK {
+		t.Errorf("%s: %v", output, err)
+		return 1
+	}
+	for _, line := range doc.out {
+		out.WriteString(line)
+		out.WriteString("\n")
+	}
+	if e := out.Close(); e != sys.OK {
+		t.Errorf("%s: %v", output, e)
+		return 1
+	}
+	t.Printf("scribe: %s: %d pages, %d lines\n", output, doc.page, len(doc.out))
+	return 0
+}
+
+// scribeDoc is the document being built.
+type scribeDoc struct {
+	t       *libc.T
+	width   int
+	pageLen int
+
+	title  string
+	author string
+
+	// Source blocks after include expansion.
+	blocks []scribeBlock
+
+	// Numbering state.
+	chapter, section, subsection int
+	toc                          []string
+
+	// Output state.
+	out      []string
+	pageLine int
+	page     int
+}
+
+type scribeBlock struct {
+	kind string // "para", "chapter", "section", "subsection", "item",
+	// "verbatim", "quote", "newpage"
+	text  string
+	lines []string // verbatim only
+}
+
+// load reads and parses a manuscript file, expanding includes.
+func (d *scribeDoc) load(path string, depth int) bool {
+	if depth > 8 {
+		d.t.Errorf("%s: includes nested too deeply", path)
+		return false
+	}
+	f, err := d.t.Fopen(path, "r")
+	if err != sys.OK {
+		d.t.Errorf("%s: %v", path, err)
+		return false
+	}
+	defer f.Close()
+
+	var para []string
+	env := "" // current @Begin environment
+	flush := func() {
+		if len(para) == 0 {
+			return
+		}
+		text := strings.Join(para, " ")
+		para = nil
+		kind := "para"
+		switch env {
+		case "itemize":
+			kind = "item"
+		case "quotation":
+			kind = "quote"
+		}
+		d.blocks = append(d.blocks, scribeBlock{kind: kind, text: text})
+	}
+
+	for {
+		line, ok := f.ReadLine()
+		if !ok {
+			break
+		}
+		trimmed := strings.TrimSpace(line)
+		if env == "verbatim" {
+			if strings.HasPrefix(trimmed, "@End(verbatim)") {
+				env = ""
+				continue
+			}
+			n := len(d.blocks)
+			if n == 0 || d.blocks[n-1].kind != "verbatim" {
+				d.blocks = append(d.blocks, scribeBlock{kind: "verbatim"})
+				n++
+			}
+			d.blocks[n-1].lines = append(d.blocks[n-1].lines, line)
+			continue
+		}
+		if trimmed == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(trimmed, "@") {
+			cmd, arg := scribeCommand(trimmed)
+			switch strings.ToLower(cmd) {
+			case "include":
+				flush()
+				inc := arg
+				if !strings.HasPrefix(inc, "/") {
+					inc = libc.JoinPath(libc.Dirname(path), inc)
+				}
+				if !d.load(inc, depth+1) {
+					return false
+				}
+			case "title":
+				d.title = arg
+			case "author":
+				d.author = arg
+			case "chapter":
+				flush()
+				d.blocks = append(d.blocks, scribeBlock{kind: "chapter", text: arg})
+			case "section":
+				flush()
+				d.blocks = append(d.blocks, scribeBlock{kind: "section", text: arg})
+			case "subsection":
+				flush()
+				d.blocks = append(d.blocks, scribeBlock{kind: "subsection", text: arg})
+			case "begin":
+				flush()
+				env = strings.ToLower(arg)
+			case "end":
+				flush()
+				env = ""
+			case "newpage":
+				flush()
+				d.blocks = append(d.blocks, scribeBlock{kind: "newpage"})
+			case "device", "style", "make", "libraryfile", "pageheading":
+				// Layout hints this formatter does not need.
+			default:
+				// Unknown command: treat as text so nothing is lost.
+				para = append(para, trimmed)
+			}
+			continue
+		}
+		para = append(para, trimmed)
+	}
+	flush()
+	return true
+}
+
+// scribeCommand splits "@Cmd(arg)" or "@Cmd[arg]".
+func scribeCommand(s string) (cmd, arg string) {
+	s = s[1:]
+	for i := 0; i < len(s); i++ {
+		if s[i] == '(' || s[i] == '[' {
+			close := byte(')')
+			if s[i] == '[' {
+				close = ']'
+			}
+			end := strings.IndexByte(s[i:], close)
+			if end < 0 {
+				return s[:i], s[i+1:]
+			}
+			return s[:i], s[i+1 : i+end]
+		}
+	}
+	return s, ""
+}
+
+// format lays the document out into pages.
+func (d *scribeDoc) format() {
+	d.page = 1
+	d.emitTitlePage()
+	for _, b := range d.blocks {
+		switch b.kind {
+		case "chapter":
+			d.chapter++
+			d.section, d.subsection = 0, 0
+			head := fmt.Sprintf("Chapter %d.  %s", d.chapter, scribeFaces(b.text))
+			d.toc = append(d.toc, fmt.Sprintf("%-60s %5d", head, d.page+1))
+			d.newPage()
+			d.emit("")
+			d.emit(head)
+			d.emit(strings.Repeat("=", min(len(head), d.width)))
+			d.emit("")
+		case "section":
+			d.section++
+			d.subsection = 0
+			head := fmt.Sprintf("%d.%d  %s", d.chapter, d.section, scribeFaces(b.text))
+			d.toc = append(d.toc, fmt.Sprintf("  %-58s %5d", head, d.page))
+			d.need(4)
+			d.emit("")
+			d.emit(head)
+			d.emit(strings.Repeat("-", min(len(head), d.width)))
+		case "subsection":
+			d.subsection++
+			head := fmt.Sprintf("%d.%d.%d  %s", d.chapter, d.section, d.subsection, scribeFaces(b.text))
+			d.toc = append(d.toc, fmt.Sprintf("    %-56s %5d", head, d.page))
+			d.need(3)
+			d.emit("")
+			d.emit(head)
+		case "para":
+			d.emit("")
+			d.fill(scribeFaces(b.text), "    ", "", true)
+		case "item":
+			d.emit("")
+			d.fill(scribeFaces(b.text), "  - ", "    ", false)
+		case "quote":
+			d.emit("")
+			d.fill(scribeFaces(b.text), "        ", "        ", false)
+		case "verbatim":
+			d.emit("")
+			for _, l := range b.lines {
+				d.emit("    " + l)
+			}
+		case "newpage":
+			d.newPage()
+		}
+	}
+	d.emitTOC()
+}
+
+// emitTitlePage writes the front matter.
+func (d *scribeDoc) emitTitlePage() {
+	d.emit("")
+	d.emit("")
+	if d.title != "" {
+		d.emit(center(strings.ToUpper(d.title), d.width))
+	}
+	d.emit("")
+	if d.author != "" {
+		d.emit(center(d.author, d.width))
+	}
+	d.emit("")
+}
+
+// emitTOC appends the table of contents (Scribe put it up front by
+// rerunning; one pass puts it at the end, where its page numbers are
+// already known).
+func (d *scribeDoc) emitTOC() {
+	d.newPage()
+	d.emit("")
+	d.emit("Table of Contents")
+	d.emit("-----------------")
+	for _, e := range d.toc {
+		d.emit(e)
+	}
+}
+
+// emit writes one output line, breaking pages.
+func (d *scribeDoc) emit(line string) {
+	if d.pageLine >= d.pageLen {
+		d.pageBreak()
+	}
+	d.out = append(d.out, line)
+	d.pageLine++
+}
+
+// pageBreak ends the current page with a numbered footer.
+func (d *scribeDoc) pageBreak() {
+	for d.pageLine < d.pageLen {
+		d.out = append(d.out, "")
+		d.pageLine++
+	}
+	d.out = append(d.out, center(fmt.Sprintf("- %d -", d.page), d.width))
+	d.out = append(d.out, "\f")
+	d.page++
+	d.pageLine = 0
+}
+
+// newPage forces a page break unless at the top of a fresh page.
+func (d *scribeDoc) newPage() {
+	if d.pageLine > 0 {
+		d.pageBreak()
+	}
+}
+
+// need breaks the page early if fewer than n lines remain (widow/orphan
+// control for headings).
+func (d *scribeDoc) need(n int) {
+	if d.pageLen-d.pageLine < n {
+		d.pageBreak()
+	}
+}
+
+// fill breaks text into lines of at most width columns, justifying full
+// lines when justify is set.
+func (d *scribeDoc) fill(text, firstIndent, restIndent string, justify bool) {
+	words := strings.Fields(text)
+	indent := firstIndent
+	for len(words) > 0 {
+		avail := d.width - len(indent)
+		n, length := 0, 0
+		for n < len(words) {
+			wlen := len(words[n])
+			if n > 0 {
+				wlen++
+			}
+			if length+wlen > avail {
+				break
+			}
+			length += wlen
+			n++
+		}
+		if n == 0 {
+			n = 1 // an overlong word gets its own line
+		}
+		line := words[:n]
+		words = words[n:]
+		full := len(words) > 0
+		if justify && full && n > 1 {
+			d.emit(indent + justifyLine(line, avail))
+		} else {
+			d.emit(indent + strings.Join(line, " "))
+		}
+		indent = restIndent
+	}
+}
+
+// justifyLine pads inter-word gaps so the line spans width columns.
+func justifyLine(words []string, width int) string {
+	chars := 0
+	for _, w := range words {
+		chars += len(w)
+	}
+	gaps := len(words) - 1
+	pad := width - chars
+	if pad < gaps {
+		pad = gaps
+	}
+	var b strings.Builder
+	for i, w := range words {
+		b.WriteString(w)
+		if i < gaps {
+			this := pad / gaps
+			if i < pad%gaps {
+				this++
+			}
+			b.WriteString(strings.Repeat(" ", this))
+		}
+	}
+	return b.String()
+}
+
+// scribeFaces renders @i[...] and @b[...] inline faces.
+func scribeFaces(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '@' && i+2 < len(s) && s[i+2] == '[' {
+			end := strings.IndexByte(s[i+3:], ']')
+			if end >= 0 {
+				inner := s[i+3 : i+3+end]
+				switch s[i+1] {
+				case 'i':
+					b.WriteString("_" + inner + "_")
+				case 'b':
+					b.WriteString(strings.ToUpper(inner))
+				default:
+					b.WriteString(inner)
+				}
+				i += 3 + end
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return strings.Repeat(" ", (width-len(s))/2) + s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,385 @@
+package apps
+
+import (
+	"strings"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// shMain is a small Bourne-flavoured shell: simple commands with
+// arguments, $VAR expansion, redirections (<, >, >>), pipelines (|),
+// sequencing (;), conditionals (&& and ||), comments, and the builtins
+// cd, exit, set, echo, and umask. It runs scripts ("sh file" or "#!"),
+// one-liners ("sh -c cmd"), or standard input.
+func shMain(t *libc.T) int {
+	vars := map[string]string{}
+	for _, kv := range t.Env {
+		if i := strings.IndexByte(kv, '='); i > 0 {
+			vars[kv[:i]] = kv[i+1:]
+		}
+	}
+
+	run := func(text string) int {
+		status := 0
+		for _, line := range strings.Split(text, "\n") {
+			status = shLine(t, vars, line)
+		}
+		return status
+	}
+
+	args := t.Args[1:]
+	switch {
+	case len(args) >= 2 && args[0] == "-c":
+		return run(strings.Join(args[1:], " "))
+	case len(args) >= 1:
+		data, err := t.ReadFile(args[0])
+		if err != sys.OK {
+			t.Errorf("%s: %v", args[0], err)
+			return 127
+		}
+		return run(string(data))
+	default:
+		data, err := t.Stdin.ReadAll()
+		if err != sys.OK {
+			return 127
+		}
+		return run(string(data))
+	}
+}
+
+// shLine executes one line: sequences split on ';', then && / || chains.
+func shLine(t *libc.T, vars map[string]string, line string) int {
+	status := 0
+	for _, seq := range splitTop(line, ';') {
+		seq = strings.TrimSpace(seq)
+		if seq == "" || strings.HasPrefix(seq, "#") {
+			continue
+		}
+		status = shAndOr(t, vars, seq)
+	}
+	return status
+}
+
+// shAndOr executes an && / || chain.
+func shAndOr(t *libc.T, vars map[string]string, s string) int {
+	status := 0
+	prevOp := "" // connective between the previous command and this one
+	for len(s) > 0 {
+		var op, cmd string
+		andIdx := strings.Index(s, "&&")
+		orIdx := strings.Index(s, "||")
+		switch {
+		case andIdx >= 0 && (orIdx < 0 || andIdx < orIdx):
+			cmd, s, op = s[:andIdx], s[andIdx+2:], "&&"
+		case orIdx >= 0:
+			cmd, s, op = s[:orIdx], s[orIdx+2:], "||"
+		default:
+			cmd, s = s, ""
+		}
+		runIt := prevOp == "" ||
+			(prevOp == "&&" && status == 0) ||
+			(prevOp == "||" && status != 0)
+		if runIt {
+			status = shPipeline(t, vars, strings.TrimSpace(cmd))
+		}
+		prevOp = op
+	}
+	return status
+}
+
+// shPipeline executes a pipeline of one or more commands.
+func shPipeline(t *libc.T, vars map[string]string, s string) int {
+	stages := splitTop(s, '|')
+	if len(stages) == 1 {
+		return shSimple(t, vars, stages[0], 0, 1)
+	}
+	// cmd0 | cmd1 | ... : children chained through pipes; the parent
+	// waits for the last stage's status.
+	var pids []int
+	prevRead := -1
+	for i, stage := range stages {
+		stage := strings.TrimSpace(stage)
+		var r, w int
+		lastStage := i == len(stages)-1
+		if !lastStage {
+			var err sys.Errno
+			r, w, err = t.Pipe()
+			if err != sys.OK {
+				t.Errorf("pipe: %v", err)
+				return 127
+			}
+		}
+		in, out := 0, 1
+		if prevRead >= 0 {
+			in = prevRead
+		}
+		if !lastStage {
+			out = w
+		}
+		pid, err := t.Fork(func(ct *libc.T) {
+			if in != 0 {
+				ct.Dup2(in, 0)
+				ct.Close(in)
+			}
+			if out != 1 {
+				ct.Dup2(out, 1)
+				ct.Close(out)
+			}
+			if !lastStage {
+				ct.Close(r)
+			}
+			ct.Exit(shSimple(ct, vars, stage, 0, 1))
+		})
+		if err != sys.OK {
+			t.Errorf("fork: %v", err)
+			return 127
+		}
+		pids = append(pids, pid)
+		if prevRead >= 0 {
+			t.Close(prevRead)
+		}
+		if !lastStage {
+			t.Close(w)
+			prevRead = r
+		}
+	}
+	status := 0
+	for i, pid := range pids {
+		_, st, _ := t.Waitpid(pid)
+		if i == len(pids)-1 {
+			status = sys.WExitStatus(st)
+		}
+	}
+	return status
+}
+
+// shSimple executes one simple command with redirections.
+func shSimple(t *libc.T, vars map[string]string, s string, inFD, outFD int) int {
+	words := shWords(s, vars)
+	if len(words) == 0 {
+		return 0
+	}
+
+	// Collect redirections.
+	var argv []string
+	inFile, outFile := "", ""
+	appendOut := false
+	for i := 0; i < len(words); i++ {
+		switch words[i] {
+		case "<":
+			if i+1 < len(words) {
+				inFile = words[i+1]
+				i++
+			}
+		case ">":
+			if i+1 < len(words) {
+				outFile = words[i+1]
+				i++
+			}
+		case ">>":
+			if i+1 < len(words) {
+				outFile = words[i+1]
+				appendOut = true
+				i++
+			}
+		default:
+			argv = append(argv, words[i])
+		}
+	}
+	if len(argv) == 0 {
+		return 0
+	}
+
+	// Builtins run in this process.
+	switch argv[0] {
+	case "cd":
+		dir := "/"
+		if len(argv) > 1 {
+			dir = argv[1]
+		}
+		if err := t.Chdir(dir); err != sys.OK {
+			t.Errorf("cd: %s: %v", dir, err)
+			return 1
+		}
+		return 0
+	case "exit":
+		code := 0
+		if len(argv) > 1 {
+			code = atoi(argv[1])
+		}
+		t.Exit(code)
+	case "set":
+		if len(argv) > 1 {
+			if i := strings.IndexByte(argv[1], '='); i > 0 {
+				vars[argv[1][:i]] = argv[1][i+1:]
+			}
+		}
+		return 0
+	case "umask":
+		if len(argv) > 1 {
+			var m uint32
+			for _, ch := range argv[1] {
+				m = m*8 + uint32(ch-'0')
+			}
+			t.Umask(m)
+		}
+		return 0
+	}
+
+	path, err := t.SearchPath(argv[0])
+	if err != sys.OK {
+		t.Errorf("%s: command not found", argv[0])
+		return 127
+	}
+	env := append([]string(nil), t.Env...)
+	pid, ferr := t.Fork(func(ct *libc.T) {
+		if inFile != "" {
+			fd, err := ct.Open(inFile, sys.O_RDONLY, 0)
+			if err != sys.OK {
+				ct.Errorf("%s: %v", inFile, err)
+				ct.Exit(1)
+			}
+			ct.Dup2(fd, 0)
+			ct.Close(fd)
+		}
+		if outFile != "" {
+			flags := sys.O_WRONLY | sys.O_CREAT
+			if appendOut {
+				flags |= sys.O_APPEND
+			} else {
+				flags |= sys.O_TRUNC
+			}
+			fd, err := ct.Open(outFile, flags, 0o644)
+			if err != sys.OK {
+				ct.Errorf("%s: %v", outFile, err)
+				ct.Exit(1)
+			}
+			ct.Dup2(fd, 1)
+			ct.Close(fd)
+		}
+		e := ct.Exec(path, argv, env)
+		ct.Errorf("%s: %v", path, e)
+		ct.Exit(127)
+	})
+	if ferr != sys.OK {
+		t.Errorf("fork: %v", ferr)
+		return 127
+	}
+	_, st, _ := t.Waitpid(pid)
+	if sys.WIfExited(st) {
+		return sys.WExitStatus(st)
+	}
+	return 128 + sys.WTermSig(st)
+}
+
+// shWords tokenizes with quoting and $VAR expansion.
+func shWords(s string, vars map[string]string) []string {
+	var words []string
+	var cur strings.Builder
+	have := false
+	i := 0
+	flush := func() {
+		if have {
+			words = append(words, cur.String())
+			cur.Reset()
+			have = false
+		}
+	}
+	for i < len(s) {
+		ch := s[i]
+		switch {
+		case ch == ' ' || ch == '\t':
+			flush()
+			i++
+		case ch == '\'':
+			have = true
+			i++
+			for i < len(s) && s[i] != '\'' {
+				cur.WriteByte(s[i])
+				i++
+			}
+			i++
+		case ch == '"':
+			have = true
+			i++
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '$' {
+					name, next := varName(s, i+1)
+					cur.WriteString(vars[name])
+					i = next
+					continue
+				}
+				cur.WriteByte(s[i])
+				i++
+			}
+			i++
+		case ch == '$':
+			have = true
+			name, next := varName(s, i+1)
+			cur.WriteString(vars[name])
+			i = next
+		default:
+			have = true
+			cur.WriteByte(ch)
+			i++
+		}
+	}
+	flush()
+	return words
+}
+
+func varName(s string, i int) (string, int) {
+	start := i
+	for i < len(s) && (isAlnum(s[i]) || s[i] == '_') {
+		i++
+	}
+	return s[start:i], i
+}
+
+func isAlnum(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// splitTop splits on sep outside quotes.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth := byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case depth == 0 && (s[i] == '\'' || s[i] == '"'):
+			depth = s[i]
+		case depth != 0 && s[i] == depth:
+			depth = 0
+		case depth == 0 && s[i] == sep:
+			// "||" is not a ';'-like separator for '|'.
+			if sep == '|' && (i+1 < len(s) && s[i+1] == '|' || i > 0 && s[i-1] == '|') {
+				continue
+			}
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func atoi(s string) int {
+	n := 0
+	neg := false
+	for i, ch := range s {
+		if i == 0 && ch == '-' {
+			neg = true
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			break
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}

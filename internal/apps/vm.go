@@ -1,0 +1,282 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The toy pipeline's object and executable format: a textual stack-machine
+// program. Object files (produced by as) and executables (produced by ld)
+// share the encoding; executables additionally begin with an interpreter
+// line so that execve runs them through /bin/vmrun.
+
+// VMInsn is one stack-machine instruction.
+type VMInsn struct {
+	Op string
+	N  int    // numeric operand (push value, slot, jump target, nargs)
+	S  string // symbol operand (call target, prints text)
+}
+
+// VMFunc is one compiled function.
+type VMFunc struct {
+	Name    string
+	NParams int
+	NLocals int
+	Code    []VMInsn
+}
+
+// objMagic heads object files; exeInterp heads linked executables.
+const (
+	objMagic  = "OBJ1"
+	exeInterp = "#!/bin/vmrun"
+)
+
+// FormatVMObject encodes functions as an object file.
+func FormatVMObject(funcs []VMFunc) []byte {
+	var b strings.Builder
+	b.WriteString(objMagic + "\n")
+	writeVMFuncs(&b, funcs)
+	return []byte(b.String())
+}
+
+// FormatVMExecutable encodes functions as a runnable program image.
+func FormatVMExecutable(funcs []VMFunc) []byte {
+	var b strings.Builder
+	b.WriteString(exeInterp + "\n" + objMagic + "\n")
+	writeVMFuncs(&b, funcs)
+	return []byte(b.String())
+}
+
+func writeVMFuncs(b *strings.Builder, funcs []VMFunc) {
+	for _, f := range funcs {
+		fmt.Fprintf(b, "func %s %d %d %d\n", f.Name, f.NParams, f.NLocals, len(f.Code))
+		for _, in := range f.Code {
+			switch in.Op {
+			case "push", "load", "store", "jmp", "jz":
+				fmt.Fprintf(b, "%s %d\n", in.Op, in.N)
+			case "call":
+				fmt.Fprintf(b, "call %s %d\n", in.S, in.N)
+			case "prints":
+				fmt.Fprintf(b, "prints %s\n", strconv.Quote(in.S))
+			default:
+				fmt.Fprintf(b, "%s\n", in.Op)
+			}
+		}
+	}
+}
+
+// ParseVMImage decodes an object file or executable (the interpreter line,
+// if present, is skipped).
+func ParseVMImage(data []byte) ([]VMFunc, error) {
+	lines := strings.Split(string(data), "\n")
+	i := 0
+	if i < len(lines) && strings.HasPrefix(lines[i], "#!") {
+		i++
+	}
+	if i >= len(lines) || lines[i] != objMagic {
+		return nil, fmt.Errorf("vm: bad magic")
+	}
+	i++
+	var funcs []VMFunc
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		i++
+		if line == "" {
+			continue
+		}
+		var f VMFunc
+		var n int
+		if _, err := fmt.Sscanf(line, "func %s %d %d %d", &f.Name, &f.NParams, &f.NLocals, &n); err != nil {
+			return nil, fmt.Errorf("vm: bad func header %q", line)
+		}
+		for j := 0; j < n; j++ {
+			if i >= len(lines) {
+				return nil, fmt.Errorf("vm: truncated function %s", f.Name)
+			}
+			insn, err := parseVMInsn(strings.TrimSpace(lines[i]))
+			if err != nil {
+				return nil, err
+			}
+			f.Code = append(f.Code, insn)
+			i++
+		}
+		funcs = append(funcs, f)
+	}
+	return funcs, nil
+}
+
+func parseVMInsn(line string) (VMInsn, error) {
+	op, rest, _ := strings.Cut(line, " ")
+	switch op {
+	case "push", "load", "store", "jmp", "jz":
+		n, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			return VMInsn{}, fmt.Errorf("vm: bad operand in %q", line)
+		}
+		return VMInsn{Op: op, N: n}, nil
+	case "call":
+		name, nargs, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		n, err := strconv.Atoi(strings.TrimSpace(nargs))
+		if err != nil {
+			return VMInsn{}, fmt.Errorf("vm: bad call %q", line)
+		}
+		return VMInsn{Op: "call", S: name, N: n}, nil
+	case "prints":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return VMInsn{}, fmt.Errorf("vm: bad string in %q", line)
+		}
+		return VMInsn{Op: "prints", S: s}, nil
+	case "add", "sub", "mul", "div", "mod", "neg", "not",
+		"eq", "ne", "lt", "le", "gt", "ge", "and", "or",
+		"ret", "print", "pop":
+		return VMInsn{Op: op}, nil
+	}
+	return VMInsn{}, fmt.Errorf("vm: unknown instruction %q", line)
+}
+
+// VMOutput is where the machine sends program output (io.StringWriter).
+type VMOutput interface {
+	WriteString(s string) (int, error)
+}
+
+// RunVM executes main and returns its value.
+func RunVM(funcs []VMFunc, out VMOutput) (int32, error) {
+	byName := map[string]*VMFunc{}
+	for i := range funcs {
+		f := &funcs[i]
+		if _, dup := byName[f.Name]; dup {
+			return 0, fmt.Errorf("vm: duplicate symbol %s", f.Name)
+		}
+		byName[f.Name] = f
+	}
+	main := byName["main"]
+	if main == nil {
+		return 0, fmt.Errorf("vm: undefined symbol main")
+	}
+	steps := 0
+	var call func(f *VMFunc, args []int32) (int32, error)
+	call = func(f *VMFunc, args []int32) (int32, error) {
+		locals := make([]int32, f.NLocals)
+		copy(locals, args)
+		var stack []int32
+		pop := func() int32 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return v
+		}
+		pc := 0
+		for pc < len(f.Code) {
+			steps++
+			if steps > 100_000_000 {
+				return 0, fmt.Errorf("vm: step limit exceeded in %s", f.Name)
+			}
+			in := f.Code[pc]
+			pc++
+			switch in.Op {
+			case "push":
+				stack = append(stack, int32(in.N))
+			case "load":
+				if in.N >= len(locals) {
+					return 0, fmt.Errorf("vm: bad slot %d in %s", in.N, f.Name)
+				}
+				stack = append(stack, locals[in.N])
+			case "store":
+				if in.N >= len(locals) {
+					return 0, fmt.Errorf("vm: bad slot %d in %s", in.N, f.Name)
+				}
+				locals[in.N] = pop()
+			case "add":
+				b, a := pop(), pop()
+				stack = append(stack, a+b)
+			case "sub":
+				b, a := pop(), pop()
+				stack = append(stack, a-b)
+			case "mul":
+				b, a := pop(), pop()
+				stack = append(stack, a*b)
+			case "div":
+				b, a := pop(), pop()
+				if b == 0 {
+					return 0, fmt.Errorf("vm: division by zero in %s", f.Name)
+				}
+				stack = append(stack, a/b)
+			case "mod":
+				b, a := pop(), pop()
+				if b == 0 {
+					return 0, fmt.Errorf("vm: division by zero in %s", f.Name)
+				}
+				stack = append(stack, a%b)
+			case "neg":
+				stack[len(stack)-1] = -stack[len(stack)-1]
+			case "not":
+				v := pop()
+				stack = append(stack, b2i(v == 0))
+			case "eq":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a == b))
+			case "ne":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a != b))
+			case "lt":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a < b))
+			case "le":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a <= b))
+			case "gt":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a > b))
+			case "ge":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a >= b))
+			case "and":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a != 0 && b != 0))
+			case "or":
+				b, a := pop(), pop()
+				stack = append(stack, b2i(a != 0 || b != 0))
+			case "jmp":
+				pc = in.N
+			case "jz":
+				if pop() == 0 {
+					pc = in.N
+				}
+			case "call":
+				callee := byName[in.S]
+				if callee == nil {
+					return 0, fmt.Errorf("vm: undefined symbol %s", in.S)
+				}
+				args := make([]int32, in.N)
+				for i := in.N - 1; i >= 0; i-- {
+					args[i] = pop()
+				}
+				v, err := call(callee, args)
+				if err != nil {
+					return 0, err
+				}
+				stack = append(stack, v)
+			case "ret":
+				return pop(), nil
+			case "print":
+				out.WriteString(strconv.FormatInt(int64(pop()), 10) + "\n")
+			case "prints":
+				out.WriteString(in.S)
+			case "pop":
+				pop()
+			default:
+				return 0, fmt.Errorf("vm: unknown op %q", in.Op)
+			}
+		}
+		return 0, nil
+	}
+	return call(main, nil)
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

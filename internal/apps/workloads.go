@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"interpose/internal/kernel"
+)
+
+// The two evaluation workloads of the paper's §3.4, generated
+// deterministically into a kernel's filesystem.
+
+// loremWords supplies filler prose for the dissertation manuscript.
+var loremWords = strings.Fields(`
+interposition agents transparently interpose user code at the system
+interface many contemporary operating systems utilize a system call
+interface between the operating system and its clients increasing numbers
+of systems provide low level mechanisms for intercepting and handling
+system calls in user code nonetheless they typically provide no higher
+level tools or abstractions for effectively utilizing these mechanisms
+using them has typically required reimplementation of a substantial
+portion of the system interface from scratch making the use of such
+facilities unwieldy at best this dissertation presents a toolkit that
+substantially increases the ease of interposing user code between clients
+and instances of the system interface by allowing such code to be written
+in terms of the high level objects provided by this interface rather than
+in terms of the intercepted system calls themselves`)
+
+// GenDissertation writes a multi-chapter Scribe manuscript (the paper's
+// "format my dissertation" input) under dir, returning the main file.
+// Size is roughly chapters × sectionsPerChapter × parasPerSection × 60
+// words.
+func GenDissertation(k *kernel.Kernel, dir string, chapters, sectionsPerChapter, parasPerSection int) (string, error) {
+	if err := k.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(1993))
+	para := func() string {
+		n := 40 + rng.Intn(40)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = loremWords[rng.Intn(len(loremWords))]
+		}
+		// Sprinkle some inline faces for the formatter to chew on.
+		if rng.Intn(3) == 0 {
+			words[rng.Intn(n)] = "@i[" + words[rng.Intn(n)] + "]"
+		}
+		if rng.Intn(4) == 0 {
+			words[rng.Intn(n)] = "@b[" + words[rng.Intn(n)] + "]"
+		}
+		return wrap(strings.Join(words, " "), 70)
+	}
+
+	var main strings.Builder
+	main.WriteString("@Device(file)\n@Make(report)\n")
+	main.WriteString("@Title(Transparently Interposing User Code at the System Interface)\n")
+	main.WriteString("@Author(A Graduate Student)\n\n")
+	for ch := 1; ch <= chapters; ch++ {
+		name := fmt.Sprintf("chapter%02d.mss", ch)
+		var b strings.Builder
+		fmt.Fprintf(&b, "@Chapter(Chapter Title Number %d)\n\n", ch)
+		for s := 1; s <= sectionsPerChapter; s++ {
+			fmt.Fprintf(&b, "@Section(Section %d of Chapter %d)\n\n", s, ch)
+			for p := 0; p < parasPerSection; p++ {
+				b.WriteString(para())
+				b.WriteString("\n\n")
+			}
+			if s%2 == 0 {
+				b.WriteString("@Begin(itemize)\n")
+				for i := 0; i < 3; i++ {
+					b.WriteString(para())
+					b.WriteString("\n\n")
+				}
+				b.WriteString("@End(itemize)\n\n")
+			}
+			if s%3 == 0 {
+				b.WriteString("@Begin(verbatim)\n")
+				b.WriteString("    class numeric_syscall {\n        virtual int syscall(int number);\n    };\n")
+				b.WriteString("@End(verbatim)\n\n")
+			}
+		}
+		if err := k.WriteFile(dir+"/"+name, []byte(b.String()), 0o644); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&main, "@Include(%s)\n", name)
+	}
+	path := dir + "/dissertation.mss"
+	if err := k.WriteFile(path, []byte(main.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	var b strings.Builder
+	col := 0
+	for _, w := range words {
+		if col > 0 && col+1+len(w) > width {
+			b.WriteString("\n")
+			col = 0
+		} else if col > 0 {
+			b.WriteString(" ")
+			col++
+		}
+		b.WriteString(w)
+		col += len(w)
+	}
+	return b.String()
+}
+
+// GenMakeTree writes the "make N programs" workload under dir: a Makefile
+// and, for each program, two MiniC sources plus a shared header — so one
+// full build runs cc once per program and cpp/cc1/as twice plus ld once
+// inside each, reproducing the paper's 64 fork/exec pairs at N=8.
+func GenMakeTree(k *kernel.Kernel, dir string, programs int) error {
+	if err := k.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	header := "#define LIMIT 10\n#define STEP 1\n"
+	if err := k.WriteFile(dir+"/defs.h", []byte(header), 0o644); err != nil {
+		return err
+	}
+
+	var mk strings.Builder
+	mk.WriteString("CC = cc\n\n")
+	var all []string
+	for i := 1; i <= programs; i++ {
+		all = append(all, fmt.Sprintf("prog%d", i))
+	}
+	mk.WriteString("all: " + strings.Join(all, " ") + "\n\n")
+
+	for i := 1; i <= programs; i++ {
+		mainSrc := fmt.Sprintf(`#include "defs.h"
+// program %d main unit
+helper(n)
+{
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+        acc = acc + compute(i);
+        i = i + STEP;
+    }
+    return acc;
+}
+
+main()
+{
+    prints("prog%d: ");
+    print(helper(LIMIT) + %d);
+    return 0;
+}
+`, i, i, i)
+		subSrc := fmt.Sprintf(`#include "defs.h"
+// program %d support unit
+compute(x)
+{
+    if (x %% 2 == 0) {
+        return x * x;
+    } else {
+        return x + %d;
+    }
+}
+`, i, i)
+		if err := k.WriteFile(fmt.Sprintf("%s/prog%d_main.c", dir, i), []byte(mainSrc), 0o644); err != nil {
+			return err
+		}
+		if err := k.WriteFile(fmt.Sprintf("%s/prog%d_sub.c", dir, i), []byte(subSrc), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(&mk, "prog%d: prog%d_main.c prog%d_sub.c defs.h\n", i, i, i)
+		fmt.Fprintf(&mk, "\t$(CC) -o prog%d prog%d_main.c prog%d_sub.c\n\n", i, i, i)
+	}
+	return k.WriteFile(dir+"/Makefile", []byte(mk.String()), 0o644)
+}
+
+// ExpectedProgOutput returns what the workload's prog<i> prints when run,
+// for verifying builds end to end.
+func ExpectedProgOutput(i int) string {
+	// helper(10) with compute: even x → x², odd x → x+i.
+	acc := 0
+	for x := 0; x < 10; x++ {
+		if x%2 == 0 {
+			acc += x * x
+		} else {
+			acc += x + i
+		}
+	}
+	return fmt.Sprintf("prog%d: %d\n", i, acc+i)
+}

@@ -1,0 +1,347 @@
+package core
+
+import "interpose/internal/sys"
+
+// Default implementations of the symbolic system call methods. Each takes
+// the default action for the call: it makes the same system call on the
+// next-lower instance of the system interface. Pathname arguments, which
+// the dispatcher decoded to strings, are re-staged in the client's
+// address space for the downcall — so an agent that rewrote the path gets
+// the rewritten path passed down.
+
+func w(v int) sys.Word { return sys.Word(int32(v)) }
+
+// SysExit takes the default action for exit. It does not return.
+func (s *Symbolic) SysExit(c sys.Ctx, status int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_exit, sys.Args{w(status)})
+}
+
+// SysFork takes the default action for fork.
+func (s *Symbolic) SysFork(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fork, sys.Args{})
+}
+
+// SysRead takes the default action for read.
+func (s *Symbolic) SysRead(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_read, sys.Args{w(fd), buf, w(cnt)})
+}
+
+// SysWrite takes the default action for write.
+func (s *Symbolic) SysWrite(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_write, sys.Args{w(fd), buf, w(cnt)})
+}
+
+// SysOpen takes the default action for open.
+func (s *Symbolic) SysOpen(c sys.Ctx, path string, flags int, mode uint32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_open, path, w(flags), mode)
+}
+
+// SysClose takes the default action for close.
+func (s *Symbolic) SysClose(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_close, sys.Args{w(fd)})
+}
+
+// SysWait4 takes the default action for wait4.
+func (s *Symbolic) SysWait4(c sys.Ctx, pid int, statusAddr sys.Word, options int, ruAddr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_wait4, sys.Args{w(pid), statusAddr, w(options), ruAddr})
+}
+
+// SysCreat takes the default action for creat.
+func (s *Symbolic) SysCreat(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_creat, path, mode)
+}
+
+// SysLink takes the default action for link.
+func (s *Symbolic) SysLink(c sys.Ctx, path, newPath string) (sys.Retval, sys.Errno) {
+	return DownPath2(c, sys.SYS_link, path, newPath)
+}
+
+// SysUnlink takes the default action for unlink.
+func (s *Symbolic) SysUnlink(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_unlink, path)
+}
+
+// SysChdir takes the default action for chdir.
+func (s *Symbolic) SysChdir(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chdir, path)
+}
+
+// SysFchdir takes the default action for fchdir.
+func (s *Symbolic) SysFchdir(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fchdir, sys.Args{w(fd)})
+}
+
+// SysMknod takes the default action for mknod.
+func (s *Symbolic) SysMknod(c sys.Ctx, path string, mode uint32, dev sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_mknod, path, mode, dev)
+}
+
+// SysChmod takes the default action for chmod.
+func (s *Symbolic) SysChmod(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chmod, path, mode)
+}
+
+// SysChown takes the default action for chown.
+func (s *Symbolic) SysChown(c sys.Ctx, path string, uid, gid sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chown, path, uid, gid)
+}
+
+// SysBrk takes the default action for brk.
+func (s *Symbolic) SysBrk(c sys.Ctx, addr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_brk, sys.Args{addr})
+}
+
+// SysLseek takes the default action for lseek.
+func (s *Symbolic) SysLseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_lseek, sys.Args{w(fd), sys.Word(off), w(whence)})
+}
+
+// SysGetpid takes the default action for getpid.
+func (s *Symbolic) SysGetpid(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getpid, sys.Args{})
+}
+
+// SysSetuid takes the default action for setuid.
+func (s *Symbolic) SysSetuid(c sys.Ctx, uid sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_setuid, sys.Args{uid})
+}
+
+// SysGetuid takes the default action for getuid.
+func (s *Symbolic) SysGetuid(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getuid, sys.Args{})
+}
+
+// SysGeteuid takes the default action for geteuid.
+func (s *Symbolic) SysGeteuid(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_geteuid, sys.Args{})
+}
+
+// SysAccess takes the default action for access.
+func (s *Symbolic) SysAccess(c sys.Ctx, path string, mode int) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_access, path, w(mode))
+}
+
+// SysSync takes the default action for sync.
+func (s *Symbolic) SysSync(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_sync, sys.Args{})
+}
+
+// SysKill takes the default action for kill.
+func (s *Symbolic) SysKill(c sys.Ctx, pid, sig int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_kill, sys.Args{w(pid), w(sig)})
+}
+
+// SysStat takes the default action for stat.
+func (s *Symbolic) SysStat(c sys.Ctx, path string, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_stat, path, statAddr)
+}
+
+// SysGetppid takes the default action for getppid.
+func (s *Symbolic) SysGetppid(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getppid, sys.Args{})
+}
+
+// SysLstat takes the default action for lstat.
+func (s *Symbolic) SysLstat(c sys.Ctx, path string, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_lstat, path, statAddr)
+}
+
+// SysDup takes the default action for dup.
+func (s *Symbolic) SysDup(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_dup, sys.Args{w(fd)})
+}
+
+// SysPipe takes the default action for pipe.
+func (s *Symbolic) SysPipe(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_pipe, sys.Args{})
+}
+
+// SysGetegid takes the default action for getegid.
+func (s *Symbolic) SysGetegid(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getegid, sys.Args{})
+}
+
+// SysGetgid takes the default action for getgid.
+func (s *Symbolic) SysGetgid(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getgid, sys.Args{})
+}
+
+// SysIoctl takes the default action for ioctl.
+func (s *Symbolic) SysIoctl(c sys.Ctx, fd int, req, arg sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_ioctl, sys.Args{w(fd), req, arg})
+}
+
+// SysSymlink takes the default action for symlink.
+func (s *Symbolic) SysSymlink(c sys.Ctx, target, linkPath string) (sys.Retval, sys.Errno) {
+	return DownPath2(c, sys.SYS_symlink, target, linkPath)
+}
+
+// SysReadlink takes the default action for readlink.
+func (s *Symbolic) SysReadlink(c sys.Ctx, path string, buf sys.Word, n int) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_readlink, path, buf, w(n))
+}
+
+// SysUmask takes the default action for umask.
+func (s *Symbolic) SysUmask(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_umask, sys.Args{mask})
+}
+
+// SysChroot takes the default action for chroot.
+func (s *Symbolic) SysChroot(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chroot, path)
+}
+
+// SysFstat takes the default action for fstat.
+func (s *Symbolic) SysFstat(c sys.Ctx, fd int, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fstat, sys.Args{w(fd), statAddr})
+}
+
+// SysGetpagesize takes the default action for getpagesize.
+func (s *Symbolic) SysGetpagesize(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getpagesize, sys.Args{})
+}
+
+// SysGetgroups takes the default action for getgroups.
+func (s *Symbolic) SysGetgroups(c sys.Ctx, n int, addr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getgroups, sys.Args{w(n), addr})
+}
+
+// SysSetgroups takes the default action for setgroups.
+func (s *Symbolic) SysSetgroups(c sys.Ctx, n int, addr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_setgroups, sys.Args{w(n), addr})
+}
+
+// SysGetpgrp takes the default action for getpgrp.
+func (s *Symbolic) SysGetpgrp(c sys.Ctx, pid int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getpgrp, sys.Args{w(pid)})
+}
+
+// SysSetpgrp takes the default action for setpgrp.
+func (s *Symbolic) SysSetpgrp(c sys.Ctx, pid, pgrp int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_setpgrp, sys.Args{w(pid), w(pgrp)})
+}
+
+// SysGethostname takes the default action for gethostname.
+func (s *Symbolic) SysGethostname(c sys.Ctx, addr sys.Word, n int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_gethostname, sys.Args{addr, w(n)})
+}
+
+// SysSethostname takes the default action for sethostname.
+func (s *Symbolic) SysSethostname(c sys.Ctx, addr sys.Word, n int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_sethostname, sys.Args{addr, w(n)})
+}
+
+// SysGetdtablesize takes the default action for getdtablesize.
+func (s *Symbolic) SysGetdtablesize(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getdtablesize, sys.Args{})
+}
+
+// SysDup2 takes the default action for dup2.
+func (s *Symbolic) SysDup2(c sys.Ctx, oldfd, newfd int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_dup2, sys.Args{w(oldfd), w(newfd)})
+}
+
+// SysFcntl takes the default action for fcntl.
+func (s *Symbolic) SysFcntl(c sys.Ctx, fd, cmd int, arg sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fcntl, sys.Args{w(fd), w(cmd), arg})
+}
+
+// SysFsync takes the default action for fsync.
+func (s *Symbolic) SysFsync(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fsync, sys.Args{w(fd)})
+}
+
+// SysSigvec takes the default action for sigvec.
+func (s *Symbolic) SysSigvec(c sys.Ctx, sig int, nsv, osv sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_sigvec, sys.Args{w(sig), nsv, osv})
+}
+
+// SysSigblock takes the default action for sigblock.
+func (s *Symbolic) SysSigblock(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_sigblock, sys.Args{mask})
+}
+
+// SysSigsetmask takes the default action for sigsetmask.
+func (s *Symbolic) SysSigsetmask(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_sigsetmask, sys.Args{mask})
+}
+
+// SysSigpause takes the default action for sigpause.
+func (s *Symbolic) SysSigpause(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_sigpause, sys.Args{mask})
+}
+
+// SysGettimeofday takes the default action for gettimeofday.
+func (s *Symbolic) SysGettimeofday(c sys.Ctx, tv, tz sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_gettimeofday, sys.Args{tv, tz})
+}
+
+// SysGetrusage takes the default action for getrusage.
+func (s *Symbolic) SysGetrusage(c sys.Ctx, who, ru sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getrusage, sys.Args{who, ru})
+}
+
+// SysSettimeofday takes the default action for settimeofday.
+func (s *Symbolic) SysSettimeofday(c sys.Ctx, tv, tz sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_settimeofday, sys.Args{tv, tz})
+}
+
+// SysRename takes the default action for rename.
+func (s *Symbolic) SysRename(c sys.Ctx, from, to string) (sys.Retval, sys.Errno) {
+	return DownPath2(c, sys.SYS_rename, from, to)
+}
+
+// SysTruncate takes the default action for truncate.
+func (s *Symbolic) SysTruncate(c sys.Ctx, path string, length int32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_truncate, path, sys.Word(length))
+}
+
+// SysFtruncate takes the default action for ftruncate.
+func (s *Symbolic) SysFtruncate(c sys.Ctx, fd int, length int32) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_ftruncate, sys.Args{w(fd), sys.Word(length)})
+}
+
+// SysFlock takes the default action for flock.
+func (s *Symbolic) SysFlock(c sys.Ctx, fd, op int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_flock, sys.Args{w(fd), w(op)})
+}
+
+// SysMkdir takes the default action for mkdir.
+func (s *Symbolic) SysMkdir(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_mkdir, path, mode)
+}
+
+// SysRmdir takes the default action for rmdir.
+func (s *Symbolic) SysRmdir(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_rmdir, path)
+}
+
+// SysUtimes takes the default action for utimes.
+func (s *Symbolic) SysUtimes(c sys.Ctx, path string, tvAddr sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_utimes, path, tvAddr)
+}
+
+// SysSetsid takes the default action for setsid.
+func (s *Symbolic) SysSetsid(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_setsid, sys.Args{})
+}
+
+// SysGetrlimit takes the default action for getrlimit.
+func (s *Symbolic) SysGetrlimit(c sys.Ctx, res int, addr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getrlimit, sys.Args{w(res), addr})
+}
+
+// SysSetrlimit takes the default action for setrlimit.
+func (s *Symbolic) SysSetrlimit(c sys.Ctx, res int, addr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_setrlimit, sys.Args{w(res), addr})
+}
+
+// SysGetdirentries takes the default action for getdirentries.
+func (s *Symbolic) SysGetdirentries(c sys.Ctx, fd int, buf sys.Word, nbytes int, basep sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getdirentries, sys.Args{w(fd), buf, w(nbytes), basep})
+}
+
+// UnknownSyscall takes the default action for unimplemented numbers.
+func (s *Symbolic) UnknownSyscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	return Down(c, num, a)
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"sync"
+
+	"interpose/internal/sys"
+)
+
+// DescriptorSet is the toolkit layer presenting the system interface
+// organized around the descriptor name space. It mirrors each client
+// process's descriptor table, mapping descriptor numbers to OpenObjects
+// for the descriptors an agent has taken over; descriptors without an
+// object pass through untouched.
+//
+// The mirror is maintained across dup, dup2, fcntl F_DUPFD, close, fork
+// (via the child-initialization hook) and process exit. One DescriptorSet
+// serves every process running under the agent, as agents do in the paper
+// (Figure 1-4); it is therefore safe for concurrent use.
+type DescriptorSet struct {
+	Symbolic
+
+	mu     sync.Mutex
+	tables map[int]map[int]OpenObject // pid → fd → object
+}
+
+// initTables lazily allocates the table map.
+func (ds *DescriptorSet) initTables() {
+	if ds.tables == nil {
+		ds.tables = make(map[int]map[int]OpenObject)
+	}
+}
+
+// SetObject maps descriptor fd of process pid to an open object (which the
+// table takes no new reference on: the caller transfers its reference).
+func (ds *DescriptorSet) SetObject(pid, fd int, oo OpenObject) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.initTables()
+	t := ds.tables[pid]
+	if t == nil {
+		t = make(map[int]OpenObject)
+		ds.tables[pid] = t
+	}
+	t[fd] = oo
+}
+
+// Object returns the open object mapped at descriptor fd of process pid.
+func (ds *DescriptorSet) Object(pid, fd int) OpenObject {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.tables[pid][fd]
+}
+
+// takeObject removes and returns the mapping.
+func (ds *DescriptorSet) takeObject(pid, fd int) OpenObject {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	t := ds.tables[pid]
+	oo := t[fd]
+	delete(t, fd)
+	return oo
+}
+
+// RegisterDescriptorCalls registers interest in every system call that
+// names a descriptor, so the mirror stays coherent.
+func (ds *DescriptorSet) RegisterDescriptorCalls() {
+	for _, n := range DescriptorSyscalls {
+		ds.RegisterInterest(n)
+	}
+}
+
+// DescriptorSyscalls is the set of system calls taking descriptor
+// arguments that the descriptor layer must observe.
+var DescriptorSyscalls = []int{
+	sys.SYS_read, sys.SYS_write, sys.SYS_close, sys.SYS_lseek, sys.SYS_dup,
+	sys.SYS_dup2, sys.SYS_fcntl, sys.SYS_fstat, sys.SYS_ftruncate,
+	sys.SYS_flock, sys.SYS_ioctl, sys.SYS_fsync, sys.SYS_fchdir,
+	sys.SYS_getdirentries, sys.SYS_exit, sys.SYS_fork,
+}
+
+// InitChild runs in a freshly forked child: the child inherits the
+// parent's descriptor mappings, with a reference added for each.
+func (ds *DescriptorSet) InitChild(c sys.Ctx) {
+	type parented interface{ PPID() int }
+	pp, ok := c.(parented)
+	if !ok {
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.initTables()
+	parent := ds.tables[pp.PPID()]
+	if len(parent) == 0 {
+		return
+	}
+	child := make(map[int]OpenObject, len(parent))
+	for fd, oo := range parent {
+		oo.Ref()
+		child[fd] = oo
+	}
+	ds.tables[c.PID()] = child
+}
+
+// SysExit releases the exiting process's open objects while a call
+// context still exists — the exit-time flush of the process's implicit
+// closes. (A process killed by a signal never reaches here; its objects
+// are Forgotten by ProcExit, and any buffered agent state is lost, just
+// as user-space buffers are on a real system.)
+func (ds *DescriptorSet) SysExit(c sys.Ctx, status int) (sys.Retval, sys.Errno) {
+	ds.mu.Lock()
+	t := ds.tables[c.PID()]
+	delete(ds.tables, c.PID())
+	ds.mu.Unlock()
+	for _, oo := range t {
+		oo.Unref(c)
+	}
+	return ds.Symbolic.SysExit(c, status)
+}
+
+// ProcExit drops a dead process's mappings.
+func (ds *DescriptorSet) ProcExit(pid int) {
+	ds.mu.Lock()
+	t := ds.tables[pid]
+	delete(ds.tables, pid)
+	ds.mu.Unlock()
+	for _, oo := range t {
+		oo.Forget()
+	}
+}
+
+// SysRead routes read through a mapped object.
+func (ds *DescriptorSet) SysRead(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Read(c, fd, buf, cnt)
+	}
+	return ds.Symbolic.SysRead(c, fd, buf, cnt)
+}
+
+// SysWrite routes write through a mapped object.
+func (ds *DescriptorSet) SysWrite(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Write(c, fd, buf, cnt)
+	}
+	return ds.Symbolic.SysWrite(c, fd, buf, cnt)
+}
+
+// SysLseek routes lseek through a mapped object.
+func (ds *DescriptorSet) SysLseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Lseek(c, fd, off, whence)
+	}
+	return ds.Symbolic.SysLseek(c, fd, off, whence)
+}
+
+// SysFstat routes fstat through a mapped object.
+func (ds *DescriptorSet) SysFstat(c sys.Ctx, fd int, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Fstat(c, fd, statAddr)
+	}
+	return ds.Symbolic.SysFstat(c, fd, statAddr)
+}
+
+// SysFtruncate routes ftruncate through a mapped object.
+func (ds *DescriptorSet) SysFtruncate(c sys.Ctx, fd int, length int32) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Ftruncate(c, fd, length)
+	}
+	return ds.Symbolic.SysFtruncate(c, fd, length)
+}
+
+// SysFlock routes flock through a mapped object.
+func (ds *DescriptorSet) SysFlock(c sys.Ctx, fd, op int) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Flock(c, fd, op)
+	}
+	return ds.Symbolic.SysFlock(c, fd, op)
+}
+
+// SysIoctl routes ioctl through a mapped object.
+func (ds *DescriptorSet) SysIoctl(c sys.Ctx, fd int, req, arg sys.Word) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Ioctl(c, fd, req, arg)
+	}
+	return ds.Symbolic.SysIoctl(c, fd, req, arg)
+}
+
+// SysFsync routes fsync through a mapped object.
+func (ds *DescriptorSet) SysFsync(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Fsync(c, fd)
+	}
+	return ds.Symbolic.SysFsync(c, fd)
+}
+
+// SysFchdir routes fchdir through a mapped object.
+func (ds *DescriptorSet) SysFchdir(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Fchdir(c, fd)
+	}
+	return ds.Symbolic.SysFchdir(c, fd)
+}
+
+// SysGetdirentries routes getdirentries through a mapped object.
+func (ds *DescriptorSet) SysGetdirentries(c sys.Ctx, fd int, buf sys.Word, nbytes int, basep sys.Word) (sys.Retval, sys.Errno) {
+	if oo := ds.Object(c.PID(), fd); oo != nil {
+		return oo.Getdirentries(c, fd, buf, nbytes, basep)
+	}
+	return ds.Symbolic.SysGetdirentries(c, fd, buf, nbytes, basep)
+}
+
+// SysClose closes the underlying descriptor and releases any mapping.
+func (ds *DescriptorSet) SysClose(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	rv, err := ds.Symbolic.SysClose(c, fd)
+	if err == sys.OK {
+		if oo := ds.takeObject(c.PID(), fd); oo != nil {
+			oo.Unref(c)
+		}
+	}
+	return rv, err
+}
+
+// SysDup duplicates a descriptor, aliasing any mapped object.
+func (ds *DescriptorSet) SysDup(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	rv, err := ds.Symbolic.SysDup(c, fd)
+	if err == sys.OK {
+		if oo := ds.Object(c.PID(), fd); oo != nil {
+			oo.Ref()
+			ds.SetObject(c.PID(), int(rv[0]), oo)
+		}
+	}
+	return rv, err
+}
+
+// SysDup2 duplicates onto a specific descriptor, releasing any mapping at
+// the target and aliasing any mapping at the source.
+func (ds *DescriptorSet) SysDup2(c sys.Ctx, oldfd, newfd int) (sys.Retval, sys.Errno) {
+	if oldfd != newfd {
+		if victim := ds.takeObject(c.PID(), newfd); victim != nil {
+			victim.Unref(c)
+		}
+	}
+	rv, err := ds.Symbolic.SysDup2(c, oldfd, newfd)
+	if err == sys.OK && oldfd != newfd {
+		if oo := ds.Object(c.PID(), oldfd); oo != nil {
+			oo.Ref()
+			ds.SetObject(c.PID(), newfd, oo)
+		}
+	}
+	return rv, err
+}
+
+// SysFcntl tracks F_DUPFD aliases.
+func (ds *DescriptorSet) SysFcntl(c sys.Ctx, fd, cmd int, arg sys.Word) (sys.Retval, sys.Errno) {
+	rv, err := ds.Symbolic.SysFcntl(c, fd, cmd, arg)
+	if err == sys.OK && cmd == sys.F_DUPFD {
+		if oo := ds.Object(c.PID(), fd); oo != nil {
+			oo.Ref()
+			ds.SetObject(c.PID(), int(rv[0]), oo)
+		}
+	}
+	return rv, err
+}

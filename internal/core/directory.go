@@ -1,0 +1,137 @@
+package core
+
+import "interpose/internal/sys"
+
+// DirectoryHandler is the overridable iteration interface of a Directory
+// open object. The NextDirentry hook encapsulates the iteration of
+// individual directory entries implicit in reading a directory's contents;
+// supplying a new NextDirentry changes the directory's logical contents
+// (this is how the union agent merges member directories).
+type DirectoryHandler interface {
+	// NextDirentry produces the next logical entry through descriptor fd;
+	// ok is false at the end of the directory.
+	NextDirentry(c sys.Ctx, fd int) (d sys.Dirent, ok bool, err sys.Errno)
+	// Rewind restarts iteration from the beginning.
+	Rewind(c sys.Ctx, fd int) sys.Errno
+}
+
+// Directory is the toolkit open object for directories: a derived open
+// object whose getdirentries is synthesized from the NextDirentry hook.
+// The default iteration reads the underlying descriptor's entries, so a
+// plain Directory behaves exactly like the directory it wraps.
+type Directory struct {
+	BaseOpenObject
+	dself DirectoryHandler
+
+	pending []sys.Dirent // entries read ahead from below
+	emitted int          // logical offset (entries already returned)
+}
+
+// NewDirectory returns a Directory over the underlying descriptor fd.
+// The caller must BindDirectory the outermost object.
+func NewDirectory(fd int) *Directory {
+	d := &Directory{BaseOpenObject: BaseOpenObject{FD: fd, refs: 1}}
+	d.dself = d
+	return d
+}
+
+// BindDirectory wires the outermost directory object into the iteration
+// path.
+func (d *Directory) BindDirectory(self DirectoryHandler) { d.dself = self }
+
+// NextDirentry reads the next entry from the underlying descriptor,
+// buffering a block at a time.
+func (d *Directory) NextDirentry(c sys.Ctx, fd int) (sys.Dirent, bool, sys.Errno) {
+	if len(d.pending) == 0 {
+		const block = 4096
+		bufAddr, err := StageAlloc(c, block)
+		if err != sys.OK {
+			return sys.Dirent{}, false, err
+		}
+		rv, err := d.BaseOpenObject.Getdirentries(c, fd, bufAddr, block, 0)
+		if err != sys.OK {
+			return sys.Dirent{}, false, err
+		}
+		n := int(rv[0])
+		if n == 0 {
+			return sys.Dirent{}, false, sys.OK
+		}
+		raw := make([]byte, n)
+		if e := c.CopyIn(bufAddr, raw); e != sys.OK {
+			return sys.Dirent{}, false, e
+		}
+		d.pending = sys.DecodeDirents(raw)
+		if len(d.pending) == 0 {
+			return sys.Dirent{}, false, sys.OK
+		}
+	}
+	ent := d.pending[0]
+	d.pending = d.pending[1:]
+	return ent, true, sys.OK
+}
+
+// Rewind restarts the underlying directory.
+func (d *Directory) Rewind(c sys.Ctx, fd int) sys.Errno {
+	d.pending = nil
+	d.emitted = 0
+	_, err := d.BaseOpenObject.Lseek(c, fd, 0, sys.SEEK_SET)
+	return err
+}
+
+// Getdirentries synthesizes the getdirentries result from the (possibly
+// overridden) NextDirentry hook: it packs logical entries into the
+// caller's buffer until one no longer fits.
+func (d *Directory) Getdirentries(c sys.Ctx, fd int, buf sys.Word, nbytes int, basep sys.Word) (sys.Retval, sys.Errno) {
+	base := d.emitted
+	var out []byte
+	for {
+		if len(out)+sys.DirentRecLen("") > nbytes {
+			break
+		}
+		ent, ok, err := d.dself.NextDirentry(c, fd)
+		if err != sys.OK {
+			return sys.Retval{}, err
+		}
+		if !ok {
+			break
+		}
+		rl := sys.DirentRecLen(ent.Name)
+		if len(out)+rl > nbytes {
+			// Push back for the next call.
+			d.pending = append([]sys.Dirent{ent}, d.pending...)
+			break
+		}
+		out = sys.EncodeDirent(out, ent)
+		d.emitted++
+	}
+	if len(out) > 0 {
+		if e := c.CopyOut(buf, out); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	if basep != 0 {
+		b := [4]byte{byte(base), byte(base >> 8), byte(base >> 16), byte(base >> 24)}
+		if e := c.CopyOut(basep, b[:]); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	return sys.Retval{sys.Word(len(out))}, sys.OK
+}
+
+// Lseek supports rewinding the logical directory; other seeks on a
+// synthesized directory are refused.
+func (d *Directory) Lseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno) {
+	if off == 0 && whence == sys.SEEK_SET {
+		d.emitted = 0
+		if err := d.dself.Rewind(c, fd); err != sys.OK {
+			return sys.Retval{}, err
+		}
+		return sys.Retval{0}, sys.OK
+	}
+	return sys.Retval{}, sys.ESPIPE
+}
+
+var (
+	_ OpenObject       = (*Directory)(nil)
+	_ DirectoryHandler = (*Directory)(nil)
+)

@@ -1,0 +1,149 @@
+package core
+
+import "interpose/internal/sys"
+
+// Utility operations agents commonly perform through downcalls. Each
+// stages its arguments in the client's address space and drives the
+// next-lower instance of the system interface — the agent-side equivalent
+// of small C library routines.
+
+// DownStat stats a path below the agent, following symbolic links.
+func DownStat(c sys.Ctx, path string) (sys.Stat, sys.Errno) {
+	return downStatCall(c, sys.SYS_stat, path)
+}
+
+// DownLstat stats a path below the agent without following a final
+// symbolic link.
+func DownLstat(c sys.Ctx, path string) (sys.Stat, sys.Errno) {
+	return downStatCall(c, sys.SYS_lstat, path)
+}
+
+func downStatCall(c sys.Ctx, num int, path string) (sys.Stat, sys.Errno) {
+	addr, err := StageAlloc(c, sys.StatSize)
+	if err != sys.OK {
+		return sys.Stat{}, err
+	}
+	if _, err := DownPath(c, num, path, addr); err != sys.OK {
+		return sys.Stat{}, err
+	}
+	var b [sys.StatSize]byte
+	if e := c.CopyIn(addr, b[:]); e != sys.OK {
+		return sys.Stat{}, e
+	}
+	return sys.DecodeStat(b[:]), sys.OK
+}
+
+// DownReadFile reads the whole file at path below the agent.
+func DownReadFile(c sys.Ctx, path string) ([]byte, sys.Errno) {
+	return readFileDown(c, path)
+}
+
+// DownWriteFile creates (or truncates) path below the agent with data.
+func DownWriteFile(c sys.Ctx, path string, data []byte, mode uint32) sys.Errno {
+	rv, err := DownPath(c, sys.SYS_open, path, sys.O_WRONLY|sys.O_CREAT|sys.O_TRUNC, mode)
+	if err != sys.OK {
+		return err
+	}
+	fd := rv[0]
+	defer Down(c, sys.SYS_close, sys.Args{fd})
+	const chunk = 16 * 1024
+	for len(data) > 0 {
+		n := len(data)
+		if n > chunk {
+			n = chunk
+		}
+		mark := StageMark(c)
+		addr, err := StageBytes(c, data[:n])
+		if err != sys.OK {
+			return err
+		}
+		wrv, err := Down(c, sys.SYS_write, sys.Args{fd, addr, sys.Word(n)})
+		StageRelease(c, mark)
+		if err != sys.OK {
+			return err
+		}
+		data = data[wrv[0]:]
+	}
+	return sys.OK
+}
+
+// DownMkdirAll creates path and missing parents below the agent.
+func DownMkdirAll(c sys.Ctx, path string, mode uint32) sys.Errno {
+	if path == "" || path == "/" {
+		return sys.OK
+	}
+	// Find the longest existing prefix, then create forward.
+	var build string
+	for _, part := range splitSlash(path) {
+		build += "/" + part
+		_, err := DownPath(c, sys.SYS_mkdir, build, mode)
+		if err != sys.OK && err != sys.EEXIST {
+			return err
+		}
+	}
+	return sys.OK
+}
+
+func splitSlash(p string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			if i > start {
+				out = append(out, p[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// DownCopyFile copies a regular file below the agent, preserving its
+// permission bits.
+func DownCopyFile(c sys.Ctx, from, to string) sys.Errno {
+	st, err := DownStat(c, from)
+	if err != sys.OK {
+		return err
+	}
+	data, err := DownReadFile(c, from)
+	if err != sys.OK {
+		return err
+	}
+	return DownWriteFile(c, to, data, st.Mode&0o7777)
+}
+
+// DownReaddir lists the names in a directory below the agent, excluding
+// "." and "..".
+func DownReaddir(c sys.Ctx, path string) ([]string, sys.Errno) {
+	rv, err := DownPath(c, sys.SYS_open, path, sys.O_RDONLY)
+	if err != sys.OK {
+		return nil, err
+	}
+	fd := rv[0]
+	defer Down(c, sys.SYS_close, sys.Args{fd})
+	const block = 4096
+	bufAddr, err := StageAlloc(c, block)
+	if err != sys.OK {
+		return nil, err
+	}
+	var names []string
+	for {
+		rv, err := Down(c, sys.SYS_getdirentries, sys.Args{fd, bufAddr, block, 0})
+		if err != sys.OK {
+			return nil, err
+		}
+		n := int(rv[0])
+		if n == 0 {
+			return names, sys.OK
+		}
+		raw := make([]byte, n)
+		if e := c.CopyIn(bufAddr, raw); e != sys.OK {
+			return nil, e
+		}
+		for _, d := range sys.DecodeDirents(raw) {
+			if d.Name != "." && d.Name != ".." {
+				names = append(names, d.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"fmt"
+
+	"interpose/internal/agents/monitor"
+	"interpose/internal/apps"
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// ExampleRun runs an unmodified program under a monitoring agent: the
+// program's output is unchanged, while the agent observes every system
+// call it made.
+func ExampleRun() {
+	k, err := apps.NewWorld()
+	if err != nil {
+		panic(err)
+	}
+	agent := monitor.New(false)
+
+	status, out, err := core.Run(k, []core.Agent{agent},
+		"/bin/echo", []string{"echo", "observed"}, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("exit %d, output %q\n", sys.WExitStatus(status), out)
+	fmt.Printf("agent saw the write: %v\n", agent.Count(sys.SYS_write) > 0)
+	fmt.Printf("agent saw the exit:  %v\n", agent.Count(sys.SYS_exit) == 1)
+	// Output:
+	// exit 0, output "observed\n"
+	// agent saw the write: true
+	// agent saw the exit:  true
+}

@@ -1,0 +1,79 @@
+package core
+
+import "interpose/internal/sys"
+
+// Numeric is the numeric system call layer: the lowest toolkit layer used
+// directly by agents. It presents the system interface as a single entry
+// point accepting vectors of untyped numeric arguments, with per-number
+// interest registration.
+//
+// An agent embeds Numeric, registers the numbers it wants, and overrides
+// Syscall (the whole entry point). The default Syscall takes the default
+// action: it passes the call to the next-lower instance of the system
+// interface unchanged.
+type Numeric struct {
+	nums    [sys.MaxSyscall]bool
+	numsAll bool
+	sigs    uint32
+	sigsAll bool
+}
+
+// RegisterInterest registers interest in one system call number.
+func (n *Numeric) RegisterInterest(num int) {
+	if num >= 0 && num < sys.MaxSyscall {
+		n.nums[num] = true
+	}
+}
+
+// RegisterInterestRange registers interest in the numbers [low, high].
+func (n *Numeric) RegisterInterestRange(low, high int) {
+	for i := low; i <= high; i++ {
+		n.RegisterInterest(i)
+	}
+}
+
+// RegisterAll registers interest in every system call number.
+func (n *Numeric) RegisterAll() { n.numsAll = true }
+
+// RegisterSignal registers interest in one incoming signal.
+func (n *Numeric) RegisterSignal(sig int) {
+	if sig > 0 && sig < sys.NSIG {
+		n.sigs |= sys.SigMask(sig)
+	}
+}
+
+// RegisterAllSignals registers interest in every incoming signal.
+func (n *Numeric) RegisterAllSignals() { n.sigsAll = true }
+
+// InterestedSyscalls implements Agent.
+func (n *Numeric) InterestedSyscalls() ([]int, bool) {
+	if n.numsAll {
+		return nil, true
+	}
+	var out []int
+	for i, b := range n.nums {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out, false
+}
+
+// InterestedSignals implements Agent.
+func (n *Numeric) InterestedSignals() (uint32, bool) { return n.sigs, n.sigsAll }
+
+// Syscall implements sys.Handler with the default action: pass the call
+// down unchanged.
+func (n *Numeric) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	return Down(c, num, a)
+}
+
+// Signal implements sys.SignalInterposer with the default action: deliver
+// the signal unchanged.
+func (n *Numeric) Signal(c sys.Ctx, sig int, code int) int { return sig }
+
+// Interface checks.
+var (
+	_ Agent                = (*Numeric)(nil)
+	_ sys.SignalInterposer = (*Numeric)(nil)
+)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"interpose/internal/sys"
+)
+
+// OpenObject is the toolkit's reference-counted open object: the thing a
+// descriptor refers to. The descriptor layer routes the descriptor-taking
+// system calls of a mapped descriptor to its OpenObject's methods, whose
+// default implementations perform the operation on an underlying
+// descriptor of the next-lower system interface instance.
+//
+// The reference count tracks descriptor aliases (dup, dup2, F_DUPFD, and
+// fork inheritance), exactly as the kernel's own file table does.
+type OpenObject interface {
+	// Ref adds a descriptor reference.
+	Ref()
+	// Unref drops a reference on explicit close; the final drop releases
+	// underlying resources through downcalls on c.
+	Unref(c sys.Ctx)
+	// Forget drops a reference without a call context (the owning process
+	// died; the kernel already closed its underlying descriptors).
+	Forget()
+
+	// Each operation receives the descriptor number the call arrived on:
+	// dup, dup2 and fork create aliases, and the underlying open file is
+	// reached through whichever alias the client used.
+	Read(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno)
+	Write(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno)
+	Lseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno)
+	Fstat(c sys.Ctx, fd int, statAddr sys.Word) (sys.Retval, sys.Errno)
+	Ftruncate(c sys.Ctx, fd int, length int32) (sys.Retval, sys.Errno)
+	Flock(c sys.Ctx, fd int, op int) (sys.Retval, sys.Errno)
+	Ioctl(c sys.Ctx, fd int, req, arg sys.Word) (sys.Retval, sys.Errno)
+	Fsync(c sys.Ctx, fd int) (sys.Retval, sys.Errno)
+	Fchdir(c sys.Ctx, fd int) (sys.Retval, sys.Errno)
+	Getdirentries(c sys.Ctx, fd int, buf sys.Word, nbytes int, basep sys.Word) (sys.Retval, sys.Errno)
+}
+
+// BaseOpenObject implements OpenObject over an underlying descriptor: each
+// operation performs the same operation on the next-lower instance of the
+// system interface. Agent open objects embed it and override what they
+// change.
+type BaseOpenObject struct {
+	FD   int // the underlying descriptor number
+	refs int32
+
+	// OnRelease, if set, runs through the final Unref (with a context).
+	OnRelease func(c sys.Ctx)
+}
+
+// NewBaseOpenObject returns an open object over underlying descriptor fd,
+// with one reference held.
+func NewBaseOpenObject(fd int) *BaseOpenObject {
+	return &BaseOpenObject{FD: fd, refs: 1}
+}
+
+// Ref implements OpenObject.
+func (o *BaseOpenObject) Ref() { atomic.AddInt32(&o.refs, 1) }
+
+// Refs returns the current reference count (for tests and invariants).
+func (o *BaseOpenObject) Refs() int { return int(atomic.LoadInt32(&o.refs)) }
+
+// Unref implements OpenObject.
+func (o *BaseOpenObject) Unref(c sys.Ctx) {
+	if atomic.AddInt32(&o.refs, -1) == 0 && o.OnRelease != nil {
+		o.OnRelease(c)
+	}
+}
+
+// Forget implements OpenObject.
+func (o *BaseOpenObject) Forget() { atomic.AddInt32(&o.refs, -1) }
+
+// Read performs read on the arriving descriptor below.
+func (o *BaseOpenObject) Read(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_read, sys.Args{w(fd), buf, w(cnt)})
+}
+
+// Write performs write on the arriving descriptor below.
+func (o *BaseOpenObject) Write(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_write, sys.Args{w(fd), buf, w(cnt)})
+}
+
+// Lseek repositions the arriving descriptor below.
+func (o *BaseOpenObject) Lseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_lseek, sys.Args{w(fd), sys.Word(off), w(whence)})
+}
+
+// Fstat stats the arriving descriptor below.
+func (o *BaseOpenObject) Fstat(c sys.Ctx, fd int, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fstat, sys.Args{w(fd), statAddr})
+}
+
+// Ftruncate truncates through the arriving descriptor below.
+func (o *BaseOpenObject) Ftruncate(c sys.Ctx, fd int, length int32) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_ftruncate, sys.Args{w(fd), sys.Word(length)})
+}
+
+// Flock locks through the arriving descriptor below.
+func (o *BaseOpenObject) Flock(c sys.Ctx, fd int, op int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_flock, sys.Args{w(fd), w(op)})
+}
+
+// Ioctl controls the arriving descriptor's device below.
+func (o *BaseOpenObject) Ioctl(c sys.Ctx, fd int, req, arg sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_ioctl, sys.Args{w(fd), req, arg})
+}
+
+// Fsync syncs the arriving descriptor below.
+func (o *BaseOpenObject) Fsync(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fsync, sys.Args{w(fd)})
+}
+
+// Fchdir changes directory through the arriving descriptor below.
+func (o *BaseOpenObject) Fchdir(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_fchdir, sys.Args{w(fd)})
+}
+
+// Getdirentries reads directory records through the arriving descriptor.
+func (o *BaseOpenObject) Getdirentries(c sys.Ctx, fd int, buf sys.Word, nbytes int, basep sys.Word) (sys.Retval, sys.Errno) {
+	return Down(c, sys.SYS_getdirentries, sys.Args{w(fd), buf, w(nbytes), basep})
+}
+
+var _ OpenObject = (*BaseOpenObject)(nil)

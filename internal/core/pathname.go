@@ -1,0 +1,406 @@
+package core
+
+import "interpose/internal/sys"
+
+// PathOp tells GetPN which kind of operation is resolving the pathname,
+// so agents can treat lookups, creations and deletions differently.
+type PathOp int
+
+// Pathname resolution operations.
+const (
+	OpLookup PathOp = iota // read-only use of an existing object
+	OpOpen                 // open (possibly creating)
+	OpCreate               // creating a new name
+	OpDelete               // removing a name
+	OpExec                 // execve
+)
+
+// Pathname is the toolkit object representing a resolved pathname: the
+// operations the system interface can perform on an object referenced by
+// a pathname. The default implementation performs each operation on the
+// same pathname string at the next-lower instance of the system interface;
+// agent pathname objects change the pathname's interpretation.
+type Pathname interface {
+	// String returns the pathname to present to the layer below.
+	String() string
+
+	// Open opens the object; a non-nil OpenObject takes over the returned
+	// descriptor's operations at the descriptor layer.
+	Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, OpenObject, sys.Errno)
+
+	Stat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno)
+	Lstat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno)
+	Access(c sys.Ctx, mode int) (sys.Retval, sys.Errno)
+	Chmod(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno)
+	Chown(c sys.Ctx, uid, gid sys.Word) (sys.Retval, sys.Errno)
+	Utimes(c sys.Ctx, tvAddr sys.Word) (sys.Retval, sys.Errno)
+	Truncate(c sys.Ctx, length int32) (sys.Retval, sys.Errno)
+	Readlink(c sys.Ctx, buf sys.Word, n int) (sys.Retval, sys.Errno)
+	Chdir(c sys.Ctx) (sys.Retval, sys.Errno)
+	Chroot(c sys.Ctx) (sys.Retval, sys.Errno)
+	Unlink(c sys.Ctx) (sys.Retval, sys.Errno)
+	Rmdir(c sys.Ctx) (sys.Retval, sys.Errno)
+	Mkdir(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno)
+	Mknod(c sys.Ctx, mode uint32, dev sys.Word) (sys.Retval, sys.Errno)
+	Symlink(c sys.Ctx, target string) (sys.Retval, sys.Errno)
+	Link(c sys.Ctx, newpn Pathname) (sys.Retval, sys.Errno)
+	Rename(c sys.Ctx, to Pathname) (sys.Retval, sys.Errno)
+	Exec(c sys.Ctx, argvAddr, envpAddr sys.Word) (sys.Retval, sys.Errno)
+}
+
+// PathnameHandler extends the symbolic interface with the pathname
+// resolution hook. PathnameSet agents bind an object implementing it.
+type PathnameHandler interface {
+	SymbolicHandler
+	// GetPN resolves a pathname string to a Pathname object. Supplying a
+	// different GetPN changes the treatment of every pathname uniformly —
+	// the central point for name-space transformation and reference data
+	// collection.
+	GetPN(c sys.Ctx, path string, op PathOp) (Pathname, sys.Errno)
+}
+
+// PathnameSet is the toolkit layer presenting the system interface
+// organized around the pathname abstraction. Its default system call
+// methods resolve their pathname arguments through GetPN and invoke the
+// corresponding method on the resulting Pathname object.
+type PathnameSet struct {
+	DescriptorSet
+	pself PathnameHandler
+}
+
+// BindPathnames wires the outermost agent object into both the symbolic
+// dispatch path and the pathname resolution hook.
+func (ps *PathnameSet) BindPathnames(self PathnameHandler) {
+	ps.Bind(self)
+	ps.pself = self
+}
+
+// GetPN is the default resolution: the pathname means what it says.
+func (ps *PathnameSet) GetPN(c sys.Ctx, path string, op PathOp) (Pathname, sys.Errno) {
+	return &BasePathname{P: path}, sys.OK
+}
+
+// RegisterPathCalls registers interest in every system call taking a
+// pathname argument.
+func (ps *PathnameSet) RegisterPathCalls() {
+	for _, n := range PathSyscalls {
+		ps.RegisterInterest(n)
+	}
+}
+
+// PathSyscalls is the set of system calls with pathname arguments.
+var PathSyscalls = []int{
+	sys.SYS_open, sys.SYS_creat, sys.SYS_link, sys.SYS_unlink, sys.SYS_chdir,
+	sys.SYS_mknod, sys.SYS_chmod, sys.SYS_chown, sys.SYS_access,
+	sys.SYS_stat, sys.SYS_lstat, sys.SYS_symlink, sys.SYS_readlink,
+	sys.SYS_execve, sys.SYS_chroot, sys.SYS_rename, sys.SYS_truncate,
+	sys.SYS_mkdir, sys.SYS_rmdir, sys.SYS_utimes,
+}
+
+func (ps *PathnameSet) getpn(c sys.Ctx, path string, op PathOp) (Pathname, sys.Errno) {
+	if ps.pself != nil {
+		return ps.pself.GetPN(c, path, op)
+	}
+	return ps.GetPN(c, path, op)
+}
+
+// SysOpen resolves the pathname and opens the resulting object, recording
+// any agent open object in the descriptor mirror.
+func (ps *PathnameSet) SysOpen(c sys.Ctx, path string, flags int, mode uint32) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpOpen)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	rv, oo, err := pn.Open(c, flags, mode)
+	if err == sys.OK && oo != nil {
+		ps.SetObject(c.PID(), int(rv[0]), oo)
+	}
+	return rv, err
+}
+
+// SysCreat is open with create+truncate semantics, dispatched through the
+// (possibly overridden) SysOpen.
+func (ps *PathnameSet) SysCreat(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno) {
+	const flags = sys.O_WRONLY | sys.O_CREAT | sys.O_TRUNC
+	if ps.pself != nil {
+		return ps.pself.SysOpen(c, path, flags, mode)
+	}
+	return ps.SysOpen(c, path, flags, mode)
+}
+
+// SysStat resolves and stats.
+func (ps *PathnameSet) SysStat(c sys.Ctx, path string, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Stat(c, statAddr)
+}
+
+// SysLstat resolves and lstats.
+func (ps *PathnameSet) SysLstat(c sys.Ctx, path string, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Lstat(c, statAddr)
+}
+
+// SysAccess resolves and checks access.
+func (ps *PathnameSet) SysAccess(c sys.Ctx, path string, mode int) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Access(c, mode)
+}
+
+// SysChmod resolves and changes mode.
+func (ps *PathnameSet) SysChmod(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Chmod(c, mode)
+}
+
+// SysChown resolves and changes ownership.
+func (ps *PathnameSet) SysChown(c sys.Ctx, path string, uid, gid sys.Word) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Chown(c, uid, gid)
+}
+
+// SysUtimes resolves and sets times.
+func (ps *PathnameSet) SysUtimes(c sys.Ctx, path string, tvAddr sys.Word) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Utimes(c, tvAddr)
+}
+
+// SysTruncate resolves and truncates.
+func (ps *PathnameSet) SysTruncate(c sys.Ctx, path string, length int32) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Truncate(c, length)
+}
+
+// SysReadlink resolves and reads the link target.
+func (ps *PathnameSet) SysReadlink(c sys.Ctx, path string, buf sys.Word, n int) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Readlink(c, buf, n)
+}
+
+// SysChdir resolves and changes directory.
+func (ps *PathnameSet) SysChdir(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Chdir(c)
+}
+
+// SysChroot resolves and changes the root.
+func (ps *PathnameSet) SysChroot(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Chroot(c)
+}
+
+// SysUnlink resolves and unlinks.
+func (ps *PathnameSet) SysUnlink(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpDelete)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Unlink(c)
+}
+
+// SysRmdir resolves and removes the directory.
+func (ps *PathnameSet) SysRmdir(c sys.Ctx, path string) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpDelete)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Rmdir(c)
+}
+
+// SysMkdir resolves and creates the directory.
+func (ps *PathnameSet) SysMkdir(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpCreate)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Mkdir(c, mode)
+}
+
+// SysMknod resolves and creates the node.
+func (ps *PathnameSet) SysMknod(c sys.Ctx, path string, mode uint32, dev sys.Word) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpCreate)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Mknod(c, mode, dev)
+}
+
+// SysSymlink resolves the link pathname and creates the symbolic link.
+func (ps *PathnameSet) SysSymlink(c sys.Ctx, target, linkPath string) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, linkPath, OpCreate)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Symlink(c, target)
+}
+
+// SysLink resolves both pathnames and links.
+func (ps *PathnameSet) SysLink(c sys.Ctx, path, newPath string) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpLookup)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	newpn, err := ps.getpn(c, newPath, OpCreate)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Link(c, newpn)
+}
+
+// SysRename resolves both pathnames and renames.
+func (ps *PathnameSet) SysRename(c sys.Ctx, from, to string) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, from, OpDelete)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	topn, err := ps.getpn(c, to, OpCreate)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Rename(c, topn)
+}
+
+// SysExecve resolves the image pathname and executes it.
+func (ps *PathnameSet) SysExecve(c sys.Ctx, path string, argvAddr, envpAddr sys.Word) (sys.Retval, sys.Errno) {
+	pn, err := ps.getpn(c, path, OpExec)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	return pn.Exec(c, argvAddr, envpAddr)
+}
+
+// BasePathname is the default Pathname: every operation is performed on
+// the same pathname string at the next-lower system interface instance.
+type BasePathname struct {
+	P string
+}
+
+// String implements Pathname.
+func (b *BasePathname) String() string { return b.P }
+
+// Open opens the pathname below, with no agent open object.
+func (b *BasePathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, OpenObject, sys.Errno) {
+	rv, err := DownPath(c, sys.SYS_open, b.P, w(flags), mode)
+	return rv, nil, err
+}
+
+// Stat stats the pathname below.
+func (b *BasePathname) Stat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_stat, b.P, statAddr)
+}
+
+// Lstat lstats the pathname below.
+func (b *BasePathname) Lstat(c sys.Ctx, statAddr sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_lstat, b.P, statAddr)
+}
+
+// Access checks the pathname below.
+func (b *BasePathname) Access(c sys.Ctx, mode int) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_access, b.P, w(mode))
+}
+
+// Chmod changes mode below.
+func (b *BasePathname) Chmod(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chmod, b.P, mode)
+}
+
+// Chown changes ownership below.
+func (b *BasePathname) Chown(c sys.Ctx, uid, gid sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chown, b.P, uid, gid)
+}
+
+// Utimes sets times below.
+func (b *BasePathname) Utimes(c sys.Ctx, tvAddr sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_utimes, b.P, tvAddr)
+}
+
+// Truncate truncates below.
+func (b *BasePathname) Truncate(c sys.Ctx, length int32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_truncate, b.P, sys.Word(length))
+}
+
+// Readlink reads the link below.
+func (b *BasePathname) Readlink(c sys.Ctx, buf sys.Word, n int) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_readlink, b.P, buf, w(n))
+}
+
+// Chdir changes directory below.
+func (b *BasePathname) Chdir(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chdir, b.P)
+}
+
+// Chroot changes the root below.
+func (b *BasePathname) Chroot(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_chroot, b.P)
+}
+
+// Unlink unlinks below.
+func (b *BasePathname) Unlink(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_unlink, b.P)
+}
+
+// Rmdir removes the directory below.
+func (b *BasePathname) Rmdir(c sys.Ctx) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_rmdir, b.P)
+}
+
+// Mkdir creates the directory below.
+func (b *BasePathname) Mkdir(c sys.Ctx, mode uint32) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_mkdir, b.P, mode)
+}
+
+// Mknod creates the node below.
+func (b *BasePathname) Mknod(c sys.Ctx, mode uint32, dev sys.Word) (sys.Retval, sys.Errno) {
+	return DownPath(c, sys.SYS_mknod, b.P, mode, dev)
+}
+
+// Symlink creates the symbolic link below.
+func (b *BasePathname) Symlink(c sys.Ctx, target string) (sys.Retval, sys.Errno) {
+	return DownPath2(c, sys.SYS_symlink, target, b.P)
+}
+
+// Link links to newpn below.
+func (b *BasePathname) Link(c sys.Ctx, newpn Pathname) (sys.Retval, sys.Errno) {
+	return DownPath2(c, sys.SYS_link, b.P, newpn.String())
+}
+
+// Rename renames to the target pathname below.
+func (b *BasePathname) Rename(c sys.Ctx, to Pathname) (sys.Retval, sys.Errno) {
+	return DownPath2(c, sys.SYS_rename, b.P, to.String())
+}
+
+// Exec executes the pathname via the toolkit's execve reimplementation.
+func (b *BasePathname) Exec(c sys.Ctx, argvAddr, envpAddr sys.Word) (sys.Retval, sys.Errno) {
+	return ExecveFromPrimitives(c, b.P, argvAddr, envpAddr)
+}
+
+var _ Pathname = (*BasePathname)(nil)

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"testing"
+
+	"interpose/internal/core"
+	"interpose/internal/sys"
+)
+
+// The paper's §2.3 numeric-layer example: "one range of system call
+// numbers could be remapped to calls on a different range at this level."
+
+// rangeRemapper shifts an unused call-number range down onto the native
+// numbers, purely at the numeric layer.
+type rangeRemapper struct {
+	core.Numeric
+	delta int
+}
+
+func newRangeRemapper(low, high, delta int) *rangeRemapper {
+	a := &rangeRemapper{delta: delta}
+	a.RegisterInterestRange(low, high)
+	return a
+}
+
+func (a *rangeRemapper) Syscall(c sys.Ctx, num int, args sys.Args) (sys.Retval, sys.Errno) {
+	return core.Down(c, num-a.delta, args)
+}
+
+func TestNumericRangeRemap(t *testing.T) {
+	_, p := hostProc(t)
+	// Map calls 1000+n onto native call n... our MaxSyscall is small, so
+	// use the in-range hole 100..107 → 20..27 (getpid lives at 20).
+	core.Install(p, newRangeRemapper(100, 107, 80))
+
+	// The remapped number behaves as getpid.
+	rv, err := p.Syscall(100, sys.Args{})
+	if err != sys.OK || int(rv[0]) != p.PID() {
+		t.Fatalf("remapped getpid: %d %v", rv[0], err)
+	}
+	// Native numbers still work.
+	rv, err = p.Syscall(sys.SYS_getpid, sys.Args{})
+	if err != sys.OK || int(rv[0]) != p.PID() {
+		t.Fatalf("native getpid: %d %v", rv[0], err)
+	}
+	// Unassigned numbers outside the registered range stay unknown.
+	if _, err := p.Syscall(150, sys.Args{}); err != sys.ENOSYS {
+		t.Fatalf("unregistered number: %v", err)
+	}
+}
+
+func TestInterestRangeBounds(t *testing.T) {
+	a := &rangeRemapper{}
+	a.RegisterInterestRange(-5, 3)
+	nums, all := a.InterestedSyscalls()
+	if all {
+		t.Fatal("range registration set blanket interest")
+	}
+	if len(nums) != 4 || nums[0] != 0 || nums[3] != 3 {
+		t.Fatalf("nums = %v", nums)
+	}
+}

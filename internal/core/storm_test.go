@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"testing"
+
+	"interpose/internal/agents/nullagent"
+	"interpose/internal/agents/trace"
+	"interpose/internal/apps"
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+	"interpose/internal/mem"
+	"interpose/internal/sys"
+)
+
+// stormArgs builds plausible arguments for every implemented system call,
+// so a sweep through the whole interface exercises each symbolic-layer
+// decode and default. The caller provides addresses of a staged pathname,
+// a second staged pathname, and a scratch buffer in the process's address
+// space.
+func stormArgs(num int, path1, path2, buf sys.Word) (sys.Args, bool) {
+	switch num {
+	case sys.SYS_exit, sys.SYS_execve:
+		// Control transfers are exercised separately.
+		return sys.Args{}, false
+	case sys.SYS_open:
+		return sys.Args{path1, sys.O_RDONLY, 0}, true
+	case sys.SYS_creat:
+		return sys.Args{path2, 0o644}, true
+	case sys.SYS_link, sys.SYS_rename:
+		return sys.Args{path1, path2}, true
+	case sys.SYS_symlink:
+		return sys.Args{path1, path2}, true
+	case sys.SYS_unlink, sys.SYS_chdir, sys.SYS_rmdir, sys.SYS_chroot:
+		return sys.Args{path1}, true
+	case sys.SYS_mknod:
+		return sys.Args{path2, sys.S_IFCHR | 0o600, 0x0103}, true
+	case sys.SYS_chmod:
+		return sys.Args{path1, 0o644}, true
+	case sys.SYS_chown:
+		return sys.Args{path1, 0, 0}, true
+	case sys.SYS_access:
+		return sys.Args{path1, sys.R_OK}, true
+	case sys.SYS_stat, sys.SYS_lstat:
+		return sys.Args{path1, buf}, true
+	case sys.SYS_readlink:
+		return sys.Args{path1, buf, 64}, true
+	case sys.SYS_truncate:
+		return sys.Args{path1, 1}, true
+	case sys.SYS_mkdir:
+		return sys.Args{path2, 0o755}, true
+	case sys.SYS_utimes:
+		return sys.Args{path1, 0}, true
+	case sys.SYS_read, sys.SYS_write:
+		return sys.Args{0, buf, 0}, true
+	case sys.SYS_lseek:
+		return sys.Args{0, 0, sys.SEEK_CUR}, true
+	case sys.SYS_wait4:
+		return sys.Args{0xffffffff, 0, sys.WNOHANG, 0}, true
+	case sys.SYS_fstat:
+		return sys.Args{0, buf}, true
+	case sys.SYS_fcntl:
+		return sys.Args{0, sys.F_GETFD, 0}, true
+	case sys.SYS_ftruncate, sys.SYS_flock, sys.SYS_fsync, sys.SYS_fchdir,
+		sys.SYS_close, sys.SYS_dup:
+		return sys.Args{0, 0}, true
+	case sys.SYS_dup2:
+		return sys.Args{0, 9}, true
+	case sys.SYS_ioctl:
+		return sys.Args{0, sys.TIOCGWINSZ, buf}, true
+	case sys.SYS_kill:
+		return sys.Args{0xffffffff ^ 0, 0}, true // kill(-1, 0): probe
+	case sys.SYS_sigvec:
+		return sys.Args{sys.SIGUSR1, 0, buf}, true
+	case sys.SYS_sigblock, sys.SYS_sigsetmask:
+		return sys.Args{0}, true
+	case sys.SYS_sigpause:
+		// Would sleep forever; covered by the timer tests.
+		return sys.Args{}, false
+	case sys.SYS_gettimeofday:
+		return sys.Args{buf, 0}, true
+	case sys.SYS_settimeofday:
+		return sys.Args{0, 0}, true // EINVAL path
+	case sys.SYS_getrusage:
+		return sys.Args{sys.RUSAGE_SELF, buf}, true
+	case sys.SYS_getrlimit, sys.SYS_setrlimit:
+		return sys.Args{sys.RLIMIT_NOFILE, buf}, true
+	case sys.SYS_getdirentries:
+		return sys.Args{0, buf, 64, 0}, true
+	case sys.SYS_getgroups:
+		return sys.Args{0, 0}, true
+	case sys.SYS_setgroups:
+		return sys.Args{0, buf}, true
+	case sys.SYS_getpgrp:
+		return sys.Args{0}, true
+	case sys.SYS_setpgrp:
+		return sys.Args{0, 0}, true
+	case sys.SYS_gethostname:
+		return sys.Args{buf, 32}, true
+	case sys.SYS_sethostname:
+		return sys.Args{buf, 4}, true
+	case sys.SYS_setitimer, sys.SYS_getitimer:
+		return sys.Args{sys.ITIMER_REAL, buf, 0}, true
+	case sys.SYS_umask:
+		return sys.Args{0o022}, true
+	case sys.SYS_setuid:
+		return sys.Args{0}, true
+	case sys.SYS_brk:
+		return sys.Args{0}, true
+	default:
+		// Parameterless query calls and fork.
+		return sys.Args{}, true
+	}
+}
+
+// stormProc builds a process with staged pathnames and scratch space.
+func stormProc(t *testing.T, agents []core.Agent) (*kernel.Kernel, *kernel.Proc, sys.Word, sys.Word, sys.Word) {
+	t.Helper()
+	k, err := apps.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Console().FeedEOF() // reads of fd 0 must not block
+	p := k.NewProc()
+	if err := p.OpenConsole(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range agents {
+		core.Install(p, a)
+	}
+	if e := p.AS().SetBrk(mem.DataBase + sys.PageSize); e != sys.OK {
+		t.Fatal(e)
+	}
+	path1 := mem.DataBase
+	path2 := mem.DataBase + 256
+	buf := mem.DataBase + 512
+	p.CopyOut(path1, append([]byte("/etc/passwd"), 0))
+	p.CopyOut(path2, append([]byte("/tmp/storm-target"), 0))
+	return k, p, path1, path2, buf
+}
+
+// runStorm issues every implemented call once and checks nothing panics
+// and errors stay within the errno space.
+func runStorm(t *testing.T, agents []core.Agent) {
+	t.Helper()
+	k, p, path1, path2, buf := stormProc(t, agents)
+	for _, num := range sys.Syscalls() {
+		a, ok := stormArgs(num, path1, path2, buf)
+		if !ok {
+			continue
+		}
+		_, err := p.Syscall(num, a)
+		if err != sys.OK && err.Name() == "" {
+			t.Errorf("%s: weird errno %d", sys.SyscallName(num), err)
+		}
+	}
+	// And the execve default: a non-image file fails with ENOEXEC through
+	// the toolkit's reimplementation. (The sweep above may have unlinked
+	// the shared paths, so this uses its own file.)
+	if len(agents) > 0 {
+		if err := k.WriteFile("/tmp/not-an-image", []byte("garbage"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		imgPath := buf + 512
+		p.CopyOut(imgPath, append([]byte("/tmp/not-an-image"), 0))
+		if _, err := p.Syscall(sys.SYS_execve, sys.Args{imgPath, 0, 0}); err != sys.ENOEXEC {
+			t.Errorf("execve of non-image: %v, want ENOEXEC", err)
+		}
+	}
+}
+
+// TestEverySyscallThroughSymbolicDefaults sweeps the entire interface
+// through the null (pass-everything) symbolic agent: every decode and
+// every default action runs.
+func TestEverySyscallThroughSymbolicDefaults(t *testing.T) {
+	runStorm(t, []core.Agent{nullagent.New()})
+}
+
+// TestEverySyscallBare sweeps the interface with no agents, as a baseline
+// for the sweep itself.
+func TestEverySyscallBare(t *testing.T) {
+	runStorm(t, nil)
+}
+
+// TestEverySyscallTraced sweeps the interface under the trace agent: every
+// per-call trace method formats its arguments and results.
+func TestEverySyscallTraced(t *testing.T) {
+	runStorm(t, []core.Agent{trace.New()})
+}
+
+// TestEverySyscallStacked sweeps through a two-agent stack.
+func TestEverySyscallStacked(t *testing.T) {
+	runStorm(t, []core.Agent{nullagent.New(), trace.New()})
+}

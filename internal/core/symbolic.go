@@ -1,0 +1,366 @@
+package core
+
+import "interpose/internal/sys"
+
+// SymbolicHandler is the full symbolic system call interface: one typed
+// method per 4.3BSD system call, plus the incoming-signal upcall and the
+// catch-all for unknown numbers. The Symbolic layer decodes each
+// intercepted call and invokes the corresponding method on the outermost
+// agent object (the one passed to Bind).
+//
+// Pointer-valued arguments that the toolkit does not interpret (I/O
+// buffers, struct out-parameters) remain raw sys.Word addresses in the
+// client's address space; pathname arguments are decoded to strings.
+type SymbolicHandler interface {
+	SysExit(c sys.Ctx, status int) (sys.Retval, sys.Errno)
+	SysFork(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysRead(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno)
+	SysWrite(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, sys.Errno)
+	SysOpen(c sys.Ctx, path string, flags int, mode uint32) (sys.Retval, sys.Errno)
+	SysClose(c sys.Ctx, fd int) (sys.Retval, sys.Errno)
+	SysWait4(c sys.Ctx, pid int, statusAddr sys.Word, options int, ruAddr sys.Word) (sys.Retval, sys.Errno)
+	SysCreat(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno)
+	SysLink(c sys.Ctx, path, newPath string) (sys.Retval, sys.Errno)
+	SysUnlink(c sys.Ctx, path string) (sys.Retval, sys.Errno)
+	SysChdir(c sys.Ctx, path string) (sys.Retval, sys.Errno)
+	SysFchdir(c sys.Ctx, fd int) (sys.Retval, sys.Errno)
+	SysMknod(c sys.Ctx, path string, mode uint32, dev sys.Word) (sys.Retval, sys.Errno)
+	SysChmod(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno)
+	SysChown(c sys.Ctx, path string, uid, gid sys.Word) (sys.Retval, sys.Errno)
+	SysBrk(c sys.Ctx, addr sys.Word) (sys.Retval, sys.Errno)
+	SysLseek(c sys.Ctx, fd int, off int32, whence int) (sys.Retval, sys.Errno)
+	SysGetpid(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysSetuid(c sys.Ctx, uid sys.Word) (sys.Retval, sys.Errno)
+	SysGetuid(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysGeteuid(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysAccess(c sys.Ctx, path string, mode int) (sys.Retval, sys.Errno)
+	SysSync(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysKill(c sys.Ctx, pid, sig int) (sys.Retval, sys.Errno)
+	SysStat(c sys.Ctx, path string, statAddr sys.Word) (sys.Retval, sys.Errno)
+	SysGetppid(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysLstat(c sys.Ctx, path string, statAddr sys.Word) (sys.Retval, sys.Errno)
+	SysDup(c sys.Ctx, fd int) (sys.Retval, sys.Errno)
+	SysPipe(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysGetegid(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysGetgid(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysIoctl(c sys.Ctx, fd int, req, arg sys.Word) (sys.Retval, sys.Errno)
+	SysSymlink(c sys.Ctx, target, linkPath string) (sys.Retval, sys.Errno)
+	SysReadlink(c sys.Ctx, path string, buf sys.Word, n int) (sys.Retval, sys.Errno)
+	SysExecve(c sys.Ctx, path string, argvAddr, envpAddr sys.Word) (sys.Retval, sys.Errno)
+	SysUmask(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno)
+	SysChroot(c sys.Ctx, path string) (sys.Retval, sys.Errno)
+	SysFstat(c sys.Ctx, fd int, statAddr sys.Word) (sys.Retval, sys.Errno)
+	SysGetpagesize(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysGetgroups(c sys.Ctx, n int, addr sys.Word) (sys.Retval, sys.Errno)
+	SysSetgroups(c sys.Ctx, n int, addr sys.Word) (sys.Retval, sys.Errno)
+	SysGetpgrp(c sys.Ctx, pid int) (sys.Retval, sys.Errno)
+	SysSetpgrp(c sys.Ctx, pid, pgrp int) (sys.Retval, sys.Errno)
+	SysGethostname(c sys.Ctx, addr sys.Word, n int) (sys.Retval, sys.Errno)
+	SysSethostname(c sys.Ctx, addr sys.Word, n int) (sys.Retval, sys.Errno)
+	SysGetdtablesize(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysDup2(c sys.Ctx, oldfd, newfd int) (sys.Retval, sys.Errno)
+	SysFcntl(c sys.Ctx, fd, cmd int, arg sys.Word) (sys.Retval, sys.Errno)
+	SysFsync(c sys.Ctx, fd int) (sys.Retval, sys.Errno)
+	SysSigvec(c sys.Ctx, sig int, nsv, osv sys.Word) (sys.Retval, sys.Errno)
+	SysSigblock(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno)
+	SysSigsetmask(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno)
+	SysSigpause(c sys.Ctx, mask uint32) (sys.Retval, sys.Errno)
+	SysGettimeofday(c sys.Ctx, tv, tz sys.Word) (sys.Retval, sys.Errno)
+	SysGetrusage(c sys.Ctx, who, ru sys.Word) (sys.Retval, sys.Errno)
+	SysSettimeofday(c sys.Ctx, tv, tz sys.Word) (sys.Retval, sys.Errno)
+	SysRename(c sys.Ctx, from, to string) (sys.Retval, sys.Errno)
+	SysTruncate(c sys.Ctx, path string, length int32) (sys.Retval, sys.Errno)
+	SysFtruncate(c sys.Ctx, fd int, length int32) (sys.Retval, sys.Errno)
+	SysFlock(c sys.Ctx, fd, op int) (sys.Retval, sys.Errno)
+	SysMkdir(c sys.Ctx, path string, mode uint32) (sys.Retval, sys.Errno)
+	SysRmdir(c sys.Ctx, path string) (sys.Retval, sys.Errno)
+	SysUtimes(c sys.Ctx, path string, tvAddr sys.Word) (sys.Retval, sys.Errno)
+	SysSetsid(c sys.Ctx) (sys.Retval, sys.Errno)
+	SysGetrlimit(c sys.Ctx, res int, addr sys.Word) (sys.Retval, sys.Errno)
+	SysSetrlimit(c sys.Ctx, res int, addr sys.Word) (sys.Retval, sys.Errno)
+	SysGetdirentries(c sys.Ctx, fd int, buf sys.Word, nbytes int, basep sys.Word) (sys.Retval, sys.Errno)
+
+	// UnknownSyscall handles numbers outside the implemented interface.
+	UnknownSyscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno)
+
+	// SignalUp is the incoming-signal upcall: it returns the signal to
+	// deliver onward (0 to suppress).
+	SignalUp(c sys.Ctx, sig, code int) int
+}
+
+// Symbolic is the symbolic system call layer base. Agents embed it,
+// register the calls they want, Bind the outermost object, and override
+// the methods corresponding to the new functionality; everything else
+// inherits the default action.
+type Symbolic struct {
+	Numeric
+	self SymbolicHandler
+}
+
+// Bind wires the outermost agent object into the dispatch path. It must be
+// called before the agent is installed (typically in the constructor).
+func (s *Symbolic) Bind(self SymbolicHandler) { s.self = self }
+
+// Self returns the outermost agent object.
+func (s *Symbolic) Self() SymbolicHandler { return s.self }
+
+// readPath decodes a pathname argument.
+func readPath(c sys.Ctx, addr sys.Word) (string, sys.Errno) {
+	return c.CopyInString(addr, sys.PathMax-1)
+}
+
+// Syscall implements sys.Handler: it decodes the numeric call into an
+// invocation of the corresponding symbolic method on the bound agent.
+// (This mapping is the toolkit-supplied derived numeric_syscall object of
+// the paper.)
+func (s *Symbolic) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	h := s.self
+	if h == nil {
+		return Down(c, num, a)
+	}
+	// Pathname-argument decode, shared by the path-taking cases.
+	path := func(i int) (string, sys.Errno) { return readPath(c, a[i]) }
+
+	switch num {
+	case sys.SYS_exit:
+		return h.SysExit(c, int(a[0]))
+	case sys.SYS_fork:
+		return h.SysFork(c)
+	case sys.SYS_read:
+		return h.SysRead(c, int(a[0]), a[1], int(a[2]))
+	case sys.SYS_write:
+		return h.SysWrite(c, int(a[0]), a[1], int(a[2]))
+	case sys.SYS_open:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysOpen(c, p, int(a[1]), a[2])
+	case sys.SYS_close:
+		return h.SysClose(c, int(a[0]))
+	case sys.SYS_wait4:
+		return h.SysWait4(c, int(int32(a[0])), a[1], int(a[2]), a[3])
+	case sys.SYS_creat:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysCreat(c, p, a[1])
+	case sys.SYS_link:
+		p1, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		p2, e := path(1)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysLink(c, p1, p2)
+	case sys.SYS_unlink:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysUnlink(c, p)
+	case sys.SYS_chdir:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysChdir(c, p)
+	case sys.SYS_fchdir:
+		return h.SysFchdir(c, int(a[0]))
+	case sys.SYS_mknod:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysMknod(c, p, a[1], a[2])
+	case sys.SYS_chmod:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysChmod(c, p, a[1])
+	case sys.SYS_chown:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysChown(c, p, a[1], a[2])
+	case sys.SYS_brk:
+		return h.SysBrk(c, a[0])
+	case sys.SYS_lseek:
+		return h.SysLseek(c, int(a[0]), int32(a[1]), int(a[2]))
+	case sys.SYS_getpid:
+		return h.SysGetpid(c)
+	case sys.SYS_setuid:
+		return h.SysSetuid(c, a[0])
+	case sys.SYS_getuid:
+		return h.SysGetuid(c)
+	case sys.SYS_geteuid:
+		return h.SysGeteuid(c)
+	case sys.SYS_access:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysAccess(c, p, int(a[1]))
+	case sys.SYS_sync:
+		return h.SysSync(c)
+	case sys.SYS_kill:
+		return h.SysKill(c, int(int32(a[0])), int(a[1]))
+	case sys.SYS_stat:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysStat(c, p, a[1])
+	case sys.SYS_getppid:
+		return h.SysGetppid(c)
+	case sys.SYS_lstat:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysLstat(c, p, a[1])
+	case sys.SYS_dup:
+		return h.SysDup(c, int(a[0]))
+	case sys.SYS_pipe:
+		return h.SysPipe(c)
+	case sys.SYS_getegid:
+		return h.SysGetegid(c)
+	case sys.SYS_getgid:
+		return h.SysGetgid(c)
+	case sys.SYS_ioctl:
+		return h.SysIoctl(c, int(a[0]), a[1], a[2])
+	case sys.SYS_symlink:
+		p1, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		p2, e := path(1)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysSymlink(c, p1, p2)
+	case sys.SYS_readlink:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysReadlink(c, p, a[1], int(a[2]))
+	case sys.SYS_execve:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysExecve(c, p, a[1], a[2])
+	case sys.SYS_umask:
+		return h.SysUmask(c, a[0])
+	case sys.SYS_chroot:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysChroot(c, p)
+	case sys.SYS_fstat:
+		return h.SysFstat(c, int(a[0]), a[1])
+	case sys.SYS_getpagesize:
+		return h.SysGetpagesize(c)
+	case sys.SYS_getgroups:
+		return h.SysGetgroups(c, int(a[0]), a[1])
+	case sys.SYS_setgroups:
+		return h.SysSetgroups(c, int(a[0]), a[1])
+	case sys.SYS_getpgrp:
+		return h.SysGetpgrp(c, int(a[0]))
+	case sys.SYS_setpgrp:
+		return h.SysSetpgrp(c, int(a[0]), int(a[1]))
+	case sys.SYS_gethostname:
+		return h.SysGethostname(c, a[0], int(a[1]))
+	case sys.SYS_sethostname:
+		return h.SysSethostname(c, a[0], int(a[1]))
+	case sys.SYS_getdtablesize:
+		return h.SysGetdtablesize(c)
+	case sys.SYS_dup2:
+		return h.SysDup2(c, int(a[0]), int(a[1]))
+	case sys.SYS_fcntl:
+		return h.SysFcntl(c, int(a[0]), int(a[1]), a[2])
+	case sys.SYS_fsync:
+		return h.SysFsync(c, int(a[0]))
+	case sys.SYS_sigvec:
+		return h.SysSigvec(c, int(a[0]), a[1], a[2])
+	case sys.SYS_sigblock:
+		return h.SysSigblock(c, a[0])
+	case sys.SYS_sigsetmask:
+		return h.SysSigsetmask(c, a[0])
+	case sys.SYS_sigpause:
+		return h.SysSigpause(c, a[0])
+	case sys.SYS_gettimeofday:
+		return h.SysGettimeofday(c, a[0], a[1])
+	case sys.SYS_getrusage:
+		return h.SysGetrusage(c, a[0], a[1])
+	case sys.SYS_settimeofday:
+		return h.SysSettimeofday(c, a[0], a[1])
+	case sys.SYS_rename:
+		p1, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		p2, e := path(1)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysRename(c, p1, p2)
+	case sys.SYS_truncate:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysTruncate(c, p, int32(a[1]))
+	case sys.SYS_ftruncate:
+		return h.SysFtruncate(c, int(a[0]), int32(a[1]))
+	case sys.SYS_flock:
+		return h.SysFlock(c, int(a[0]), int(a[1]))
+	case sys.SYS_mkdir:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysMkdir(c, p, a[1])
+	case sys.SYS_rmdir:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysRmdir(c, p)
+	case sys.SYS_utimes:
+		p, e := path(0)
+		if e != sys.OK {
+			return sys.Retval{}, e
+		}
+		return h.SysUtimes(c, p, a[1])
+	case sys.SYS_setsid:
+		return h.SysSetsid(c)
+	case sys.SYS_getrlimit:
+		return h.SysGetrlimit(c, int(a[0]), a[1])
+	case sys.SYS_setrlimit:
+		return h.SysSetrlimit(c, int(a[0]), a[1])
+	case sys.SYS_getdirentries:
+		return h.SysGetdirentries(c, int(a[0]), a[1], int(a[2]), a[3])
+	}
+	return h.UnknownSyscall(c, num, a)
+}
+
+// Signal implements sys.SignalInterposer by dispatching to the bound
+// agent's SignalUp method. (The two names differ so that the default
+// SignalUp can be inherited without recursing through the dispatcher.)
+func (s *Symbolic) Signal(c sys.Ctx, sig, code int) int {
+	if s.self == nil {
+		return sig
+	}
+	return s.self.SignalUp(c, sig, code)
+}
+
+// SignalUp is the default incoming-signal action: deliver unchanged.
+func (s *Symbolic) SignalUp(c sys.Ctx, sig, code int) int { return sig }

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWorldBoots(t *testing.T) {
+	k, err := World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bench fixtures exist.
+	if _, err := k.ReadFile("/usr/lib/bench/data1k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ReadFile("/usr/lib/bench/three/four/five/six"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentStacks(t *testing.T) {
+	k := MustWorld()
+	for _, name := range append(MacroStacks, "null") {
+		agents, err := AgentStack(k, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "none" && agents != nil {
+			t.Fatal("none should be empty")
+		}
+		if name != "none" && len(agents) != 1 {
+			t.Fatalf("%s: %d agents", name, len(agents))
+		}
+	}
+	if _, err := AgentStack(k, "bogus"); err == nil {
+		t.Fatal("bogus stack accepted")
+	}
+}
+
+func TestScribeWorkloadRuns(t *testing.T) {
+	k := MustWorld()
+	manuscript, err := SetupScribe(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The manuscript has the advertised rough size.
+	data, err := k.ReadFile(manuscript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(data)
+	for i := 1; i <= 8; i++ {
+		ch, err := k.ReadFile("/doc/chapter0" + string(rune('0'+i)) + ".mss")
+		if err != nil {
+			t.Fatalf("chapter %d: %v", i, err)
+		}
+		total += len(ch)
+	}
+	if total < 60_000 || total > 400_000 {
+		t.Fatalf("manuscript size %d out of the ~100KB ballpark", total)
+	}
+	for _, stack := range MacroStacks {
+		agents, _ := AgentStack(k, stack)
+		if _, err := RunScribe(k, agents, manuscript); err != nil {
+			t.Fatalf("%s: %v", stack, err)
+		}
+	}
+}
+
+func TestMakeWorkloadRunsAndCleans(t *testing.T) {
+	k := MustWorld()
+	if err := SetupMake(k, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMake(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ReadFile("/src/prog1"); err != nil {
+		t.Fatal("build produced nothing")
+	}
+	if err := CleanMake(k, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ReadFile("/src/prog1"); err == nil {
+		t.Fatal("clean left outputs")
+	}
+	// And it rebuilds.
+	if _, err := RunMake(k, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBenchOps(t *testing.T) {
+	for _, op := range Table35Ops {
+		k := MustWorld()
+		if _, err := RunBench(k, nil, op.Op, 3); err != nil {
+			t.Fatalf("%s: %v", op.Op, err)
+		}
+	}
+}
+
+func TestTable31Shape(t *testing.T) {
+	rows, err := RunTable31()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Toolkit <= 0 || r.Specific <= 0 || r.Total != r.Toolkit+r.Specific {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestCountStatements(t *testing.T) {
+	n, err := CountStatements(SymbolicLevelFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 100 {
+		t.Fatalf("symbolic level suspiciously small: %d", n)
+	}
+	if _, err := CountStatements([]string{"/no/such/file.go"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestKernelTraceHookCount(t *testing.T) {
+	hooks, err := CountKernelTraceHooks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooks < 10 {
+		t.Fatalf("only %d kernel trace hooks found", hooks)
+	}
+}
+
+func TestTable34Measures(t *testing.T) {
+	tb := RunTable34()
+	if tb.InterceptReturn <= 0 {
+		t.Fatal("intercept cost not measured")
+	}
+	if tb.ProcedureCall <= 0 || tb.ProcedureCall > time.Millisecond {
+		t.Fatalf("procedure call time implausible: %v", tb.ProcedureCall)
+	}
+}
+
+func TestMeasureAdaptive(t *testing.T) {
+	d := Measure(func() {})
+	if d < 0 || d > time.Millisecond {
+		t.Fatalf("empty op measured as %v", d)
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	var b strings.Builder
+	PrintMacro(&b, "Title", []MacroRow{
+		{Agent: "none", Elapsed: time.Second},
+		{Agent: "trace", Elapsed: 2 * time.Second, Slowdown: 100},
+	})
+	PrintTable31(&b, []Table31Row{{Agent: "timex", Toolkit: 10, Specific: 1, Total: 11}})
+	PrintTable34(&b, Table34{})
+	PrintTable35(&b, []Table35Row{{Name: "getpid()"}})
+	PrintDFSTrace(&b, DFSTraceResult{Base: time.Second, Kernel: time.Second, Agent: 2 * time.Second}, 10, 20)
+	out := b.String()
+	for _, want := range []string{"Title", "100.0%", "Table 3-1", "Table 3-4", "Table 3-5", "DFSTrace", "timex", "getpid()"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		2 * time.Second:         "2.00s",
+		1500 * time.Microsecond: "1.50ms",
+		42 * time.Microsecond:   "42.00µs",
+		900 * time.Nanosecond:   "900ns",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

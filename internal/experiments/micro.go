@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"time"
+
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+)
+
+// Low-level measurements behind Table 3-4: the primitive costs that bound
+// every interposition agent's overhead.
+
+//go:noinline
+func plainCall(x int) int { return x + 1 }
+
+// caller is the interface used for the virtual-call measurement.
+type caller interface {
+	Call(x int) int
+}
+
+type callee struct{ v int }
+
+//go:noinline
+func (c *callee) Call(x int) int { return x + c.v }
+
+// Measure times one operation by running it in a calibrated loop.
+func Measure(op func()) time.Duration {
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			op()
+		}
+		elapsed := time.Since(start)
+		if elapsed > 20*time.Millisecond || n >= 1<<24 {
+			return elapsed / time.Duration(n)
+		}
+		n *= 4
+	}
+}
+
+// sink defeats dead-code elimination in the measurement loops.
+var sink int
+
+// PlainCall is the non-inlined procedure used by the call-cost benches.
+func PlainCall(x int) int { return plainCall(x) }
+
+// IfaceCaller returns an interface value whose Call dispatches
+// dynamically, for the virtual-call benches.
+func IfaceCaller() interface{ Call(int) int } { return &callee{v: 1} }
+
+// MeasureProcedureCall times a plain (non-inlined) procedure call — the
+// paper's "C procedure call with 1 arg, result".
+func MeasureProcedureCall() time.Duration {
+	return Measure(func() { sink = plainCall(sink) })
+}
+
+// MeasureInterfaceCall times a dynamic-dispatch method call — the paper's
+// "C++ virtual procedure call with 1 arg, result".
+func MeasureInterfaceCall() time.Duration {
+	var c caller = &callee{v: 1}
+	return Measure(func() { sink = c.Call(sink) })
+}
+
+// interceptOnly is an emulation layer that handles a call entirely at the
+// agent level, immediately returning. Dispatching to it and back is the
+// floor cost of interception — the paper's "intercept and return from
+// system call".
+type interceptOnly struct{}
+
+func (interceptOnly) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	return sys.Retval{a[0]}, sys.OK
+}
+
+// passThrough is an emulation layer that forwards every call downward; the
+// difference between a call through it and a direct call is the downcall
+// (htg_unix_syscall) overhead.
+type passThrough struct{}
+
+func (passThrough) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	type downer interface {
+		Down(num int, a sys.Args) (sys.Retval, sys.Errno)
+	}
+	return c.(downer).Down(num, a)
+}
+
+// measureProc makes a process for host-driven call measurements.
+func measureProc(k *kernel.Kernel) *kernel.Proc {
+	p := k.NewProc()
+	p.OpenConsole()
+	return p
+}
+
+// MeasureInterceptReturn times a system call that an agent layer handles
+// without calling down: interception machinery only.
+func MeasureInterceptReturn(k *kernel.Kernel) time.Duration {
+	p := measureProc(k)
+	layer := kernel.NewEmuLayer(interceptOnly{})
+	layer.Register(sys.SYS_getpagesize)
+	p.PushEmulation(layer)
+	return Measure(func() { p.Syscall(sys.SYS_getpagesize, sys.Args{}) })
+}
+
+// MeasureSyscallDirect times a trivial call with no agents installed.
+func MeasureSyscallDirect(k *kernel.Kernel) time.Duration {
+	p := measureProc(k)
+	return Measure(func() { p.Syscall(sys.SYS_getpid, sys.Args{}) })
+}
+
+// MeasureSyscallThroughLayer times the same trivial call through a
+// pass-through layer; the difference from MeasureSyscallDirect is the
+// downcall overhead.
+func MeasureSyscallThroughLayer(k *kernel.Kernel) time.Duration {
+	p := measureProc(k)
+	layer := kernel.NewEmuLayer(passThrough{})
+	layer.RegisterAll()
+	p.PushEmulation(layer)
+	return Measure(func() { p.Syscall(sys.SYS_getpid, sys.Args{}) })
+}
+
+// Table34 holds the low-level operation measurements.
+type Table34 struct {
+	ProcedureCall   time.Duration
+	InterfaceCall   time.Duration
+	InterceptReturn time.Duration
+	Downcall        time.Duration // overhead of one downcall hop
+}
+
+// RunTable34 performs the Table 3-4 measurements.
+func RunTable34() Table34 {
+	k := MustWorld()
+	direct := MeasureSyscallDirect(k)
+	through := MeasureSyscallThroughLayer(k)
+	down := through - direct
+	if down < 0 {
+		down = 0
+	}
+	return Table34{
+		ProcedureCall:   MeasureProcedureCall(),
+		InterfaceCall:   MeasureInterfaceCall(),
+		InterceptReturn: MeasureInterceptReturn(k),
+		Downcall:        down,
+	}
+}
+
+// Table35Ops lists the system call patterns of Table 3-5 with the
+// repetition counts used by the harness.
+var Table35Ops = []struct {
+	Name string
+	Op   string
+	N    int
+}{
+	{"getpid()", "getpid", 20000},
+	{"gettimeofday()", "gettimeofday", 20000},
+	{"fstat()", "fstat", 10000},
+	{"read() 1K of data", "read1k", 5000},
+	{"stat()", "stat", 5000},
+	{"fork(), wait(), _exit()", "fork", 400},
+	{"execve()", "execve", 400},
+}
+
+// Table35Row is one measured row: per-call cost without and with the
+// measurement (null) agent.
+type Table35Row struct {
+	Name          string
+	Without, With time.Duration
+	Overhead      time.Duration
+}
+
+// RunTable35 measures every row of Table 3-5.
+func RunTable35() ([]Table35Row, error) {
+	var rows []Table35Row
+	for _, op := range Table35Ops {
+		k := MustWorld()
+		bare, err := RunBench(k, nil, op.Op, op.N)
+		if err != nil {
+			return nil, err
+		}
+		agents, err := AgentStack(k, "null")
+		if err != nil {
+			return nil, err
+		}
+		with, err := RunBench(k, agents, op.Op, op.N)
+		if err != nil {
+			return nil, err
+		}
+		row := Table35Row{
+			Name:    op.Name,
+			Without: bare / time.Duration(op.N),
+			With:    with / time.Duration(op.N),
+		}
+		row.Overhead = row.With - row.Without
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

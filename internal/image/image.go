@@ -1,0 +1,252 @@
+// Package image defines the executable-image format of the simulated
+// machine and the registry mapping image names to program entry points.
+//
+// A program "binary" is a file in the simulated filesystem beginning with
+// the header line "#!interpose <name>\n"; <name> selects a registered Go
+// entry point. Because programs receive only the Proc interface (raw
+// system calls plus access to their own address space), the same image runs
+// unmodified under any stack of interposition agents — the transparency
+// property the paper calls "Unmodified Applications".
+package image
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"interpose/internal/sys"
+)
+
+// Proc is the machine-level view of a process given to a program entry
+// point (and, for its extra methods, to the interposition toolkit's
+// boilerplate layers). The kernel's process type implements it.
+type Proc interface {
+	sys.Ctx
+
+	// Syscall issues a system call from user mode: it enters the topmost
+	// instance of the system interface (the highest interposition agent
+	// layer, or the kernel if none is interested in num).
+	Syscall(num int, a sys.Args) (sys.Retval, sys.Errno)
+
+	// StageChild stages the entry point at which the child of an imminent
+	// fork system call begins execution — the simulated-machine equivalent
+	// of the child resuming at the parent's program counter.
+	StageChild(Entry)
+
+	// InitialSP returns the stack pointer established by the last exec;
+	// the process's argument vector is found through it.
+	InitialSP() sys.Word
+
+	// SetSignalDispatcher installs the user-mode upcall through which
+	// caught signals are delivered to application handler functions.
+	SetSignalDispatcher(func(sig int, handler sys.Word))
+
+	// Yield gives the system a chance to deliver pending signals, as a
+	// real machine would on a clock interrupt. Long computations without
+	// system calls should call it occasionally.
+	Yield()
+}
+
+// Entry is a program entry point: the "text segment" of an image.
+type Entry func(Proc)
+
+// Registry maps image names to entry points.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]Entry)}
+}
+
+// Register adds an image under name, replacing any previous registration.
+func (r *Registry) Register(name string, e Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[name] = e
+}
+
+// Lookup finds the entry point registered under name.
+func (r *Registry) Lookup(name string) (Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[name]
+	return e, ok
+}
+
+// Names returns all registered image names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Magic is the executable header prefix.
+const Magic = "#!interpose "
+
+// Header builds the image file contents for a registered image name.
+func Header(name string) []byte {
+	return []byte(Magic + name + "\n")
+}
+
+// ParseHeader extracts the image name from executable file contents.
+// ok is false if the contents are not an interpose image.
+func ParseHeader(data []byte) (name string, ok bool) {
+	if !bytes.HasPrefix(data, []byte(Magic)) {
+		return "", false
+	}
+	rest := data[len(Magic):]
+	i := bytes.IndexByte(rest, '\n')
+	if i < 0 {
+		i = len(rest)
+	}
+	name = string(bytes.TrimSpace(rest[:i]))
+	if name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// ParseInterpreter extracts a "#!/path interpreter" line (the historical
+// script mechanism) from executable file contents. It does not match
+// interpose image headers.
+func ParseInterpreter(data []byte) (interp string, arg string, ok bool) {
+	if bytes.HasPrefix(data, []byte(Magic)) || !bytes.HasPrefix(data, []byte("#!")) {
+		return "", "", false
+	}
+	rest := data[2:]
+	i := bytes.IndexByte(rest, '\n')
+	if i < 0 {
+		i = len(rest)
+	}
+	fields := bytes.Fields(rest[:i])
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	interp = string(fields[0])
+	if len(fields) > 1 {
+		arg = string(bytes.Join(fields[1:], []byte(" ")))
+	}
+	return interp, arg, true
+}
+
+// StackWriter is the subset of sys.Ctx needed to build an argument stack.
+type StackWriter interface {
+	CopyOut(addr sys.Word, p []byte) sys.Errno
+}
+
+// StackTop mirrors mem.StackTop without importing it (image must stay
+// beneath both kernel and libc in the dependency order).
+const StackTop sys.Word = 0x7fff_0000
+
+// SetupStack writes the exec-time argument stack into a fresh address
+// space: NUL-terminated argument and environment strings at the top,
+// pointer vectors and the argument count below them. It returns the
+// initial stack pointer, which addresses argc.
+//
+// Layout (addresses increasing):
+//
+//	sp:   argc
+//	      argv[0] ... argv[argc-1] NULL
+//	      envp[0] ... NULL
+//	      ... string bytes ...
+//	StackTop
+func SetupStack(w StackWriter, argv, envp []string) (sys.Word, sys.Errno) {
+	strBytes := 0
+	for _, s := range argv {
+		strBytes += len(s) + 1
+	}
+	for _, s := range envp {
+		strBytes += len(s) + 1
+	}
+	if strBytes > sys.ArgMax {
+		return 0, sys.E2BIG
+	}
+	strBase := (StackTop - sys.Word(strBytes)) &^ 3
+	nptr := 1 + len(argv) + 1 + len(envp) + 1
+	sp := strBase - sys.Word(4*nptr)
+
+	buf := make([]byte, 0, 4*nptr+strBytes+8)
+	put32 := func(v sys.Word) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	put32(sys.Word(len(argv)))
+	addr := strBase
+	addrs := make([]sys.Word, 0, len(argv)+len(envp))
+	for _, s := range append(append([]string{}, argv...), envp...) {
+		addrs = append(addrs, addr)
+		addr += sys.Word(len(s) + 1)
+	}
+	for i := range argv {
+		put32(addrs[i])
+	}
+	put32(0)
+	for i := range envp {
+		put32(addrs[len(argv)+i])
+	}
+	put32(0)
+	for _, s := range append(append([]string{}, argv...), envp...) {
+		buf = append(buf, s...)
+		buf = append(buf, 0)
+	}
+	if e := w.CopyOut(sp, buf); e != sys.OK {
+		return 0, e
+	}
+	return sp, sys.OK
+}
+
+// ReadStack decodes argc/argv/envp through an exec-time stack pointer,
+// the inverse of SetupStack. Used by the C library at program start.
+func ReadStack(c sys.Ctx, sp sys.Word) (argv, envp []string, err sys.Errno) {
+	word := func(a sys.Word) (sys.Word, sys.Errno) {
+		var b [4]byte
+		if e := c.CopyIn(a, b[:]); e != sys.OK {
+			return 0, e
+		}
+		return sys.Word(b[0]) | sys.Word(b[1])<<8 | sys.Word(b[2])<<16 | sys.Word(b[3])<<24, sys.OK
+	}
+	argc, e := word(sp)
+	if e != sys.OK {
+		return nil, nil, e
+	}
+	if argc > 4096 {
+		return nil, nil, sys.E2BIG
+	}
+	p := sp + 4
+	for i := 0; i < int(argc); i++ {
+		ptr, e := word(p)
+		if e != sys.OK {
+			return nil, nil, e
+		}
+		s, e := c.CopyInString(ptr, sys.ArgMax)
+		if e != sys.OK {
+			return nil, nil, e
+		}
+		argv = append(argv, s)
+		p += 4
+	}
+	p += 4 // argv NULL
+	for {
+		ptr, e := word(p)
+		if e != sys.OK {
+			return nil, nil, e
+		}
+		if ptr == 0 {
+			break
+		}
+		s, e := c.CopyInString(ptr, sys.ArgMax)
+		if e != sys.OK {
+			return nil, nil, e
+		}
+		envp = append(envp, s)
+		p += 4
+	}
+	return argv, envp, sys.OK
+}

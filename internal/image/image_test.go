@@ -1,0 +1,147 @@
+package image
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"interpose/internal/mem"
+	"interpose/internal/sys"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	name, ok := ParseHeader(Header("cat"))
+	if !ok || name != "cat" {
+		t.Fatalf("%v %q", ok, name)
+	}
+	// Body after the header does not confuse parsing.
+	name, ok = ParseHeader(append(Header("prog"), []byte("payload\nmore")...))
+	if !ok || name != "prog" {
+		t.Fatalf("%v %q", ok, name)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		[]byte("#!/bin/sh\n"),
+		[]byte("#!interpose \n"),
+		[]byte("random data"),
+	} {
+		if _, ok := ParseHeader(b); ok {
+			t.Fatalf("accepted %q", b)
+		}
+	}
+}
+
+func TestParseInterpreter(t *testing.T) {
+	interp, arg, ok := ParseInterpreter([]byte("#!/bin/sh -e\nbody\n"))
+	if !ok || interp != "/bin/sh" || arg != "-e" {
+		t.Fatalf("%v %q %q", ok, interp, arg)
+	}
+	// Interpose headers are not interpreters.
+	if _, _, ok := ParseInterpreter(Header("x")); ok {
+		t.Fatal("interpose header parsed as interpreter")
+	}
+	if _, _, ok := ParseInterpreter([]byte("#!\n")); ok {
+		t.Fatal("empty interpreter accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("b", func(Proc) {})
+	r.Register("a", func(Proc) {})
+	if _, ok := r.Lookup("a"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("phantom entry")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// asCtx adapts a bare address space to sys.Ctx for stack tests.
+type asCtx struct{ as *mem.AS }
+
+func (c asCtx) PID() int                               { return 1 }
+func (c asCtx) CopyIn(a sys.Word, p []byte) sys.Errno  { return c.as.CopyIn(a, p) }
+func (c asCtx) CopyOut(a sys.Word, p []byte) sys.Errno { return c.as.CopyOut(a, p) }
+func (c asCtx) CopyInString(a sys.Word, max int) (string, sys.Errno) {
+	return c.as.CopyInString(a, max)
+}
+
+func TestStackRoundTrip(t *testing.T) {
+	c := asCtx{as: mem.NewAS()}
+	argv := []string{"prog", "arg one", "arg-two", ""}
+	envp := []string{"PATH=/bin", "X=1"}
+	sp, err := SetupStack(c, argv, envp)
+	if err != sys.OK {
+		t.Fatal(err)
+	}
+	gotArgv, gotEnvp, err := ReadStack(c, sp)
+	if err != sys.OK {
+		t.Fatal(err)
+	}
+	if strings.Join(gotArgv, "|") != strings.Join(argv, "|") {
+		t.Fatalf("argv = %q", gotArgv)
+	}
+	if strings.Join(gotEnvp, "|") != strings.Join(envp, "|") {
+		t.Fatalf("envp = %q", gotEnvp)
+	}
+}
+
+func TestStackRoundTripProperty(t *testing.T) {
+	f := func(rawArgs, rawEnv []string) bool {
+		// NUL bytes cannot appear in C strings; strip them.
+		clean := func(in []string) []string {
+			out := make([]string, 0, len(in))
+			for _, s := range in {
+				if len(out) >= 32 {
+					break
+				}
+				s = strings.ReplaceAll(s, "\x00", "")
+				if len(s) > 200 {
+					s = s[:200]
+				}
+				out = append(out, s)
+			}
+			return out
+		}
+		argv, envp := clean(rawArgs), clean(rawEnv)
+		c := asCtx{as: mem.NewAS()}
+		sp, err := SetupStack(c, argv, envp)
+		if err != sys.OK {
+			return false
+		}
+		gotArgv, gotEnvp, err := ReadStack(c, sp)
+		if err != sys.OK || len(gotArgv) != len(argv) || len(gotEnvp) != len(envp) {
+			return false
+		}
+		for i := range argv {
+			if gotArgv[i] != argv[i] {
+				return false
+			}
+		}
+		for i := range envp {
+			if gotEnvp[i] != envp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackTooBig(t *testing.T) {
+	c := asCtx{as: mem.NewAS()}
+	huge := strings.Repeat("x", sys.ArgMax)
+	if _, err := SetupStack(c, []string{huge, huge}, nil); err != sys.E2BIG {
+		t.Fatalf("oversized args = %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+package kernel
+
+import "sync/atomic"
+
+func loadInt64(p *int64) int64            { return atomic.LoadInt64(p) }
+func storeInt64(p *int64, v int64)        { atomic.StoreInt64(p, v) }
+func addUint32Atomic(p *uint32, v uint32) { atomic.AddUint32(p, v) }
+func loadUint32(p *uint32) uint32         { return atomic.LoadUint32(p) }

@@ -1,0 +1,227 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"interpose/internal/image"
+	"interpose/internal/kernel"
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+func TestGetdirentriesTinyBuffer(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		fd, _ := lt.Open("/etc", sys.O_RDONLY, 0)
+		buf := lt.Malloc(4) // too small for even one record
+		_, err := lt.Syscall(sys.SYS_getdirentries, sys.Word(fd), buf, 4, 0)
+		lt.Printf("%s\n", err.Name())
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "EINVAL\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDirectoryRewind(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		fd, _ := lt.Open("/etc", sys.O_RDONLY, 0)
+		first, _ := lt.Getdirentries(fd)
+		rest, _ := lt.Getdirentries(fd)
+		for len(rest) > 0 { // drain
+			rest, _ = lt.Getdirentries(fd)
+		}
+		lt.Lseek(fd, 0, sys.SEEK_SET) // rewinddir
+		again, _ := lt.Getdirentries(fd)
+		lt.Printf("same=%v first=%s\n",
+			len(first) == len(again) && first[0].Name == again[0].Name, first[0].Name)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "same=true first=.\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestFcntlDupfdMinimum(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		fd, _ := lt.Open("/etc/passwd", sys.O_RDONLY, 0)
+		nfd, err := lt.Fcntl(fd, sys.F_DUPFD, 20)
+		lt.Printf("%d %v\n", nfd, err == sys.OK)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "20 true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestReadlinkTruncates(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Symlink("/a/very/long/target/path", "/tmp/l")
+		// libc's Readlink uses a full buffer; issue the raw call with a
+		// four-byte buffer to observe truncation.
+		pathAddr := lt.CString("/tmp/l")
+		buf := lt.Malloc(8)
+		rv, err := lt.Syscall(sys.SYS_readlink, pathAddr, buf, 4)
+		if err != sys.OK {
+			return 1
+		}
+		b := make([]byte, rv[0])
+		lt.Proc().CopyIn(buf, b)
+		lt.Printf("%d %q\n", rv[0], b)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "4 \"/a/v\"\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestUmaskReturnsPrevious(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		old := lt.Umask(0o027)
+		second := lt.Umask(0o077)
+		lt.Printf("%o %o\n", old, second)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "22 27\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestGroupsRoundTrip(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		// setgroups (root) then getgroups.
+		want := []uint32{5, 10, 20}
+		buf := lt.Malloc(12)
+		var b []byte
+		for _, g := range want {
+			b = append(b, byte(g), byte(g>>8), byte(g>>16), byte(g>>24))
+		}
+		lt.Proc().CopyOut(buf, b)
+		if _, err := lt.Syscall(sys.SYS_setgroups, 3, buf); err != sys.OK {
+			return 1
+		}
+		out := lt.Malloc(64)
+		rv, err := lt.Syscall(sys.SYS_getgroups, 16, out)
+		if err != sys.OK || rv[0] != 3 {
+			return 2
+		}
+		got := make([]byte, 12)
+		lt.Proc().CopyIn(out, got)
+		lt.Printf("%d %d %d\n", got[0], got[4], got[8])
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "5 10 20\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestSethostnameRootOnly(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		name := lt.CString("renamed.host")
+		if _, err := lt.Syscall(sys.SYS_sethostname, name, 12); err != sys.OK {
+			return 1
+		}
+		h, _ := lt.Gethostname()
+		lt.Printf("%s\n", h)
+		// Drop privileges; renaming now fails.
+		lt.Syscall(sys.SYS_setuid, 100)
+		_, err := lt.Syscall(sys.SYS_sethostname, name, 12)
+		lt.Printf("%s\n", err.Name())
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "renamed.host\nEPERM\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestHardLinkSharesData(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.WriteFile("/tmp/orig", []byte("v1"), 0o644)
+		lt.Link("/tmp/orig", "/tmp/alias")
+		lt.WriteFile("/tmp/alias", []byte("v2-through-alias"), 0o644)
+		data, _ := lt.ReadFile("/tmp/orig")
+		st1, _ := lt.Stat("/tmp/orig")
+		st2, _ := lt.Stat("/tmp/alias")
+		lt.Printf("%s %v %d\n", data, st1.Ino == st2.Ino, st1.Nlink)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "v2-through-alias true 2\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestSymlinkDanglingAndRelative(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.MkdirAll("/d/sub", 0o755)
+		lt.WriteFile("/d/sub/target", []byte("found"), 0o644)
+		lt.Symlink("sub/target", "/d/rel") // relative to the link's dir
+		data, err := lt.ReadFile("/d/rel")
+		lt.Printf("%s %v\n", data, err == sys.OK)
+		lt.Symlink("/nowhere", "/d/dangling")
+		_, err = lt.Open("/d/dangling", sys.O_RDONLY, 0)
+		lt.Printf("%s\n", err.Name())
+		// lstat still sees the link itself.
+		stt, err := lt.Lstat("/d/dangling")
+		lt.Printf("link=%v\n", err == sys.OK && stt.Mode&sys.S_IFMT == sys.S_IFLNK)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "found true\nENOENT\nlink=true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestWriteVisibleThroughIndependentOpen(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		fdw, _ := lt.Open("/tmp/shared", sys.O_WRONLY|sys.O_CREAT, 0o644)
+		fdr, _ := lt.Open("/tmp/shared", sys.O_RDONLY, 0)
+		lt.Write(fdw, []byte("live"))
+		b := make([]byte, 8)
+		n, _ := lt.Read(fdr, b)
+		lt.Printf("%s\n", b[:n])
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "live\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestStderrUnbufferedOnKill(t *testing.T) {
+	// Output written before a fatal signal survives (trace relies on it).
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Stderr.WriteString("before the end\n")
+		lt.Kill(lt.Getpid(), sys.SIGKILL)
+		return 0
+	})
+	if sys.WTermSig(st) != sys.SIGKILL {
+		t.Fatalf("status %#x", st)
+	}
+	if !strings.Contains(out, "before the end") {
+		t.Fatalf("stderr lost: %q", out)
+	}
+}
+
+func TestConsoleReadBlocksUntilFed(t *testing.T) {
+	// A reader blocked on the console tty wakes when input arrives later.
+	reg := image.NewRegistry()
+	reg.Register("main", libc.Main(func(lt *libc.T) int {
+		line, ok := lt.Stdin.ReadLine()
+		lt.Printf("got %v %q\n", ok, line)
+		return 0
+	}))
+	k := kernel.New(reg)
+	k.InstallProgram("/bin/main", "main")
+	p, err := k.Spawn("/bin/main", []string{"main"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed only once the reader is (very likely) blocked.
+	time.Sleep(10 * time.Millisecond)
+	k.Console().Feed("late input\n")
+	k.Console().FeedEOF()
+	st := k.WaitExit(p)
+	out := k.Console().TakeOutput()
+	if sys.WExitStatus(st) != 0 || out != "got true \"late input\"\n" {
+		t.Fatalf("%#x %q", st, out)
+	}
+}

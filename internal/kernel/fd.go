@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"interpose/internal/sys"
+	"interpose/internal/vfs"
+)
+
+// File is an open file description: shared (via dup and fork) state — the
+// seek offset, open flags, and the underlying object. Protected by the big
+// kernel lock.
+type File struct {
+	refs  int
+	ip    *vfs.Inode // nil for pipes
+	pipe  *Pipe
+	rdEnd bool // which end of a pipe this is
+	flags int  // O_ accmode | O_APPEND | O_NONBLOCK
+	off   int64
+
+	dirEOF bool // getdirentries saw the end (invalidated by lseek)
+
+	lockHeld int // sys.LOCK_SH or sys.LOCK_EX while holding an flock
+}
+
+// Inode returns the file's inode (nil for pipes).
+func (f *File) Inode() *vfs.Inode { return f.ip }
+
+// fdesc is one slot in a process's descriptor table.
+type fdesc struct {
+	file    *File
+	cloexec bool
+}
+
+// allocFD finds the lowest free descriptor slot at or above min.
+// Caller holds k.mu.
+func (p *Proc) allocFDLocked(min int) (int, sys.Errno) {
+	limit := int(p.rlimits[sys.RLIMIT_NOFILE].Cur)
+	if limit > len(p.fds) {
+		limit = len(p.fds)
+	}
+	for fd := min; fd < limit; fd++ {
+		if p.fds[fd].file == nil {
+			return fd, sys.OK
+		}
+	}
+	return 0, sys.EMFILE
+}
+
+// fileFor returns the open file at descriptor fd. Caller holds k.mu.
+func (p *Proc) fileLocked(fd int) (*File, sys.Errno) {
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd].file == nil {
+		return nil, sys.EBADF
+	}
+	return p.fds[fd].file, sys.OK
+}
+
+// installFD places a file in a specific slot. Caller holds k.mu.
+func (p *Proc) installFDLocked(fd int, f *File, cloexec bool) {
+	p.fds[fd] = fdesc{file: f, cloexec: cloexec}
+	f.refs++
+}
+
+// closeFD releases descriptor fd. Caller holds k.mu.
+func (p *Proc) closeFDLocked(fd int) sys.Errno {
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd].file == nil {
+		return sys.EBADF
+	}
+	f := p.fds[fd].file
+	p.fds[fd] = fdesc{}
+	p.k.releaseFileLocked(f)
+	return sys.OK
+}
+
+// releaseFileLocked drops one reference to an open file description,
+// tearing down pipe ends and advisory locks at zero.
+func (k *Kernel) releaseFileLocked(f *File) {
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	if f.pipe != nil {
+		f.pipe.closeEnd(f.rdEnd)
+		k.cond.Broadcast()
+	}
+	if f.lockHeld != 0 && f.ip != nil {
+		unflockLocked(f)
+		k.cond.Broadcast()
+	}
+}
+
+// unflockLocked releases an advisory lock held by f.
+func unflockLocked(f *File) {
+	switch f.lockHeld {
+	case sys.LOCK_EX:
+		f.ip.LockEx = false
+	case sys.LOCK_SH:
+		f.ip.LockShared--
+	}
+	f.lockHeld = 0
+}
+
+// Pipe is a classic 4.3BSD pipe: a bounded byte buffer with a reader end
+// and a writer end. Protected by the big kernel lock; sleeps use the
+// kernel condition variable.
+type Pipe struct {
+	buf     []byte
+	start   int
+	count   int
+	readers int
+	writers int
+}
+
+func newPipe() *Pipe {
+	return &Pipe{buf: make([]byte, sys.PipeBuf), readers: 1, writers: 1}
+}
+
+func (pp *Pipe) closeEnd(rdEnd bool) {
+	if rdEnd {
+		pp.readers--
+	} else {
+		pp.writers--
+	}
+}
+
+// read copies up to len(p) buffered bytes out. Caller holds k.mu.
+func (pp *Pipe) read(p []byte) int {
+	n := 0
+	for n < len(p) && pp.count > 0 {
+		c := copy(p[n:], pp.buf[pp.start:min(pp.start+pp.count, len(pp.buf))])
+		pp.start = (pp.start + c) % len(pp.buf)
+		pp.count -= c
+		n += c
+	}
+	return n
+}
+
+// write copies as much of p as fits. Caller holds k.mu.
+func (pp *Pipe) write(p []byte) int {
+	n := 0
+	for n < len(p) && pp.count < len(pp.buf) {
+		end := (pp.start + pp.count) % len(pp.buf)
+		space := len(pp.buf) - pp.count
+		chunk := len(pp.buf) - end
+		if chunk > space {
+			chunk = space
+		}
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		copy(pp.buf[end:end+chunk], p[n:n+chunk])
+		pp.count += chunk
+		n += chunk
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

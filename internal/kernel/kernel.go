@@ -1,0 +1,361 @@
+// Package kernel implements the simulated 4.3BSD kernel: the default,
+// lowest-level instance of the system interface. Processes are goroutines
+// with simulated 32-bit address spaces; the kernel provides files,
+// pathnames, descriptors, pipes, signals, process groups, and the rest of
+// the interface defined in package sys.
+//
+// The kernel also provides the interception mechanism on which the
+// interposition toolkit is built: a per-process stack of emulation layers
+// (the analog of Mach 2.5's task_set_emulation), consulted on every system
+// call entry, inherited across fork, and preserved across execve.
+//
+// Internally the kernel uses a single "big kernel lock" with one condition
+// variable for all interruptible sleeps — the concurrency structure of the
+// uniprocessor systems the paper ran on, and immune to lost wakeups.
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"interpose/internal/image"
+	"interpose/internal/sys"
+	"interpose/internal/vfs"
+)
+
+// Kernel is one simulated machine: a filesystem, a process table, a
+// console, and a clock.
+type Kernel struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	fs       *vfs.FS
+	images   *image.Registry
+	procs    map[int]*Proc
+	nextPID  int
+	hostname string
+
+	timeOffset time.Duration // settimeofday adjustment
+	bootTime   time.Time
+
+	console *Console
+	devices map[uint32]vfs.Device
+
+	// tracerVal, when holding a non-nil Tracer, receives kernel-level
+	// file-reference events — the "monolithic, compiled-into-the-kernel"
+	// implementation that the paper's §3.5.3 compares against the dfstrace
+	// agent.
+	tracerVal tracerValHolder
+}
+
+// New boots a kernel: an empty filesystem with the standard directory
+// tree and devices, and the given program image registry.
+func New(images *image.Registry) *Kernel {
+	k := &Kernel{
+		images:   images,
+		procs:    make(map[int]*Proc),
+		nextPID:  1,
+		hostname: "interpose.sim",
+		bootTime: time.Now(),
+		console:  newConsole(),
+		devices:  make(map[uint32]vfs.Device),
+	}
+	k.cond = sync.NewCond(&k.mu)
+	k.console.notify = k.cond.Broadcast
+	k.fs = vfs.New(k.Now)
+	k.makeTree()
+	return k
+}
+
+// Now returns the current simulated time of day (real time adjusted by
+// settimeofday).
+func (k *Kernel) Now() time.Time {
+	return time.Now().Add(time.Duration(atomicLoadOffset(&k.timeOffset)))
+}
+
+// The time offset is read on every timestamp; guard it without taking the
+// big lock by treating it as an atomic int64.
+func atomicLoadOffset(d *time.Duration) time.Duration { return time.Duration(loadInt64((*int64)(d))) }
+
+// FS returns the kernel's filesystem, for test setup and world building.
+func (k *Kernel) FS() *vfs.FS { return k.fs }
+
+// Images returns the kernel's program image registry.
+func (k *Kernel) Images() *image.Registry { return k.images }
+
+// Console returns the system console device buffers.
+func (k *Kernel) Console() *Console { return k.console }
+
+// SetTracer installs (or removes, with nil) the kernel-level file tracer.
+func (k *Kernel) SetTracer(t Tracer) {
+	k.tracerVal.Store(tracerBox{t: t})
+}
+
+// lookupDevice finds the driver registered for a device number.
+func (k *Kernel) lookupDevice(rdev uint32) vfs.Device {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.devices[rdev]
+}
+
+// rootCred is used for kernel-internal filesystem setup.
+var rootCred = vfs.Cred{UID: 0, GID: 0}
+
+// makeTree builds the standard directory tree and device nodes.
+func (k *Kernel) makeTree() {
+	root := k.fs.Root()
+	mk := func(parent *vfs.Inode, name string, mode uint32) *vfs.Inode {
+		ip, err := k.fs.Mkdir(parent, name, mode, rootCred)
+		if err != sys.OK {
+			panic("kernel: boot mkdir " + name + ": " + err.Error())
+		}
+		return ip
+	}
+	mk(root, "bin", 0o755)
+	dev := mk(root, "dev", 0o755)
+	etc := mk(root, "etc", 0o755)
+	mk(root, "home", 0o755)
+	tmp := mk(root, "tmp", 0o777)
+	_ = tmp
+	k.fs.Chmod(mustLookup(k.fs, "/tmp"), 0o1777, rootCred)
+	usr := mk(root, "usr", 0o755)
+	mk(usr, "bin", 0o755)
+	mk(usr, "lib", 0o755)
+	mk(usr, "tmp", 0o1777)
+
+	tty := &ttyDev{k: k}
+	k.devices[makeRdev(1, 3)] = nullDev{}
+	k.devices[makeRdev(1, 5)] = zeroDev{}
+	k.devices[makeRdev(2, 0)] = tty
+	k.devices[makeRdev(0, 0)] = tty
+	k.fs.MkDev(dev, "null", 0o666, makeRdev(1, 3), nullDev{}, rootCred)
+	k.fs.MkDev(dev, "zero", 0o666, makeRdev(1, 5), zeroDev{}, rootCred)
+	k.fs.MkDev(dev, "tty", 0o666, makeRdev(2, 0), tty, rootCred)
+	k.fs.MkDev(dev, "console", 0o666, makeRdev(0, 0), tty, rootCred)
+
+	passwd, err := k.fs.Create(etc, "passwd", 0o644, rootCred)
+	if err != sys.OK {
+		panic("kernel: boot create passwd")
+	}
+	passwd.WriteAt([]byte("root:*:0:0:Super User:/:/bin/sh\nuser:*:100:100:User:/home:/bin/sh\n"), 0, 0)
+
+	motd, _ := k.fs.Create(etc, "motd", 0o644, rootCred)
+	motd.WriteAt([]byte("4.3BSD (interpose.sim) — simulated system interface\n"), 0, 0)
+}
+
+func mustLookup(fs *vfs.FS, path string) *vfs.Inode {
+	ip, err := fs.Lookup(fs.Root(), path, rootCred, true)
+	if err != sys.OK {
+		panic("kernel: boot lookup " + path)
+	}
+	return ip
+}
+
+func makeRdev(major, minor uint32) uint32 { return major<<8 | minor }
+
+// InstallProgram writes an executable image file for the registered image
+// name at path (creating it 0755), e.g. InstallProgram("/bin/cat", "cat").
+func (k *Kernel) InstallProgram(path, name string) error {
+	if _, ok := k.images.Lookup(name); !ok {
+		return fmt.Errorf("kernel: no registered image %q", name)
+	}
+	return k.WriteFile(path, image.Header(name), 0o755)
+}
+
+// WriteFile creates (or truncates) a file at path with the given contents,
+// as the super-user. It is a world-building convenience, not a system call.
+func (k *Kernel) WriteFile(path string, data []byte, perm uint32) error {
+	dir, name, existing, err := k.fs.LookupParent(k.fs.Root(), path, rootCred)
+	if err != sys.OK {
+		return fmt.Errorf("kernel: writefile %s: %w", path, err)
+	}
+	ip := existing
+	if ip == nil {
+		ip, err = k.fs.Create(dir, name, perm, rootCred)
+		if err != sys.OK {
+			return fmt.Errorf("kernel: writefile %s: %w", path, err)
+		}
+	} else if e := ip.Truncate(0); e != sys.OK {
+		return fmt.Errorf("kernel: writefile %s: %w", path, e)
+	}
+	if _, e := ip.WriteAt(data, 0, 0); e != sys.OK {
+		return fmt.Errorf("kernel: writefile %s: %w", path, e)
+	}
+	return nil
+}
+
+// Remove unlinks the file at path as the super-user (world building and
+// test cleanup); missing files are not an error.
+func (k *Kernel) Remove(path string) error {
+	dir, name, existing, err := k.fs.LookupParent(k.fs.Root(), path, rootCred)
+	if err != sys.OK {
+		return fmt.Errorf("kernel: remove %s: %w", path, err)
+	}
+	if existing == nil {
+		return nil
+	}
+	if e := k.fs.Unlink(dir, name, rootCred); e != sys.OK {
+		return fmt.Errorf("kernel: remove %s: %w", path, e)
+	}
+	return nil
+}
+
+// ReadFile returns the contents of the file at path, as the super-user.
+func (k *Kernel) ReadFile(path string) ([]byte, error) {
+	ip, err := k.fs.Lookup(k.fs.Root(), path, rootCred, true)
+	if err != sys.OK {
+		return nil, fmt.Errorf("kernel: readfile %s: %w", path, err)
+	}
+	return ip.Bytes(), nil
+}
+
+// MkdirAll creates path and any missing parents, as the super-user.
+func (k *Kernel) MkdirAll(path string, perm uint32) error {
+	parts, _, _ := vfs.SplitPath(path)
+	cur := k.fs.Root()
+	for _, p := range parts {
+		next, err := k.fs.Lookup(cur, p, rootCred, true)
+		if err == sys.ENOENT {
+			next, err = k.fs.Mkdir(cur, p, perm, rootCred)
+		}
+		if err != sys.OK {
+			return fmt.Errorf("kernel: mkdirall %s: %w", path, err)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Console is the system console: a tty whose output is captured and whose
+// input can be fed programmatically.
+type Console struct {
+	mu     sync.Mutex
+	out    bytes.Buffer
+	in     bytes.Buffer
+	inEOF  bool
+	mirror io.Writer
+
+	// notify wakes sleeping readers when input arrives; wired to the
+	// kernel's condition variable at boot.
+	notify func()
+}
+
+func newConsole() *Console { return &Console{notify: func() {}} }
+
+// Output returns everything written to the console so far.
+func (c *Console) Output() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.out.String()
+}
+
+// TakeOutput returns and clears the captured console output.
+func (c *Console) TakeOutput() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.out.String()
+	c.out.Reset()
+	return s
+}
+
+// Mirror also copies future console output to w (nil to stop).
+func (c *Console) Mirror(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mirror = w
+}
+
+// Feed appends bytes to the console input queue, waking blocked readers.
+func (c *Console) Feed(s string) {
+	c.mu.Lock()
+	c.in.WriteString(s)
+	c.mu.Unlock()
+	c.notify()
+}
+
+// FeedEOF marks the console input as ended: readers at the end of the
+// queued input see end-of-file instead of blocking.
+func (c *Console) FeedEOF() {
+	c.mu.Lock()
+	c.inEOF = true
+	c.mu.Unlock()
+	c.notify()
+}
+
+func (c *Console) write(p []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out.Write(p)
+	if c.mirror != nil {
+		c.mirror.Write(p)
+	}
+	return len(p)
+}
+
+// read returns (0, false) when no input is queued and EOF has not been fed.
+func (c *Console) read(p []byte) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.in.Len() == 0 {
+		return 0, c.inEOF
+	}
+	n, _ := c.in.Read(p)
+	return n, true
+}
+
+// Character devices.
+
+type nullDev struct{}
+
+func (nullDev) Read(p []byte, off int64) (int, sys.Errno)  { return 0, sys.OK }
+func (nullDev) Write(p []byte, off int64) (int, sys.Errno) { return len(p), sys.OK }
+func (nullDev) Ioctl(req, arg sys.Word, c sys.Ctx) sys.Errno {
+	return sys.ENOTTY
+}
+
+type zeroDev struct{}
+
+func (zeroDev) Read(p []byte, off int64) (int, sys.Errno) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), sys.OK
+}
+func (zeroDev) Write(p []byte, off int64) (int, sys.Errno) { return len(p), sys.OK }
+func (zeroDev) Ioctl(req, arg sys.Word, c sys.Ctx) sys.Errno {
+	return sys.ENOTTY
+}
+
+// ttyDev is the console terminal. Reads with no queued input report
+// "would block" to the kernel's read path, which sleeps the caller.
+type ttyDev struct{ k *Kernel }
+
+func (t *ttyDev) Read(p []byte, off int64) (int, sys.Errno) {
+	n, ready := t.k.console.read(p)
+	if n == 0 && !ready {
+		return 0, sys.EAGAIN // kernel read path converts to a sleep
+	}
+	return n, sys.OK
+}
+
+func (t *ttyDev) Write(p []byte, off int64) (int, sys.Errno) {
+	return t.k.console.write(p), sys.OK
+}
+
+func (t *ttyDev) Ioctl(req, arg sys.Word, c sys.Ctx) sys.Errno {
+	switch req {
+	case sys.TIOCGWINSZ:
+		// struct winsize{ rows, cols, xpixel, ypixel uint16 }
+		b := []byte{24, 0, 80, 0, 0, 0, 0, 0}
+		return c.CopyOut(arg, b)
+	case sys.TIOCGPGRP:
+		b := []byte{0, 0, 0, 0}
+		return c.CopyOut(arg, b)
+	case sys.TIOCSPGRP:
+		return sys.OK
+	}
+	return sys.ENOTTY
+}

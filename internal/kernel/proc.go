@@ -1,0 +1,496 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"interpose/internal/image"
+	"interpose/internal/mem"
+	"interpose/internal/sys"
+	"interpose/internal/vfs"
+)
+
+// procState is a process's lifecycle state.
+type procState int
+
+const (
+	procRunning procState = iota
+	procStopped
+	procZombie
+	procDead // reaped
+)
+
+// Proc is one simulated process. All fields are protected by the kernel's
+// big lock except where noted. Proc implements sys.Ctx and image.Proc.
+type Proc struct {
+	k    *Kernel
+	pid  int
+	ppid int
+	pgrp int
+
+	as   *mem.AS // has its own internal lock
+	cwd  *vfs.Inode
+	root *vfs.Inode
+
+	fds    []fdesc
+	uid    uint32
+	euid   uint32
+	gid    uint32
+	egid   uint32
+	groups []uint32
+	umask  uint32
+
+	rlimits [sys.RLIM_NLIMITS]sys.Rlimit
+
+	// Signal state.
+	sigMask     uint32
+	sigPending  uint32
+	sigHandlers [sys.NSIG]sys.Sigvec
+	sigDispatch func(sig int, handler sys.Word) // user-mode upcall, set by libc
+	pauseMask   *uint32                         // sigpause restore mask
+
+	// Emulation (interposition) layers, bottom (index 0) to top, and the
+	// preboxed per-layer call contexts (allocated once at install so the
+	// dispatch path is allocation-free).
+	emu    []*EmuLayer
+	emuCtx []sys.Ctx
+
+	// Fork/exec plumbing.
+	stagedChild image.Entry
+	initialSP   sys.Word
+
+	state      procState
+	exitStatus sys.Word
+	children   map[int]*Proc
+
+	comm       string
+	startTime  time.Time
+	nsyscalls  uint32
+	childrenRu sys.Rusage // accumulated rusage of reaped children
+
+	pendingChildInit bool // fresh fork child: run layer InitChild hooks
+	execDepth        int  // interpreter recursion guard, reset per execve call
+
+	// itimer is the ITIMER_REAL state (not inherited by fork children).
+	itimer itimerState
+
+	// emuCursor is the bump allocator over the emulator segment, used by
+	// agent layers to stage downcall arguments. It resets at each
+	// top-level system call entry. Only the process's own goroutine
+	// touches it.
+	emuCursor sys.Word
+}
+
+// EmuLayer is one installed interposition layer: a handler, the set of
+// system call numbers it has registered interest in, and optionally a
+// signal interposer.
+type EmuLayer struct {
+	Handler sys.Handler
+	Signals sys.SignalInterposer
+
+	interest    [sys.MaxSyscall]bool
+	interestAll bool
+	sigInterest uint32
+	sigAll      bool
+}
+
+// NewEmuLayer wraps a handler as an emulation layer with no interests
+// registered yet.
+func NewEmuLayer(h sys.Handler) *EmuLayer { return &EmuLayer{Handler: h} }
+
+// Register adds interest in a system call number.
+func (l *EmuLayer) Register(num int) {
+	if num >= 0 && num < sys.MaxSyscall {
+		l.interest[num] = true
+	}
+}
+
+// RegisterRange adds interest in the numbers [low, high].
+func (l *EmuLayer) RegisterRange(low, high int) {
+	for n := low; n <= high; n++ {
+		l.Register(n)
+	}
+}
+
+// RegisterAll adds interest in every system call number.
+func (l *EmuLayer) RegisterAll() { l.interestAll = true }
+
+// RegisterSignal adds interest in a signal (for the upward path).
+func (l *EmuLayer) RegisterSignal(sig int) {
+	if sig > 0 && sig < sys.NSIG {
+		l.sigInterest |= sys.SigMask(sig)
+	}
+}
+
+// RegisterAllSignals adds interest in every signal.
+func (l *EmuLayer) RegisterAllSignals() { l.sigAll = true }
+
+// Wants reports whether the layer intercepts call number num.
+func (l *EmuLayer) Wants(num int) bool {
+	return l.interestAll || (num >= 0 && num < sys.MaxSyscall && l.interest[num])
+}
+
+// WantsSignal reports whether the layer interposes on signal sig.
+func (l *EmuLayer) WantsSignal(sig int) bool {
+	if l.Signals == nil {
+		return false
+	}
+	return l.sigAll || l.sigInterest&sys.SigMask(sig) != 0
+}
+
+// ChildIniter is implemented by emulation-layer handlers that need a hook
+// run in a newly forked child before it executes user code (the toolkit's
+// init_child).
+type ChildIniter interface {
+	InitChild(c sys.Ctx)
+}
+
+// ProcExiter is implemented by emulation-layer handlers that keep
+// per-process state (descriptor tables and the like); the kernel invokes
+// it when a client process terminates for any reason.
+type ProcExiter interface {
+	ProcExit(pid int)
+}
+
+// newProc allocates a process (caller holds k.mu).
+func (k *Kernel) newProcLocked(parent *Proc) *Proc {
+	pid := k.nextPID
+	k.nextPID++
+	p := &Proc{
+		k:         k,
+		pid:       pid,
+		pgrp:      pid,
+		as:        mem.NewAS(),
+		cwd:       k.fs.Root(),
+		root:      k.fs.Root(),
+		fds:       make([]fdesc, sys.OpenMax),
+		umask:     0o022,
+		children:  make(map[int]*Proc),
+		comm:      "",
+		startTime: time.Now(),
+	}
+	for i := range p.rlimits {
+		p.rlimits[i] = sys.Rlimit{Cur: sys.RLIM_INFINITY, Max: sys.RLIM_INFINITY}
+	}
+	p.rlimits[sys.RLIMIT_NOFILE] = sys.Rlimit{Cur: sys.OpenMax, Max: sys.OpenMax}
+	if parent != nil {
+		p.ppid = parent.pid
+		p.pgrp = parent.pgrp
+		parent.children[pid] = p
+	}
+	k.procs[pid] = p
+	return p
+}
+
+// PID returns the process id. (sys.Ctx)
+func (p *Proc) PID() int { return p.pid }
+
+// PPID returns the parent process id.
+func (p *Proc) PPID() int {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	return p.ppid
+}
+
+// Comm returns the program name set by the last exec.
+func (p *Proc) Comm() string {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	return p.comm
+}
+
+// CopyIn implements sys.Ctx against the process's address space.
+func (p *Proc) CopyIn(addr sys.Word, b []byte) sys.Errno { return p.as.CopyIn(addr, b) }
+
+// CopyOut implements sys.Ctx against the process's address space.
+func (p *Proc) CopyOut(addr sys.Word, b []byte) sys.Errno { return p.as.CopyOut(addr, b) }
+
+// CopyInString implements sys.Ctx against the process's address space.
+func (p *Proc) CopyInString(addr sys.Word, max int) (string, sys.Errno) {
+	return p.as.CopyInString(addr, max)
+}
+
+// AS exposes the process's address space to the kernel and loaders.
+func (p *Proc) AS() *mem.AS { return p.as }
+
+// KProc lets the kernel recover the *Proc under a sys.Ctx (which may be a
+// LayerCtx wrapper).
+func (p *Proc) KProc() *Proc { return p }
+
+// ctxProc extracts the *Proc behind any kernel-made sys.Ctx.
+func ctxProc(c sys.Ctx) *Proc {
+	type kp interface{ KProc() *Proc }
+	return c.(kp).KProc()
+}
+
+// StageChild implements image.Proc.
+func (p *Proc) StageChild(e image.Entry) {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	p.stagedChild = e
+}
+
+// InitialSP implements image.Proc.
+func (p *Proc) InitialSP() sys.Word {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	return p.initialSP
+}
+
+// SetComm records the program name, as exec does (a machine-level
+// operation used by toolkit execve reimplementations).
+func (p *Proc) SetComm(name string) {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	p.comm = name
+}
+
+// SetInitialSP records the stack pointer established by an exec. It is a
+// machine-level operation used by the kernel and by toolkit execve
+// reimplementations.
+func (p *Proc) SetInitialSP(sp sys.Word) {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	p.initialSP = sp
+}
+
+// SetSignalDispatcher implements image.Proc.
+func (p *Proc) SetSignalDispatcher(fn func(sig int, handler sys.Word)) {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	p.sigDispatch = fn
+}
+
+// ResetAS clears the process's address space (execve primitive).
+func (p *Proc) ResetAS() { p.as.Reset() }
+
+// LookupImage resolves a registered image name (execve primitive, used by
+// toolkit execve reimplementations).
+func (p *Proc) LookupImage(name string) (image.Entry, bool) {
+	return p.k.images.Lookup(name)
+}
+
+// Yield implements image.Proc: it delivers any pending signals, as a clock
+// interrupt would.
+func (p *Proc) Yield() { p.checkSignals() }
+
+// PushEmulation installs an interposition layer above any existing layers.
+// The layer sees the process's system calls (for registered numbers) before
+// lower layers and the kernel; it sees signals after them.
+func (p *Proc) PushEmulation(l *EmuLayer) {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	p.emu = append(p.emu, l)
+	p.emuCtx = append(p.emuCtx, LayerCtx{Proc: p, layer: len(p.emu) - 1})
+}
+
+// Emulation returns the installed layers, bottom first.
+func (p *Proc) Emulation() []*EmuLayer {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	out := make([]*EmuLayer, len(p.emu))
+	copy(out, p.emu)
+	return out
+}
+
+// LayerCtx is the per-call context handed to an emulation layer: the
+// calling process plus the layer's own position, so that Down can resume
+// dispatch below it (the htg_unix_syscall analog).
+type LayerCtx struct {
+	*Proc
+	layer int
+}
+
+// Down invokes the next-lower instance of the system interface: lower
+// interested layers, or the kernel. This is how an agent performs a system
+// call that would otherwise be intercepted by itself.
+func (lc LayerCtx) Down(num int, a sys.Args) (sys.Retval, sys.Errno) {
+	return lc.Proc.dispatch(lc.layer, num, a)
+}
+
+// DownSignal continues signal interposition above this layer, returning the
+// possibly-rewritten signal (0 if suppressed). Exposed for completeness;
+// the common path is simply returning the signal from the interposer.
+func (lc LayerCtx) DownSignal(sig, code int) int {
+	return lc.Proc.signalUpFrom(lc.layer+1, sig, code)
+}
+
+// Syscall implements image.Proc: a system call from user mode. It enters
+// the topmost interested instance of the system interface, then delivers
+// any pending signals before returning to user code.
+func (p *Proc) Syscall(num int, a sys.Args) (sys.Retval, sys.Errno) {
+	addUint32(&p.nsyscalls, 1)
+	p.emuCursor = 0 // agent scratch is per-call
+	rv, err := p.dispatch(len(p.emu), num, a)
+	p.checkSignals()
+	return rv, err
+}
+
+// EmuAlloc reserves n bytes of the process's emulator segment for staging
+// an agent downcall argument. The space is reclaimed automatically at the
+// next top-level system call entry.
+func (p *Proc) EmuAlloc(n int) (sys.Word, sys.Errno) {
+	need := sys.Word((n + 7) &^ 7)
+	if p.emuCursor+need > mem.EmuSize {
+		return 0, sys.ENOMEM
+	}
+	addr := mem.EmuBase + p.emuCursor
+	p.emuCursor += need
+	return addr, sys.OK
+}
+
+// EmuMark returns the current emulator-segment allocation cursor, for
+// bulk operations that stage and release in a loop within one call.
+func (p *Proc) EmuMark() sys.Word { return p.emuCursor }
+
+// EmuRelease rewinds the emulator-segment cursor to a prior mark.
+func (p *Proc) EmuRelease(mark sys.Word) {
+	if mark <= p.emuCursor {
+		p.emuCursor = mark
+	}
+}
+
+// EmuString stages s as a NUL-terminated string in the emulator segment.
+func (p *Proc) EmuString(s string) (sys.Word, sys.Errno) {
+	addr, err := p.EmuAlloc(len(s) + 1)
+	if err != sys.OK {
+		return 0, err
+	}
+	if e := p.as.CopyOut(addr, append([]byte(s), 0)); e != sys.OK {
+		return 0, e
+	}
+	return addr, sys.OK
+}
+
+// EmuBytes stages b in the emulator segment.
+func (p *Proc) EmuBytes(b []byte) (sys.Word, sys.Errno) {
+	addr, err := p.EmuAlloc(len(b))
+	if err != sys.OK {
+		return 0, err
+	}
+	if e := p.as.CopyOut(addr, b); e != sys.OK {
+		return 0, e
+	}
+	return addr, sys.OK
+}
+
+// dispatch runs the system call at the highest interested layer strictly
+// below index `below` (layers are indexed bottom=0). The kernel is below
+// layer 0. Uninterested layers are skipped entirely — interception is
+// pay-per-use.
+func (p *Proc) dispatch(below int, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	// Reading p.emu without the big lock is safe: layers are only pushed
+	// before the process runs user code or by the process itself.
+	for i := below - 1; i >= 0; i-- {
+		l := p.emu[i]
+		if l.Wants(num) {
+			return l.Handler.Syscall(p.emuCtx[i], num, a)
+		}
+	}
+	return p.k.Syscall(p, num, a)
+}
+
+// KernelSyscall invokes the kernel's implementation directly, bypassing
+// every emulation layer. It is the lowest-level htg_unix_syscall analog.
+func (p *Proc) KernelSyscall(num int, a sys.Args) (sys.Retval, sys.Errno) {
+	return p.k.Syscall(p, num, a)
+}
+
+// unwind values carried by panic to end or redirect a process goroutine.
+type exitUnwind struct{ status sys.Word }
+type execUnwind struct{ entry image.Entry }
+
+// Exec transfers control to a new program image in this process. It does
+// not return. (execve primitive: "transferring control into the loaded
+// image".)
+func (p *Proc) Exec(e image.Entry) {
+	panic(execUnwind{entry: e})
+}
+
+// ExitNow terminates the process from kernel context. It does not return.
+func (p *Proc) exitNow(status sys.Word) {
+	p.k.finishExit(p, status)
+	panic(exitUnwind{status: status})
+}
+
+// Start loads the image at path into the process and starts its goroutine.
+// It mirrors execve's loading steps but runs from outside the process.
+func (p *Proc) Start(path string, argv, envp []string) error {
+	entry, err := p.k.execLoad(p, path, argv, envp)
+	if err != sys.OK {
+		return fmt.Errorf("start %s: %w", path, err)
+	}
+	go p.run(entry)
+	return nil
+}
+
+// StartEntry starts the process at an arbitrary entry point without an
+// image file, for tests and embedded use.
+func (p *Proc) StartEntry(e image.Entry, argv, envp []string) error {
+	sp, errno := image.SetupStack(p, argv, envp)
+	if errno != sys.OK {
+		return fmt.Errorf("start entry: %w", errno)
+	}
+	p.SetInitialSP(sp)
+	go p.run(e)
+	return nil
+}
+
+// run is the process goroutine: it executes entry, handling the exec and
+// exit unwinds, and runs any emulation-layer child hooks first if this is
+// a fresh fork child.
+func (p *Proc) run(entry image.Entry) {
+	for {
+		next, status := p.runOnce(entry)
+		if next == nil {
+			_ = status
+			return
+		}
+		entry = next
+	}
+}
+
+// runOnce executes entry until it exits, execs, or returns.
+func (p *Proc) runOnce(entry image.Entry) (next image.Entry, status sys.Word) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case exitUnwind:
+			next, status = nil, r.status
+		case execUnwind:
+			next, status = r.entry, 0
+		default:
+			// A bug in a program or agent: report and kill the process the
+			// way a machine exception would.
+			p.k.console.write([]byte(fmt.Sprintf("panic in pid %d (%s): %v\n", p.pid, p.comm, r)))
+			p.k.finishExit(p, sys.WStatusSignal(sys.SIGSEGV))
+			next, status = nil, sys.WStatusSignal(sys.SIGSEGV)
+		}
+	}()
+	p.runChildInits()
+	entry(p)
+	// Entry returned without _exit: treat as exit(0), as crt0 would.
+	rv := sys.Args{0}
+	p.Syscall(sys.SYS_exit, rv)
+	return nil, 0
+}
+
+// runChildInits invokes InitChild hooks staged by fork.
+func (p *Proc) runChildInits() {
+	p.k.mu.Lock()
+	pending := p.pendingChildInit
+	p.pendingChildInit = false
+	layers := p.emu
+	p.k.mu.Unlock()
+	if !pending {
+		return
+	}
+	for i, l := range layers {
+		if ci, ok := l.Handler.(ChildIniter); ok {
+			ci.InitChild(LayerCtx{Proc: p, layer: i})
+		}
+	}
+}
+
+// addUint32 bumps a counter without the big lock.
+func addUint32(p *uint32, v uint32) { addUint32Atomic(p, v) }

@@ -1,0 +1,169 @@
+package kernel
+
+import "interpose/internal/sys"
+
+// unmaskable signals can be neither blocked, caught, nor ignored.
+const unmaskable = uint32(1<<(sys.SIGKILL-1)) | uint32(1<<(sys.SIGSTOP-1))
+
+// sigDefaultIgnore is the set of signals whose default action is to be
+// discarded.
+var sigDefaultIgnore = sigSet(sys.SIGCHLD, sys.SIGIO, sys.SIGURG, sys.SIGWINCH,
+	sys.SIGINFO, sys.SIGCONT)
+
+// sigDefaultStop is the set of signals whose default action stops the
+// process.
+var sigDefaultStop = sigSet(sys.SIGSTOP, sys.SIGTSTP, sys.SIGTTIN, sys.SIGTTOU)
+
+func sigSet(sigs ...int) uint32 {
+	var m uint32
+	for _, s := range sigs {
+		m |= sys.SigMask(s)
+	}
+	return m
+}
+
+// postSignal marks sig pending on p and wakes any interruptible sleep.
+// Caller holds k.mu.
+func (k *Kernel) postSignalLocked(p *Proc, sig int) {
+	if sig <= 0 || sig >= sys.NSIG || p.state == procZombie || p.state == procDead {
+		return
+	}
+	if sig == sys.SIGCONT {
+		// Continuing clears pending stops, and vice versa.
+		p.sigPending &^= sigDefaultStop
+		if p.state == procStopped {
+			p.state = procRunning
+		}
+	}
+	if sigDefaultStop&sys.SigMask(sig) != 0 {
+		p.sigPending &^= sys.SigMask(sys.SIGCONT)
+	}
+	// Discard at post time if the disposition is to ignore — explicitly,
+	// or by default action (4.3BSD behaviour; an ignored signal must not
+	// interrupt a sleep).
+	sv := p.sigHandlers[sig]
+	ignored := sv.Handler == sys.SIG_IGN ||
+		(sv.Handler == sys.SIG_DFL && sigDefaultIgnore&sys.SigMask(sig) != 0)
+	if ignored && sig != sys.SIGKILL && sig != sys.SIGSTOP {
+		return
+	}
+	p.sigPending |= sys.SigMask(sig)
+	k.cond.Broadcast()
+}
+
+// PostSignal delivers sig to p from outside the system interface (tests,
+// tooling). Normal code uses the kill system call.
+func (k *Kernel) PostSignal(p *Proc, sig int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.postSignalLocked(p, sig)
+}
+
+// deliverableLocked returns the pending, unmasked signal set.
+func (p *Proc) deliverableLocked() uint32 {
+	return p.sigPending &^ (p.sigMask &^ unmaskable)
+}
+
+// checkSignals delivers pending unmasked signals. It runs on the process's
+// own goroutine at system call exit (and from Yield), walking each signal
+// up through interested emulation layers to the application handler or
+// default action. It must be called without the big lock held.
+func (p *Proc) checkSignals() {
+	for {
+		p.k.mu.Lock()
+		if p.state == procStopped {
+			// Stopped: sleep until continued or killed.
+			for p.state == procStopped && p.sigPending&sys.SigMask(sys.SIGKILL) == 0 {
+				p.k.cond.Wait()
+			}
+		}
+		deliverable := p.deliverableLocked()
+		if deliverable == 0 {
+			if p.pauseMask != nil {
+				p.sigMask = *p.pauseMask
+				p.pauseMask = nil
+			}
+			p.k.mu.Unlock()
+			return
+		}
+		sig := 0
+		for s := 1; s < sys.NSIG; s++ {
+			if deliverable&sys.SigMask(s) != 0 {
+				sig = s
+				break
+			}
+		}
+		p.sigPending &^= sys.SigMask(sig)
+		dispatch := p.sigDispatch
+		p.k.mu.Unlock()
+
+		// Upward interposition path: kernel → layers (bottom first) → app.
+		// An interposer may rewrite the signal, so the application's
+		// disposition is looked up for the signal that actually arrives.
+		if s2 := p.signalUpFrom(0, sig, 0); s2 > 0 && s2 < sys.NSIG {
+			p.k.mu.Lock()
+			sv := p.sigHandlers[s2]
+			p.k.mu.Unlock()
+			p.deliverToUser(s2, sv, dispatch)
+		}
+	}
+}
+
+// signalUpFrom runs the signal through emulation layers starting at index
+// from (bottom=0), returning the possibly rewritten signal, 0 if consumed.
+func (p *Proc) signalUpFrom(from, sig, code int) int {
+	for i := from; i < len(p.emu) && sig != 0; i++ {
+		l := p.emu[i]
+		if l.WantsSignal(sig) {
+			sig = l.Signals.Signal(LayerCtx{Proc: p, layer: i}, sig, code)
+		}
+	}
+	return sig
+}
+
+// deliverToUser applies the handler or default action for sig.
+func (p *Proc) deliverToUser(sig int, sv sys.Sigvec, dispatch func(int, sys.Word)) {
+	switch {
+	case sig == sys.SIGKILL || (sv.Handler == sys.SIG_DFL && defaultTerminates(sig)):
+		p.exitNow(sys.WStatusSignal(sig))
+	case sv.Handler == sys.SIG_DFL && sigDefaultStop&sys.SigMask(sig) != 0:
+		p.k.mu.Lock()
+		p.state = procStopped
+		p.k.cond.Broadcast()
+		p.k.mu.Unlock()
+	case sv.Handler == sys.SIG_DFL || sv.Handler == sys.SIG_IGN:
+		// Default-ignore or explicitly ignored: nothing to do.
+	default:
+		if dispatch == nil {
+			// No user dispatcher installed: treat as default terminate.
+			p.exitNow(sys.WStatusSignal(sig))
+		}
+		// Block sig (and sv.Mask) during the handler, as sigvec promises.
+		p.k.mu.Lock()
+		old := p.sigMask
+		p.sigMask |= sys.SigMask(sig) | sv.Mask
+		p.k.mu.Unlock()
+		dispatch(sig, sv.Handler)
+		p.k.mu.Lock()
+		p.sigMask = old
+		p.k.mu.Unlock()
+	}
+}
+
+func defaultTerminates(sig int) bool {
+	return sigDefaultIgnore&sys.SigMask(sig) == 0 && sigDefaultStop&sys.SigMask(sig) == 0
+}
+
+// sleepLocked blocks the caller on the kernel condition variable until the
+// next broadcast, returning EINTR if p has deliverable signals before or
+// after the wait. Caller holds k.mu; the lock is held again on return.
+func (k *Kernel) sleepLocked(p *Proc) sys.Errno {
+	if p.deliverableLocked() != 0 {
+		return sys.EINTR
+	}
+	k.cond.Wait()
+	if p.deliverableLocked() != 0 {
+		return sys.EINTR
+	}
+	return sys.OK
+}

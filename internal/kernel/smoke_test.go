@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/image"
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// testWorld boots a kernel with a few programs registered.
+func testWorld(t *testing.T) *Kernel {
+	t.Helper()
+	reg := image.NewRegistry()
+	reg.Register("hello", libc.Main(func(t *libc.T) int {
+		t.Printf("hello %s\n", strings.Join(t.Args[1:], " "))
+		return 0
+	}))
+	reg.Register("exitcode", libc.Main(func(t *libc.T) int {
+		return 42
+	}))
+	reg.Register("forker", libc.Main(func(lt *libc.T) int {
+		pid, err := lt.Fork(func(ct *libc.T) {
+			ct.Printf("child %d of %d\n", ct.Getpid(), ct.Getppid())
+			ct.Exit(7)
+		})
+		if err != sys.OK {
+			lt.Errorf("fork: %v", err)
+			return 1
+		}
+		wpid, status, err := lt.Waitpid(pid)
+		if err != sys.OK || wpid != pid || sys.WExitStatus(status) != 7 {
+			lt.Errorf("wait: pid=%d status=%d err=%v", wpid, status, err)
+			return 1
+		}
+		lt.Printf("reaped %d\n", wpid)
+		return 0
+	}))
+	reg.Register("execer", libc.Main(func(lt *libc.T) int {
+		err := lt.Exec("/bin/hello", []string{"hello", "from", "exec"}, nil)
+		lt.Errorf("exec failed: %v", err)
+		return 1
+	}))
+	reg.Register("piper", libc.Main(func(lt *libc.T) int {
+		r, w, err := lt.Pipe()
+		if err != sys.OK {
+			return 1
+		}
+		pid, _ := lt.Fork(func(ct *libc.T) {
+			ct.Close(r)
+			ct.WriteString(w, "through the pipe")
+			ct.Exit(0)
+		})
+		lt.Close(w)
+		b := make([]byte, 64)
+		var got []byte
+		for {
+			n, err := lt.Read(r, b)
+			if err != sys.OK {
+				return 1
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, b[:n]...)
+		}
+		lt.Waitpid(pid)
+		lt.Printf("got: %s\n", got)
+		return 0
+	}))
+	k := New(reg)
+	for _, name := range []string{"hello", "exitcode", "forker", "execer", "piper"} {
+		if err := k.InstallProgram("/bin/"+name, name); err != nil {
+			t.Fatalf("install %s: %v", name, err)
+		}
+	}
+	return k
+}
+
+func runProg(t *testing.T, k *Kernel, path string, argv ...string) (sys.Word, string) {
+	t.Helper()
+	k.Console().TakeOutput()
+	p, err := k.Spawn(path, argv, []string{"PATH=/bin"})
+	if err != nil {
+		t.Fatalf("spawn %s: %v", path, err)
+	}
+	status := k.WaitExit(p)
+	return status, k.Console().TakeOutput()
+}
+
+func TestHelloWorld(t *testing.T) {
+	k := testWorld(t)
+	status, out := runProg(t, k, "/bin/hello", "hello", "world")
+	if !sys.WIfExited(status) || sys.WExitStatus(status) != 0 {
+		t.Fatalf("status = %#x", status)
+	}
+	if out != "hello world\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	k := testWorld(t)
+	status, _ := runProg(t, k, "/bin/exitcode")
+	if sys.WExitStatus(status) != 42 {
+		t.Fatalf("status = %#x", status)
+	}
+}
+
+func TestForkWait(t *testing.T) {
+	k := testWorld(t)
+	status, out := runProg(t, k, "/bin/forker")
+	if sys.WExitStatus(status) != 0 {
+		t.Fatalf("status = %#x, out=%q", status, out)
+	}
+	if !strings.Contains(out, "child") || !strings.Contains(out, "reaped") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestExec(t *testing.T) {
+	k := testWorld(t)
+	status, out := runProg(t, k, "/bin/execer")
+	if sys.WExitStatus(status) != 0 {
+		t.Fatalf("status = %#x out=%q", status, out)
+	}
+	if out != "hello from exec\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestPipe(t *testing.T) {
+	k := testWorld(t)
+	status, out := runProg(t, k, "/bin/piper")
+	if sys.WExitStatus(status) != 0 {
+		t.Fatalf("status = %#x out=%q", status, out)
+	}
+	if out != "got: through the pipe\n" {
+		t.Fatalf("output = %q", out)
+	}
+}

@@ -1,0 +1,290 @@
+package kernel
+
+import (
+	"time"
+
+	"interpose/internal/sys"
+)
+
+func (k *Kernel) sysGetpid(p *Proc) (sys.Retval, sys.Errno) {
+	return sys.Retval{sys.Word(p.pid)}, sys.OK
+}
+
+func (k *Kernel) sysGetppid(p *Proc) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return sys.Retval{sys.Word(p.ppid)}, sys.OK
+}
+
+func (k *Kernel) sysGetuid(p *Proc) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return sys.Retval{p.uid}, sys.OK
+}
+
+func (k *Kernel) sysGeteuid(p *Proc) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return sys.Retval{p.euid}, sys.OK
+}
+
+func (k *Kernel) sysGetgid(p *Proc) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return sys.Retval{p.gid}, sys.OK
+}
+
+func (k *Kernel) sysGetegid(p *Proc) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return sys.Retval{p.egid}, sys.OK
+}
+
+func (k *Kernel) sysSetuid(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	uid := a[0]
+	if p.euid != 0 && uid != p.uid {
+		return sys.Retval{}, sys.EPERM
+	}
+	p.uid, p.euid = uid, uid
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysGetgroups(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	groups := append([]uint32(nil), p.groups...)
+	k.mu.Unlock()
+	n := int(a[0])
+	if n == 0 {
+		return sys.Retval{sys.Word(len(groups))}, sys.OK
+	}
+	if n < len(groups) {
+		return sys.Retval{}, sys.EINVAL
+	}
+	buf := make([]byte, 4*len(groups))
+	for i, g := range groups {
+		buf[4*i] = byte(g)
+		buf[4*i+1] = byte(g >> 8)
+		buf[4*i+2] = byte(g >> 16)
+		buf[4*i+3] = byte(g >> 24)
+	}
+	if len(buf) > 0 {
+		if e := p.CopyOut(a[1], buf); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	return sys.Retval{sys.Word(len(groups))}, sys.OK
+}
+
+func (k *Kernel) sysSetgroups(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	if !p.cred().Root() {
+		return sys.Retval{}, sys.EPERM
+	}
+	n := int(a[0])
+	if n < 0 || n > sys.NGroups {
+		return sys.Retval{}, sys.EINVAL
+	}
+	buf := make([]byte, 4*n)
+	if n > 0 {
+		if e := p.CopyIn(a[1], buf); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	groups := make([]uint32, n)
+	for i := range groups {
+		groups[i] = uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 |
+			uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24
+	}
+	k.mu.Lock()
+	p.groups = groups
+	k.mu.Unlock()
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysGetpgrp(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	pid := int(a[0])
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	target := p
+	if pid != 0 {
+		t, ok := k.procs[pid]
+		if !ok {
+			return sys.Retval{}, sys.ESRCH
+		}
+		target = t
+	}
+	return sys.Retval{sys.Word(target.pgrp)}, sys.OK
+}
+
+func (k *Kernel) sysSetpgrp(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	pid, pgrp := int(a[0]), int(a[1])
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	target := p
+	if pid != 0 && pid != p.pid {
+		t, ok := k.procs[pid]
+		if !ok || (t.ppid != p.pid && t != p) {
+			return sys.Retval{}, sys.ESRCH
+		}
+		target = t
+	}
+	if pgrp < 0 {
+		return sys.Retval{}, sys.EINVAL
+	}
+	if pgrp == 0 {
+		pgrp = target.pid
+	}
+	target.pgrp = pgrp
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysSetsid(p *Proc) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p.pgrp = p.pid
+	return sys.Retval{sys.Word(p.pid)}, sys.OK
+}
+
+func (k *Kernel) sysUmask(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	old := p.umask
+	p.umask = a[0] & 0o777
+	return sys.Retval{old}, sys.OK
+}
+
+func (k *Kernel) sysBrk(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	if a[0] == 0 {
+		return sys.Retval{p.as.Brk()}, sys.OK
+	}
+	if e := p.as.SetBrk(a[0]); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysGethostname(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	name := k.hostname
+	k.mu.Unlock()
+	n := int(a[1])
+	if n <= 0 {
+		return sys.Retval{}, sys.EINVAL
+	}
+	b := append([]byte(name), 0)
+	if len(b) > n {
+		b = b[:n]
+		b[n-1] = 0
+	}
+	return sys.Retval{}, p.CopyOut(a[0], b)
+}
+
+func (k *Kernel) sysSethostname(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	if !p.cred().Root() {
+		return sys.Retval{}, sys.EPERM
+	}
+	if a[1] >= sys.HostnameMax {
+		return sys.Retval{}, sys.EINVAL
+	}
+	buf := make([]byte, a[1])
+	if e := p.CopyIn(a[0], buf); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	k.mu.Lock()
+	k.hostname = string(buf)
+	k.mu.Unlock()
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysGettimeofday(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	now := k.Now()
+	if a[0] != 0 {
+		var b [sys.TimevalSize]byte
+		sys.Timeval{Sec: uint32(now.Unix()), Usec: uint32(now.Nanosecond() / 1000)}.Encode(b[:])
+		if e := p.CopyOut(a[0], b[:]); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	if a[1] != 0 {
+		// struct timezone{ minuteswest, dsttime int32 }: report UTC.
+		if e := p.CopyOut(a[1], make([]byte, 8)); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysSettimeofday(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	if !p.cred().Root() {
+		return sys.Retval{}, sys.EPERM
+	}
+	if a[0] == 0 {
+		return sys.Retval{}, sys.EINVAL
+	}
+	var b [sys.TimevalSize]byte
+	if e := p.CopyIn(a[0], b[:]); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	tv := sys.DecodeTimeval(b[:])
+	target := time.Unix(int64(tv.Sec), int64(tv.Usec)*1000)
+	storeInt64((*int64)(&k.timeOffset), int64(time.Until(target)))
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysGetrusage(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	var ru sys.Rusage
+	switch a[0] {
+	case sys.RUSAGE_SELF:
+		ru = p.rusageLocked()
+	case sys.RUSAGE_CHILDREN:
+		ru = p.childrenRu
+	default:
+		k.mu.Unlock()
+		return sys.Retval{}, sys.EINVAL
+	}
+	k.mu.Unlock()
+	var b [sys.RusageSize]byte
+	ru.Encode(b[:])
+	return sys.Retval{}, p.CopyOut(a[1], b[:])
+}
+
+func (k *Kernel) sysGetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	res := int(a[0])
+	if res < 0 || res >= sys.RLIM_NLIMITS {
+		return sys.Retval{}, sys.EINVAL
+	}
+	k.mu.Lock()
+	rl := p.rlimits[res]
+	k.mu.Unlock()
+	var b [sys.RlimitSize]byte
+	rl.Encode(b[:])
+	return sys.Retval{}, p.CopyOut(a[1], b[:])
+}
+
+func (k *Kernel) sysSetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	res := int(a[0])
+	if res < 0 || res >= sys.RLIM_NLIMITS {
+		return sys.Retval{}, sys.EINVAL
+	}
+	var b [sys.RlimitSize]byte
+	if e := p.CopyIn(a[1], b[:]); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	rl := sys.DecodeRlimit(b[:])
+	if rl.Cur > rl.Max {
+		return sys.Retval{}, sys.EINVAL
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	old := p.rlimits[res]
+	if rl.Max > old.Max && p.euid != 0 {
+		return sys.Retval{}, sys.EPERM
+	}
+	p.rlimits[res] = rl
+	if res == sys.RLIMIT_DATA {
+		p.as.SetLimit(rl.Cur)
+	}
+	return sys.Retval{}, sys.OK
+}

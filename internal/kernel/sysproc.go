@@ -1,0 +1,429 @@
+package kernel
+
+import (
+	"strings"
+	"time"
+
+	"interpose/internal/image"
+	"interpose/internal/sys"
+)
+
+func (k *Kernel) sysExit(p *Proc, a sys.Args) {
+	status := sys.WStatusExit(int(a[0]))
+	k.trace(p, "exit", "", "", int(a[0]), sys.OK)
+	p.exitNow(status) // does not return
+}
+
+// finishExit turns p into a zombie: closes descriptors, reparents children,
+// and notifies the parent. Safe to call once; later calls are no-ops.
+func (k *Kernel) finishExit(p *Proc, status sys.Word) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p.state == procZombie || p.state == procDead {
+		return
+	}
+	k.stopITimerLocked(p)
+	for fd := range p.fds {
+		if p.fds[fd].file != nil {
+			p.closeFDLocked(fd)
+		}
+	}
+	// Reparent live children to pid 1; orphaned zombies are reaped now.
+	init := k.procs[1]
+	for pid, child := range p.children {
+		delete(p.children, pid)
+		if init != nil && init != p && init.state == procRunning {
+			child.ppid = 1
+			init.children[pid] = child
+		} else {
+			child.ppid = 0
+			if child.state == procZombie {
+				child.state = procDead
+				delete(k.procs, pid)
+			}
+		}
+	}
+	// Let stateful emulation layers drop their per-process records.
+	for _, l := range p.emu {
+		if pe, ok := l.Handler.(ProcExiter); ok {
+			pe.ProcExit(p.pid)
+		}
+	}
+	p.exitStatus = status
+	p.state = procZombie
+	if parent, ok := k.procs[p.ppid]; ok && p.ppid != 0 {
+		k.postSignalLocked(parent, sys.SIGCHLD)
+	} else {
+		// No waiting parent inside the system: host-side WaitExit reaps.
+	}
+	k.cond.Broadcast()
+}
+
+// rusageLocked computes the process's own resource usage.
+func (p *Proc) rusageLocked() sys.Rusage {
+	elapsed := time.Since(p.startTime)
+	return sys.Rusage{
+		Utime:    durTimeval(elapsed),
+		Stime:    sys.Timeval{},
+		Maxrss:   uint32(p.as.Pages() * sys.PageSize / 1024),
+		Nsyscall: loadUint32(&p.nsyscalls),
+	}
+}
+
+func durTimeval(d time.Duration) sys.Timeval {
+	return sys.Timeval{Sec: uint32(d / time.Second), Usec: uint32(d % time.Second / time.Microsecond)}
+}
+
+func addRusage(dst *sys.Rusage, src sys.Rusage) {
+	usec := uint64(dst.Utime.Usec) + uint64(src.Utime.Usec)
+	dst.Utime.Sec += src.Utime.Sec + uint32(usec/1e6)
+	dst.Utime.Usec = uint32(usec % 1e6)
+	dst.Maxrss = maxU32(dst.Maxrss, src.Maxrss)
+	dst.Nsyscall += src.Nsyscall
+	dst.Nsignals += src.Nsignals
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (k *Kernel) sysFork(p *Proc) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	entry := p.stagedChild
+	p.stagedChild = nil
+	if entry == nil {
+		// No staged child continuation: the simulated machine cannot
+		// snapshot a program counter, so fork without one is a fault.
+		k.mu.Unlock()
+		return sys.Retval{}, sys.EAGAIN
+	}
+	child := k.newProcLocked(p)
+	child.as = p.as.Clone()
+	for fd := range p.fds {
+		if f := p.fds[fd].file; f != nil {
+			child.fds[fd] = fdesc{file: f, cloexec: p.fds[fd].cloexec}
+			f.refs++
+		}
+	}
+	child.cwd = p.cwd
+	child.root = p.root
+	child.uid, child.euid = p.uid, p.euid
+	child.gid, child.egid = p.gid, p.egid
+	child.groups = append([]uint32(nil), p.groups...)
+	child.umask = p.umask
+	child.sigMask = p.sigMask
+	child.sigHandlers = p.sigHandlers
+	child.sigDispatch = p.sigDispatch
+	child.rlimits = p.rlimits
+	child.emu = append([]*EmuLayer(nil), p.emu...)
+	for i := range child.emu {
+		child.emuCtx = append(child.emuCtx, LayerCtx{Proc: child, layer: i})
+	}
+	child.comm = p.comm
+	child.initialSP = p.initialSP
+	child.pendingChildInit = len(child.emu) > 0
+	pid := child.pid
+	k.mu.Unlock()
+	k.trace(p, "fork", "", "", pid, sys.OK)
+	go child.run(entry)
+	return sys.Retval{sys.Word(pid)}, sys.OK
+}
+
+func (k *Kernel) sysWait4(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	sel := int(int32(a[0]))
+	statusAddr, options, ruAddr := a[1], int(a[2]), a[3]
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for {
+		matched := false
+		for pid, child := range p.children {
+			switch {
+			case sel == -1, sel == pid,
+				sel == 0 && child.pgrp == p.pgrp,
+				sel < -1 && child.pgrp == -sel:
+			default:
+				continue
+			}
+			matched = true
+			if child.state != procZombie {
+				continue
+			}
+			// Reap.
+			delete(p.children, pid)
+			delete(k.procs, pid)
+			child.state = procDead
+			ru := child.rusageLocked()
+			addRusage(&ru, child.childrenRu)
+			addRusage(&p.childrenRu, ru)
+			if statusAddr != 0 {
+				var b [4]byte
+				st := child.exitStatus
+				b[0], b[1], b[2], b[3] = byte(st), byte(st>>8), byte(st>>16), byte(st>>24)
+				if e := p.CopyOut(statusAddr, b[:]); e != sys.OK {
+					return sys.Retval{}, e
+				}
+			}
+			if ruAddr != 0 {
+				var b [sys.RusageSize]byte
+				ru.Encode(b[:])
+				if e := p.CopyOut(ruAddr, b[:]); e != sys.OK {
+					return sys.Retval{}, e
+				}
+			}
+			return sys.Retval{sys.Word(pid)}, sys.OK
+		}
+		if !matched {
+			return sys.Retval{}, sys.ECHILD
+		}
+		if options&sys.WNOHANG != 0 {
+			return sys.Retval{sys.Word(0)}, sys.OK
+		}
+		if e := k.sleepLocked(p); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+}
+
+// decodeStringVec reads a NULL-terminated vector of string pointers.
+func decodeStringVec(p *Proc, addr sys.Word) ([]string, sys.Errno) {
+	if addr == 0 {
+		return nil, sys.OK
+	}
+	var out []string
+	total := 0
+	for i := 0; ; i++ {
+		if i > 1024 {
+			return nil, sys.E2BIG
+		}
+		ptr, e := p.as.Word32(addr + sys.Word(4*i))
+		if e != sys.OK {
+			return nil, e
+		}
+		if ptr == 0 {
+			return out, sys.OK
+		}
+		s, e := p.CopyInString(ptr, sys.ArgMax)
+		if e != sys.OK {
+			return nil, e
+		}
+		total += len(s) + 1
+		if total > sys.ArgMax {
+			return nil, sys.E2BIG
+		}
+		out = append(out, s)
+	}
+}
+
+func (k *Kernel) sysExecve(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	path, err := p.pathArg(a[0])
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	argv, err := decodeStringVec(p, a[1])
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	envp, err := decodeStringVec(p, a[2])
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	entry, err := k.execLoad(p, path, argv, envp)
+	k.trace(p, "execve", path, "", -1, err)
+	if err != sys.OK {
+		return sys.Retval{}, err
+	}
+	p.Exec(entry) // does not return
+	panic("unreachable")
+}
+
+// execLoad performs every step of execve except transferring control:
+// resolve and read the image (following "#!" interpreters), apply set-id
+// bits, close close-on-exec descriptors, reset caught signal handlers,
+// clear the address space, and build the new argument stack.
+func (k *Kernel) execLoad(p *Proc, path string, argv, envp []string) (image.Entry, sys.Errno) {
+	var entry image.Entry
+	var imgUID, imgGID uint32
+	var imgMode uint32
+	cred := p.cred()
+
+	for depth := 0; ; depth++ {
+		if depth > 4 {
+			return nil, sys.ENOEXEC
+		}
+		ip, err := k.namei(p, path, true)
+		if err != sys.OK {
+			return nil, err
+		}
+		st := ip.Stat()
+		if !st.IsReg() {
+			return nil, sys.EACCES
+		}
+		if e := k.fs.Access(ip, sys.X_OK, cred); e != sys.OK {
+			return nil, e
+		}
+		data := ip.Bytes()
+		if name, ok := image.ParseHeader(data); ok {
+			e, found := k.images.Lookup(name)
+			if !found {
+				return nil, sys.ENOEXEC
+			}
+			entry = e
+			imgUID, imgGID, imgMode = st.UID, st.GID, st.Mode
+			if len(argv) == 0 {
+				argv = []string{path}
+			}
+			break
+		}
+		if interp, arg, ok := image.ParseInterpreter(data); ok {
+			newArgv := []string{interp}
+			if arg != "" {
+				newArgv = append(newArgv, arg)
+			}
+			newArgv = append(newArgv, path)
+			if len(argv) > 1 {
+				newArgv = append(newArgv, argv[1:]...)
+			}
+			argv = newArgv
+			path = interp
+			continue
+		}
+		return nil, sys.ENOEXEC
+	}
+
+	k.mu.Lock()
+	// Set-id bits change the effective credentials.
+	if imgMode&sys.S_ISUID != 0 {
+		p.euid = imgUID
+	}
+	if imgMode&sys.S_ISGID != 0 {
+		p.egid = imgGID
+	}
+	// Close close-on-exec descriptors.
+	for fd := range p.fds {
+		if p.fds[fd].file != nil && p.fds[fd].cloexec {
+			p.closeFDLocked(fd)
+		}
+	}
+	// Caught signals revert to default; ignored/default dispositions keep.
+	for s := 1; s < sys.NSIG; s++ {
+		if h := p.sigHandlers[s].Handler; h != sys.SIG_DFL && h != sys.SIG_IGN {
+			p.sigHandlers[s] = sys.Sigvec{Handler: sys.SIG_DFL}
+		}
+	}
+	p.sigDispatch = nil
+	p.stagedChild = nil
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	p.comm = base
+	k.mu.Unlock()
+
+	// Replace the address space and build the new stack.
+	p.as.Reset()
+	sp, errno := image.SetupStack(p, argv, envp)
+	if errno != sys.OK {
+		// The old image is gone; this is fatal, as on a real system where
+		// the stack cannot be built.
+		p.exitNow(sys.WStatusSignal(sys.SIGKILL))
+	}
+	p.SetInitialSP(sp)
+	return entry, sys.OK
+}
+
+// NewProc allocates a fresh process with no parent, for host-side spawning.
+func (k *Kernel) NewProc() *Proc {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.newProcLocked(nil)
+}
+
+// OpenConsole wires descriptors 0, 1 and 2 of p to /dev/console.
+func (p *Proc) OpenConsole() error {
+	ip, err := p.k.fs.Lookup(p.k.fs.Root(), "/dev/console", rootCred, true)
+	if err != sys.OK {
+		return err
+	}
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	for fd := 0; fd < 3; fd++ {
+		if p.fds[fd].file == nil {
+			f := &File{ip: ip, flags: sys.O_RDWR}
+			p.installFDLocked(fd, f, false)
+		}
+	}
+	return nil
+}
+
+// SetCreds sets the process's identity (host-side world building).
+func (p *Proc) SetCreds(uid, gid uint32, groups ...uint32) {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	p.uid, p.euid = uid, uid
+	p.gid, p.egid = gid, gid
+	p.groups = groups
+}
+
+// Chdir sets the working directory (host-side world building).
+func (p *Proc) Chdir(path string) error {
+	ip, err := p.k.fs.Lookup(p.k.fs.Root(), path, rootCred, true)
+	if err != sys.OK {
+		return err
+	}
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	p.cwd = ip
+	return nil
+}
+
+// Spawn creates a process running the image at path with the given
+// arguments, its standard descriptors on the console. The returned process
+// has already started.
+func (k *Kernel) Spawn(path string, argv, envp []string) (*Proc, error) {
+	p := k.NewProc()
+	if err := p.OpenConsole(); err != nil {
+		return nil, err
+	}
+	if err := p.Start(path, argv, envp); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WaitExit blocks until p terminates and reaps it, returning the wait
+// status. Intended for host-side callers that spawned p; processes inside
+// the system use wait4.
+func (k *Kernel) WaitExit(p *Proc) sys.Word {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for p.state != procZombie && p.state != procDead {
+		k.cond.Wait()
+	}
+	status := p.exitStatus
+	if p.state == procZombie {
+		p.state = procDead
+		delete(k.procs, p.pid)
+		if parent, ok := k.procs[p.ppid]; ok {
+			delete(parent.children, p.pid)
+		}
+	}
+	return status
+}
+
+// ProcCount returns the number of live (non-reaped) processes.
+func (k *Kernel) ProcCount() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.procs)
+}
+
+// FindProc returns the process with the given pid, if it is live.
+func (k *Kernel) FindProc(pid int) (*Proc, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}

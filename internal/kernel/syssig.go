@@ -1,0 +1,138 @@
+package kernel
+
+import "interpose/internal/sys"
+
+func (k *Kernel) sysKill(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	pid := int(int32(a[0]))
+	sig := int(a[1])
+	if sig < 0 || sig >= sys.NSIG {
+		return sys.Retval{}, sys.EINVAL
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+
+	mayKill := func(t *Proc) bool {
+		return p.euid == 0 || p.uid == t.uid || p.euid == t.uid || p.uid == t.euid
+	}
+	post := func(t *Proc) {
+		if sig != 0 {
+			k.postSignalLocked(t, sig)
+		}
+	}
+
+	switch {
+	case pid > 0:
+		t, ok := k.procs[pid]
+		if !ok || t.state == procZombie || t.state == procDead {
+			return sys.Retval{}, sys.ESRCH
+		}
+		if !mayKill(t) {
+			return sys.Retval{}, sys.EPERM
+		}
+		post(t)
+	case pid == 0, pid < -1:
+		pgrp := p.pgrp
+		if pid < -1 {
+			pgrp = -pid
+		}
+		found, denied := false, false
+		for _, t := range k.procs {
+			if t.pgrp != pgrp || t.state != procRunning && t.state != procStopped {
+				continue
+			}
+			if !mayKill(t) {
+				denied = true
+				continue
+			}
+			found = true
+			post(t)
+		}
+		if !found {
+			if denied {
+				return sys.Retval{}, sys.EPERM
+			}
+			return sys.Retval{}, sys.ESRCH
+		}
+	case pid == -1:
+		found := false
+		for _, t := range k.procs {
+			if t == p || t.pid == 1 || t.state != procRunning && t.state != procStopped {
+				continue
+			}
+			if mayKill(t) {
+				found = true
+				post(t)
+			}
+		}
+		if !found {
+			return sys.Retval{}, sys.ESRCH
+		}
+	}
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysSigvec(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	sig := int(a[0])
+	nsvAddr, osvAddr := a[1], a[2]
+	if sig <= 0 || sig >= sys.NSIG {
+		return sys.Retval{}, sys.EINVAL
+	}
+	k.mu.Lock()
+	old := p.sigHandlers[sig]
+	k.mu.Unlock()
+	if osvAddr != 0 {
+		var b [sys.SigvecSize]byte
+		old.Encode(b[:])
+		if e := p.CopyOut(osvAddr, b[:]); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	if nsvAddr != 0 {
+		if sig == sys.SIGKILL || sig == sys.SIGSTOP {
+			return sys.Retval{}, sys.EINVAL
+		}
+		var b [sys.SigvecSize]byte
+		if e := p.CopyIn(nsvAddr, b[:]); e != sys.OK {
+			return sys.Retval{}, e
+		}
+		sv := sys.DecodeSigvec(b[:])
+		k.mu.Lock()
+		p.sigHandlers[sig] = sv
+		if sv.Handler == sys.SIG_IGN {
+			p.sigPending &^= sys.SigMask(sig)
+		}
+		k.mu.Unlock()
+	}
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysSigblock(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	old := p.sigMask
+	p.sigMask |= a[0] &^ unmaskable
+	return sys.Retval{old}, sys.OK
+}
+
+func (k *Kernel) sysSigsetmask(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	old := p.sigMask
+	p.sigMask = a[0] &^ unmaskable
+	k.cond.Broadcast()
+	return sys.Retval{old}, sys.OK
+}
+
+func (k *Kernel) sysSigpause(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	old := p.sigMask
+	p.sigMask = a[0] &^ unmaskable
+	for p.deliverableLocked() == 0 {
+		k.cond.Wait()
+	}
+	// Restore the mask after the pending signal has been delivered (which
+	// happens at system call exit); checkSignals consumes pauseMask.
+	p.pauseMask = &old
+	return sys.Retval{}, sys.EINTR
+}

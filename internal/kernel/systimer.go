@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"time"
+
+	"interpose/internal/sys"
+)
+
+// Interval timers: the real-time ITIMER_REAL, delivering SIGALRM on
+// expiry and rearming itself from the interval field. This is the
+// machinery under both setitimer(2) and the C library's alarm()/sleep().
+
+// itimerState is a process's real-interval-timer state, guarded by the
+// big kernel lock.
+type itimerState struct {
+	timer    *time.Timer
+	interval time.Duration
+	expiry   time.Time // zero when disarmed
+}
+
+// armITimerLocked (re)arms the timer. Caller holds k.mu.
+func (k *Kernel) armITimerLocked(p *Proc, value, interval time.Duration) {
+	k.stopITimerLocked(p)
+	if value <= 0 {
+		return
+	}
+	p.itimer.interval = interval
+	p.itimer.expiry = time.Now().Add(value)
+	p.itimer.timer = time.AfterFunc(value, func() { k.itimerFire(p) })
+}
+
+// stopITimerLocked disarms the timer. Caller holds k.mu.
+func (k *Kernel) stopITimerLocked(p *Proc) {
+	if p.itimer.timer != nil {
+		p.itimer.timer.Stop()
+		p.itimer.timer = nil
+	}
+	p.itimer.expiry = time.Time{}
+	p.itimer.interval = 0
+}
+
+// itimerFire runs on the timer goroutine: post SIGALRM and rearm.
+func (k *Kernel) itimerFire(p *Proc) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p.state != procRunning && p.state != procStopped {
+		return
+	}
+	k.postSignalLocked(p, sys.SIGALRM)
+	if iv := p.itimer.interval; iv > 0 {
+		p.itimer.expiry = time.Now().Add(iv)
+		p.itimer.timer = time.AfterFunc(iv, func() { k.itimerFire(p) })
+	} else {
+		p.itimer.expiry = time.Time{}
+		p.itimer.timer = nil
+	}
+}
+
+func tvDuration(tv sys.Timeval) time.Duration {
+	return time.Duration(tv.Duration()) * time.Microsecond
+}
+
+func durationTv(d time.Duration) sys.Timeval {
+	if d < 0 {
+		d = 0
+	}
+	return sys.Timeval{
+		Sec:  uint32(d / time.Second),
+		Usec: uint32(d % time.Second / time.Microsecond),
+	}
+}
+
+func (k *Kernel) sysSetitimer(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	if a[0] != sys.ITIMER_REAL {
+		return sys.Retval{}, sys.EINVAL
+	}
+	k.mu.Lock()
+	old := k.itimerValueLocked(p)
+	k.mu.Unlock()
+	if a[2] != 0 {
+		var b [sys.ItimervalSize]byte
+		old.Encode(b[:])
+		if e := p.CopyOut(a[2], b[:]); e != sys.OK {
+			return sys.Retval{}, e
+		}
+	}
+	if a[1] != 0 {
+		var b [sys.ItimervalSize]byte
+		if e := p.CopyIn(a[1], b[:]); e != sys.OK {
+			return sys.Retval{}, e
+		}
+		nv := sys.DecodeItimerval(b[:])
+		k.mu.Lock()
+		k.armITimerLocked(p, tvDuration(nv.Value), tvDuration(nv.Interval))
+		k.mu.Unlock()
+	}
+	return sys.Retval{}, sys.OK
+}
+
+func (k *Kernel) sysGetitimer(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	if a[0] != sys.ITIMER_REAL {
+		return sys.Retval{}, sys.EINVAL
+	}
+	k.mu.Lock()
+	cur := k.itimerValueLocked(p)
+	k.mu.Unlock()
+	var b [sys.ItimervalSize]byte
+	cur.Encode(b[:])
+	return sys.Retval{}, p.CopyOut(a[1], b[:])
+}
+
+// itimerValueLocked snapshots the timer as an itimerval. Caller holds k.mu.
+func (k *Kernel) itimerValueLocked(p *Proc) sys.Itimerval {
+	var out sys.Itimerval
+	out.Interval = durationTv(p.itimer.interval)
+	if !p.itimer.expiry.IsZero() {
+		out.Value = durationTv(time.Until(p.itimer.expiry))
+		if out.Value == (sys.Timeval{}) {
+			out.Value = sys.Timeval{Usec: 1} // armed but imminent
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package kernel_test
+
+import (
+	"testing"
+	"time"
+
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+func TestAlarmDeliversSIGALRM(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		got := false
+		lt.Signal(sys.SIGALRM, func(*libc.T, int) { got = true })
+		lt.Setitimer(sys.Timeval{Usec: 10_000}, sys.Timeval{})
+		for i := 0; i < 1000 && !got; i++ {
+			lt.Sigpause(0)
+		}
+		lt.Printf("alarm=%v\n", got)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "alarm=true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestAlarmDefaultActionTerminates(t *testing.T) {
+	st, _ := runFn(t, func(lt *libc.T) int {
+		lt.Alarm(1) // SIGALRM default action is to terminate
+		for {
+			lt.Sigpause(0)
+		}
+	})
+	if sys.WIfExited(st) || sys.WTermSig(st) != sys.SIGALRM {
+		t.Fatalf("status = %#x", st)
+	}
+}
+
+func TestSleepSleeps(t *testing.T) {
+	start := time.Now()
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.SleepUsec(50_000)
+		lt.Printf("woke\n")
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "woke\n" {
+		t.Fatalf("out = %q", out)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("sleep returned after only %v", elapsed)
+	}
+}
+
+func TestAlarmCancel(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Ignore(sys.SIGALRM)
+		lt.Alarm(1000)
+		it, err := lt.Getitimer()
+		if err != sys.OK || it.Value.Sec == 0 {
+			lt.Printf("not armed: %+v\n", it)
+			return 1
+		}
+		remaining := lt.Alarm(0) // cancel, returns remaining seconds
+		it, _ = lt.Getitimer()
+		lt.Printf("remaining~1000=%v disarmed=%v\n",
+			remaining > 990 && remaining <= 1000, it.Value == sys.Timeval{})
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "remaining~1000=true disarmed=true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPeriodicTimer(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		ticks := 0
+		lt.Signal(sys.SIGALRM, func(*libc.T, int) { ticks++ })
+		lt.Setitimer(sys.Timeval{Usec: 5_000}, sys.Timeval{Usec: 5_000})
+		for ticks < 3 {
+			lt.Sigpause(0)
+		}
+		lt.Setitimer(sys.Timeval{}, sys.Timeval{}) // disarm
+		lt.Printf("ticks>=3\n")
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "ticks>=3\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTimerInterruptsBlockingRead(t *testing.T) {
+	// The classic timeout idiom: an alarm breaks a read that would block
+	// forever, with EINTR.
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Signal(sys.SIGALRM, func(*libc.T, int) {})
+		r, _, _ := lt.Pipe()
+		lt.Setitimer(sys.Timeval{Usec: 10_000}, sys.Timeval{})
+		_, err := lt.Read(r, make([]byte, 1))
+		lt.Printf("read=%s\n", err.Name())
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "read=EINTR\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTimerNotInheritedByFork(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Ignore(sys.SIGALRM)
+		lt.Alarm(100)
+		pid, _ := lt.Fork(func(ct *libc.T) {
+			it, _ := ct.Getitimer()
+			if it.Value != (sys.Timeval{}) {
+				ct.Printf("child inherited timer\n")
+				ct.Exit(1)
+			}
+			ct.Exit(0)
+		})
+		_, status, _ := lt.Waitpid(pid)
+		lt.Alarm(0)
+		lt.Printf("child=%d\n", sys.WExitStatus(status))
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "child=0\n" {
+		t.Fatalf("out = %q", out)
+	}
+}

@@ -1,0 +1,338 @@
+package libc_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"interpose/internal/image"
+	"interpose/internal/kernel"
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// run executes fn as a process in a fresh kernel.
+func run(t *testing.T, fn func(*libc.T) int) (sys.Word, string) {
+	t.Helper()
+	reg := image.NewRegistry()
+	reg.Register("main", libc.Main(fn))
+	k := kernel.New(reg)
+	if err := k.InstallProgram("/bin/main", "main"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn("/bin/main", []string{"main", "one", "two"}, []string{"HOME=/home", "EMPTY="})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.WaitExit(p)
+	return st, k.Console().TakeOutput()
+}
+
+func ok(t *testing.T, st sys.Word, out string) string {
+	t.Helper()
+	if !sys.WIfExited(st) || sys.WExitStatus(st) != 0 {
+		t.Fatalf("status %#x, out:\n%s", st, out)
+	}
+	return out
+}
+
+func TestArgsAndEnv(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		lt.Printf("%v %q %q\n", lt.Args, lt.Getenv("HOME"), lt.Getenv("MISSING"))
+		return 0
+	})
+	if out := ok(t, st, out); out != "[main one two] \"/home\" \"\"\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		// Allocations are distinct and usable.
+		a := lt.Malloc(100)
+		b := lt.Malloc(100)
+		if a == b {
+			return 1
+		}
+		lt.Proc().CopyOut(a, []byte("AAAA"))
+		lt.Proc().CopyOut(b, []byte("BBBB"))
+		sa, _ := lt.Proc().CopyInString(a, 10)
+		sb, _ := lt.Proc().CopyInString(b, 10)
+		if sa != "AAAA" || sb != "BBBB" {
+			return 2
+		}
+		// Freeing recycles: the same block comes back for an equal-size ask.
+		lt.Free(a)
+		c := lt.Malloc(100)
+		if c != a {
+			lt.Printf("note: free list did not recycle (a=%#x c=%#x)\n", a, c)
+		}
+		// Coalescing: freeing two adjacent blocks yields one big block.
+		lt.Free(b)
+		lt.Free(c)
+		big := lt.Malloc(200)
+		if big == 0 {
+			return 3
+		}
+		lt.Printf("ok\n")
+		return 0
+	})
+	if out := ok(t, st, out); !strings.Contains(out, "ok") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestMallocGrowsHeap(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		// Allocate well past one page to force brk growth.
+		var addrs []sys.Word
+		for i := 0; i < 100; i++ {
+			addrs = append(addrs, lt.Malloc(8192))
+		}
+		seen := map[sys.Word]bool{}
+		for _, a := range addrs {
+			if seen[a] {
+				return 1
+			}
+			seen[a] = true
+		}
+		lt.Printf("ok\n")
+		return 0
+	})
+	ok(t, st, out)
+}
+
+func TestCStringRoundTrip(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		a := lt.CString("hello there")
+		if lt.GoString(a) != "hello there" {
+			return 1
+		}
+		lt.Free(a)
+		lt.Printf("ok\n")
+		return 0
+	})
+	ok(t, st, out)
+}
+
+func TestStdioBufferedWrite(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		f, err := lt.Fopen("/tmp/out.txt", "w")
+		if err != sys.OK {
+			return 1
+		}
+		for i := 0; i < 1000; i++ {
+			f.WriteString("line\n")
+		}
+		f.Close()
+		data, _ := lt.ReadFile("/tmp/out.txt")
+		lt.Printf("%d\n", len(data))
+		return 0
+	})
+	if out := ok(t, st, out); out != "5000\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestStdioReadLine(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		lt.WriteFile("/tmp/in.txt", []byte("alpha\nbeta\nlast-no-newline"), 0o644)
+		f, _ := lt.Fopen("/tmp/in.txt", "r")
+		for {
+			line, more := f.ReadLine()
+			if !more {
+				break
+			}
+			lt.Printf("[%s]", line)
+		}
+		lt.Printf("\n")
+		return 0
+	})
+	if out := ok(t, st, out); out != "[alpha][beta][last-no-newline]\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestStdioModes(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		f, _ := lt.Fopen("/tmp/f", "w")
+		f.WriteString("one\n")
+		f.Close()
+		f, _ = lt.Fopen("/tmp/f", "a")
+		f.WriteString("two\n")
+		f.Close()
+		f, _ = lt.Fopen("/tmp/f", "r")
+		all, _ := f.ReadAll()
+		f.Close()
+		lt.Printf("%s", all)
+		if _, err := lt.Fopen("/tmp/f", "x"); err != sys.EINVAL {
+			return 1
+		}
+		return 0
+	})
+	if out := ok(t, st, out); out != "one\ntwo\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestGetwdDeep(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		lt.MkdirAll("/x/y/z/w", 0o755)
+		lt.Chdir("/x/y/z/w")
+		wd, err := lt.Getwd()
+		if err != sys.OK {
+			return 1
+		}
+		lt.Printf("%s\n", wd)
+		lt.Chdir("/")
+		wd, _ = lt.Getwd()
+		lt.Printf("%s\n", wd)
+		return 0
+	})
+	if out := ok(t, st, out); out != "/x/y/z/w\n/\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestAtExitOrder(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		lt.AtExit(func(ht *libc.T) { ht.Stdout.WriteString("first-registered\n"); ht.Stdout.Flush() })
+		lt.AtExit(func(ht *libc.T) { ht.Stdout.WriteString("second-registered\n"); ht.Stdout.Flush() })
+		return 0
+	})
+	if out := ok(t, st, out); out != "second-registered\nfirst-registered\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	cases := []struct{ in, base, dir string }{
+		{"/a/b/c", "c", "/a/b"},
+		{"/a", "a", "/"},
+		{"name", "name", "."},
+		{"/", "/", "/"},
+		{"/a/b/", "b", "/a"},
+	}
+	for _, c := range cases {
+		if got := libc.Basename(c.in); got != c.base {
+			t.Errorf("Basename(%q) = %q, want %q", c.in, got, c.base)
+		}
+		if got := libc.Dirname(c.in); got != c.dir {
+			t.Errorf("Dirname(%q) = %q, want %q", c.in, got, c.dir)
+		}
+	}
+	if libc.JoinPath("/a", "b") != "/a/b" || libc.JoinPath("/a/", "b") != "/a/b" ||
+		libc.JoinPath("/a", "/abs") != "/abs" {
+		t.Error("JoinPath wrong")
+	}
+}
+
+func TestJoinBaseDirProperty(t *testing.T) {
+	// Joining a dir with a simple name then taking Basename/Dirname
+	// returns the parts.
+	f := func(raw uint8) bool {
+		name := "n" + string(rune('a'+raw%26))
+		dir := "/d" + string(rune('a'+raw%26))
+		p := libc.JoinPath(dir, name)
+		return libc.Basename(p) == name && libc.Dirname(p) == dir
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchPath(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		// /bin/main exists and is executable.
+		p, err := lt.SearchPath("main")
+		if err != sys.OK {
+			return 1
+		}
+		lt.Printf("%s\n", p)
+		if _, err := lt.SearchPath("definitely-not-there"); err != sys.ENOENT {
+			return 2
+		}
+		// Explicit paths pass through.
+		if p, _ := lt.SearchPath("./rel"); p != "./rel" {
+			return 3
+		}
+		return 0
+	})
+	// PATH is unset in this world; SearchPath falls back to /bin:/usr/bin.
+	if out := ok(t, st, out); out != "/bin/main\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestSpawnAndSystem(t *testing.T) {
+	reg := image.NewRegistry()
+	reg.Register("main", libc.Main(func(lt *libc.T) int {
+		status, err := lt.System("/bin/worker", []string{"worker"})
+		if err != sys.OK {
+			return 1
+		}
+		lt.Printf("worker exit %d\n", sys.WExitStatus(status))
+		return 0
+	}))
+	reg.Register("worker", libc.Main(func(lt *libc.T) int {
+		lt.Printf("working\n")
+		return 7
+	}))
+	k := kernel.New(reg)
+	k.InstallProgram("/bin/main", "main")
+	k.InstallProgram("/bin/worker", "worker")
+	p, _ := k.Spawn("/bin/main", []string{"main"}, nil)
+	st := k.WaitExit(p)
+	out := k.Console().TakeOutput()
+	if sys.WExitStatus(st) != 0 || out != "working\nworker exit 7\n" {
+		t.Fatalf("%#x %q", st, out)
+	}
+}
+
+func TestForkChildSeesCopiedHeap(t *testing.T) {
+	// Addresses captured across fork remain valid: the child's address
+	// space is a copy, so parent-held pointers work in the child and the
+	// copies then diverge — real fork semantics at the memory level.
+	st, out := run(t, func(lt *libc.T) int {
+		addr := lt.CString("from-parent")
+		r, w, _ := lt.Pipe()
+		pid, _ := lt.Fork(func(ct *libc.T) {
+			s := ct.GoString(addr) // same numeric address, child's copy
+			ct.WriteString(w, s)
+			// Mutating the child's copy must not affect the parent.
+			ct.Proc().CopyOut(addr, []byte("child-smash"))
+			ct.Exit(0)
+		})
+		lt.Close(w)
+		b := make([]byte, 32)
+		n, _ := lt.Read(r, b)
+		lt.Waitpid(pid)
+		lt.Printf("child-read=%s parent=%s\n", b[:n], lt.GoString(addr))
+		return 0
+	})
+	if out := ok(t, st, out); out != "child-read=from-parent parent=from-parent\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCheckpointDeliversSignals(t *testing.T) {
+	st, out := run(t, func(lt *libc.T) int {
+		hit := false
+		lt.Signal(sys.SIGUSR1, func(*libc.T, int) { hit = true })
+		// Post from a child, then spin without system calls until the
+		// explicit checkpoint lets delivery happen.
+		lt.Fork(func(ct *libc.T) {
+			ct.Kill(ct.Getppid(), sys.SIGUSR1)
+			ct.Exit(0)
+		})
+		lt.Wait()
+		for i := 0; i < 1000 && !hit; i++ {
+			lt.Checkpoint()
+		}
+		lt.Printf("hit=%v\n", hit)
+		return 0
+	})
+	if out := ok(t, st, out); out != "hit=true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}

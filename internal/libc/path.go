@@ -1,0 +1,159 @@
+package libc
+
+import (
+	"strings"
+
+	"interpose/internal/sys"
+)
+
+// Getwd returns the absolute pathname of the working directory. Like the
+// historical 4.3BSD getwd, it is a library routine — there is no getcwd
+// system call — built by walking ".." and matching inode numbers in each
+// parent directory.
+func (t *T) Getwd() (string, sys.Errno) {
+	var parts []string
+	prefix := "."
+	cur, err := t.Stat(".")
+	if err != sys.OK {
+		return "", err
+	}
+	for depth := 0; depth < 256; depth++ {
+		parentPath := prefix + "/.."
+		parent, err := t.Stat(parentPath)
+		if err != sys.OK {
+			return "", err
+		}
+		if parent.Ino == cur.Ino && parent.Dev == cur.Dev {
+			// Reached the root.
+			if len(parts) == 0 {
+				return "/", sys.OK
+			}
+			reverse(parts)
+			return "/" + strings.Join(parts, "/"), sys.OK
+		}
+		name, err := t.findEntry(parentPath, cur.Ino)
+		if err != sys.OK {
+			return "", err
+		}
+		parts = append(parts, name)
+		cur = parent
+		prefix = parentPath
+	}
+	return "", sys.ELOOP
+}
+
+// findEntry scans directory dirPath for the entry with inode ino.
+func (t *T) findEntry(dirPath string, ino uint32) (string, sys.Errno) {
+	fd, err := t.Open(dirPath, sys.O_RDONLY, 0)
+	if err != sys.OK {
+		return "", err
+	}
+	defer t.Close(fd)
+	for {
+		ents, err := t.Getdirentries(fd)
+		if err != sys.OK {
+			return "", err
+		}
+		if len(ents) == 0 {
+			return "", sys.ENOENT
+		}
+		for _, d := range ents {
+			if d.Ino == ino && d.Name != "." && d.Name != ".." {
+				return d.Name, sys.OK
+			}
+		}
+	}
+}
+
+func reverse(s []string) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Basename returns the final component of a path.
+func Basename(path string) string {
+	path = strings.TrimRight(path, "/")
+	if path == "" {
+		return "/"
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Dirname returns the directory part of a path.
+func Dirname(path string) string {
+	trimmed := strings.TrimRight(path, "/")
+	if trimmed == "" {
+		if strings.HasPrefix(path, "/") {
+			return "/"
+		}
+		return "."
+	}
+	path = trimmed
+	i := strings.LastIndexByte(path, '/')
+	switch {
+	case i < 0:
+		return "."
+	case i == 0:
+		return "/"
+	default:
+		return path[:i]
+	}
+}
+
+// JoinPath joins two path components.
+func JoinPath(dir, name string) string {
+	if dir == "" || name != "" && name[0] == '/' {
+		return name
+	}
+	if strings.HasSuffix(dir, "/") {
+		return dir + name
+	}
+	return dir + "/" + name
+}
+
+// MkdirAll creates path and any missing parents.
+func (t *T) MkdirAll(path string, mode uint32) sys.Errno {
+	if path == "" {
+		return sys.ENOENT
+	}
+	var build string
+	if path[0] == '/' {
+		build = "/"
+	}
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		build = JoinPath(build, part)
+		if err := t.Mkdir(build, mode); err != sys.OK && err != sys.EEXIST {
+			return err
+		}
+	}
+	return sys.OK
+}
+
+// SearchPath resolves a command name against the PATH environment
+// variable (or /bin:/usr/bin), returning the first executable match.
+func (t *T) SearchPath(name string) (string, sys.Errno) {
+	if strings.ContainsRune(name, '/') {
+		return name, sys.OK
+	}
+	path := t.Getenv("PATH")
+	if path == "" {
+		path = "/bin:/usr/bin"
+	}
+	for _, dir := range strings.Split(path, ":") {
+		if dir == "" {
+			dir = "."
+		}
+		cand := JoinPath(dir, name)
+		if err := t.Access(cand, sys.X_OK); err == sys.OK {
+			return cand, sys.OK
+		}
+	}
+	return "", sys.ENOENT
+}

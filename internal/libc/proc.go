@@ -1,0 +1,307 @@
+package libc
+
+import (
+	"interpose/internal/image"
+	"interpose/internal/sys"
+)
+
+// Getpid returns the process id.
+func (t *T) Getpid() int {
+	rv, _ := t.Syscall(sys.SYS_getpid)
+	return int(rv[0])
+}
+
+// Getppid returns the parent process id.
+func (t *T) Getppid() int {
+	rv, _ := t.Syscall(sys.SYS_getppid)
+	return int(rv[0])
+}
+
+// Getuid returns the real user id.
+func (t *T) Getuid() uint32 {
+	rv, _ := t.Syscall(sys.SYS_getuid)
+	return rv[0]
+}
+
+// Geteuid returns the effective user id.
+func (t *T) Geteuid() uint32 {
+	rv, _ := t.Syscall(sys.SYS_geteuid)
+	return rv[0]
+}
+
+// Getgid returns the real group id.
+func (t *T) Getgid() uint32 {
+	rv, _ := t.Syscall(sys.SYS_getgid)
+	return rv[0]
+}
+
+// Fork creates a child process that runs child on a fresh libc state and
+// exits. In the parent, Fork returns the child's pid.
+func (t *T) Fork(child func(ct *T)) (int, sys.Errno) {
+	snap := t.snapshot()
+	t.p.StageChild(func(p image.Proc) {
+		ct := attachChild(snap, p)
+		child(ct)
+		ct.Exit(0)
+	})
+	rv, err := t.Syscall(sys.SYS_fork)
+	return int(rv[0]), err
+}
+
+// Exec replaces the process image. On success it does not return.
+func (t *T) Exec(path string, argv, envp []string) sys.Errno {
+	pathAddr := t.CString(path)
+	argvAddr := t.stringVec(argv)
+	envpAddr := t.stringVec(envp)
+	_, err := t.Syscall(sys.SYS_execve, pathAddr, argvAddr, envpAddr)
+	// Only reached on failure.
+	t.Free(pathAddr)
+	return err
+}
+
+// stringVec builds a NULL-terminated vector of string pointers in the
+// address space.
+func (t *T) stringVec(ss []string) sys.Word {
+	vec := t.Malloc(sys.Word(4 * (len(ss) + 1)))
+	var b []byte
+	for _, s := range ss {
+		a := t.CString(s)
+		b = append(b, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+	}
+	b = append(b, 0, 0, 0, 0)
+	t.p.CopyOut(vec, b)
+	return vec
+}
+
+// Wait waits for any child, returning its pid and wait status.
+func (t *T) Wait() (int, sys.Word, sys.Errno) { return t.Wait4(-1, 0) }
+
+// Waitpid waits for a specific child.
+func (t *T) Waitpid(pid int) (int, sys.Word, sys.Errno) { return t.Wait4(pid, 0) }
+
+// Wait4 waits for children matching sel with the given options.
+func (t *T) Wait4(sel int, options int) (int, sys.Word, sys.Errno) {
+	stAddr := t.structScratch()
+	for {
+		rv, err := t.Syscall(sys.SYS_wait4, sys.Word(int32(sel)), stAddr, sys.Word(options), 0)
+		if err == sys.EINTR {
+			continue
+		}
+		if err != sys.OK {
+			return -1, 0, err
+		}
+		if rv[0] == 0 {
+			return 0, 0, sys.OK // WNOHANG, nothing ready
+		}
+		var b [4]byte
+		if e := t.p.CopyIn(stAddr, b[:]); e != sys.OK {
+			return -1, 0, e
+		}
+		status := sys.Word(b[0]) | sys.Word(b[1])<<8 | sys.Word(b[2])<<16 | sys.Word(b[3])<<24
+		return int(rv[0]), status, sys.OK
+	}
+}
+
+// Spawn forks and execs path with argv, inheriting this process's
+// environment, and returns the child pid without waiting.
+func (t *T) Spawn(path string, argv []string) (int, sys.Errno) {
+	env := append([]string(nil), t.Env...)
+	return t.Fork(func(ct *T) {
+		err := ct.Exec(path, argv, env)
+		ct.Errorf("exec %s: %s", path, err.Error())
+		ct.Exit(127)
+	})
+}
+
+// System forks, execs, and waits, returning the child's wait status.
+func (t *T) System(path string, argv []string) (sys.Word, sys.Errno) {
+	pid, err := t.Spawn(path, argv)
+	if err != sys.OK {
+		return 0, err
+	}
+	_, status, err := t.Waitpid(pid)
+	return status, err
+}
+
+// Kill sends a signal.
+func (t *T) Kill(pid, sig int) sys.Errno {
+	_, err := t.Syscall(sys.SYS_kill, sys.Word(int32(pid)), sys.Word(sig))
+	return err
+}
+
+// Signal installs a handler function for sig, returning the previous
+// disposition token. Pass nil to reset to the default action, or use
+// Ignore.
+func (t *T) Signal(sig int, handler func(*T, int)) sys.Errno {
+	var token sys.Word
+	if handler != nil {
+		token = t.nextToken
+		t.nextToken++
+		t.handlers[token] = handler
+	}
+	return t.sigvec(sig, token)
+}
+
+// Ignore sets sig to be discarded.
+func (t *T) Ignore(sig int) sys.Errno { return t.sigvec(sig, sys.SIG_IGN) }
+
+// DefaultSignal restores sig's default action.
+func (t *T) DefaultSignal(sig int) sys.Errno { return t.sigvec(sig, sys.SIG_DFL) }
+
+func (t *T) sigvec(sig int, handler sys.Word) sys.Errno {
+	addr := t.structScratch()
+	var b [sys.SigvecSize]byte
+	sys.Sigvec{Handler: handler}.Encode(b[:])
+	if e := t.p.CopyOut(addr, b[:]); e != sys.OK {
+		return e
+	}
+	_, err := t.Syscall(sys.SYS_sigvec, sys.Word(sig), addr, 0)
+	return err
+}
+
+// dispatchSignal is the user-mode signal trampoline installed on the
+// process: the system upcalls it with the handler token.
+func (t *T) dispatchSignal(sig int, handler sys.Word) {
+	if fn, ok := t.handlers[handler]; ok {
+		fn(t, sig)
+	}
+}
+
+// Sigblock adds signals to the blocked mask, returning the old mask.
+func (t *T) Sigblock(mask uint32) uint32 {
+	rv, _ := t.Syscall(sys.SYS_sigblock, mask)
+	return rv[0]
+}
+
+// Sigsetmask replaces the blocked mask, returning the old mask.
+func (t *T) Sigsetmask(mask uint32) uint32 {
+	rv, _ := t.Syscall(sys.SYS_sigsetmask, mask)
+	return rv[0]
+}
+
+// Sigpause atomically sets the mask and waits for a signal.
+func (t *T) Sigpause(mask uint32) {
+	t.Syscall(sys.SYS_sigpause, mask)
+}
+
+// Setitimer arms (or disarms, with a zero value) the real interval timer,
+// returning the previous setting.
+func (t *T) Setitimer(value, interval sys.Timeval) (sys.Itimerval, sys.Errno) {
+	newAddr := t.structScratch()
+	oldAddr := newAddr + sys.ItimervalSize
+	var b [sys.ItimervalSize]byte
+	sys.Itimerval{Interval: interval, Value: value}.Encode(b[:])
+	if e := t.p.CopyOut(newAddr, b[:]); e != sys.OK {
+		return sys.Itimerval{}, e
+	}
+	if _, err := t.Syscall(sys.SYS_setitimer, sys.ITIMER_REAL, newAddr, oldAddr); err != sys.OK {
+		return sys.Itimerval{}, err
+	}
+	if e := t.p.CopyIn(oldAddr, b[:]); e != sys.OK {
+		return sys.Itimerval{}, e
+	}
+	return sys.DecodeItimerval(b[:]), sys.OK
+}
+
+// Getitimer reads the real interval timer.
+func (t *T) Getitimer() (sys.Itimerval, sys.Errno) {
+	addr := t.structScratch()
+	if _, err := t.Syscall(sys.SYS_getitimer, sys.ITIMER_REAL, addr); err != sys.OK {
+		return sys.Itimerval{}, err
+	}
+	var b [sys.ItimervalSize]byte
+	if e := t.p.CopyIn(addr, b[:]); e != sys.OK {
+		return sys.Itimerval{}, e
+	}
+	return sys.DecodeItimerval(b[:]), sys.OK
+}
+
+// Alarm schedules a SIGALRM after sec seconds (0 cancels), returning the
+// seconds previously remaining — the classic library routine over
+// setitimer.
+func (t *T) Alarm(sec uint32) uint32 {
+	old, err := t.Setitimer(sys.Timeval{Sec: sec}, sys.Timeval{})
+	if err != sys.OK {
+		return 0
+	}
+	return old.Value.Sec
+}
+
+// SleepUsec suspends the process for the given number of microseconds,
+// implemented the 4.3BSD way: an interval timer plus sigpause.
+func (t *T) SleepUsec(usec uint32) {
+	if usec == 0 {
+		return
+	}
+	done := false
+	t.Signal(sys.SIGALRM, func(*T, int) { done = true })
+	t.Setitimer(sys.Timeval{Sec: usec / 1_000_000, Usec: usec % 1_000_000}, sys.Timeval{})
+	for !done {
+		t.Sigpause(0)
+	}
+	t.DefaultSignal(sys.SIGALRM)
+}
+
+// Sleep suspends the process for sec seconds.
+func (t *T) Sleep(sec uint32) { t.SleepUsec(sec * 1_000_000) }
+
+// Gettimeofday returns the current time of day.
+func (t *T) Gettimeofday() (sys.Timeval, sys.Errno) {
+	addr := t.structScratch()
+	if _, err := t.Syscall(sys.SYS_gettimeofday, addr, 0); err != sys.OK {
+		return sys.Timeval{}, err
+	}
+	var b [sys.TimevalSize]byte
+	if e := t.p.CopyIn(addr, b[:]); e != sys.OK {
+		return sys.Timeval{}, e
+	}
+	return sys.DecodeTimeval(b[:]), sys.OK
+}
+
+// Getrusage returns resource usage for who (sys.RUSAGE_SELF or
+// sys.RUSAGE_CHILDREN).
+func (t *T) Getrusage(who sys.Word) (sys.Rusage, sys.Errno) {
+	addr := t.structScratch()
+	if _, err := t.Syscall(sys.SYS_getrusage, who, addr); err != sys.OK {
+		return sys.Rusage{}, err
+	}
+	var b [sys.RusageSize]byte
+	if e := t.p.CopyIn(addr, b[:]); e != sys.OK {
+		return sys.Rusage{}, e
+	}
+	return sys.DecodeRusage(b[:]), sys.OK
+}
+
+// Getrlimit returns a resource limit.
+func (t *T) Getrlimit(res int) (sys.Rlimit, sys.Errno) {
+	addr := t.structScratch()
+	if _, err := t.Syscall(sys.SYS_getrlimit, sys.Word(res), addr); err != sys.OK {
+		return sys.Rlimit{}, err
+	}
+	var b [sys.RlimitSize]byte
+	if e := t.p.CopyIn(addr, b[:]); e != sys.OK {
+		return sys.Rlimit{}, e
+	}
+	return sys.DecodeRlimit(b[:]), sys.OK
+}
+
+// Setrlimit sets a resource limit.
+func (t *T) Setrlimit(res int, rl sys.Rlimit) sys.Errno {
+	addr := t.structScratch()
+	var b [sys.RlimitSize]byte
+	rl.Encode(b[:])
+	if e := t.p.CopyOut(addr, b[:]); e != sys.OK {
+		return e
+	}
+	_, err := t.Syscall(sys.SYS_setrlimit, sys.Word(res), addr)
+	return err
+}
+
+// Gethostname returns the system hostname.
+func (t *T) Gethostname() (string, sys.Errno) {
+	buf := t.ensureIOBuf(sys.HostnameMax)
+	if _, err := t.Syscall(sys.SYS_gethostname, buf, sys.HostnameMax); err != sys.OK {
+		return "", err
+	}
+	return t.GoString(buf), sys.OK
+}

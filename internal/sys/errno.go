@@ -1,0 +1,155 @@
+// Package sys defines the simulated 4.3BSD system interface: system call
+// numbers, error numbers, shared kernel/user types and their binary
+// encodings, and the Handler interface through which every instance of the
+// system interface — the kernel and any interposition agents — is invoked.
+//
+// The package deliberately mirrors the structure described in the paper
+// "Interposition Agents: Transparently Interposing User Code at the System
+// Interface" (Jones, SOSP '93): the system interface is a single entry
+// point accepting vectors of untyped numeric arguments, plus the set of
+// signals the system can deliver upward to applications.
+package sys
+
+// Errno is a 4.3BSD-style error number. Zero means success.
+type Errno int
+
+// Error numbers, following the historical BSD values.
+const (
+	OK           Errno = 0  // no error
+	EPERM        Errno = 1  // operation not permitted
+	ENOENT       Errno = 2  // no such file or directory
+	ESRCH        Errno = 3  // no such process
+	EINTR        Errno = 4  // interrupted system call
+	EIO          Errno = 5  // input/output error
+	ENXIO        Errno = 6  // device not configured
+	E2BIG        Errno = 7  // argument list too long
+	ENOEXEC      Errno = 8  // exec format error
+	EBADF        Errno = 9  // bad file descriptor
+	ECHILD       Errno = 10 // no child processes
+	EDEADLK      Errno = 11 // resource deadlock avoided
+	ENOMEM       Errno = 12 // cannot allocate memory
+	EACCES       Errno = 13 // permission denied
+	EFAULT       Errno = 14 // bad address
+	ENOTBLK      Errno = 15 // block device required
+	EBUSY        Errno = 16 // device busy
+	EEXIST       Errno = 17 // file exists
+	EXDEV        Errno = 18 // cross-device link
+	ENODEV       Errno = 19 // operation not supported by device
+	ENOTDIR      Errno = 20 // not a directory
+	EISDIR       Errno = 21 // is a directory
+	EINVAL       Errno = 22 // invalid argument
+	ENFILE       Errno = 23 // too many open files in system
+	EMFILE       Errno = 24 // too many open files
+	ENOTTY       Errno = 25 // inappropriate ioctl for device
+	ETXTBSY      Errno = 26 // text file busy
+	EFBIG        Errno = 27 // file too large
+	ENOSPC       Errno = 28 // no space left on device
+	ESPIPE       Errno = 29 // illegal seek
+	EROFS        Errno = 30 // read-only file system
+	EMLINK       Errno = 31 // too many links
+	EPIPE        Errno = 32 // broken pipe
+	EDOM         Errno = 33 // numerical argument out of domain
+	ERANGE       Errno = 34 // result too large
+	EAGAIN       Errno = 35 // resource temporarily unavailable
+	ENOSYS       Errno = 36 // function not implemented (no such system call)
+	ELOOP        Errno = 62 // too many levels of symbolic links
+	ENAMETOOLONG Errno = 63 // file name too long
+	ENOTEMPTY    Errno = 66 // directory not empty
+)
+
+var errnoText = map[Errno]string{
+	OK:           "no error",
+	EPERM:        "operation not permitted",
+	ENOENT:       "no such file or directory",
+	ESRCH:        "no such process",
+	EINTR:        "interrupted system call",
+	EIO:          "input/output error",
+	ENXIO:        "device not configured",
+	E2BIG:        "argument list too long",
+	ENOEXEC:      "exec format error",
+	EBADF:        "bad file descriptor",
+	ECHILD:       "no child processes",
+	EDEADLK:      "resource deadlock avoided",
+	ENOMEM:       "cannot allocate memory",
+	EACCES:       "permission denied",
+	EFAULT:       "bad address",
+	ENOTBLK:      "block device required",
+	EBUSY:        "device busy",
+	EEXIST:       "file exists",
+	EXDEV:        "cross-device link",
+	ENODEV:       "operation not supported by device",
+	ENOTDIR:      "not a directory",
+	EISDIR:       "is a directory",
+	EINVAL:       "invalid argument",
+	ENFILE:       "too many open files in system",
+	EMFILE:       "too many open files",
+	ENOTTY:       "inappropriate ioctl for device",
+	ETXTBSY:      "text file busy",
+	EFBIG:        "file too large",
+	ENOSPC:       "no space left on device",
+	ESPIPE:       "illegal seek",
+	EROFS:        "read-only file system",
+	EMLINK:       "too many links",
+	EPIPE:        "broken pipe",
+	EDOM:         "numerical argument out of domain",
+	ERANGE:       "result too large",
+	EAGAIN:       "resource temporarily unavailable",
+	ENOSYS:       "function not implemented",
+	ELOOP:        "too many levels of symbolic links",
+	ENAMETOOLONG: "file name too long",
+	ENOTEMPTY:    "directory not empty",
+}
+
+var errnoName = map[Errno]string{
+	EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH", EINTR: "EINTR",
+	EIO: "EIO", ENXIO: "ENXIO", E2BIG: "E2BIG", ENOEXEC: "ENOEXEC",
+	EBADF: "EBADF", ECHILD: "ECHILD", EDEADLK: "EDEADLK", ENOMEM: "ENOMEM",
+	EACCES: "EACCES", EFAULT: "EFAULT", ENOTBLK: "ENOTBLK", EBUSY: "EBUSY",
+	EEXIST: "EEXIST", EXDEV: "EXDEV", ENODEV: "ENODEV", ENOTDIR: "ENOTDIR",
+	EISDIR: "EISDIR", EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE",
+	ENOTTY: "ENOTTY", ETXTBSY: "ETXTBSY", EFBIG: "EFBIG", ENOSPC: "ENOSPC",
+	ESPIPE: "ESPIPE", EROFS: "EROFS", EMLINK: "EMLINK", EPIPE: "EPIPE",
+	EDOM: "EDOM", ERANGE: "ERANGE", EAGAIN: "EAGAIN", ENOSYS: "ENOSYS",
+	ELOOP: "ELOOP", ENAMETOOLONG: "ENAMETOOLONG", ENOTEMPTY: "ENOTEMPTY",
+}
+
+// Error implements the error interface so an Errno can be returned from Go
+// code directly. OK should never be treated as an error value.
+func (e Errno) Error() string {
+	if s, ok := errnoText[e]; ok {
+		return s
+	}
+	return "errno " + itoa(int(e))
+}
+
+// Name returns the symbolic name ("ENOENT") of the error number.
+func (e Errno) Name() string {
+	if s, ok := errnoName[e]; ok {
+		return s
+	}
+	return "E" + itoa(int(e))
+}
+
+// itoa is a minimal integer formatter so this low-level package does not
+// depend on fmt or strconv.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,59 @@
+package sys
+
+// Args is the untyped numeric argument vector of a system call, as seen at
+// the lowest (numeric) layer of the system interface. Pointer arguments are
+// Words addressing the calling process's simulated address space.
+type Args [6]Word
+
+// Retval is the two-word return value register pair of a system call
+// (the paper's "int rv[2]"). Most calls use only R0; pipe uses both.
+type Retval [2]Word
+
+// Ctx is the per-call context handed to every instance of the system
+// interface: it identifies the calling process and gives access to its
+// simulated address space. The kernel's Proc type implements Ctx; agents
+// use it to decode and encode call arguments.
+type Ctx interface {
+	// PID returns the calling process's id.
+	PID() int
+	// CopyIn copies len(p) bytes from the caller's address space at addr.
+	CopyIn(addr Word, p []byte) Errno
+	// CopyOut copies p into the caller's address space at addr.
+	CopyOut(addr Word, p []byte) Errno
+	// CopyInString copies a NUL-terminated string of at most max bytes
+	// (excluding the NUL) from the caller's address space.
+	CopyInString(addr Word, max int) (string, Errno)
+}
+
+// Handler is one instance of the system interface: a single entry point
+// accepting a system call number and a vector of untyped numeric arguments.
+// Both the kernel and every interposition agent layer implement Handler.
+type Handler interface {
+	Syscall(c Ctx, num int, a Args) (Retval, Errno)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(c Ctx, num int, a Args) (Retval, Errno)
+
+// Syscall calls f.
+func (f HandlerFunc) Syscall(c Ctx, num int, a Args) (Retval, Errno) {
+	return f(c, num, a)
+}
+
+// SignalInterposer is the upward half of the system interface: the set of
+// upcalls (signals) the system can make on applications. An agent layer
+// that implements SignalInterposer sees each signal on its way from the
+// kernel up to the application and may observe, modify, or suppress it.
+type SignalInterposer interface {
+	// Signal is invoked when sig is about to be delivered to process c.
+	// The returned signal is delivered to the next layer up (ultimately
+	// the application); returning 0 suppresses delivery.
+	Signal(c Ctx, sig int, code int) int
+}
+
+// Interposer is the full bidirectional system interface boundary:
+// system calls flowing down and signals flowing up.
+type Interposer interface {
+	Handler
+	SignalInterposer
+}

@@ -1,0 +1,241 @@
+package sys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestErrnoStrings(t *testing.T) {
+	if ENOENT.Error() != "no such file or directory" {
+		t.Fatalf("ENOENT text = %q", ENOENT.Error())
+	}
+	if ENOENT.Name() != "ENOENT" {
+		t.Fatalf("ENOENT name = %q", ENOENT.Name())
+	}
+	if Errno(999).Name() != "E999" {
+		t.Fatalf("unknown errno name = %q", Errno(999).Name())
+	}
+	if Errno(999).Error() != "errno 999" {
+		t.Fatalf("unknown errno text = %q", Errno(999).Error())
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -13: "-13", 100000: "100000"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	if SyscallName(SYS_open) != "open" {
+		t.Fatalf("open name = %q", SyscallName(SYS_open))
+	}
+	if SyscallName(159) != "syscall#159" {
+		t.Fatalf("unknown = %q", SyscallName(159))
+	}
+	if !ValidSyscall(SYS_read) || ValidSyscall(11) || ValidSyscall(-1) || ValidSyscall(MaxSyscall) {
+		t.Fatal("ValidSyscall wrong")
+	}
+	if n := len(Syscalls()); n < 60 {
+		t.Fatalf("only %d syscalls implemented", n)
+	}
+}
+
+func TestSignalNames(t *testing.T) {
+	if SignalName(SIGKILL) != "SIGKILL" {
+		t.Fatalf("SIGKILL = %q", SignalName(SIGKILL))
+	}
+	if SignalName(0) != "signal#0" {
+		t.Fatalf("signal 0 = %q", SignalName(0))
+	}
+}
+
+func TestSigMask(t *testing.T) {
+	if SigMask(SIGHUP) != 1 {
+		t.Fatalf("SIGHUP mask = %#x", SigMask(SIGHUP))
+	}
+	if SigMask(SIGUSR2) != 1<<30 {
+		t.Fatalf("SIGUSR2 mask = %#x", SigMask(SIGUSR2))
+	}
+	// All signal masks are distinct bits.
+	seen := uint32(0)
+	for s := 1; s < NSIG; s++ {
+		m := SigMask(s)
+		if m == 0 || seen&m != 0 {
+			t.Fatalf("mask collision at %d", s)
+		}
+		seen |= m
+	}
+}
+
+func TestWaitStatus(t *testing.T) {
+	st := WStatusExit(42)
+	if !WIfExited(st) || WExitStatus(st) != 42 {
+		t.Fatalf("exit status %#x", st)
+	}
+	st = WStatusSignal(SIGTERM)
+	if WIfExited(st) || WTermSig(st) != SIGTERM {
+		t.Fatalf("signal status %#x", st)
+	}
+	// Property: every exit code round-trips modulo 256.
+	f := func(code uint8) bool {
+		st := WStatusExit(int(code))
+		return WIfExited(st) && WExitStatus(st) == int(code)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimevalRoundTrip(t *testing.T) {
+	f := func(sec, usec uint32) bool {
+		var b [TimevalSize]byte
+		Timeval{Sec: sec, Usec: usec}.Encode(b[:])
+		got := DecodeTimeval(b[:])
+		return got.Sec == sec && got.Usec == usec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatRoundTrip(t *testing.T) {
+	f := func(dev, ino, mode, nlink, uid, gid, rdev, size, bs, blocks uint32) bool {
+		in := Stat{
+			Dev: dev, Ino: ino, Mode: mode, Nlink: nlink, UID: uid, GID: gid,
+			Rdev: rdev, Size: size,
+			Atime: Timeval{Sec: 1, Usec: 2}, Mtime: Timeval{Sec: 3, Usec: 4},
+			Ctime: Timeval{Sec: 5, Usec: 6}, Blksize: bs, Blocks: blocks,
+		}
+		var b [StatSize]byte
+		in.Encode(b[:])
+		return DecodeStat(b[:]) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatPredicates(t *testing.T) {
+	if !(Stat{Mode: S_IFDIR | 0o755}).IsDir() || (Stat{Mode: S_IFREG}).IsDir() {
+		t.Fatal("IsDir wrong")
+	}
+	if !(Stat{Mode: S_IFREG | 0o644}).IsReg() || (Stat{Mode: S_IFLNK}).IsReg() {
+		t.Fatal("IsReg wrong")
+	}
+}
+
+func TestRusageRoundTrip(t *testing.T) {
+	in := Rusage{
+		Utime: Timeval{Sec: 1, Usec: 2}, Stime: Timeval{Sec: 3, Usec: 4},
+		Maxrss: 5, Minflt: 6, Majflt: 7, Inblock: 8, Oublock: 9,
+		Nsignals: 10, Nvcsw: 11, Nivcsw: 12, Nsyscall: 13,
+	}
+	var b [RusageSize]byte
+	in.Encode(b[:])
+	if DecodeRusage(b[:]) != in {
+		t.Fatal("rusage round trip")
+	}
+}
+
+func TestRlimitRoundTrip(t *testing.T) {
+	var b [RlimitSize]byte
+	Rlimit{Cur: 10, Max: 20}.Encode(b[:])
+	if got := DecodeRlimit(b[:]); got.Cur != 10 || got.Max != 20 {
+		t.Fatalf("rlimit = %+v", got)
+	}
+}
+
+func TestSigvecRoundTrip(t *testing.T) {
+	var b [SigvecSize]byte
+	Sigvec{Handler: 0x1234, Mask: 0x5678, Flags: 1}.Encode(b[:])
+	got := DecodeSigvec(b[:])
+	if got.Handler != 0x1234 || got.Mask != 0x5678 || got.Flags != 1 {
+		t.Fatalf("sigvec = %+v", got)
+	}
+}
+
+func TestDirentEncoding(t *testing.T) {
+	var b []byte
+	b = EncodeDirent(b, Dirent{Ino: 2, Name: "."})
+	b = EncodeDirent(b, Dirent{Ino: 7, Name: "hello.txt"})
+	b = EncodeDirent(b, Dirent{Ino: 9, Name: "x"})
+	got := DecodeDirents(b)
+	want := []Dirent{{2, "."}, {7, "hello.txt"}, {9, "x"}}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDirentRecLenAligned(t *testing.T) {
+	f := func(nameLen uint8) bool {
+		name := make([]byte, int(nameLen)%NameMax+1)
+		for i := range name {
+			name[i] = 'a'
+		}
+		rl := DirentRecLen(string(name))
+		return rl%4 == 0 && rl >= 8+len(name)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirentRoundTripProperty(t *testing.T) {
+	f := func(inos []uint32) bool {
+		var b []byte
+		var want []Dirent
+		for i, ino := range inos {
+			name := "f" + itoa(i)
+			want = append(want, Dirent{Ino: ino, Name: name})
+			b = EncodeDirent(b, Dirent{Ino: ino, Name: name})
+		}
+		got := DecodeDirents(b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDirentsMalformed(t *testing.T) {
+	// Truncated or corrupt streams must not panic and must stop cleanly.
+	for _, b := range [][]byte{
+		nil,
+		{1, 2, 3},
+		{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}, // huge reclen
+		{0, 0, 0, 0, 8, 0, 20, 0},            // namlen > reclen
+	} {
+		if got := DecodeDirents(b); len(got) != 0 {
+			t.Fatalf("decoded %d entries from garbage %v", len(got), b)
+		}
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	called := false
+	h := HandlerFunc(func(c Ctx, num int, a Args) (Retval, Errno) {
+		called = true
+		return Retval{42}, OK
+	})
+	rv, err := h.Syscall(nil, 1, Args{})
+	if !called || rv[0] != 42 || err != OK {
+		t.Fatal("HandlerFunc dispatch")
+	}
+}

@@ -1,0 +1,475 @@
+package sys
+
+import "encoding/binary"
+
+// Word is the machine word of the simulated 32-bit architecture. All
+// pointers passed through the system interface are Words addressing the
+// calling process's simulated address space.
+type Word = uint32
+
+// Limits of the simulated system.
+const (
+	PathMax     = 1024 // longest pathname, including NUL
+	NameMax     = 255  // longest single pathname component
+	ArgMax      = 64 * 1024
+	OpenMax     = 64 // per-process descriptor table size
+	PipeBuf     = 4096
+	PageSize    = 4096
+	NGroups     = 16
+	HostnameMax = 256
+)
+
+// open() flags.
+const (
+	O_RDONLY   = 0x0000
+	O_WRONLY   = 0x0001
+	O_RDWR     = 0x0002
+	O_ACCMODE  = 0x0003
+	O_NONBLOCK = 0x0004
+	O_APPEND   = 0x0008
+	O_CREAT    = 0x0200
+	O_TRUNC    = 0x0400
+	O_EXCL     = 0x0800
+)
+
+// File mode bits (struct stat st_mode).
+const (
+	S_IFMT   = 0o170000
+	S_IFIFO  = 0o010000
+	S_IFCHR  = 0o020000
+	S_IFDIR  = 0o040000
+	S_IFBLK  = 0o060000
+	S_IFREG  = 0o100000
+	S_IFLNK  = 0o120000
+	S_IFSOCK = 0o140000
+
+	S_ISUID = 0o4000
+	S_ISGID = 0o2000
+	S_ISVTX = 0o1000
+
+	S_IRWXU = 0o700
+	S_IRUSR = 0o400
+	S_IWUSR = 0o200
+	S_IXUSR = 0o100
+	S_IRWXG = 0o070
+	S_IRGRP = 0o040
+	S_IWGRP = 0o020
+	S_IXGRP = 0o010
+	S_IRWXO = 0o007
+	S_IROTH = 0o004
+	S_IWOTH = 0o002
+	S_IXOTH = 0o001
+)
+
+// access() modes.
+const (
+	F_OK = 0
+	X_OK = 1
+	W_OK = 2
+	R_OK = 4
+)
+
+// lseek whence values.
+const (
+	SEEK_SET = 0
+	SEEK_CUR = 1
+	SEEK_END = 2
+)
+
+// fcntl commands and flags.
+const (
+	F_DUPFD = 0
+	F_GETFD = 1
+	F_SETFD = 2
+	F_GETFL = 3
+	F_SETFL = 4
+
+	FD_CLOEXEC = 1
+)
+
+// flock operations.
+const (
+	LOCK_SH = 1
+	LOCK_EX = 2
+	LOCK_NB = 4
+	LOCK_UN = 8
+)
+
+// Signals, 4.3BSD numbering.
+const (
+	SIGHUP    = 1
+	SIGINT    = 2
+	SIGQUIT   = 3
+	SIGILL    = 4
+	SIGTRAP   = 5
+	SIGABRT   = 6
+	SIGEMT    = 7
+	SIGFPE    = 8
+	SIGKILL   = 9
+	SIGBUS    = 10
+	SIGSEGV   = 11
+	SIGSYS    = 12
+	SIGPIPE   = 13
+	SIGALRM   = 14
+	SIGTERM   = 15
+	SIGURG    = 16
+	SIGSTOP   = 17
+	SIGTSTP   = 18
+	SIGCONT   = 19
+	SIGCHLD   = 20
+	SIGTTIN   = 21
+	SIGTTOU   = 22
+	SIGIO     = 23
+	SIGXCPU   = 24
+	SIGXFSZ   = 25
+	SIGVTALRM = 26
+	SIGPROF   = 27
+	SIGWINCH  = 28
+	SIGINFO   = 29
+	SIGUSR1   = 30
+	SIGUSR2   = 31
+
+	NSIG = 32
+)
+
+// Special signal handler "addresses" understood by sigvec.
+const (
+	SIG_DFL Word = 0
+	SIG_IGN Word = 1
+)
+
+var sigName = [NSIG]string{
+	SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGQUIT: "SIGQUIT", SIGILL: "SIGILL",
+	SIGTRAP: "SIGTRAP", SIGABRT: "SIGABRT", SIGEMT: "SIGEMT", SIGFPE: "SIGFPE",
+	SIGKILL: "SIGKILL", SIGBUS: "SIGBUS", SIGSEGV: "SIGSEGV", SIGSYS: "SIGSYS",
+	SIGPIPE: "SIGPIPE", SIGALRM: "SIGALRM", SIGTERM: "SIGTERM", SIGURG: "SIGURG",
+	SIGSTOP: "SIGSTOP", SIGTSTP: "SIGTSTP", SIGCONT: "SIGCONT", SIGCHLD: "SIGCHLD",
+	SIGTTIN: "SIGTTIN", SIGTTOU: "SIGTTOU", SIGIO: "SIGIO", SIGXCPU: "SIGXCPU",
+	SIGXFSZ: "SIGXFSZ", SIGVTALRM: "SIGVTALRM", SIGPROF: "SIGPROF",
+	SIGWINCH: "SIGWINCH", SIGINFO: "SIGINFO", SIGUSR1: "SIGUSR1", SIGUSR2: "SIGUSR2",
+}
+
+// SignalName returns the symbolic name of a signal number.
+func SignalName(sig int) string {
+	if sig > 0 && sig < NSIG && sigName[sig] != "" {
+		return sigName[sig]
+	}
+	return "signal#" + itoa(sig)
+}
+
+// SigMask returns the mask bit for a signal, as used by sigblock and
+// sigsetmask. Signal 1 is bit 0, as in 4.3BSD.
+func SigMask(sig int) uint32 { return 1 << (uint(sig) - 1) }
+
+// Wait status construction and inspection, mirroring <sys/wait.h>.
+
+// WExitStatus builds a wait status word for a normal exit.
+func WStatusExit(code int) Word { return Word(code&0xff) << 8 }
+
+// WStatusSignal builds a wait status word for death by signal.
+func WStatusSignal(sig int) Word { return Word(sig & 0x7f) }
+
+// WIfExited reports whether the status denotes a normal exit.
+func WIfExited(status Word) bool { return status&0x7f == 0 }
+
+// WExitStatus extracts the exit code from a normal-exit status.
+func WExitStatus(status Word) int { return int(status>>8) & 0xff }
+
+// WTermSig extracts the terminating signal from a killed-by-signal status.
+func WTermSig(status Word) int { return int(status & 0x7f) }
+
+// wait4 options.
+const (
+	WNOHANG   = 1
+	WUNTRACED = 2
+)
+
+// Resource limits.
+const (
+	RLIMIT_CPU    = 0
+	RLIMIT_FSIZE  = 1
+	RLIMIT_DATA   = 2
+	RLIMIT_STACK  = 3
+	RLIMIT_CORE   = 4
+	RLIMIT_RSS    = 5
+	RLIMIT_NOFILE = 6
+	RLIM_NLIMITS  = 7
+
+	RLIM_INFINITY = 0x7fffffff
+)
+
+// ioctl requests implemented by the simulated tty driver.
+const (
+	TIOCGWINSZ = 0x4008_7468
+	TIOCGPGRP  = 0x4004_7477
+	TIOCSPGRP  = 0x8004_7476
+)
+
+// Timeval is the 4.3BSD struct timeval: seconds and microseconds.
+type Timeval struct {
+	Sec  uint32
+	Usec uint32
+}
+
+// TimevalSize is the encoded size of a Timeval.
+const TimevalSize = 8
+
+// Encode writes the binary form of tv into b, which must be at least
+// TimevalSize bytes.
+func (tv Timeval) Encode(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], tv.Sec)
+	binary.LittleEndian.PutUint32(b[4:], tv.Usec)
+}
+
+// DecodeTimeval parses a Timeval from b.
+func DecodeTimeval(b []byte) Timeval {
+	return Timeval{
+		Sec:  binary.LittleEndian.Uint32(b[0:]),
+		Usec: binary.LittleEndian.Uint32(b[4:]),
+	}
+}
+
+// Interval timers (setitimer).
+const (
+	ITIMER_REAL = 0
+
+	// ItimervalSize is the encoded size of a struct itimerval: the
+	// interval and current value timevals.
+	ItimervalSize = 2 * TimevalSize
+)
+
+// Itimerval is the 4.3BSD struct itimerval.
+type Itimerval struct {
+	Interval Timeval // reload value for periodic timers
+	Value    Timeval // time until next expiration (zero = disarmed)
+}
+
+// Encode writes the binary form of it into b.
+func (it Itimerval) Encode(b []byte) {
+	it.Interval.Encode(b[0:])
+	it.Value.Encode(b[8:])
+}
+
+// DecodeItimerval parses an Itimerval from b.
+func DecodeItimerval(b []byte) Itimerval {
+	return Itimerval{Interval: DecodeTimeval(b[0:]), Value: DecodeTimeval(b[8:])}
+}
+
+// Duration converts a Timeval to a time duration in microsecond units.
+func (tv Timeval) Duration() int64 { return int64(tv.Sec)*1_000_000 + int64(tv.Usec) }
+
+// Stat is the 4.3BSD struct stat.
+type Stat struct {
+	Dev     uint32
+	Ino     uint32
+	Mode    uint32
+	Nlink   uint32
+	UID     uint32
+	GID     uint32
+	Rdev    uint32
+	Size    uint32
+	Atime   Timeval
+	Mtime   Timeval
+	Ctime   Timeval
+	Blksize uint32
+	Blocks  uint32
+}
+
+// StatSize is the encoded size of a Stat: eight words, three timevals,
+// and two trailing words.
+const StatSize = 8*4 + 3*TimevalSize + 2*4
+
+// Encode writes the binary form of st into b, which must be at least
+// StatSize bytes.
+func (st Stat) Encode(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], st.Dev)
+	le.PutUint32(b[4:], st.Ino)
+	le.PutUint32(b[8:], st.Mode)
+	le.PutUint32(b[12:], st.Nlink)
+	le.PutUint32(b[16:], st.UID)
+	le.PutUint32(b[20:], st.GID)
+	le.PutUint32(b[24:], st.Rdev)
+	le.PutUint32(b[28:], st.Size)
+	st.Atime.Encode(b[32:])
+	st.Mtime.Encode(b[40:])
+	st.Ctime.Encode(b[48:])
+	le.PutUint32(b[56:], st.Blksize)
+	le.PutUint32(b[60:], st.Blocks)
+}
+
+// DecodeStat parses a Stat from b.
+func DecodeStat(b []byte) Stat {
+	le := binary.LittleEndian
+	return Stat{
+		Dev:     le.Uint32(b[0:]),
+		Ino:     le.Uint32(b[4:]),
+		Mode:    le.Uint32(b[8:]),
+		Nlink:   le.Uint32(b[12:]),
+		UID:     le.Uint32(b[16:]),
+		GID:     le.Uint32(b[20:]),
+		Rdev:    le.Uint32(b[24:]),
+		Size:    le.Uint32(b[28:]),
+		Atime:   DecodeTimeval(b[32:]),
+		Mtime:   DecodeTimeval(b[40:]),
+		Ctime:   DecodeTimeval(b[48:]),
+		Blksize: le.Uint32(b[56:]),
+		Blocks:  le.Uint32(b[60:]),
+	}
+}
+
+// IsDir reports whether the mode denotes a directory.
+func (st Stat) IsDir() bool { return st.Mode&S_IFMT == S_IFDIR }
+
+// IsReg reports whether the mode denotes a regular file.
+func (st Stat) IsReg() bool { return st.Mode&S_IFMT == S_IFREG }
+
+// Rusage is an abbreviated 4.3BSD struct rusage.
+type Rusage struct {
+	Utime    Timeval
+	Stime    Timeval
+	Maxrss   uint32
+	Minflt   uint32
+	Majflt   uint32
+	Inblock  uint32
+	Oublock  uint32
+	Nsignals uint32
+	Nvcsw    uint32
+	Nivcsw   uint32
+	Nsyscall uint32 // extension: system calls made
+}
+
+// RusageSize is the encoded size of a Rusage.
+const RusageSize = 2*TimevalSize + 9*4
+
+// Encode writes the binary form of ru into b.
+func (ru Rusage) Encode(b []byte) {
+	le := binary.LittleEndian
+	ru.Utime.Encode(b[0:])
+	ru.Stime.Encode(b[8:])
+	le.PutUint32(b[16:], ru.Maxrss)
+	le.PutUint32(b[20:], ru.Minflt)
+	le.PutUint32(b[24:], ru.Majflt)
+	le.PutUint32(b[28:], ru.Inblock)
+	le.PutUint32(b[32:], ru.Oublock)
+	le.PutUint32(b[36:], ru.Nsignals)
+	le.PutUint32(b[40:], ru.Nvcsw)
+	le.PutUint32(b[44:], ru.Nivcsw)
+	le.PutUint32(b[48:], ru.Nsyscall)
+}
+
+// DecodeRusage parses a Rusage from b.
+func DecodeRusage(b []byte) Rusage {
+	le := binary.LittleEndian
+	return Rusage{
+		Utime:    DecodeTimeval(b[0:]),
+		Stime:    DecodeTimeval(b[8:]),
+		Maxrss:   le.Uint32(b[16:]),
+		Minflt:   le.Uint32(b[20:]),
+		Majflt:   le.Uint32(b[24:]),
+		Inblock:  le.Uint32(b[28:]),
+		Oublock:  le.Uint32(b[32:]),
+		Nsignals: le.Uint32(b[36:]),
+		Nvcsw:    le.Uint32(b[40:]),
+		Nivcsw:   le.Uint32(b[44:]),
+		Nsyscall: le.Uint32(b[48:]),
+	}
+}
+
+// getrusage who values.
+const (
+	RUSAGE_SELF     = 0
+	RUSAGE_CHILDREN = 0xffffffff // -1 as a Word
+)
+
+// Rlimit is the 4.3BSD struct rlimit.
+type Rlimit struct {
+	Cur uint32
+	Max uint32
+}
+
+// RlimitSize is the encoded size of an Rlimit.
+const RlimitSize = 8
+
+// Encode writes the binary form of rl into b.
+func (rl Rlimit) Encode(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], rl.Cur)
+	binary.LittleEndian.PutUint32(b[4:], rl.Max)
+}
+
+// DecodeRlimit parses an Rlimit from b.
+func DecodeRlimit(b []byte) Rlimit {
+	return Rlimit{
+		Cur: binary.LittleEndian.Uint32(b[0:]),
+		Max: binary.LittleEndian.Uint32(b[4:]),
+	}
+}
+
+// Sigvec is the 4.3BSD struct sigvec passed to the sigvec system call.
+// Handler holds SIG_DFL, SIG_IGN, or an application handler token.
+type Sigvec struct {
+	Handler Word
+	Mask    uint32
+	Flags   uint32
+}
+
+// SigvecSize is the encoded size of a Sigvec.
+const SigvecSize = 12
+
+// Encode writes the binary form of sv into b.
+func (sv Sigvec) Encode(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], sv.Handler)
+	le.PutUint32(b[4:], sv.Mask)
+	le.PutUint32(b[8:], sv.Flags)
+}
+
+// DecodeSigvec parses a Sigvec from b.
+func DecodeSigvec(b []byte) Sigvec {
+	le := binary.LittleEndian
+	return Sigvec{Handler: le.Uint32(b[0:]), Mask: le.Uint32(b[4:]), Flags: le.Uint32(b[8:])}
+}
+
+// Dirent is one record in the byte stream produced by getdirentries,
+// mirroring the 4.3BSD struct direct.
+type Dirent struct {
+	Ino  uint32
+	Name string
+}
+
+// DirentRecLen returns the on-"disk" record length for a name: the fixed
+// header (ino, reclen, namlen) plus the NUL-terminated name, padded to a
+// 4-byte boundary.
+func DirentRecLen(name string) int {
+	return (8 + len(name) + 1 + 3) &^ 3
+}
+
+// EncodeDirent appends the binary form of d to b and returns the extended
+// slice.
+func EncodeDirent(b []byte, d Dirent) []byte {
+	rl := DirentRecLen(d.Name)
+	off := len(b)
+	b = append(b, make([]byte, rl)...)
+	le := binary.LittleEndian
+	le.PutUint32(b[off:], d.Ino)
+	le.PutUint16(b[off+4:], uint16(rl))
+	le.PutUint16(b[off+6:], uint16(len(d.Name)))
+	copy(b[off+8:], d.Name)
+	return b
+}
+
+// DecodeDirents parses the records in a getdirentries byte stream.
+func DecodeDirents(b []byte) []Dirent {
+	le := binary.LittleEndian
+	var out []Dirent
+	for len(b) >= 8 {
+		rl := int(le.Uint16(b[4:]))
+		nl := int(le.Uint16(b[6:]))
+		if rl < 8 || rl > len(b) || 8+nl > rl {
+			break
+		}
+		out = append(out, Dirent{Ino: le.Uint32(b[0:]), Name: string(b[8 : 8+nl])})
+		b = b[rl:]
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Package vfs implements the in-memory Unix filesystem used by the
+// simulated kernel: inodes, directories, hard and symbolic links,
+// permissions and ownership, devices, and 4.3BSD pathname resolution.
+//
+// The filesystem is shared mutable state accessed by many process
+// goroutines; a single filesystem-wide lock serializes metadata operations,
+// in the style of the era it models.
+package vfs
+
+import "interpose/internal/sys"
+
+// Cred is the credential set used for permission checks.
+type Cred struct {
+	UID    uint32
+	GID    uint32
+	Groups []uint32
+}
+
+// Root reports whether the credentials are the super-user's.
+func (c Cred) Root() bool { return c.UID == 0 }
+
+// InGroup reports whether gid is the primary or a supplementary group.
+func (c Cred) InGroup(gid uint32) bool {
+	if c.GID == gid {
+		return true
+	}
+	for _, g := range c.Groups {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckAccess verifies want (a mask of sys.R_OK/W_OK/X_OK) against an
+// inode's mode and ownership under credentials c.
+func CheckAccess(c Cred, mode, uid, gid uint32, want int) sys.Errno {
+	if c.Root() {
+		// Even root needs some execute bit for X_OK on regular files.
+		if want&sys.X_OK != 0 && mode&sys.S_IFMT == sys.S_IFREG && mode&0o111 == 0 {
+			return sys.EACCES
+		}
+		return sys.OK
+	}
+	var shift uint
+	switch {
+	case c.UID == uid:
+		shift = 6
+	case c.InGroup(gid):
+		shift = 3
+	default:
+		shift = 0
+	}
+	perm := (mode >> shift) & 7
+	var need uint32
+	if want&sys.R_OK != 0 {
+		need |= 4
+	}
+	if want&sys.W_OK != 0 {
+		need |= 2
+	}
+	if want&sys.X_OK != 0 {
+		need |= 1
+	}
+	if perm&need != need {
+		return sys.EACCES
+	}
+	return sys.OK
+}

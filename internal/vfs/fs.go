@@ -1,0 +1,526 @@
+package vfs
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"interpose/internal/sys"
+)
+
+// MaxSymlinks is the symbolic-link expansion limit during resolution.
+const MaxSymlinks = 8
+
+// FS is one in-memory filesystem instance.
+type FS struct {
+	mu      sync.Mutex
+	dev     uint32
+	root    *Inode
+	nextIno uint32
+	clock   func() time.Time
+	ninodes int
+}
+
+// New creates an empty filesystem whose timestamps come from clock
+// (time.Now when nil). The root directory is owned by root with mode 0755.
+func New(clock func() time.Time) *FS {
+	if clock == nil {
+		clock = time.Now
+	}
+	fs := &FS{dev: 1, nextIno: 2, clock: clock}
+	fs.root = fs.newInodeLocked(sys.S_IFDIR|0o755, Cred{UID: 0, GID: 0})
+	fs.root.Nlink = 2
+	fs.root.parent = fs.root
+	return fs
+}
+
+// Root returns the root directory inode.
+func (fs *FS) Root() *Inode { return fs.root }
+
+// NumInodes returns the live inode count (an invariant checked by tests).
+func (fs *FS) NumInodes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ninodes
+}
+
+func (fs *FS) now() time.Time { return fs.clock() }
+
+func (fs *FS) newInodeLocked(mode uint32, cred Cred) *Inode {
+	now := fs.now()
+	ip := &Inode{
+		fs:    fs,
+		Ino:   fs.nextIno,
+		Mode:  mode,
+		Nlink: 1,
+		UID:   cred.UID,
+		GID:   cred.GID,
+		Atime: now,
+		Mtime: now,
+		Ctime: now,
+	}
+	if mode&sys.S_IFMT == sys.S_IFDIR {
+		ip.entries = make(map[string]*Inode)
+	}
+	fs.nextIno++
+	fs.ninodes++
+	return ip
+}
+
+// SplitPath breaks a path into its components, dropping empty ones.
+// The second result reports whether the path was absolute and the third
+// whether it had a trailing slash (so the object must be a directory).
+func SplitPath(path string) (parts []string, absolute, wantDir bool) {
+	absolute = strings.HasPrefix(path, "/")
+	wantDir = strings.HasSuffix(path, "/") && len(path) > 1
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts, absolute, wantDir
+}
+
+// Lookup resolves path starting from start (the caller's working directory
+// for relative paths), following symbolic links in intermediate components
+// and, when follow is set, in the final component too.
+func (fs *FS) Lookup(start *Inode, path string, cred Cred, follow bool) (*Inode, sys.Errno) {
+	return fs.LookupEx(fs.root, start, path, cred, follow)
+}
+
+// LookupEx is Lookup with an explicit root directory, for chrooted callers:
+// absolute paths and absolute symbolic-link targets resolve from root.
+func (fs *FS) LookupEx(root, start *Inode, path string, cred Cred, follow bool) (*Inode, sys.Errno) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ip, _, _, err := fs.resolveLocked(root, start, path, cred, follow, false)
+	return ip, err
+}
+
+// LookupParent resolves everything but the final component of path,
+// returning the parent directory, the final component name, and the
+// existing inode for that name (nil if absent). Symbolic links in the final
+// component are not followed.
+func (fs *FS) LookupParent(start *Inode, path string, cred Cred) (dir *Inode, name string, existing *Inode, err sys.Errno) {
+	return fs.LookupParentEx(fs.root, start, path, cred)
+}
+
+// LookupParentEx is LookupParent with an explicit root directory.
+func (fs *FS) LookupParentEx(root, start *Inode, path string, cred Cred) (dir *Inode, name string, existing *Inode, err sys.Errno) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	existing, dir, name, err = fs.resolveLocked(root, start, path, cred, false, true)
+	if err == sys.ENOENT && dir != nil && name != "" {
+		// Parent found, leaf missing: success for create-style callers.
+		return dir, name, nil, sys.OK
+	}
+	return dir, name, existing, err
+}
+
+// resolveLocked walks path. With wantParent set it also reports the parent
+// directory and leaf name (which requires the path not to end in "." or
+// ".."). Returns the found inode (nil with ENOENT if the leaf is absent).
+func (fs *FS) resolveLocked(root, start *Inode, path string, cred Cred, follow, wantParent bool) (*Inode, *Inode, string, sys.Errno) {
+	if root == nil {
+		root = fs.root
+	}
+	if path == "" {
+		return nil, nil, "", sys.ENOENT
+	}
+	if len(path) >= sys.PathMax {
+		return nil, nil, "", sys.ENAMETOOLONG
+	}
+	parts, absolute, wantDir := SplitPath(path)
+	cur := start
+	if absolute || cur == nil {
+		cur = root
+	}
+	nlinks := 0
+	var parent *Inode
+	var leaf string
+
+	for i := 0; i < len(parts); i++ {
+		name := parts[i]
+		if len(name) > sys.NameMax {
+			return nil, nil, "", sys.ENAMETOOLONG
+		}
+		if !cur.IsDir() {
+			return nil, nil, "", sys.ENOTDIR
+		}
+		if e := CheckAccess(cred, cur.Mode, cur.UID, cur.GID, sys.X_OK); e != sys.OK {
+			return nil, nil, "", e
+		}
+		last := i == len(parts)-1
+		var next *Inode
+		if name == ".." && cur == root {
+			next = cur // ".." at the (possibly chroot) root stays put
+		} else {
+			next = cur.lookupLocked(name)
+		}
+		if last && wantParent {
+			if name == "." || name == ".." {
+				return next, nil, "", sys.EINVAL
+			}
+			parent, leaf = cur, name
+		}
+		if next == nil {
+			if last {
+				return nil, parent, leaf, sys.ENOENT
+			}
+			return nil, nil, "", sys.ENOENT
+		}
+		if next.IsSymlink() && (!last || follow) {
+			nlinks++
+			if nlinks > MaxSymlinks {
+				return nil, nil, "", sys.ELOOP
+			}
+			target := next.link
+			tparts, tabs, twd := SplitPath(target)
+			if target == "" {
+				return nil, nil, "", sys.ENOENT
+			}
+			if twd {
+				wantDir = true
+			}
+			if tabs {
+				cur = root
+			}
+			// Splice the link target in place of this component.
+			rest := append(append([]string{}, tparts...), parts[i+1:]...)
+			parts = rest
+			i = -1
+			continue
+		}
+		cur = next
+	}
+	if wantDir && !cur.IsDir() {
+		return nil, nil, "", sys.ENOTDIR
+	}
+	if len(parts) == 0 && wantParent {
+		// Path was "/" or "." — it has no parent component.
+		return cur, nil, "", sys.EINVAL
+	}
+	return cur, parent, leaf, sys.OK
+}
+
+// checkWrite verifies that cred may modify directory dir's contents.
+func checkWrite(cred Cred, dir *Inode) sys.Errno {
+	return CheckAccess(cred, dir.Mode, dir.UID, dir.GID, sys.W_OK)
+}
+
+// stickyCheck enforces the sticky-directory deletion rule.
+func stickyCheck(cred Cred, dir, victim *Inode) sys.Errno {
+	if dir.Mode&sys.S_ISVTX == 0 || cred.Root() {
+		return sys.OK
+	}
+	if cred.UID != dir.UID && cred.UID != victim.UID {
+		return sys.EPERM
+	}
+	return sys.OK
+}
+
+// Create makes a new regular file entry name in dir with the given
+// permission bits. It fails with EEXIST if the name is taken.
+func (fs *FS) Create(dir *Inode, name string, perm uint32, cred Cred) (*Inode, sys.Errno) {
+	return fs.makeNode(dir, name, sys.S_IFREG|perm&0o7777, cred, nil, "")
+}
+
+// Mkdir makes a new directory entry name in dir.
+func (fs *FS) Mkdir(dir *Inode, name string, perm uint32, cred Cred) (*Inode, sys.Errno) {
+	ip, err := fs.makeNode(dir, name, sys.S_IFDIR|perm&0o7777, cred, nil, "")
+	if err == sys.OK {
+		fs.mu.Lock()
+		ip.Nlink = 2 // "." counts
+		dir.Nlink++  // ".." in the child
+		ip.parent = dir
+		fs.mu.Unlock()
+	}
+	return ip, err
+}
+
+// Symlink makes a symbolic link entry name in dir pointing at target.
+func (fs *FS) Symlink(dir *Inode, name, target string, cred Cred) (*Inode, sys.Errno) {
+	return fs.makeNode(dir, name, sys.S_IFLNK|0o777, cred, nil, target)
+}
+
+// MkDev makes a character-device entry name in dir backed by dev.
+func (fs *FS) MkDev(dir *Inode, name string, perm, rdev uint32, dev Device, cred Cred) (*Inode, sys.Errno) {
+	ip, err := fs.makeNode(dir, name, sys.S_IFCHR|perm&0o7777, cred, dev, "")
+	if err == sys.OK {
+		fs.mu.Lock()
+		ip.Rdev = rdev
+		fs.mu.Unlock()
+	}
+	return ip, err
+}
+
+func (fs *FS) makeNode(dir *Inode, name string, mode uint32, cred Cred, dev Device, link string) (*Inode, sys.Errno) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !dir.IsDir() {
+		return nil, sys.ENOTDIR
+	}
+	if name == "" || name == "." || name == ".." || strings.Contains(name, "/") {
+		return nil, sys.EINVAL
+	}
+	if len(name) > sys.NameMax {
+		return nil, sys.ENAMETOOLONG
+	}
+	if dir.lookupLocked(name) != nil {
+		return nil, sys.EEXIST
+	}
+	if e := checkWrite(cred, dir); e != sys.OK {
+		return nil, e
+	}
+	ip := fs.newInodeLocked(mode, cred)
+	ip.dev = dev
+	ip.link = link
+	// BSD semantics: new files inherit the group of their directory.
+	ip.GID = dir.GID
+	dir.insertLocked(name, ip)
+	return ip, sys.OK
+}
+
+// Link adds a hard link named name in dir to the existing inode target.
+func (fs *FS) Link(dir *Inode, name string, target *Inode, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if target.IsDir() {
+		return sys.EPERM
+	}
+	if !dir.IsDir() {
+		return sys.ENOTDIR
+	}
+	if name == "" || name == "." || name == ".." {
+		return sys.EINVAL
+	}
+	if dir.lookupLocked(name) != nil {
+		return sys.EEXIST
+	}
+	if e := checkWrite(cred, dir); e != sys.OK {
+		return e
+	}
+	if target.Nlink >= 32767 {
+		return sys.EMLINK
+	}
+	target.Nlink++
+	target.Ctime = fs.now()
+	dir.insertLocked(name, target)
+	return sys.OK
+}
+
+// Unlink removes the entry name from dir. Directories cannot be unlinked.
+func (fs *FS) Unlink(dir *Inode, name string, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !dir.IsDir() {
+		return sys.ENOTDIR
+	}
+	victim := dir.lookupLocked(name)
+	if victim == nil {
+		return sys.ENOENT
+	}
+	if name == "." || name == ".." {
+		return sys.EINVAL
+	}
+	if victim.IsDir() {
+		return sys.EPERM
+	}
+	if e := checkWrite(cred, dir); e != sys.OK {
+		return e
+	}
+	if e := stickyCheck(cred, dir, victim); e != sys.OK {
+		return e
+	}
+	dir.removeLocked(name)
+	fs.dropLocked(victim)
+	return sys.OK
+}
+
+// Rmdir removes the empty directory entry name from dir.
+func (fs *FS) Rmdir(dir *Inode, name string, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !dir.IsDir() {
+		return sys.ENOTDIR
+	}
+	if name == "." || name == ".." {
+		return sys.EINVAL
+	}
+	victim := dir.lookupLocked(name)
+	if victim == nil {
+		return sys.ENOENT
+	}
+	if !victim.IsDir() {
+		return sys.ENOTDIR
+	}
+	if victim == fs.root {
+		return sys.EBUSY
+	}
+	if len(victim.entries) != 0 {
+		return sys.ENOTEMPTY
+	}
+	if e := checkWrite(cred, dir); e != sys.OK {
+		return e
+	}
+	if e := stickyCheck(cred, dir, victim); e != sys.OK {
+		return e
+	}
+	dir.removeLocked(name)
+	dir.Nlink-- // the victim's ".."
+	victim.Nlink = 0
+	victim.parent = nil
+	fs.ninodes--
+	return sys.OK
+}
+
+// dropLocked decrements a link count and reclaims the inode at zero.
+func (fs *FS) dropLocked(ip *Inode) {
+	ip.Nlink--
+	ip.Ctime = fs.now()
+	if ip.Nlink == 0 {
+		fs.ninodes--
+		// Data stays reachable through any open file description; the Go
+		// garbage collector is our block-free list.
+	}
+}
+
+// Rename moves the entry oldName in oldDir to newName in newDir, replacing
+// a compatible existing target, with the usual Unix restrictions.
+func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName string, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !oldDir.IsDir() || !newDir.IsDir() {
+		return sys.ENOTDIR
+	}
+	if oldName == "." || oldName == ".." || newName == "." || newName == ".." ||
+		oldName == "" || newName == "" {
+		return sys.EINVAL
+	}
+	src := oldDir.lookupLocked(oldName)
+	if src == nil {
+		return sys.ENOENT
+	}
+	if e := checkWrite(cred, oldDir); e != sys.OK {
+		return e
+	}
+	if e := checkWrite(cred, newDir); e != sys.OK {
+		return e
+	}
+	if e := stickyCheck(cred, oldDir, src); e != sys.OK {
+		return e
+	}
+	// A directory may not be moved into itself or a descendant.
+	if src.IsDir() {
+		for d := newDir; ; d = d.parent {
+			if d == src {
+				return sys.EINVAL
+			}
+			if d == fs.root || d.parent == d {
+				break
+			}
+		}
+	}
+	dst := newDir.lookupLocked(newName)
+	if dst == src {
+		return sys.OK // rename to self is a no-op
+	}
+	if dst != nil {
+		switch {
+		case dst.IsDir() && !src.IsDir():
+			return sys.EISDIR
+		case !dst.IsDir() && src.IsDir():
+			return sys.ENOTDIR
+		case dst.IsDir() && len(dst.entries) != 0:
+			return sys.ENOTEMPTY
+		}
+		if e := stickyCheck(cred, newDir, dst); e != sys.OK {
+			return e
+		}
+		newDir.removeLocked(newName)
+		if dst.IsDir() {
+			newDir.Nlink--
+			dst.Nlink = 0
+			dst.parent = nil
+			fs.ninodes--
+		} else {
+			fs.dropLocked(dst)
+		}
+	}
+	oldDir.removeLocked(oldName)
+	newDir.insertLocked(newName, src)
+	if src.IsDir() && oldDir != newDir {
+		oldDir.Nlink--
+		newDir.Nlink++
+		src.parent = newDir
+	}
+	src.Ctime = fs.now()
+	return sys.OK
+}
+
+// Chmod sets the permission bits of ip.
+func (fs *FS) Chmod(ip *Inode, mode uint32, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !cred.Root() && cred.UID != ip.UID {
+		return sys.EPERM
+	}
+	ip.Mode = ip.Type() | mode&0o7777
+	ip.Ctime = fs.now()
+	return sys.OK
+}
+
+// Chown sets ownership of ip. Only the super-user may change the owner;
+// an owner may change the group to one they belong to. 0xffffffff leaves a
+// field unchanged.
+func (fs *FS) Chown(ip *Inode, uid, gid uint32, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !cred.Root() {
+		if uid != 0xffffffff && uid != ip.UID {
+			return sys.EPERM
+		}
+		if cred.UID != ip.UID {
+			return sys.EPERM
+		}
+		if gid != 0xffffffff && !cred.InGroup(gid) {
+			return sys.EPERM
+		}
+	}
+	if uid != 0xffffffff {
+		ip.UID = uid
+	}
+	if gid != 0xffffffff {
+		ip.GID = gid
+	}
+	// Clear set-id bits on ownership change by non-root.
+	if !cred.Root() {
+		ip.Mode &^= sys.S_ISUID | sys.S_ISGID
+	}
+	ip.Ctime = fs.now()
+	return sys.OK
+}
+
+// Utimes sets the access and modification times of ip.
+func (fs *FS) Utimes(ip *Inode, atime, mtime time.Time, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !cred.Root() && cred.UID != ip.UID {
+		if e := CheckAccess(cred, ip.Mode, ip.UID, ip.GID, sys.W_OK); e != sys.OK {
+			return sys.EPERM
+		}
+	}
+	ip.Atime, ip.Mtime = atime, mtime
+	ip.Ctime = fs.now()
+	return sys.OK
+}
+
+// Access checks want against ip for cred (the access system call).
+func (fs *FS) Access(ip *Inode, want int, cred Cred) sys.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if want == sys.F_OK {
+		return sys.OK
+	}
+	return CheckAccess(cred, ip.Mode, ip.UID, ip.GID, want)
+}

@@ -1,0 +1,283 @@
+package vfs
+
+import (
+	"time"
+
+	"interpose/internal/sys"
+)
+
+// Device is the operations vector of a character device. Device inodes
+// dispatch read, write and ioctl to it. Implementations live in the kernel
+// (tty, null, zero, ...).
+type Device interface {
+	Read(p []byte, off int64) (int, sys.Errno)
+	Write(p []byte, off int64) (int, sys.Errno)
+	Ioctl(req sys.Word, arg sys.Word, c sys.Ctx) sys.Errno
+}
+
+// Inode is one filesystem object. Fields are protected by the owning FS's
+// lock; callers outside this package use accessor methods, which take it.
+type Inode struct {
+	fs    *FS
+	Ino   uint32
+	Mode  uint32 // file type | permission bits
+	Nlink uint32
+	UID   uint32
+	GID   uint32
+	Rdev  uint32
+
+	Atime time.Time
+	Mtime time.Time
+	Ctime time.Time
+
+	data []byte // regular files
+	link string // symlink target
+
+	// Directories: lookup map plus stable insertion order for iteration.
+	entries map[string]*Inode
+	order   []string
+	parent  *Inode // ".." for directories
+
+	dev Device // character devices
+
+	// Advisory flock state, managed by the kernel's descriptor layer.
+	LockEx     bool
+	LockShared int
+}
+
+// Type returns the file-type bits of the mode.
+func (ip *Inode) Type() uint32 { return ip.Mode & sys.S_IFMT }
+
+// IsDir reports whether the inode is a directory.
+func (ip *Inode) IsDir() bool { return ip.Type() == sys.S_IFDIR }
+
+// IsSymlink reports whether the inode is a symbolic link.
+func (ip *Inode) IsSymlink() bool { return ip.Type() == sys.S_IFLNK }
+
+// IsDevice reports whether the inode is a character device.
+func (ip *Inode) IsDevice() bool { return ip.Type() == sys.S_IFCHR }
+
+// Device returns the operations vector of a device inode (nil otherwise).
+func (ip *Inode) Device() Device {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	return ip.dev
+}
+
+// size returns the logical size; directories report their entry count
+// encoded as dirent records, symlinks their target length.
+func (ip *Inode) size() uint32 {
+	switch ip.Type() {
+	case sys.S_IFREG:
+		return uint32(len(ip.data))
+	case sys.S_IFLNK:
+		return uint32(len(ip.link))
+	case sys.S_IFDIR:
+		n := sys.DirentRecLen(".") + sys.DirentRecLen("..")
+		for _, name := range ip.order {
+			n += sys.DirentRecLen(name)
+		}
+		return uint32(n)
+	}
+	return 0
+}
+
+// Stat fills a sys.Stat from the inode.
+func (ip *Inode) Stat() sys.Stat {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	return ip.statLocked()
+}
+
+func (ip *Inode) statLocked() sys.Stat {
+	return sys.Stat{
+		Dev:     ip.fs.dev,
+		Ino:     ip.Ino,
+		Mode:    ip.Mode,
+		Nlink:   ip.Nlink,
+		UID:     ip.UID,
+		GID:     ip.GID,
+		Rdev:    ip.Rdev,
+		Size:    ip.size(),
+		Atime:   toTimeval(ip.Atime),
+		Mtime:   toTimeval(ip.Mtime),
+		Ctime:   toTimeval(ip.Ctime),
+		Blksize: sys.PageSize,
+		Blocks:  (ip.size() + 511) / 512,
+	}
+}
+
+func toTimeval(t time.Time) sys.Timeval {
+	return sys.Timeval{Sec: uint32(t.Unix()), Usec: uint32(t.Nanosecond() / 1000)}
+}
+
+// ReadAt copies file data at offset off into p, returning the byte count.
+// Reading at or past EOF returns 0. Device inodes dispatch to their driver.
+func (ip *Inode) ReadAt(p []byte, off int64) (int, sys.Errno) {
+	ip.fs.mu.Lock()
+	if ip.dev != nil {
+		dev := ip.dev
+		ip.fs.mu.Unlock()
+		return dev.Read(p, off)
+	}
+	defer ip.fs.mu.Unlock()
+	if ip.IsDir() {
+		return 0, sys.EISDIR
+	}
+	ip.Atime = ip.fs.now()
+	if off >= int64(len(ip.data)) {
+		return 0, sys.OK
+	}
+	n := copy(p, ip.data[off:])
+	return n, sys.OK
+}
+
+// WriteAt copies p into the file at offset off, growing (and
+// zero-filling any hole) as needed. maxSize, when nonzero, caps the
+// resulting file size (RLIMIT_FSIZE).
+func (ip *Inode) WriteAt(p []byte, off int64, maxSize int64) (int, sys.Errno) {
+	ip.fs.mu.Lock()
+	if ip.dev != nil {
+		dev := ip.dev
+		ip.fs.mu.Unlock()
+		return dev.Write(p, off)
+	}
+	defer ip.fs.mu.Unlock()
+	if ip.IsDir() {
+		return 0, sys.EISDIR
+	}
+	end := off + int64(len(p))
+	if maxSize > 0 && end > maxSize {
+		if off >= maxSize {
+			return 0, sys.EFBIG
+		}
+		p = p[:maxSize-off]
+		end = maxSize
+	}
+	if end > int64(len(ip.data)) {
+		grown := make([]byte, end)
+		copy(grown, ip.data)
+		ip.data = grown
+	}
+	copy(ip.data[off:], p)
+	now := ip.fs.now()
+	ip.Mtime, ip.Ctime = now, now
+	return len(p), sys.OK
+}
+
+// Truncate sets the file length, zero-filling growth.
+func (ip *Inode) Truncate(length int64) sys.Errno {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	if ip.IsDir() {
+		return sys.EISDIR
+	}
+	if ip.dev != nil {
+		return sys.OK
+	}
+	if length < 0 {
+		return sys.EINVAL
+	}
+	switch {
+	case int64(len(ip.data)) > length:
+		ip.data = ip.data[:length]
+	case int64(len(ip.data)) < length:
+		grown := make([]byte, length)
+		copy(grown, ip.data)
+		ip.data = grown
+	}
+	now := ip.fs.now()
+	ip.Mtime, ip.Ctime = now, now
+	return sys.OK
+}
+
+// Bytes returns a copy of a regular file's contents.
+func (ip *Inode) Bytes() []byte {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	out := make([]byte, len(ip.data))
+	copy(out, ip.data)
+	return out
+}
+
+// Size returns the logical size of the inode.
+func (ip *Inode) Size() int64 {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	return int64(ip.size())
+}
+
+// Readlink returns the target of a symbolic link.
+func (ip *Inode) Readlink() (string, sys.Errno) {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	if !ip.IsSymlink() {
+		return "", sys.EINVAL
+	}
+	return ip.link, sys.OK
+}
+
+// Dirents returns the directory's entries in iteration order, with "." and
+// ".." synthesized first, as getdirentries presents them.
+func (ip *Inode) Dirents() ([]sys.Dirent, sys.Errno) {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	if !ip.IsDir() {
+		return nil, sys.ENOTDIR
+	}
+	out := make([]sys.Dirent, 0, len(ip.order)+2)
+	out = append(out, sys.Dirent{Ino: ip.Ino, Name: "."})
+	pp := ip.parent
+	if pp == nil {
+		pp = ip
+	}
+	out = append(out, sys.Dirent{Ino: pp.Ino, Name: ".."})
+	for _, name := range ip.order {
+		out = append(out, sys.Dirent{Ino: ip.entries[name].Ino, Name: name})
+	}
+	return out, sys.OK
+}
+
+// EntryCount returns the number of real (non-dot) directory entries.
+func (ip *Inode) EntryCount() (int, sys.Errno) {
+	ip.fs.mu.Lock()
+	defer ip.fs.mu.Unlock()
+	if !ip.IsDir() {
+		return 0, sys.ENOTDIR
+	}
+	return len(ip.order), sys.OK
+}
+
+// directory-entry helpers; callers hold fs.mu.
+
+func (ip *Inode) lookupLocked(name string) *Inode {
+	switch name {
+	case ".":
+		return ip
+	case "..":
+		if ip.parent != nil {
+			return ip.parent
+		}
+		return ip
+	}
+	return ip.entries[name]
+}
+
+func (ip *Inode) insertLocked(name string, child *Inode) {
+	ip.entries[name] = child
+	ip.order = append(ip.order, name)
+	now := ip.fs.now()
+	ip.Mtime, ip.Ctime = now, now
+}
+
+func (ip *Inode) removeLocked(name string) {
+	delete(ip.entries, name)
+	for i, n := range ip.order {
+		if n == name {
+			ip.order = append(ip.order[:i], ip.order[i+1:]...)
+			break
+		}
+	}
+	now := ip.fs.now()
+	ip.Mtime, ip.Ctime = now, now
+}
