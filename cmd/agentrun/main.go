@@ -2,7 +2,8 @@
 // system, installs the requested interposition agents, and runs a program
 // under them, mirroring the paper's agent loader.
 //
-//	agentrun [-a agent[=arg]]... [-feed text] [-trace-kernel] -- PROGRAM [args...]
+//	agentrun [-a agent[=arg]]... [-feed text] [-trace-kernel]
+//	         [-stats] [-stats-json] [-flight-dump] -- PROGRAM [args...]
 //
 // Examples:
 //
@@ -16,6 +17,13 @@
 // console output is echoed to standard output; each agent's end-of-run
 // report (monitor counts, dfstrace records, sandbox violations, txn
 // change lists) follows on standard error.
+//
+// Telemetry is always on: guests can read live counters from
+// /dev/metrics, and -stats / -stats-json print the host-side snapshot
+// (per-syscall latency histograms, per-layer time attribution) on
+// standard error after the run. -flight-dump prints the flight-recorder
+// ring of recent events; if the program dies on a signal the ring is
+// dumped automatically, like a crash recorder should.
 package main
 
 import (
@@ -27,7 +35,9 @@ import (
 	"interpose/internal/agents"
 	"interpose/internal/apps"
 	"interpose/internal/core"
+	"interpose/internal/kernel"
 	"interpose/internal/sys"
+	"interpose/internal/telemetry"
 )
 
 // agentList collects repeated -a flags.
@@ -44,6 +54,10 @@ func main() {
 	flag.Var(&specs, "a", "agent specification (repeatable); see -list")
 	list := flag.Bool("list", false, "list available agents and programs")
 	feed := flag.String("feed", "", "text to feed to the console (standard input)")
+	stats := flag.Bool("stats", false, "print the telemetry snapshot (text) on standard error")
+	statsJSON := flag.Bool("stats-json", false, "print the telemetry snapshot as JSON on standard error")
+	flightDump := flag.Bool("flight-dump", false, "print the flight-recorder ring on standard error")
+	traceKernel := flag.Bool("trace-kernel", false, "print kernel-level file-reference trace events on standard error")
 	flag.Parse()
 
 	if *list {
@@ -67,6 +81,11 @@ func main() {
 	k, err := apps.NewWorld()
 	if err != nil {
 		fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	k.SetTelemetry(reg)
+	if *traceKernel {
+		k.SetTracer(stderrTracer{})
 	}
 	if *feed != "" {
 		k.Console().Feed(*feed)
@@ -101,11 +120,47 @@ func main() {
 		}
 	}
 
+	snap := reg.Snapshot()
+	if *stats {
+		snap.WriteText(os.Stderr)
+	}
+	if *statsJSON {
+		if err := snap.WriteJSON(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+
 	if !sys.WIfExited(status) {
 		fmt.Fprintf(os.Stderr, "agentrun: %s killed by %s\n", argv[0], sys.SignalName(sys.WTermSig(status)))
+		// A crash recorder's whole point: dump the recent-event ring when
+		// the program dies abnormally, whether or not it was asked for.
+		snap.WriteFlight(os.Stderr)
 		os.Exit(128 + sys.WTermSig(status))
 	}
+	if *flightDump {
+		snap.WriteFlight(os.Stderr)
+	}
 	os.Exit(sys.WExitStatus(status))
+}
+
+// stderrTracer prints kernel file-reference trace events, one per line.
+type stderrTracer struct{}
+
+func (stderrTracer) Event(e kernel.TraceEvent) {
+	line := fmt.Sprintf("ktrace: pid %d %s", e.PID, e.Op)
+	if e.Path != "" {
+		line += " " + e.Path
+	}
+	if e.Path2 != "" {
+		line += " -> " + e.Path2
+	}
+	if e.FD >= 0 && e.Path == "" {
+		line += fmt.Sprintf(" fd=%d", e.FD)
+	}
+	if e.Err != sys.OK {
+		line += " [" + e.Err.Error() + "]"
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 func fatal(err error) {

@@ -2,22 +2,30 @@
 // section against this reproduction:
 //
 //	experiments              # all tables
-//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs)
+//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs, obs)
 //	experiments -runs 9      # timed repetitions per row (paper used 9)
+//	experiments -json        # also write BENCH_<date>.json (per-table ns/op)
+//
+// The obs table is this reproduction's observability addition: the make
+// workload under the trace agent with telemetry enabled, printing where
+// the time went per instance of the system interface (kernel vs each
+// agent layer) and the per-syscall latency distribution.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"interpose/internal/experiments"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, all")
+	table := flag.String("table", "all", "which table to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, obs, all")
 	runs := flag.Int("runs", 9, "timed repetitions per row (after one discarded run)")
 	programs := flag.Int("programs", 8, "program count for the make workload")
+	benchJSON := flag.Bool("json", false, "write measured rows to BENCH_<date>.json")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -26,6 +34,7 @@ func main() {
 	}
 
 	want := func(name string) bool { return *table == "all" || *table == name }
+	var entries []experiments.BenchEntry
 
 	if want("3-1") {
 		rows, err := experiments.RunTable31()
@@ -40,6 +49,7 @@ func main() {
 			fail(err)
 		}
 		experiments.PrintMacro(os.Stdout, "Table 3-2: Time to format the dissertation", rows)
+		entries = append(entries, experiments.MacroEntries("3-2", rows)...)
 	}
 	if want("3-3") {
 		rows, err := experiments.RunTable33(*runs, *programs)
@@ -48,9 +58,16 @@ func main() {
 		}
 		experiments.PrintMacro(os.Stdout,
 			fmt.Sprintf("Table 3-3: Time to make %d programs", *programs), rows)
+		entries = append(entries, experiments.MacroEntries("3-3", rows)...)
 	}
 	if want("3-4") {
-		experiments.PrintTable34(os.Stdout, experiments.RunTable34())
+		t := experiments.RunTable34()
+		experiments.PrintTable34(os.Stdout, t)
+		entries = append(entries,
+			experiments.BenchEntry{Table: "3-4", Row: "procedure-call", NsPerOp: t.ProcedureCall.Nanoseconds()},
+			experiments.BenchEntry{Table: "3-4", Row: "interface-call", NsPerOp: t.InterfaceCall.Nanoseconds()},
+			experiments.BenchEntry{Table: "3-4", Row: "intercept-return", NsPerOp: t.InterceptReturn.Nanoseconds()},
+			experiments.BenchEntry{Table: "3-4", Row: "downcall", NsPerOp: t.Downcall.Nanoseconds()})
 	}
 	if want("3-5") {
 		rows, err := experiments.RunTable35()
@@ -58,6 +75,11 @@ func main() {
 			fail(err)
 		}
 		experiments.PrintTable35(os.Stdout, rows)
+		for _, r := range rows {
+			entries = append(entries,
+				experiments.BenchEntry{Table: "3-5", Row: r.Name + "/without", NsPerOp: r.Without.Nanoseconds()},
+				experiments.BenchEntry{Table: "3-5", Row: r.Name + "/with", NsPerOp: r.With.Nanoseconds()})
+		}
 	}
 	if want("dfs") {
 		res, err := experiments.RunDFSTraceComparison()
@@ -69,5 +91,26 @@ func main() {
 			fail(err)
 		}
 		experiments.PrintDFSTrace(os.Stdout, res, kStmts, aStmts)
+		entries = append(entries,
+			experiments.BenchEntry{Table: "dfs", Row: "untraced", NsPerOp: res.Base.Nanoseconds()},
+			experiments.BenchEntry{Table: "dfs", Row: "kernel-based", NsPerOp: res.Kernel.Nanoseconds()},
+			experiments.BenchEntry{Table: "dfs", Row: "dfstrace-agent", NsPerOp: res.Agent.Nanoseconds()})
+	}
+	if want("obs") {
+		res, err := experiments.RunObs(*programs)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintObs(os.Stdout, res)
+		entries = append(entries,
+			experiments.BenchEntry{Table: "obs", Row: "make-under-trace", NsPerOp: res.Elapsed.Nanoseconds()})
+	}
+
+	if *benchJSON {
+		name := "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+		if err := experiments.WriteBenchJSON(name, entries); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote " + name)
 	}
 }

@@ -50,15 +50,56 @@ func TestMonitorAggregatesProcessTree(t *testing.T) {
 	if a.Count(sys.SYS_execve) < 2 {
 		t.Fatalf("execve count = %d, want >= 2", a.Count(sys.SYS_execve))
 	}
-	// Per-pid accounting: at least three pids participated.
-	pids := 0
-	for pid := 1; pid < 10; pid++ {
-		if a.PIDCount(pid) > 0 {
-			pids++
+	// Per-pid accounting: at least three pids participated (sh plus two
+	// echo children), and all of them have exited and been pruned.
+	if a.ExitedProcs() < 3 {
+		t.Fatalf("exited procs = %d, want >= 3", a.ExitedProcs())
+	}
+	if a.ExitedCalls() == 0 {
+		t.Fatal("no calls attributed to exited processes")
+	}
+}
+
+// TestMonitorPrunesExitedProcesses checks the per-process map does not
+// grow with the number of dead clients: every record is dropped at exit
+// and folded into the exited aggregates.
+func TestMonitorPrunesExitedProcesses(t *testing.T) {
+	k := agenttest.World(t)
+	a := monitor.New(false)
+	for i := 0; i < 5; i++ {
+		if st, _ := agenttest.Run(t, k, []core.Agent{a}, "true"); st != 0 {
+			t.Fatal("true failed")
 		}
 	}
-	if pids < 3 {
-		t.Fatalf("pids with activity = %d", pids)
+	if live := a.LiveProcs(); live != 0 {
+		t.Fatalf("live proc records = %d after all clients exited", live)
+	}
+	if a.ExitedProcs() != 5 {
+		t.Fatalf("exited procs = %d, want 5", a.ExitedProcs())
+	}
+	if a.ExitedCalls() != a.Total() {
+		t.Fatalf("exited calls = %d, total = %d", a.ExitedCalls(), a.Total())
+	}
+}
+
+// TestMonitorSnapshot checks the structured view over the agent's
+// telemetry registry.
+func TestMonitorSnapshot(t *testing.T) {
+	k := agenttest.World(t)
+	a := monitor.New(false)
+	agenttest.Run(t, k, []core.Agent{a}, "echo", "hi")
+	snap := a.Snapshot()
+	if snap.Total == 0 || snap.Total != a.Total() {
+		t.Fatalf("snapshot total = %d, agent total = %d", snap.Total, a.Total())
+	}
+	found := false
+	for _, s := range snap.Syscalls {
+		if s.Name == "write" && s.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no write row in snapshot: %+v", snap.Syscalls)
 	}
 }
 

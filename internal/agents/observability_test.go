@@ -1,0 +1,89 @@
+package agents_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/nullagent"
+	"interpose/internal/agents/trace"
+	"interpose/internal/core"
+	"interpose/internal/sys"
+	"interpose/internal/telemetry"
+)
+
+// TestDevMetricsFromGuest checks the flight-recorder's in-world window:
+// an unmodified guest binary reads /dev/metrics with plain read system
+// calls and sees the kernel's live counters.
+func TestDevMetricsFromGuest(t *testing.T) {
+	k := agenttest.World(t)
+
+	// Without a registry installed the device reports telemetry as off.
+	st, out := agenttest.Run(t, k, nil, "cat", "/dev/metrics")
+	if st != 0 {
+		t.Fatalf("cat /dev/metrics: exit %d\n%s", st, out)
+	}
+	if !strings.Contains(out, "telemetry: disabled") {
+		t.Fatalf("expected disabled banner, got:\n%s", out)
+	}
+
+	reg := telemetry.NewRegistry()
+	k.SetTelemetry(reg)
+
+	// Generate some traffic so the counters are non-zero by the time the
+	// guest reads the device.
+	if st, _ := agenttest.Run(t, k, nil, "echo", "hello"); st != 0 {
+		t.Fatal("echo failed")
+	}
+
+	st, out = agenttest.Run(t, k, nil, "cat", "/dev/metrics")
+	if st != 0 {
+		t.Fatalf("cat /dev/metrics: exit %d\n%s", st, out)
+	}
+	if !strings.Contains(out, "telemetry: up") {
+		t.Fatalf("expected live header, got:\n%s", out)
+	}
+	// The document must show real per-syscall rows — the writes echo
+	// issued earlier. (cat's own first read renders the document, so the
+	// read row only counts in later snapshots.)
+	if !strings.Contains(out, sys.SyscallName(sys.SYS_write)) {
+		t.Fatalf("expected a write row in:\n%s", out)
+	}
+	if reg.SyscallCount(sys.SYS_read) == 0 {
+		t.Fatal("registry saw no reads")
+	}
+}
+
+// TestLayerAttributionNames checks that per-layer attribution labels the
+// kernel and each installed agent, and that every recorded syscall
+// produced a kernel-or-layer attribution record.
+func TestLayerAttributionNames(t *testing.T) {
+	k := agenttest.World(t)
+	reg := telemetry.NewRegistry()
+	k.SetTelemetry(reg)
+
+	stack := []core.Agent{nullagent.New(), trace.New()}
+	if st, _ := agenttest.Run(t, k, stack, "sh", "-c", "echo hi > /tmp/obs.txt"); st != 0 {
+		t.Fatal("workload failed")
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.Layers) == 0 {
+		t.Fatal("no layer attribution recorded")
+	}
+	names := make(map[string]bool)
+	for _, l := range snap.Layers {
+		names[l.Name] = true
+		if l.Calls == 0 {
+			t.Fatalf("layer %q recorded with zero calls", l.Name)
+		}
+	}
+	for _, want := range []string{"kernel", "nullagent", "trace"} {
+		if !names[want] {
+			t.Fatalf("missing layer %q in %v", want, snap.Layers)
+		}
+	}
+	if snap.Total == 0 {
+		t.Fatal("no syscalls recorded")
+	}
+}

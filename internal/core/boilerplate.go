@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"interpose/internal/image"
 	"interpose/internal/kernel"
@@ -159,6 +160,7 @@ func DownWriteString(c sys.Ctx, fd int, s string) sys.Errno {
 // is inherited by the process's future children.
 func Install(p *kernel.Proc, a Agent) {
 	layer := kernel.NewEmuLayer(a)
+	layer.Name = agentName(a)
 	nums, all := a.InterestedSyscalls()
 	if all {
 		layer.RegisterAll()
@@ -179,6 +181,20 @@ func Install(p *kernel.Proc, a Agent) {
 		}
 	}
 	p.PushEmulation(layer)
+}
+
+// agentName derives the short name telemetry uses to label an agent's
+// layer: the agent's own AgentName when it provides one, otherwise the
+// package name of its concrete type (e.g. *trace.Agent -> "trace").
+func agentName(a Agent) string {
+	if n, ok := a.(interface{ AgentName() string }); ok {
+		return n.AgentName()
+	}
+	t := strings.TrimPrefix(fmt.Sprintf("%T", a), "*")
+	if i := strings.IndexByte(t, '.'); i >= 0 {
+		t = t[:i]
+	}
+	return t
 }
 
 // Launch is the general agent loader: it creates a process whose standard

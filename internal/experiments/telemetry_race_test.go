@@ -1,0 +1,84 @@
+package experiments_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"interpose/internal/agents/dfstrace"
+	"interpose/internal/experiments"
+	"interpose/internal/telemetry"
+)
+
+// TestTelemetryToggleUnderLoad flips the telemetry registry and the
+// kernel tracer on and off while a multi-process make build runs. Under
+// -race this checks the atomic-pointer installation protocol: recording
+// paths may run against either generation of registry, but never against
+// torn state, and toggling must not disturb the workload.
+func TestTelemetryToggleUnderLoad(t *testing.T) {
+	k, err := experiments.World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const programs = 2
+	if err := experiments.SetupMake(k, programs); err != nil {
+		t.Fatal(err)
+	}
+	agents, err := experiments.AgentStack(k, "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	cl := dfstrace.NewCollector()
+	tr := dfstrace.NewKernelTracer(cl)
+	var done atomic.Bool
+	toggled := make(chan struct{})
+	go func() {
+		defer close(toggled)
+		for i := 0; !done.Load(); i++ {
+			if i%2 == 0 {
+				k.SetTelemetry(reg)
+				k.SetTracer(tr)
+			} else {
+				k.SetTelemetry(nil)
+				k.SetTracer(nil)
+			}
+		}
+	}()
+
+	for round := 0; round < 3; round++ {
+		if _, err := experiments.RunMake(k, agents); err != nil {
+			t.Fatal(err)
+		}
+		if err := experiments.CleanMake(k, programs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done.Store(true)
+	<-toggled
+
+	// Functional check in a deterministic window: both consumers pinned on
+	// for one full build must observe it. (How much the toggled builds
+	// recorded depends on scheduling; they exist for the race coverage.)
+	k.SetTelemetry(reg)
+	k.SetTracer(tr)
+	before := cl.Len()
+	if _, err := experiments.RunMake(k, agents); err != nil {
+		t.Fatal(err)
+	}
+	k.SetTelemetry(nil)
+	k.SetTracer(nil)
+
+	snap := reg.Snapshot()
+	if snap.Total == 0 {
+		t.Fatal("registry recorded nothing")
+	}
+	for _, row := range snap.Syscalls {
+		if row.Errs > row.Count {
+			t.Fatalf("row %s: errs %d > count %d", row.Name, row.Errs, row.Count)
+		}
+	}
+	if cl.Len() == before {
+		t.Fatal("kernel tracer collected nothing during the pinned build")
+	}
+}

@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interpose/internal/image"
 	"interpose/internal/sys"
+	"interpose/internal/telemetry"
 	"interpose/internal/vfs"
 )
 
@@ -44,11 +46,16 @@ type Kernel struct {
 	console *Console
 	devices map[uint32]vfs.Device
 
-	// tracerVal, when holding a non-nil Tracer, receives kernel-level
+	// tracer, when holding a non-nil Tracer, receives kernel-level
 	// file-reference events — the "monolithic, compiled-into-the-kernel"
 	// implementation that the paper's §3.5.3 compares against the dfstrace
 	// agent.
-	tracerVal tracerValHolder
+	tracer atomic.Pointer[tracerBox]
+
+	// tel, when non-nil, receives every syscall's latency, per-layer time
+	// attribution, and flight-recorder events. While nil the entire
+	// facility costs one atomic pointer load per instrumentation site.
+	tel atomic.Pointer[telemetry.Registry]
 }
 
 // New boots a kernel: an empty filesystem with the standard directory
@@ -91,7 +98,19 @@ func (k *Kernel) Console() *Console { return k.console }
 
 // SetTracer installs (or removes, with nil) the kernel-level file tracer.
 func (k *Kernel) SetTracer(t Tracer) {
-	k.tracerVal.Store(tracerBox{t: t})
+	k.tracer.Store(&tracerBox{t: t})
+}
+
+// SetTelemetry installs (or removes, with nil) the telemetry registry.
+// Toggling is safe while processes run; syscalls in flight when the
+// registry changes may be only partially recorded.
+func (k *Kernel) SetTelemetry(r *telemetry.Registry) {
+	k.tel.Store(r)
+}
+
+// Telemetry returns the installed registry, or nil.
+func (k *Kernel) Telemetry() *telemetry.Registry {
+	return k.tel.Load()
 }
 
 // lookupDevice finds the driver registered for a device number.
@@ -127,14 +146,17 @@ func (k *Kernel) makeTree() {
 	mk(usr, "tmp", 0o1777)
 
 	tty := &ttyDev{k: k}
+	metrics := &metricsDev{k: k}
 	k.devices[makeRdev(1, 3)] = nullDev{}
 	k.devices[makeRdev(1, 5)] = zeroDev{}
 	k.devices[makeRdev(2, 0)] = tty
 	k.devices[makeRdev(0, 0)] = tty
+	k.devices[makeRdev(3, 0)] = metrics
 	k.fs.MkDev(dev, "null", 0o666, makeRdev(1, 3), nullDev{}, rootCred)
 	k.fs.MkDev(dev, "zero", 0o666, makeRdev(1, 5), zeroDev{}, rootCred)
 	k.fs.MkDev(dev, "tty", 0o666, makeRdev(2, 0), tty, rootCred)
 	k.fs.MkDev(dev, "console", 0o666, makeRdev(0, 0), tty, rootCred)
+	k.fs.MkDev(dev, "metrics", 0o444, makeRdev(3, 0), metrics, rootCred)
 
 	passwd, err := k.fs.Create(etc, "passwd", 0o644, rootCred)
 	if err != sys.OK {

@@ -7,6 +7,7 @@ import (
 	"interpose/internal/image"
 	"interpose/internal/mem"
 	"interpose/internal/sys"
+	"interpose/internal/telemetry"
 	"interpose/internal/vfs"
 )
 
@@ -79,6 +80,13 @@ type Proc struct {
 	// top-level system call entry. Only the process's own goroutine
 	// touches it.
 	emuCursor sys.Word
+
+	// telChild accumulates, within the current dispatch frame, the wall
+	// time spent in lower instances of the system interface — the
+	// subtrahend of per-layer self-time attribution. Reset at each
+	// top-level system call entry; only the process's own goroutine
+	// touches it.
+	telChild time.Duration
 }
 
 // EmuLayer is one installed interposition layer: a handler, the set of
@@ -87,6 +95,10 @@ type Proc struct {
 type EmuLayer struct {
 	Handler sys.Handler
 	Signals sys.SignalInterposer
+
+	// Name labels the layer in telemetry attribution (the agent name);
+	// empty names get a positional label.
+	Name string
 
 	interest    [sys.MaxSyscall]bool
 	interestAll bool
@@ -321,7 +333,32 @@ func (lc LayerCtx) DownSignal(sig, code int) int {
 func (p *Proc) Syscall(num int, a sys.Args) (sys.Retval, sys.Errno) {
 	addUint32(&p.nsyscalls, 1)
 	p.emuCursor = 0 // agent scratch is per-call
+	p.telChild = 0  // attribution accounting is per-call
+	if r := p.k.tel.Load(); r != nil {
+		return p.syscallTimed(r, num, a)
+	}
 	rv, err := p.dispatch(len(p.emu), num, a)
+	p.checkSignals()
+	return rv, err
+}
+
+// syscallTimed is the telemetry-enabled top half of Syscall: it times the
+// call end to end for the per-syscall histogram and appends a flight
+// event. Per-layer attribution happens frame by frame in dispatch. Calls
+// that unwind instead of returning (exit, successful execve) are recorded
+// at entry with unknown duration, since no code runs after them.
+func (p *Proc) syscallTimed(r *telemetry.Registry, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	unwinds := num == sys.SYS_exit || num == sys.SYS_execve
+	if unwinds {
+		r.RecordEvent(p.pid, num, 0, -1)
+	}
+	start := time.Now()
+	rv, err := p.dispatch(len(p.emu), num, a)
+	d := time.Since(start)
+	r.RecordSyscall(num, d, err != sys.OK)
+	if !unwinds {
+		r.RecordEvent(p.pid, num, int32(err), d)
+	}
 	p.checkSignals()
 	return rv, err
 }
@@ -384,10 +421,48 @@ func (p *Proc) dispatch(below int, num int, a sys.Args) (sys.Retval, sys.Errno) 
 	for i := below - 1; i >= 0; i-- {
 		l := p.emu[i]
 		if l.Wants(num) {
+			if r := p.k.tel.Load(); r != nil {
+				return p.layerCallTimed(r, i, num, a)
+			}
 			return l.Handler.Syscall(p.emuCtx[i], num, a)
 		}
 	}
+	if r := p.k.tel.Load(); r != nil {
+		return p.kernelCallTimed(r, num, a)
+	}
 	return p.k.Syscall(p, num, a)
+}
+
+// layerCallTimed runs layer i's handler and attributes its self time —
+// wall time minus the time nested downcalls spent in lower instances
+// (accumulated into p.telChild by the frames below this one).
+func (p *Proc) layerCallTimed(r *telemetry.Registry, i, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	l := p.emu[i]
+	saved := p.telChild
+	p.telChild = 0
+	start := time.Now()
+	rv, err := l.Handler.Syscall(p.emuCtx[i], num, a)
+	elapsed := time.Since(start)
+	self := elapsed - p.telChild
+	if self < 0 {
+		self = 0
+	}
+	r.RecordLayer(1+i, l.Name, self)
+	p.telChild = saved + elapsed
+	return rv, err
+}
+
+// kernelCallTimed runs the kernel's implementation and attributes its
+// time to the kernel slot (layer 0); the kernel makes no downcalls, so
+// its self time is its wall time.
+func (p *Proc) kernelCallTimed(r *telemetry.Registry, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	saved := p.telChild
+	start := time.Now()
+	rv, err := p.k.Syscall(p, num, a)
+	elapsed := time.Since(start)
+	r.RecordLayer(0, "kernel", elapsed)
+	p.telChild = saved + elapsed
+	return rv, err
 }
 
 // KernelSyscall invokes the kernel's implementation directly, bypassing

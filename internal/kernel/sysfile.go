@@ -154,7 +154,7 @@ func (k *Kernel) sysRead(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		}
 	}
 	k.mu.Lock()
-	if !ip.IsDevice() {
+	if !ip.IsDevice() || deviceSeekable(ip) {
 		f.off = off + int64(n)
 	}
 	k.mu.Unlock()
@@ -208,7 +208,7 @@ func (k *Kernel) sysWrite(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		return sys.Retval{}, e
 	}
 	k.mu.Lock()
-	if !ip.IsDevice() {
+	if !ip.IsDevice() || deviceSeekable(ip) {
 		f.off = off + int64(n)
 	}
 	k.mu.Unlock()

@@ -1,11 +1,9 @@
 package kernel
 
 import (
-	"sync/atomic"
 	"time"
 
 	"interpose/internal/sys"
-	"interpose/internal/vfs"
 )
 
 // TraceEvent is one kernel-level file-reference event, as produced by the
@@ -26,36 +24,31 @@ type Tracer interface {
 	Event(e TraceEvent)
 }
 
-// tracerBox wraps a Tracer for storage in an atomic.Value (which requires
-// a consistent concrete type).
+// tracerBox wraps a Tracer so the atomic pointer always stores a
+// consistent concrete type (a nil box means tracing is off).
 type tracerBox struct{ t Tracer }
 
-var _ = vfs.Cred{} // keep the vfs import stable across edits
-
-// trace emits a kernel trace event if tracing is enabled. The nil check is
-// a single atomic load, so the facility costs nearly nothing when off —
-// but unlike an interposition agent it required hooks in every system call
-// implementation above ("modifying 26 kernel files", as the paper puts it).
+// trace is the kernel's single event spine: every file-reference hook in
+// the system call implementations funnels through here, fanning out to
+// the installed Tracer (the DFSTrace-style collector) and to the
+// telemetry flight recorder. Each consumer costs one atomic load when
+// disabled — the paper's pay-per-use principle, bought here at the price
+// of hooks in every system call implementation above ("modifying 26
+// kernel files", as the paper puts it).
 func (k *Kernel) trace(p *Proc, op, path, path2 string, fd int, err sys.Errno) {
-	v := k.tracerVal.Load()
-	if v == nil {
-		return
+	if b := k.tracer.Load(); b != nil && b.t != nil {
+		b.t.Event(TraceEvent{
+			Time: k.Now(), PID: p.pid, Op: op, Path: path, Path2: path2, FD: fd, Err: err,
+		})
 	}
-	box := v.(tracerBox)
-	if box.t == nil {
-		return
+	if r := k.tel.Load(); r != nil {
+		r.RecordFileEvent(p.pid, op, path, path2, fd, int32(err))
 	}
-	box.t.Event(TraceEvent{
-		Time: k.Now(), PID: p.pid, Op: op, Path: path, Path2: path2, FD: fd, Err: err,
-	})
 }
 
 // traceLocked is trace for call sites holding the big kernel lock.
 func (k *Kernel) traceLocked(p *Proc, op, path, path2 string, fd int, err sys.Errno) {
-	// The tracer must not call back into the kernel; emitting under the
-	// lock is safe for the provided collectors.
+	// The consumers must not call back into the kernel; emitting under the
+	// lock is safe for the provided collectors and the flight ring.
 	k.trace(p, op, path, path2, fd, err)
 }
-
-// tracerVal holds the active Tracer.
-type tracerValHolder = atomic.Value

@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"interpose/internal/sys"
+)
+
+// NamedCounter is one exported named counter.
+type NamedCounter struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// SyscallSnap is one exported per-syscall row.
+type SyscallSnap struct {
+	Num   int           `json:"num"`
+	Name  string        `json:"name"`
+	Count uint64        `json:"count"`
+	Errs  uint64        `json:"errs"`
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Timed uint64        `json:"timed"` // observations with latency data
+}
+
+// LayerSnap is one exported attribution row: the self time spent in one
+// instance of the system interface (layer 0 is the kernel).
+type LayerSnap struct {
+	Layer int           `json:"layer"`
+	Name  string        `json:"name"`
+	Calls uint64        `json:"calls"`
+	Self  time.Duration `json:"self_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for export.
+// Recording continues while a snapshot is taken; rows are individually
+// consistent but not mutually atomic.
+type Snapshot struct {
+	Uptime   time.Duration  `json:"uptime_ns"`
+	Total    uint64         `json:"total_calls"`
+	Errs     uint64         `json:"total_errs"`
+	Counters []NamedCounter `json:"counters,omitempty"`
+	Syscalls []SyscallSnap  `json:"syscalls"`
+	Layers   []LayerSnap    `json:"layers,omitempty"`
+	Flight   []Event        `json:"flight,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Flight events are
+// included; callers exporting counters only may clear the Flight field.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Uptime: time.Since(r.start)}
+
+	r.mu.Lock()
+	for _, name := range r.order {
+		s.Counters = append(s.Counters, NamedCounter{Name: name, Value: r.named[name].Load()})
+	}
+	r.mu.Unlock()
+
+	for num := range r.syscalls {
+		st := &r.syscalls[num]
+		n := st.calls.Load()
+		if n == 0 {
+			continue
+		}
+		row := SyscallSnap{
+			Num:   num,
+			Name:  sys.SyscallName(num),
+			Count: n,
+			Errs:  st.errs.Load(),
+			Timed: st.hist.Count(),
+		}
+		if row.Timed > 0 {
+			row.Total = st.hist.Sum()
+			row.Mean = st.hist.Mean()
+			row.P99 = st.hist.Quantile(0.99)
+			row.Max = st.hist.Max()
+		}
+		s.Total += n
+		s.Errs += row.Errs
+		s.Syscalls = append(s.Syscalls, row)
+	}
+	sort.Slice(s.Syscalls, func(i, j int) bool {
+		if s.Syscalls[i].Count != s.Syscalls[j].Count {
+			return s.Syscalls[i].Count > s.Syscalls[j].Count
+		}
+		return s.Syscalls[i].Num < s.Syscalls[j].Num
+	})
+
+	for i := range r.layers {
+		st := &r.layers[i]
+		calls := st.calls.Load()
+		if calls == 0 {
+			continue
+		}
+		name := ""
+		if p := st.name.Load(); p != nil {
+			name = *p
+		}
+		s.Layers = append(s.Layers, LayerSnap{
+			Layer: i, Name: name, Calls: calls, Self: time.Duration(st.self.Load()),
+		})
+	}
+
+	s.Flight = r.FlightEvents()
+	return s
+}
+
+// WriteText renders the snapshot as a human-readable report (the format
+// served by /dev/metrics and agentrun -stats). Flight events are not
+// included; use WriteFlight for those.
+func (s Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "telemetry: up %s, %d calls, %d errors\n", fmtDur(s.Uptime), s.Total, s.Errs)
+	if len(s.Layers) > 0 {
+		fmt.Fprintf(w, "layers (self time, exclusive of lower instances):\n")
+		var total time.Duration
+		for _, l := range s.Layers {
+			total += l.Self
+		}
+		for _, l := range s.Layers {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(l.Self) / float64(total)
+			}
+			fmt.Fprintf(w, "  layer %-12s %10d calls %12s self %5.1f%%\n",
+				l.Name, l.Calls, fmtDur(l.Self), pct)
+		}
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(w, "  %-24s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Syscalls) > 0 {
+		fmt.Fprintf(w, "syscalls:\n")
+		fmt.Fprintf(w, "  %-16s %10s %8s %10s %10s %10s\n", "call", "count", "errs", "mean", "p99", "max")
+		for _, r := range s.Syscalls {
+			if r.Timed == 0 {
+				fmt.Fprintf(w, "  %-16s %10d %8d\n", r.Name, r.Count, r.Errs)
+				continue
+			}
+			fmt.Fprintf(w, "  %-16s %10d %8d %10s %10s %10s\n",
+				r.Name, r.Count, r.Errs, fmtDur(r.Mean), fmtDur(r.P99), fmtDur(r.Max))
+		}
+	}
+}
+
+// WriteJSON renders the snapshot as one JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFlight renders the flight-recorder events one per line, oldest
+// first (the agentrun -flight-dump and crash-dump format).
+func (s Snapshot) WriteFlight(w io.Writer) {
+	fmt.Fprintf(w, "flight recorder: %d events\n", len(s.Flight))
+	for _, e := range s.Flight {
+		ts := time.Duration(e.Nanos)
+		if e.Num >= 0 {
+			dur := "-"
+			if e.Dur >= 0 {
+				dur = fmtDur(time.Duration(e.Dur))
+			}
+			status := "ok"
+			if e.Err != 0 {
+				status = sys.Errno(e.Err).Name()
+			}
+			fmt.Fprintf(w, "%012d %10s pid %-4d %-16s dur %-10s %s\n",
+				e.Seq, fmtDur(ts), e.PID, sys.SyscallName(int(e.Num)), dur, status)
+			continue
+		}
+		line := fmt.Sprintf("%012d %10s pid %-4d file:%-10s %s", e.Seq, fmtDur(ts), e.PID, e.Op, e.Path)
+		if e.Path2 != "" {
+			line += " " + e.Path2
+		}
+		if e.FD >= 0 {
+			line += fmt.Sprintf(" fd=%d", e.FD)
+		}
+		if e.Err != 0 {
+			line += " err=" + sys.Errno(e.Err).Name()
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

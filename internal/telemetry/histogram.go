@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the histogram resolution: power-of-two latency buckets.
+// Bucket 0 holds zero-duration observations; bucket i (i >= 1) holds
+// durations in [2^(i-1), 2^i) nanoseconds. The top bucket absorbs
+// everything from ~1s up.
+const NumBuckets = 32
+
+// Histogram is a lock-free log-bucketed latency histogram. All fields are
+// atomics, so concurrent Observe calls never contend on a lock, and a
+// snapshot taken during recording is approximate but safe.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(d))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the exclusive upper bound of bucket i in
+// nanoseconds (the value used for percentile estimates).
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	if d > 0 {
+		h.sum.Add(int64(d))
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the average observation (0 with no observations).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum.Load()) / n)
+}
+
+// Buckets returns a snapshot of the bucket counts.
+func (h *Histogram) Buckets() [NumBuckets]uint64 {
+	var out [NumBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket containing the q-th observation — an overestimate bounded by
+// the bucket width (a factor of two).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	b := h.Buckets()
+	var total uint64
+	for _, n := range b {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i, n := range b {
+		seen += n
+		if seen > target {
+			return time.Duration(BucketBound(i))
+		}
+	}
+	return time.Duration(BucketBound(NumBuckets - 1))
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one flight-recorder entry. Num >= 0 is a system call event
+// (Dur is its wall time, or -1 when recorded at entry for calls that do
+// not return); Num == -1 is a kernel file-reference event carrying Op and
+// the pathname arguments. Events are fixed-size values: recording one
+// copies it into a preallocated slot and allocates nothing.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Nanos int64  `json:"t_ns"` // since registry creation
+	PID   int32  `json:"pid"`
+	Num   int32  `json:"num"` // syscall number, -1 for file events
+	Err   int32  `json:"err"`
+	Dur   int64  `json:"dur_ns"` // -1 when unknown
+	FD    int32  `json:"fd,omitempty"`
+	Op    string `json:"op,omitempty"`
+	Path  string `json:"path,omitempty"`
+	Path2 string `json:"path2,omitempty"`
+}
+
+const (
+	// defaultRingSize is the total flight-ring capacity (events).
+	defaultRingSize = 1024
+	// ringShards spreads ring slots across locks; a global sequence
+	// number round-robins events over shards so reconstruction by Seq
+	// restores total order.
+	ringShards = 8
+)
+
+// ring is the sharded overwrite-oldest event buffer.
+type ring struct {
+	seq    atomic.Uint64
+	shards [ringShards]ringShard
+}
+
+type ringShard struct {
+	mu    sync.Mutex
+	slots []Event
+	n     uint64 // events ever written to this shard
+}
+
+func (r *ring) init(size int) {
+	per := size / ringShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range r.shards {
+		r.shards[i].slots = make([]Event, per)
+	}
+}
+
+// record stores e, overwriting the shard's oldest slot. The shard lock
+// covers a single struct copy, so contention is brief; the global
+// sequence counter keeps cross-shard order reconstructible.
+func (r *ring) record(e Event) {
+	e.Seq = r.seq.Add(1) - 1
+	s := &r.shards[e.Seq%ringShards]
+	s.mu.Lock()
+	s.slots[s.n%uint64(len(s.slots))] = e
+	s.n++
+	s.mu.Unlock()
+}
+
+// snapshot returns the surviving events sorted by sequence number.
+func (r *ring) snapshot() []Event {
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		live := s.n
+		if live > uint64(len(s.slots)) {
+			live = uint64(len(s.slots))
+		}
+		for j := uint64(0); j < live; j++ {
+			out = append(out, s.slots[j])
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"interpose/internal/sys"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)           // bucket 1: [1, 2)
+	h.Observe(3)           // bucket 2: [2, 4)
+	h.Observe(1000)        // bucket 10: [512, 1024)
+	h.Observe(time.Second) // high bucket
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	b := h.Buckets()
+	if b[0] != 1 || b[1] != 1 || b[2] != 1 || b[10] != 1 {
+		t.Fatalf("buckets = %v", b[:12])
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Mean() == 0 {
+		t.Fatal("mean should be nonzero")
+	}
+	// p99 of this distribution lands in the top occupied bucket's bound.
+	if q := h.Quantile(0.99); q < time.Second {
+		t.Fatalf("p99 = %v, want >= 1s", q)
+	}
+	if q := h.Quantile(0.5); q > time.Millisecond {
+		t.Fatalf("p50 = %v, want small", q)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	var r ring
+	r.init(16)
+	for i := 0; i < 100; i++ {
+		r.record(Event{PID: int32(i)})
+	}
+	evs := r.snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("len = %d, want 16", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not ordered by seq: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	// All survivors are from the most recent writes.
+	if evs[0].Seq < 84 {
+		t.Fatalf("oldest surviving seq = %d, want >= 84", evs[0].Seq)
+	}
+}
+
+func TestRegistryCountersAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("widgets").Add(3)
+	r.Counter("widgets").Add(1)
+	r.RecordSyscall(sys.SYS_getpid, 100*time.Nanosecond, false)
+	r.RecordSyscall(sys.SYS_open, time.Microsecond, true)
+	r.RecordLayer(0, "kernel", 90*time.Nanosecond)
+	r.RecordLayer(1, "trace", 40*time.Nanosecond)
+	r.RecordEvent(7, sys.SYS_getpid, 0, 100*time.Nanosecond)
+	r.RecordFileEvent(7, "open", "/etc/passwd", "", 3, 0)
+
+	s := r.Snapshot()
+	if s.Total != 2 || s.Errs != 1 {
+		t.Fatalf("total=%d errs=%d", s.Total, s.Errs)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Value != 4 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Layers) != 2 || s.Layers[0].Name != "kernel" || s.Layers[1].Name != "trace" {
+		t.Fatalf("layers = %+v", s.Layers)
+	}
+	if len(s.Flight) != 2 {
+		t.Fatalf("flight = %+v", s.Flight)
+	}
+	if s.Flight[1].Num != -1 || s.Flight[1].Path != "/etc/passwd" {
+		t.Fatalf("file event = %+v", s.Flight[1])
+	}
+
+	var text bytes.Buffer
+	s.WriteText(&text)
+	for _, want := range []string{"telemetry:", "widgets", "getpid", "open", "trace"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("json round-trip: %v", err)
+	}
+	if decoded.Total != 2 || len(decoded.Syscalls) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+
+	var flight bytes.Buffer
+	s.WriteFlight(&flight)
+	if !strings.Contains(flight.String(), "file:open") {
+		t.Fatalf("flight dump:\n%s", flight.String())
+	}
+}
+
+func TestLayerAttributionClamping(t *testing.T) {
+	r := NewRegistry()
+	r.RecordLayer(MaxAttrLayers+5, "deep", time.Microsecond)
+	s := r.Snapshot()
+	if len(s.Layers) != 1 || s.Layers[0].Layer != MaxAttrLayers {
+		t.Fatalf("layers = %+v", s.Layers)
+	}
+}
+
+// TestConcurrentRecording hammers every recording path from many
+// goroutines while snapshots are taken; run with -race.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < 2000; i++ {
+				c.Add(1)
+				r.RecordSyscall(sys.SYS_read, time.Duration(i), i%7 == 0)
+				r.RecordLayer(g%3, "layer", time.Duration(i))
+				r.RecordEvent(g, sys.SYS_read, 0, time.Duration(i))
+				r.RecordFileEvent(g, "open", "/tmp/x", "", 3, 0)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("shared").Load(); got != 16000 {
+		t.Fatalf("shared = %d", got)
+	}
+	if got := r.SyscallCount(sys.SYS_read); got != 16000 {
+		t.Fatalf("read count = %d", got)
+	}
+}
