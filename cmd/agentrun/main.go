@@ -3,7 +3,8 @@
 // under them, mirroring the paper's agent loader.
 //
 //	agentrun [-a agent[=arg]]... [-feed text] [-trace-kernel]
-//	         [-stats] [-stats-json] [-flight-dump] -- PROGRAM [args...]
+//	         [-inject plan] [-stats] [-stats-json] [-flight-dump]
+//	         -- PROGRAM [args...]
 //
 // Examples:
 //
@@ -12,6 +13,12 @@
 //	agentrun -a 'union=/u=/srcdir:/objdir' -- /bin/ls /u
 //	agentrun -a sandbox=/tmp:emulate -- /bin/sh -c 'rm /etc/passwd'
 //	agentrun -a trace -a timex=60 -- /bin/date   # stacked agents
+//	agentrun -a 'faulty=seed=7,write=EIO@0.05' -a zip=/z -- /bin/prog
+//	agentrun -inject 'seed=7,open=ENOSPC@0.01' -- /bin/sh -c 'mk all'
+//
+// -inject installs the same deterministic fault plan the faulty agent
+// uses, but as a kernel-side hook below every agent; the end-of-run
+// injection summary lands on standard error either way.
 //
 // Agents listed first are installed closest to the kernel. The program's
 // console output is echoed to standard output; each agent's end-of-run
@@ -35,6 +42,7 @@ import (
 	"interpose/internal/agents"
 	"interpose/internal/apps"
 	"interpose/internal/core"
+	"interpose/internal/fault"
 	"interpose/internal/kernel"
 	"interpose/internal/sys"
 	"interpose/internal/telemetry"
@@ -58,6 +66,7 @@ func main() {
 	statsJSON := flag.Bool("stats-json", false, "print the telemetry snapshot as JSON on standard error")
 	flightDump := flag.Bool("flight-dump", false, "print the flight-recorder ring on standard error")
 	traceKernel := flag.Bool("trace-kernel", false, "print kernel-level file-reference trace events on standard error")
+	inject := flag.String("inject", "", "kernel-side fault plan, injected below all agents (e.g. 'seed=7,write=EIO@0.05')")
 	flag.Parse()
 
 	if *list {
@@ -86,6 +95,15 @@ func main() {
 	k.SetTelemetry(reg)
 	if *traceKernel {
 		k.SetTracer(stderrTracer{})
+	}
+	var kinj *fault.Injector
+	if *inject != "" {
+		plan, err := fault.ParsePlan(*inject)
+		if err != nil {
+			fatal(err)
+		}
+		kinj = fault.NewInjector(plan)
+		k.SetInjector(kinj)
 	}
 	if *feed != "" {
 		k.Console().Feed(*feed)
@@ -118,6 +136,9 @@ func main() {
 		if inst.Finish != nil {
 			inst.Finish(os.Stderr)
 		}
+	}
+	if kinj != nil {
+		fmt.Fprint(os.Stderr, kinj.Summary())
 	}
 
 	snap := reg.Snapshot()

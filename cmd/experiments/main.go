@@ -61,7 +61,10 @@ func main() {
 		entries = append(entries, experiments.MacroEntries("3-3", rows)...)
 	}
 	if want("3-4") {
-		t := experiments.RunTable34()
+		t, err := experiments.RunTable34()
+		if err != nil {
+			fail(err)
+		}
 		experiments.PrintTable34(os.Stdout, t)
 		entries = append(entries,
 			experiments.BenchEntry{Table: "3-4", Row: "procedure-call", NsPerOp: t.ProcedureCall.Nanoseconds()},

@@ -4,7 +4,11 @@
 package agenttest
 
 import (
+	"fmt"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"interpose/internal/apps"
 	"interpose/internal/core"
@@ -39,4 +43,29 @@ func Run(t testing.TB, k *kernel.Kernel, agents []core.Agent, argv ...string) (i
 		t.Fatalf("agenttest: %v killed by %s\n%s", argv, sys.SignalName(sys.WTermSig(st)), out)
 	}
 	return sys.WExitStatus(st), out
+}
+
+// Watchdog arms a deadline for a test section that runs simulated guests:
+// if the returned stop function has not been called within d, the watchdog
+// dumps every goroutine's stack to standard error and crashes the test
+// binary. A wedged guest (a kernel sleep that never wakes, an agent
+// deadlock) thereby fails fast with a diagnosis instead of hanging
+// `go test` until its global timeout. Use as:
+//
+//	defer agenttest.Watchdog(t, time.Minute)()
+func Watchdog(t testing.TB, d time.Duration) (stop func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(d):
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			fmt.Fprintf(os.Stderr, "agenttest: watchdog: %s wedged after %v; goroutine dump:\n%s\n",
+				t.Name(), d, buf[:n])
+			panic("agenttest: watchdog expired: " + t.Name())
+		}
+	}()
+	return func() { close(done) }
 }

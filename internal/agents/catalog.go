@@ -10,6 +10,7 @@ import (
 
 	"interpose/internal/agents/crypt"
 	"interpose/internal/agents/dfstrace"
+	"interpose/internal/agents/faulty"
 	"interpose/internal/agents/hpux"
 	"interpose/internal/agents/monitor"
 	"interpose/internal/agents/nullagent"
@@ -46,6 +47,7 @@ func Names() []string {
 		"crypt=/subtree:KEY",
 		"hpux",
 		"userdev=/dir",
+		"faulty=seed=N,CALL=ERRNO@PROB[,CALL:/prefix=short:N@PROB,...]",
 	}
 }
 
@@ -135,6 +137,14 @@ func New(spec string) (*Instance, error) {
 			return nil, err
 		}
 		return &Instance{Name: name, Agent: a}, nil
+	case "faulty":
+		a, err := faulty.New(arg)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Name: name, Agent: a, Finish: func(w io.Writer) {
+			fmt.Fprint(w, a.Injector().Summary())
+		}}, nil
 	case "hpux":
 		return &Instance{Name: name, Agent: hpux.New()}, nil
 	case "userdev":

@@ -144,15 +144,20 @@ func (o *cryptOpen) Read(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval, 
 	}
 	n := int(rv[0])
 	if n > 0 {
+		// The underlying offset has already moved by n; advance the
+		// keystream position unconditionally so a copy failure here can
+		// never desynchronize later reads (which would decipher with the
+		// wrong stream position — silent corruption).
+		off := o.off
+		o.off += int64(n)
 		p := make([]byte, n)
 		if e := c.CopyIn(buf, p); e != sys.OK {
 			return rv, e
 		}
-		o.a.ks.XOR(p, o.off)
+		o.a.ks.XOR(p, off)
 		if e := c.CopyOut(buf, p); e != sys.OK {
 			return rv, e
 		}
-		o.off += int64(n)
 	}
 	return rv, sys.OK
 }
@@ -176,12 +181,18 @@ func (o *cryptOpen) Write(c sys.Ctx, fd int, buf sys.Word, cnt int) (sys.Retval,
 		}
 		p := make([]byte, n)
 		if e := c.CopyIn(buf+sys.Word(total), p); e != sys.OK {
+			if total > 0 {
+				break // report the progress made; offsets stay in step
+			}
 			return sys.Retval{}, e
 		}
 		o.a.ks.XOR(p, o.off)
 		mark := core.StageMark(c)
 		addr, err := core.StageBytes(c, p)
 		if err != sys.OK {
+			if total > 0 {
+				break
+			}
 			return sys.Retval{}, err
 		}
 		rv, err := core.Down(c, sys.SYS_write, sys.Args{sys.Word(fd), addr, sys.Word(n)})

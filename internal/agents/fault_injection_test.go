@@ -1,0 +1,334 @@
+package agents_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/crypt"
+	"interpose/internal/agents/faulty"
+	"interpose/internal/agents/txn"
+	"interpose/internal/agents/union"
+	"interpose/internal/agents/zip"
+	"interpose/internal/core"
+	"interpose/internal/fault"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+	"interpose/internal/telemetry"
+)
+
+// mustFaulty builds a fault agent, failing the test on a bad plan.
+func mustFaulty(t *testing.T, spec string) *faulty.Agent {
+	t.Helper()
+	a, err := faulty.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestErrnoPropagationThroughAgents is the failure-transparency claim: an
+// errno injected below an emulation layer surfaces to the application
+// unchanged, whatever data transformation the layer performs. The faulty
+// agent is first in each stack, so it sits closest to the kernel.
+func TestErrnoPropagationThroughAgents(t *testing.T) {
+	cases := []struct {
+		name  string
+		plan  string // injected below the stack
+		above func(t *testing.T, k *kernel.Kernel) []core.Agent
+		argv  []string
+		want  string // errno text expected in the guest's error output
+	}{
+		{
+			name:  "bare/open-EIO",
+			plan:  "open:/data=EIO",
+			above: func(t *testing.T, k *kernel.Kernel) []core.Agent { return nil },
+			argv:  []string{"cat", "/data/f"},
+			want:  sys.EIO.Error(),
+		},
+		{
+			name: "zip/open-EIO",
+			plan: "open:/arch=EIO",
+			above: func(t *testing.T, k *kernel.Kernel) []core.Agent {
+				a, err := zip.New("/arch")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return []core.Agent{a}
+			},
+			argv: []string{"cat", "/arch/f"},
+			want: sys.EIO.Error(),
+		},
+		{
+			name: "crypt/read-EIO",
+			plan: "read=EIO",
+			above: func(t *testing.T, k *kernel.Kernel) []core.Agent {
+				a, err := crypt.New("/sec", "key")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return []core.Agent{a}
+			},
+			argv: []string{"cat", "/sec/f"},
+			want: sys.EIO.Error(),
+		},
+		{
+			name: "union/open-ENOSPC",
+			plan: "open=ENOSPC",
+			above: func(t *testing.T, k *kernel.Kernel) []core.Agent {
+				a, err := union.New("/view=/data:/tmp")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return []core.Agent{a}
+			},
+			argv: []string{"cat", "/view/f"},
+			want: sys.ENOSPC.Error(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := agenttest.World(t)
+			k.MkdirAll("/data", 0o777)
+			k.MkdirAll("/arch", 0o777)
+			k.MkdirAll("/sec", 0o777)
+			k.WriteFile("/data/f", []byte("plain\n"), 0o644)
+			above := tc.above(t, k)
+
+			// Control: the stack works without the fault below it.
+			if len(above) > 0 {
+				st, out := agenttest.Run(t, k, above, "sh", "-c",
+					"echo seeded > "+tc.argv[1])
+				if st != 0 {
+					t.Fatalf("seeding write failed: %d\n%s", st, out)
+				}
+				st, out = agenttest.Run(t, k, above, tc.argv[0], tc.argv[1])
+				if st != 0 || !strings.Contains(out, "seeded") {
+					t.Fatalf("control read failed: %d %q", st, out)
+				}
+			}
+
+			stack := append([]core.Agent{mustFaulty(t, tc.plan)}, above...)
+			st, out := agenttest.Run(t, k, stack, tc.argv...)
+			if st == 0 {
+				t.Fatalf("fault swallowed: exit 0\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("errno rewritten on the way up: want %q in:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestZipSurvivesWriteBackFaults checks the compression agent's
+// failure-atomicity: when every write below it fails, the stored file
+// keeps its previous, fully consistent content — the new data is lost but
+// nothing is corrupted, because write-back goes to a temporary and only an
+// atomic rename replaces the original.
+func TestZipSurvivesWriteBackFaults(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/arch", 0o777)
+	za, err := zip.New("/arch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, out := agenttest.Run(t, k, []core.Agent{za}, "sh", "-c",
+		"echo original > /arch/f"); st != 0 {
+		t.Fatalf("seed write: %d\n%s", st, out)
+	}
+	before, err2 := k.ReadFile("/arch/f")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+
+	// Append under an injector that fails every write below the zip agent:
+	// buffering succeeds in memory, write-back cannot reach the disk.
+	stack := []core.Agent{mustFaulty(t, "write=EIO"), za}
+	core.Run(k, stack, "/bin/sh", []string{"sh", "-c", "echo more >> /arch/f"},
+		[]string{"PATH=/bin"})
+
+	after, err2 := k.ReadFile("/arch/f")
+	if err2 != nil {
+		t.Fatalf("stored file gone after failed write-back: %v", err2)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("stored file changed by a failed write-back:\nbefore %q\nafter  %q", before, after)
+	}
+	if plain, ok := zip.Decompress(after); !ok || string(plain) != "original\n" {
+		t.Fatalf("stored file corrupted: %q", after)
+	}
+	// The temporary must not linger.
+	if _, err := k.ReadFile("/arch/f.zip~"); err == nil {
+		t.Fatal("write-back temporary left behind")
+	}
+}
+
+// TestTxnAbortsCleanlyOnCommitFault checks transactional atomicity under
+// injected commit failure: when commit's copy into the real tree hits
+// ENOSPC, the transaction rolls back and the pre-transaction state is
+// intact — not a half-committed mix.
+func TestTxnAbortsCleanlyOnCommitFault(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/data", 0o777)
+	k.MkdirAll("/shadow", 0o777)
+	k.WriteFile("/data/f", []byte("old\n"), 0o644)
+
+	ta, err := txn.New("/shadow", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guest's own writes are redirected into /shadow and never touch
+	// /data; only commit's copy-back opens /data files for writing, so an
+	// open fault on /data fires exactly at commit time.
+	stack := []core.Agent{mustFaulty(t, "open:/data=ENOSPC"), ta}
+	st, out, err2 := core.Run(k, stack, "/bin/sh",
+		[]string{"sh", "-c", "echo new > /data/f"}, []string{"PATH=/bin"})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !sys.WIfExited(st) || sys.WExitStatus(st) != 0 {
+		t.Fatalf("guest failed before commit: %#x\n%s", st, out)
+	}
+	if got := ta.CommitErr(); got != sys.ENOSPC {
+		t.Fatalf("CommitErr = %v, want ENOSPC", got)
+	}
+	data, err2 := k.ReadFile("/data/f")
+	if err2 != nil {
+		t.Fatalf("pre-transaction file missing after aborted commit: %v", err2)
+	}
+	if string(data) != "old\n" {
+		t.Fatalf("aborted commit leaked state: /data/f = %q, want %q", data, "old\n")
+	}
+
+	// Control: without the fault the same transaction commits.
+	k2 := agenttest.World(t)
+	k2.MkdirAll("/data", 0o777)
+	k2.MkdirAll("/shadow", 0o777)
+	k2.WriteFile("/data/f", []byte("old\n"), 0o644)
+	ta2, err := txn.New("/shadow", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, out := agenttest.Run(t, k2, []core.Agent{ta2}, "sh", "-c",
+		"echo new > /data/f"); st != 0 {
+		t.Fatalf("control txn failed: %d\n%s", st, out)
+	}
+	if ta2.CommitErr() != sys.OK {
+		t.Fatalf("control commit errored: %v", ta2.CommitErr())
+	}
+	if data, _ := k2.ReadFile("/data/f"); string(data) != "new\n" {
+		t.Fatalf("control commit did not apply: %q", data)
+	}
+}
+
+// TestFaultReplayDeterministic is the replay guarantee: the same seed and
+// plan over the same workload in a fresh world produces a byte-identical
+// fault log, run to run.
+func TestFaultReplayDeterministic(t *testing.T) {
+	const plan = "seed=42,read=EINTR@0.3,write=short:3@0.4,open=EIO@0.1"
+	script := "echo hello > /t1; cat /t1; echo more >> /t1; cat /t1; wc /t1"
+
+	run := func() []string {
+		k := agenttest.World(t)
+		fa := mustFaulty(t, plan)
+		_, _, err := core.Run(k, []core.Agent{fa}, "/bin/sh",
+			[]string{"sh", "-c", script}, []string{"PATH=/bin"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, rec := range fa.Injector().Log() {
+			lines = append(lines, rec.String())
+		}
+		return lines
+	}
+
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("plan injected nothing; replay claim untested")
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("fault logs diverged:\nrun1:\n%s\nrun2:\n%s",
+			strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+}
+
+// TestKernelInjectorBelowAgents exercises the kernel-side hook: a fault
+// plan installed with SetInjector fires below every agent layer, counts
+// in telemetry, and shows in /dev/metrics.
+func TestKernelInjectorBelowAgents(t *testing.T) {
+	k := agenttest.World(t)
+	k.MkdirAll("/data", 0o777)
+	k.WriteFile("/data/f", []byte("plain\n"), 0o644)
+	reg := telemetry.NewRegistry()
+	k.SetTelemetry(reg)
+
+	plan, err := fault.ParsePlan("open:/data=EIO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(plan)
+	k.SetInjector(inj)
+
+	st, out := agenttest.Run(t, k, nil, "cat", "/data/f")
+	if st == 0 || !strings.Contains(out, sys.EIO.Error()) {
+		t.Fatalf("kernel injector inert: %d %q", st, out)
+	}
+	if inj.Count() == 0 {
+		t.Fatal("no injection recorded")
+	}
+	if reg.Counter("fault.injected").Load() == 0 {
+		t.Fatal("telemetry did not count the injection")
+	}
+
+	// The counter is visible in-world through /dev/metrics.
+	st, out = agenttest.Run(t, k, nil, "cat", "/dev/metrics")
+	if st != 0 || !strings.Contains(out, "fault.injected") {
+		t.Fatalf("fault counters missing from /dev/metrics:\n%s", out)
+	}
+
+	// Uninstalling restores fault-free operation.
+	k.SetInjector(nil)
+	if st, out := agenttest.Run(t, k, nil, "cat", "/data/f"); st != 0 || !strings.Contains(out, "plain") {
+		t.Fatalf("after SetInjector(nil): %d %q", st, out)
+	}
+}
+
+// TestChaosSoakMakeWorkload is the chaos soak: the full compiler workload
+// runs under aggressive-but-sublethal fault plans with several fixed
+// seeds. The build is allowed to fail — faults are real — but the system
+// must degrade gracefully: no wedged processes (the watchdog enforces
+// forward progress) and no toolkit panics surfacing on the console.
+func TestChaosSoakMakeWorkload(t *testing.T) {
+	defer agenttest.Watchdog(t, 3*time.Minute)()
+	injected := 0
+	for _, seed := range []int{1, 2, 3, 5, 8} {
+		plan := fmt.Sprintf(
+			"seed=%d,read=EINTR@0.05,write=EIO@0.01,write=short:7@0.1,open=ENOSPC@0.005",
+			seed)
+		k := buildWorld(t, 4)
+		fa := mustFaulty(t, plan)
+		// A failed build is retried: a fatal fault aborts make early, and
+		// rerunning it both lengthens the soak and checks the world is
+		// still coherent enough to pick the build back up.
+		for round := 0; round < 4; round++ {
+			st, out, err := core.Run(k, []core.Agent{fa}, "/bin/sh",
+				[]string{"sh", "-c", "cd /src; mk all"}, []string{"PATH=/bin"})
+			if err != nil {
+				t.Fatalf("seed %d round %d: spawn: %v", seed, round, err)
+			}
+			if strings.Contains(out, "panic in pid") {
+				t.Fatalf("seed %d round %d: toolkit panic under faults:\n%s", seed, round, out)
+			}
+			if round == 3 {
+				t.Logf("seed %d: final status %#x, %d faults injected", seed, st, fa.Injector().Count())
+			}
+		}
+		injected += fa.Injector().Count()
+	}
+	if injected == 0 {
+		t.Fatal("soak injected no faults; plans too weak to test anything")
+	}
+}

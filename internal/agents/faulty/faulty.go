@@ -1,0 +1,59 @@
+// Package faulty implements a deterministic fault injection agent — the
+// paper-faithful surface of internal/fault. It is a numeric-layer agent
+// any stack can compose: installed below another agent it shakes that
+// agent's downcalls; installed above, the client's calls. Every decision
+// is a pure function of the plan seed and the caller's own call sequence,
+// so a run replays exactly.
+//
+//	agentrun -a 'faulty=seed=7,write=EIO@0.05' -a zip=/z -- /bin/prog
+package faulty
+
+import (
+	"interpose/internal/core"
+	"interpose/internal/fault"
+	"interpose/internal/sys"
+)
+
+// Agent injects faults from a parsed plan.
+type Agent struct {
+	core.Numeric
+	inj *fault.Injector
+}
+
+// New parses a fault plan specification and builds the agent. The agent
+// registers interest only in the calls its rules can match.
+func New(spec string) (*Agent, error) {
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{inj: fault.NewInjector(plan)}
+	for _, r := range plan.Rules {
+		if r.Call >= 0 {
+			a.RegisterInterest(r.Call)
+			continue
+		}
+		// Path-only rule: interested in every pathname call.
+		for _, num := range fault.PathSyscalls() {
+			a.RegisterInterest(num)
+		}
+	}
+	return a, nil
+}
+
+// AgentName labels the layer in telemetry attribution.
+func (a *Agent) AgentName() string { return "faulty" }
+
+// Injector exposes the underlying injector (fault log, summary) to
+// loaders and tests.
+func (a *Agent) Injector() *fault.Injector { return a.inj }
+
+// Syscall consults the plan, then passes unharmed (or rewritten) calls to
+// the next-lower instance of the system interface.
+func (a *Agent) Syscall(c sys.Ctx, num int, args sys.Args) (sys.Retval, sys.Errno) {
+	out, rv, err, handled := a.inj.Inject(c, num, args)
+	if handled {
+		return rv, err
+	}
+	return core.Down(c, num, out)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"interpose/internal/agents"
 	"interpose/internal/agents/agenttest"
@@ -32,6 +33,7 @@ func buildWorld(t *testing.T, programs int) *kernel.Kernel {
 // runMake runs the build under an agent stack and checks it succeeded.
 func runMake(t *testing.T, k *kernel.Kernel, agentsList []core.Agent) string {
 	t.Helper()
+	defer agenttest.Watchdog(t, 2*time.Minute)()
 	st, out, err := core.Run(k, agentsList, "/bin/sh",
 		[]string{"sh", "-c", "cd /src; mk all"}, []string{"PATH=/bin"})
 	if err != nil {
@@ -151,13 +153,15 @@ func TestCatalogConstructsEveryAgent(t *testing.T) {
 		"union=/u=/tmp:/etc", "dfstrace", "sandbox=/tmp",
 		"sandbox=/tmp:emulate", "txn=/tmp/sh", "txn=/tmp/sh:commit",
 		"zip=/tmp", "crypt=/tmp:key", "hpux",
+		"faulty=seed=1,write=EIO@0.5", "faulty=read:/data=short:4@0.25,open=ENOSPC",
 	}
 	for _, spec := range specs {
 		if _, err := agents.New(spec); err != nil {
 			t.Fatalf("catalog %q: %v", spec, err)
 		}
 	}
-	for _, bad := range []string{"nosuch", "timex=xyz", "union=bad", "crypt=/x"} {
+	for _, bad := range []string{"nosuch", "timex=xyz", "union=bad", "crypt=/x",
+		"faulty", "faulty=write=EBOGUS", "faulty=getpid=short:4"} {
 		if _, err := agents.New(bad); err == nil {
 			t.Fatalf("catalog accepted %q", bad)
 		}

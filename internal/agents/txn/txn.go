@@ -34,10 +34,11 @@ type Agent struct {
 	shadowRoot   string
 	commitOnExit bool
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	rootPID int
-	done    bool
+	mu        sync.Mutex
+	entries   map[string]*entry
+	rootPID   int
+	done      bool
+	commitErr sys.Errno
 }
 
 // New creates a transactional agent buffering changes under shadowRoot
@@ -518,9 +519,21 @@ func (a *Agent) SysExit(c sys.Ctx, status int) (sys.Retval, sys.Errno) {
 	}
 	a.mu.Unlock()
 	if isRoot && a.commitOnExit {
-		a.Commit(c)
+		err := a.Commit(c)
+		a.mu.Lock()
+		a.commitErr = err
+		a.mu.Unlock()
 	}
 	return a.PathnameSet.SysExit(c, status)
+}
+
+// CommitErr reports the outcome of the exit-time commit: OK before commit
+// and after a clean one, otherwise the error that aborted it (in which
+// case the real filesystem was rolled back to its pre-transaction state).
+func (a *Agent) CommitErr() sys.Errno {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.commitErr
 }
 
 // Changes describes the buffered modifications: paths that would be
@@ -543,11 +556,48 @@ func (a *Agent) Changes() (writes, removes []string) {
 
 // Commit replays the transaction against the real filesystem through
 // downcalls on c: directories first, then file contents, then removals.
+//
+// Commit is all-or-nothing: before any real file is overwritten or
+// removed it is renamed aside into the shadow subtree's undo area, and
+// the first failure (say, an injected ENOSPC on a commit-time write)
+// rolls every step already taken back, leaving the real filesystem in its
+// exact pre-transaction state. No buffered side effect can leak from an
+// aborted commit.
 func (a *Agent) Commit(c sys.Ctx) sys.Errno {
 	writes, removes := a.Changes()
 	// Shorter paths (parents) first for creations.
 	sort.Slice(writes, func(i, j int) bool { return len(writes[i]) < len(writes[j]) })
-	var firstErr sys.Errno
+
+	undoRoot := a.shadowRoot + "/.undo"
+	var undo []func() // applied in reverse on failure
+	rollback := func(err sys.Errno) sys.Errno {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+		return err
+	}
+	// moveAside preserves whatever exists at real before commit touches
+	// it: the object is renamed into the undo area and an inverse rename
+	// queued. Missing paths queue an unlink of whatever commit creates.
+	moveAside := func(real string) sys.Errno {
+		if _, e := core.DownLstat(c, real); e != sys.OK {
+			undo = append(undo, func() { core.DownPath(c, sys.SYS_unlink, real) })
+			return sys.OK
+		}
+		bak := undoRoot + real
+		if e := core.DownMkdirAll(c, gopath.Dir(bak), 0o777); e != sys.OK {
+			return e
+		}
+		if _, e := core.DownPath2(c, sys.SYS_rename, real, bak); e != sys.OK {
+			return e
+		}
+		undo = append(undo, func() {
+			core.DownPath(c, sys.SYS_unlink, real)
+			core.DownPath2(c, sys.SYS_rename, bak, real)
+		})
+		return sys.OK
+	}
+
 	for _, path := range writes {
 		mark := core.StageMark(c)
 		a.mu.Lock()
@@ -555,44 +605,62 @@ func (a *Agent) Commit(c sys.Ctx) sys.Errno {
 		a.mu.Unlock()
 		var err sys.Errno
 		if isDir {
-			err = core.DownMkdirAll(c, path, 0o777)
+			if _, e := core.DownStat(c, path); e != sys.OK {
+				err = core.DownMkdirAll(c, path, 0o777)
+				if err == sys.OK {
+					dir := path
+					undo = append(undo, func() { core.DownPath(c, sys.SYS_rmdir, dir) })
+				}
+			}
 		} else if st, e := core.DownLstat(c, a.shadow(path)); e == sys.OK && st.Mode&sys.S_IFMT == sys.S_IFLNK {
 			// Recreate symbolic links as links.
 			buf, e2 := core.StageAlloc(c, sys.PathMax)
-			if e2 == sys.OK {
+			if e2 != sys.OK {
+				err = e2
+			} else {
 				rv, e3 := core.DownPath(c, sys.SYS_readlink, a.shadow(path), buf, sys.PathMax)
-				if e3 == sys.OK {
+				if e3 != sys.OK {
+					err = e3
+				} else {
 					target := make([]byte, rv[0])
 					c.CopyIn(buf, target)
-					core.DownPath(c, sys.SYS_unlink, path)
-					_, err = core.DownPath2(c, sys.SYS_symlink, string(target), path)
+					if err = moveAside(path); err == sys.OK {
+						_, err = core.DownPath2(c, sys.SYS_symlink, string(target), path)
+					}
 				}
 			}
-		} else {
-			err = core.DownCopyFile(c, a.shadow(path), path)
-		}
-		if err != sys.OK && firstErr == sys.OK {
-			firstErr = err
+		} else if err = moveAside(path); err == sys.OK {
+			if err = core.DownCopyFile(c, a.shadow(path), path); err != sys.OK {
+				// Remove the partial copy so the inverse rename restores
+				// the original cleanly.
+				core.DownPath(c, sys.SYS_unlink, path)
+			}
 		}
 		core.StageRelease(c, mark)
+		if err != sys.OK {
+			return rollback(err)
+		}
 	}
-	// Longer paths first for removals (children before parents).
+	// Longer paths first for removals (children before parents). A file
+	// removal is itself a rename into the undo area, so it is reversible;
+	// directory removals queue a re-mkdir.
 	sort.Slice(removes, func(i, j int) bool { return len(removes[i]) > len(removes[j]) })
 	for _, path := range removes {
-		mark := core.StageMark(c)
 		a.mu.Lock()
 		isDir := a.entries[path].isDir
 		a.mu.Unlock()
 		var err sys.Errno
 		if isDir {
-			_, err = core.DownPath(c, sys.SYS_rmdir, path)
+			if _, err = core.DownPath(c, sys.SYS_rmdir, path); err == sys.OK {
+				dir := path
+				undo = append(undo, func() { core.DownMkdirAll(c, dir, 0o777) })
+			}
 		} else {
-			_, err = core.DownPath(c, sys.SYS_unlink, path)
+			err = moveAside(path)
 		}
-		if err != sys.OK && firstErr == sys.OK {
-			firstErr = err
+		if err != sys.OK {
+			return rollback(err)
 		}
-		core.StageRelease(c, mark)
 	}
-	return firstErr
+	return sys.OK
 }

@@ -134,9 +134,9 @@ func (p *zipPathname) Open(c sys.Ctx, flags int, mode uint32) (sys.Retval, core.
 		oo.off = int64(len(plain))
 	}
 	oo.OnRelease = func(rc sys.Ctx) {
-		if oo.dirty {
-			core.DownWriteFile(rc, oo.path, Compress(oo.data), oo.mode)
-		}
+		// Close cannot surface a write-back error; writeBack at least
+		// guarantees the stored file is never left half-written.
+		oo.writeBack(rc)
 	}
 	return rv, oo, sys.OK
 }
@@ -328,11 +328,30 @@ func (o *zipOpen) Fstat(c sys.Ctx, fd int, statAddr sys.Word) (sys.Retval, sys.E
 
 // Fsync writes the compressed image back early.
 func (o *zipOpen) Fsync(c sys.Ctx, fd int) (sys.Retval, sys.Errno) {
-	if o.dirty {
-		if err := core.DownWriteFile(c, o.path, Compress(o.data), o.mode); err != sys.OK {
-			return sys.Retval{}, err
-		}
-		o.dirty = false
+	if err := o.writeBack(c); err != sys.OK {
+		return sys.Retval{}, err
 	}
 	return sys.Retval{}, sys.OK
+}
+
+// writeBack stores the compressed image without ever corrupting the real
+// file: the bytes go to a temporary name first and replace the original
+// only via an atomic rename. If any step fails — a short or failing write
+// below, say from fault injection — the original stored file is untouched,
+// the temporary is removed, and the image stays dirty for a later retry.
+func (o *zipOpen) writeBack(c sys.Ctx) sys.Errno {
+	if !o.dirty {
+		return sys.OK
+	}
+	tmp := o.path + ".zip~"
+	if err := core.DownWriteFile(c, tmp, Compress(o.data), o.mode); err != sys.OK {
+		core.DownPath(c, sys.SYS_unlink, tmp)
+		return err
+	}
+	if _, err := core.DownPath2(c, sys.SYS_rename, tmp, o.path); err != sys.OK {
+		core.DownPath(c, sys.SYS_unlink, tmp)
+		return err
+	}
+	o.dirty = false
+	return sys.OK
 }

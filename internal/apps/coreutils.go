@@ -61,7 +61,7 @@ func catMain(t *libc.T) int {
 		}
 		buf := make([]byte, 4096)
 		for {
-			n, err := t.Read(fd, buf)
+			n, err := t.ReadRetry(fd, buf)
 			if err != sys.OK {
 				t.Errorf("%s: read: %v", name, err)
 				status = 1
@@ -473,7 +473,7 @@ func teeMain(t *libc.T) int {
 	}
 	buf := make([]byte, 4096)
 	for {
-		n, err := t.Read(0, buf)
+		n, err := t.ReadRetry(0, buf)
 		if err != sys.OK || n == 0 {
 			break
 		}

@@ -32,15 +32,6 @@ func World() (*kernel.Kernel, error) {
 	return k, nil
 }
 
-// MustWorld is World for benchmarks.
-func MustWorld() *kernel.Kernel {
-	k, err := World()
-	if err != nil {
-		panic(err)
-	}
-	return k
-}
-
 // AgentStack builds one of the paper's agent configurations by name:
 // "none", "timex", "trace", "union", or "null" (the measurement agent).
 // The returned io discard flag indicates trace output should be swallowed.

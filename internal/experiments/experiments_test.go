@@ -4,7 +4,19 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"interpose/internal/kernel"
 )
+
+// mustWorld boots the test world, failing the test on error.
+func mustWorld(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	k, err := World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
 
 func TestWorldBoots(t *testing.T) {
 	k, err := World()
@@ -21,7 +33,7 @@ func TestWorldBoots(t *testing.T) {
 }
 
 func TestAgentStacks(t *testing.T) {
-	k := MustWorld()
+	k := mustWorld(t)
 	for _, name := range append(MacroStacks, "null") {
 		agents, err := AgentStack(k, name)
 		if err != nil {
@@ -40,7 +52,7 @@ func TestAgentStacks(t *testing.T) {
 }
 
 func TestScribeWorkloadRuns(t *testing.T) {
-	k := MustWorld()
+	k := mustWorld(t)
 	manuscript, err := SetupScribe(k)
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +82,7 @@ func TestScribeWorkloadRuns(t *testing.T) {
 }
 
 func TestMakeWorkloadRunsAndCleans(t *testing.T) {
-	k := MustWorld()
+	k := mustWorld(t)
 	if err := SetupMake(k, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +106,7 @@ func TestMakeWorkloadRunsAndCleans(t *testing.T) {
 
 func TestRunBenchOps(t *testing.T) {
 	for _, op := range Table35Ops {
-		k := MustWorld()
+		k := mustWorld(t)
 		if _, err := RunBench(k, nil, op.Op, 3); err != nil {
 			t.Fatalf("%s: %v", op.Op, err)
 		}
@@ -140,7 +152,10 @@ func TestKernelTraceHookCount(t *testing.T) {
 }
 
 func TestTable34Measures(t *testing.T) {
-	tb := RunTable34()
+	tb, err := RunTable34()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tb.InterceptReturn <= 0 {
 		t.Fatal("intercept cost not measured")
 	}

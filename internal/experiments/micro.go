@@ -127,8 +127,11 @@ type Table34 struct {
 }
 
 // RunTable34 performs the Table 3-4 measurements.
-func RunTable34() Table34 {
-	k := MustWorld()
+func RunTable34() (Table34, error) {
+	k, err := World()
+	if err != nil {
+		return Table34{}, err
+	}
 	direct := MeasureSyscallDirect(k)
 	through := MeasureSyscallThroughLayer(k)
 	down := through - direct
@@ -140,7 +143,7 @@ func RunTable34() Table34 {
 		InterfaceCall:   MeasureInterfaceCall(),
 		InterceptReturn: MeasureInterceptReturn(k),
 		Downcall:        down,
-	}
+	}, nil
 }
 
 // Table35Ops lists the system call patterns of Table 3-5 with the
@@ -171,7 +174,10 @@ type Table35Row struct {
 func RunTable35() ([]Table35Row, error) {
 	var rows []Table35Row
 	for _, op := range Table35Ops {
-		k := MustWorld()
+		k, err := World()
+		if err != nil {
+			return nil, err
+		}
 		bare, err := RunBench(k, nil, op.Op, op.N)
 		if err != nil {
 			return nil, err

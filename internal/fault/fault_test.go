@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/sys"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7,write=EIO@0.05,read:/data=short:4@0.25,path:/tmp=delay:2,open=sig:INT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", p.Seed)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(p.Rules))
+	}
+	want := []Rule{
+		{Call: sys.SYS_write, Effect: EffectErrno, Err: sys.EIO, Prob: 0.05},
+		{Call: sys.SYS_read, Prefix: "/data", Effect: EffectShort, N: 4, Prob: 0.25},
+		{Call: -1, Prefix: "/tmp", Effect: EffectDelay, N: 2, Prob: 1},
+		{Call: sys.SYS_open, Effect: EffectSignal, Sig: sys.SIGINT, Prob: 1},
+	}
+	for i, w := range want {
+		if p.Rules[i] != w {
+			t.Errorf("rule %d = %+v, want %+v", i, p.Rules[i], w)
+		}
+	}
+}
+
+func TestParsePlanDefaultSeedAndProb(t *testing.T) {
+	p, err := ParsePlan("write=ENOSPC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 1 || p.Rules[0].Prob != 1 {
+		t.Fatalf("defaults: seed=%d prob=%g", p.Seed, p.Rules[0].Prob)
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",                  // no rules
+		"seed=3",            // seed alone is not a plan
+		"bogus=EIO",         // unknown syscall
+		"write=EBOGUS",      // unknown errno
+		"write=EIO@0",       // probability out of range
+		"write=EIO@1.5",     // probability out of range
+		"getpid=short:4",    // short on a non-transfer call
+		"read=short:x",      // bad count
+		"path=EIO",          // path rule without prefix
+		"read:data=EIO",     // relative prefix
+		"open=sig:SIGBOGUS", // unknown signal
+		"write",             // no '='
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRuleStringRoundTrip checks the rendered form re-parses to the same
+// rule — the property the replay log format depends on.
+func TestRuleStringRoundTrip(t *testing.T) {
+	spec := "seed=9,write=EIO@0.05,read=short:7@0.5,path:/z=delay:3,open:/etc=sig:SIGHUP@0.125"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Rules {
+		again, err := ParsePlan(r.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", r.String(), err)
+		}
+		if again.Rules[0] != r {
+			t.Fatalf("round trip %q: %+v != %+v", r.String(), again.Rules[0], r)
+		}
+	}
+}
+
+// fakeCtx is a minimal sys.Ctx with an in-memory pathname table: address
+// 100+i holds path strings[i].
+type fakeCtx struct {
+	pid   int
+	paths map[sys.Word]string
+}
+
+func (f *fakeCtx) PID() int                               { return f.pid }
+func (f *fakeCtx) CopyIn(a sys.Word, p []byte) sys.Errno  { return sys.EFAULT }
+func (f *fakeCtx) CopyOut(a sys.Word, p []byte) sys.Errno { return sys.EFAULT }
+func (f *fakeCtx) CopyInString(a sys.Word, max int) (string, sys.Errno) {
+	if s, ok := f.paths[a]; ok {
+		return s, sys.OK
+	}
+	return "", sys.EFAULT
+}
+
+// TestDecisionsDeterministic runs the same decision stream twice and
+// checks identical outcomes; a different seed must diverge.
+func TestDecisionsDeterministic(t *testing.T) {
+	plan := func(seed string) *Injector {
+		p, err := ParsePlan("seed=" + seed + ",write=EIO@0.3,read=EINTR@0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewInjector(p)
+	}
+	run := func(in *Injector) string {
+		c := &fakeCtx{pid: 5}
+		var b strings.Builder
+		for i := 0; i < 400; i++ {
+			num := sys.SYS_write
+			if i%2 == 1 {
+				num = sys.SYS_read
+			}
+			_, _, err, handled := in.Inject(c, num, sys.Args{1, 0, 64})
+			if handled {
+				b.WriteString(err.Name())
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := run(plan("42")), run(plan("42"))
+	if a != b {
+		t.Fatal("same seed diverged")
+	}
+	if !strings.Contains(a, "EIO") || !strings.Contains(a, "EINTR") {
+		t.Fatalf("no faults fired at p=0.3 over 400 calls: %q", a)
+	}
+	if c := run(plan("43")); c == a {
+		t.Fatal("different seed produced the identical decision stream")
+	}
+}
+
+// TestDecisionsInterleavingIndependent checks that one process's fault
+// sequence does not depend on another process's calls being interleaved.
+func TestDecisionsInterleavingIndependent(t *testing.T) {
+	p, err := ParsePlan("seed=11,write=EIO@0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := NewInjector(p)
+	mixed := NewInjector(p)
+	c5, c9 := &fakeCtx{pid: 5}, &fakeCtx{pid: 9}
+	var a, b strings.Builder
+	for i := 0; i < 200; i++ {
+		_, _, err, handled := solo.Inject(c5, sys.SYS_write, sys.Args{1, 0, 8})
+		if handled {
+			a.WriteString(err.Name())
+		} else {
+			a.WriteByte('.')
+		}
+		// The mixed injector sees pid 9 calls interleaved with pid 5's.
+		mixed.Inject(c9, sys.SYS_write, sys.Args{1, 0, 8})
+		_, _, err, handled = mixed.Inject(c5, sys.SYS_write, sys.Args{1, 0, 8})
+		if handled {
+			b.WriteString(err.Name())
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	if a.String() != b.String() {
+		t.Fatal("pid 5's fault sequence changed when pid 9's calls were interleaved")
+	}
+}
+
+func TestShortRewritesCount(t *testing.T) {
+	p, err := ParsePlan("write=short:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	out, _, errno, handled := in.Inject(&fakeCtx{pid: 1}, sys.SYS_write, sys.Args{3, 200, 64})
+	if handled || errno != sys.OK {
+		t.Fatalf("short fault handled=%v err=%v", handled, errno)
+	}
+	if out[2] != 4 {
+		t.Fatalf("count rewritten to %d, want 4", out[2])
+	}
+	if out[0] != 3 || out[1] != 200 {
+		t.Fatalf("unrelated args disturbed: %v", out)
+	}
+	// A count already under the limit is left alone.
+	out, _, _, _ = in.Inject(&fakeCtx{pid: 1}, sys.SYS_write, sys.Args{3, 200, 2})
+	if out[2] != 2 {
+		t.Fatalf("small count rewritten to %d", out[2])
+	}
+}
+
+func TestPathPrefixMatching(t *testing.T) {
+	p, err := ParsePlan("open:/data=EIO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	c := &fakeCtx{pid: 1, paths: map[sys.Word]string{
+		100: "/data/f", 101: "/database", 102: "/data",
+	}}
+	check := func(addr sys.Word, want bool) {
+		t.Helper()
+		_, _, _, handled := in.Inject(c, sys.SYS_open, sys.Args{addr, 0, 0})
+		if handled != want {
+			t.Errorf("addr %d (%q): handled=%v want %v", addr, c.paths[addr], handled, want)
+		}
+	}
+	check(100, true)  // under the prefix
+	check(101, false) // sibling that shares the byte prefix only
+	check(102, true)  // the prefix itself
+	// A non-path call never matches a path rule.
+	if _, _, _, handled := in.Inject(c, sys.SYS_getpid, sys.Args{}); handled {
+		t.Error("path rule fired on getpid")
+	}
+}
+
+func TestLogAndSummary(t *testing.T) {
+	p, err := ParsePlan("seed=3,write=EIO@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	c := &fakeCtx{pid: 2}
+	for i := 0; i < 50; i++ {
+		in.Inject(c, sys.SYS_write, sys.Args{1, 0, 8})
+	}
+	log := in.Log()
+	if len(log) == 0 || in.Count() != len(log) {
+		t.Fatalf("log len=%d count=%d", len(log), in.Count())
+	}
+	if !strings.Contains(log[0].String(), "pid 2 write #") {
+		t.Fatalf("log line %q", log[0].String())
+	}
+	sum := in.Summary()
+	if !strings.Contains(sum, "injected (seed=3)") || !strings.Contains(sum, "write=EIO@0.5") {
+		t.Fatalf("summary %q", sum)
+	}
+}
+
+func TestPathSyscallsCoverage(t *testing.T) {
+	calls := PathSyscalls()
+	want := map[int]bool{sys.SYS_open: true, sys.SYS_rename: true, sys.SYS_stat: true}
+	for _, n := range calls {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("PathSyscalls missing %v", want)
+	}
+}

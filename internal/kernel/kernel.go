@@ -56,7 +56,25 @@ type Kernel struct {
 	// attribution, and flight-recorder events. While nil the entire
 	// facility costs one atomic pointer load per instrumentation site.
 	tel atomic.Pointer[telemetry.Registry]
+
+	// inj, when non-nil, is consulted on the kernel leg of every dispatch
+	// — below all emulation layers — and may satisfy or rewrite the call
+	// (fault injection). While nil it costs one atomic pointer load.
+	inj atomic.Pointer[injectorBox]
 }
+
+// Injector is the kernel-side fault injection hook: consulted after all
+// emulation layers, immediately before the kernel's own implementation.
+// When handled is true the kernel is bypassed and (rv, err) returned;
+// otherwise the call proceeds with the returned arguments.
+// fault.Injector implements it.
+type Injector interface {
+	Inject(c sys.Ctx, num int, a sys.Args) (out sys.Args, rv sys.Retval, err sys.Errno, handled bool)
+}
+
+// injectorBox wraps the interface so the atomic pointer has a concrete
+// element type.
+type injectorBox struct{ inj Injector }
 
 // New boots a kernel: an empty filesystem with the standard directory
 // tree and devices, and the given program image registry.
@@ -111,6 +129,16 @@ func (k *Kernel) SetTelemetry(r *telemetry.Registry) {
 // Telemetry returns the installed registry, or nil.
 func (k *Kernel) Telemetry() *telemetry.Registry {
 	return k.tel.Load()
+}
+
+// SetInjector installs (or removes, with nil) the kernel-side fault
+// injector. Toggling is safe while processes run.
+func (k *Kernel) SetInjector(in Injector) {
+	if in == nil {
+		k.inj.Store(nil)
+		return
+	}
+	k.inj.Store(&injectorBox{inj: in})
 }
 
 // lookupDevice finds the driver registered for a device number.

@@ -427,6 +427,18 @@ func (p *Proc) dispatch(below int, num int, a sys.Args) (sys.Retval, sys.Errno) 
 			return l.Handler.Syscall(p.emuCtx[i], num, a)
 		}
 	}
+	// Kernel-side fault injection sits below every emulation layer; while
+	// disabled it costs only this atomic load.
+	if b := p.k.inj.Load(); b != nil {
+		var (
+			rv      sys.Retval
+			err     sys.Errno
+			handled bool
+		)
+		if a, rv, err, handled = b.inj.Inject(p, num, a); handled {
+			return rv, err
+		}
+	}
 	if r := p.k.tel.Load(); r != nil {
 		return p.kernelCallTimed(r, num, a)
 	}
@@ -469,6 +481,12 @@ func (p *Proc) kernelCallTimed(r *telemetry.Registry, num int, a sys.Args) (sys.
 // every emulation layer. It is the lowest-level htg_unix_syscall analog.
 func (p *Proc) KernelSyscall(num int, a sys.Args) (sys.Retval, sys.Errno) {
 	return p.k.Syscall(p, num, a)
+}
+
+// Telemetry exposes the kernel's registry to agents through their call
+// context (nil when telemetry is off).
+func (p *Proc) Telemetry() *telemetry.Registry {
+	return p.k.tel.Load()
 }
 
 // unwind values carried by panic to end or redirect a process goroutine.

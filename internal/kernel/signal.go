@@ -156,13 +156,16 @@ func defaultTerminates(sig int) bool {
 
 // sleepLocked blocks the caller on the kernel condition variable until the
 // next broadcast, returning EINTR if p has deliverable signals before or
-// after the wait. Caller holds k.mu; the lock is held again on return.
+// after the wait. A process that is no longer running (its exit path has
+// begun) is never allowed to block again: the sleep fails with EINTR so
+// wait/pipe/flock paths unwind with an error instead of wedging the
+// goroutine. Caller holds k.mu; the lock is held again on return.
 func (k *Kernel) sleepLocked(p *Proc) sys.Errno {
-	if p.deliverableLocked() != 0 {
+	if p.state != procRunning || p.deliverableLocked() != 0 {
 		return sys.EINTR
 	}
 	k.cond.Wait()
-	if p.deliverableLocked() != 0 {
+	if p.state != procRunning || p.deliverableLocked() != 0 {
 		return sys.EINTR
 	}
 	return sys.OK

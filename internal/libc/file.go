@@ -58,17 +58,48 @@ func (t *T) Write(fd int, b []byte) (int, sys.Errno) {
 	return int(rv[0]), err
 }
 
-// WriteString writes s to fd, retrying partial writes.
-func (t *T) WriteString(fd int, s string) sys.Errno {
-	b := []byte(s)
+// ReadRetry is Read with EINTR retry: an interrupted read that moved no
+// data is reissued. Partial reads are returned as-is (short reads are part
+// of the read contract). Programs that do not use interrupted reads as a
+// control-flow signal should prefer this over Read.
+func (t *T) ReadRetry(fd int, b []byte) (int, sys.Errno) {
+	for {
+		n, err := t.Read(fd, b)
+		if err == sys.EINTR {
+			continue
+		}
+		return n, err
+	}
+}
+
+// WriteAll writes all of b: EINTR is retried and short writes are
+// completed. It returns the bytes actually written, which is len(b)
+// unless a non-retryable error stopped progress.
+func (t *T) WriteAll(fd int, b []byte) (int, sys.Errno) {
+	total := 0
 	for len(b) > 0 {
 		n, err := t.Write(fd, b)
-		if err != sys.OK {
-			return err
+		if n > 0 {
+			total += n
+			b = b[n:]
 		}
-		b = b[n:]
+		switch {
+		case err == sys.EINTR:
+			continue
+		case err != sys.OK:
+			return total, err
+		case n == 0:
+			// No progress and no error: report rather than spin.
+			return total, sys.EIO
+		}
 	}
-	return sys.OK
+	return total, sys.OK
+}
+
+// WriteString writes s to fd, retrying EINTR and partial writes.
+func (t *T) WriteString(fd int, s string) sys.Errno {
+	_, err := t.WriteAll(fd, []byte(s))
+	return err
 }
 
 // Lseek repositions a descriptor.
@@ -360,7 +391,7 @@ func (t *T) ReadFile(path string) ([]byte, sys.Errno) {
 	var out []byte
 	buf := make([]byte, 8192)
 	for {
-		n, err := t.Read(fd, buf)
+		n, err := t.ReadRetry(fd, buf)
 		if err != sys.OK {
 			return nil, err
 		}
@@ -378,12 +409,6 @@ func (t *T) WriteFile(path string, data []byte, mode uint32) sys.Errno {
 		return err
 	}
 	defer t.Close(fd)
-	for len(data) > 0 {
-		n, err := t.Write(fd, data)
-		if err != sys.OK {
-			return err
-		}
-		data = data[n:]
-	}
-	return sys.OK
+	_, werr := t.WriteAll(fd, data)
+	return werr
 }

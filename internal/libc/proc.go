@@ -79,7 +79,10 @@ func (t *T) Wait() (int, sys.Word, sys.Errno) { return t.Wait4(-1, 0) }
 // Waitpid waits for a specific child.
 func (t *T) Waitpid(pid int) (int, sys.Word, sys.Errno) { return t.Wait4(pid, 0) }
 
-// Wait4 waits for children matching sel with the given options.
+// Wait4 waits for children matching sel with the given options. Like the
+// ReadRetry/WriteAll transfer helpers, it absorbs EINTR: an interrupted
+// wait is reissued rather than surfaced to callers that cannot make
+// progress without the child's status.
 func (t *T) Wait4(sel int, options int) (int, sys.Word, sys.Errno) {
 	stAddr := t.structScratch()
 	for {

@@ -103,12 +103,15 @@ func (f *FILE) flushOnce() sys.Errno {
 	if n > stdioBuf {
 		n = stdioBuf
 	}
-	wrote, err := f.t.Write(f.fd, f.wbuf[:n])
+	// WriteAll absorbs EINTR and completes short writes; whatever it
+	// did write is consumed from the buffer even on error, so a retried
+	// Flush never re-emits bytes that already reached the descriptor.
+	wrote, err := f.t.WriteAll(f.fd, f.wbuf[:n])
+	f.wbuf = f.wbuf[:copy(f.wbuf, f.wbuf[wrote:])]
 	if err != sys.OK {
 		f.err = err
 		return err
 	}
-	f.wbuf = f.wbuf[:copy(f.wbuf, f.wbuf[wrote:])]
 	return sys.OK
 }
 
@@ -145,7 +148,7 @@ func (f *FILE) Read(p []byte) (int, sys.Errno) {
 
 func (f *FILE) fill() sys.Errno {
 	buf := make([]byte, stdioBuf)
-	n, err := f.t.Read(f.fd, buf)
+	n, err := f.t.ReadRetry(f.fd, buf)
 	if err != sys.OK {
 		f.err = err
 		return err

@@ -130,6 +130,17 @@ func (e Errno) Name() string {
 	return "E" + itoa(int(e))
 }
 
+// ErrnoByName resolves a symbolic error name ("ENOENT") to its number, the
+// inverse of Name.
+func ErrnoByName(name string) (Errno, bool) {
+	for e, s := range errnoName {
+		if s == name {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
 // itoa is a minimal integer formatter so this low-level package does not
 // depend on fmt or strconv.
 func itoa(v int) string {

@@ -177,3 +177,14 @@ func Syscalls() []int {
 	}
 	return out
 }
+
+// SyscallByName resolves a traditional system call name ("open") to its
+// number, the inverse of SyscallName.
+func SyscallByName(name string) (int, bool) {
+	for n, s := range sysName {
+		if s == name {
+			return n, true
+		}
+	}
+	return 0, false
+}
