@@ -2,7 +2,7 @@
 // section against this reproduction:
 //
 //	experiments              # all tables
-//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs, obs)
+//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs)
 //	experiments -runs 9      # timed repetitions per row (paper used 9)
 //	experiments -json        # also write BENCH_<date>.json (per-table ns/op)
 //
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, obs, all")
+	table := flag.String("table", "all", "which table to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, all")
 	runs := flag.Int("runs", 9, "timed repetitions per row (after one discarded run)")
 	programs := flag.Int("programs", 8, "program count for the make workload")
 	benchJSON := flag.Bool("json", false, "write measured rows to BENCH_<date>.json")
@@ -98,6 +98,14 @@ func main() {
 			experiments.BenchEntry{Table: "dfs", Row: "untraced", NsPerOp: res.Base.Nanoseconds()},
 			experiments.BenchEntry{Table: "dfs", Row: "kernel-based", NsPerOp: res.Kernel.Nanoseconds()},
 			experiments.BenchEntry{Table: "dfs", Row: "dfstrace-agent", NsPerOp: res.Agent.Nanoseconds()})
+	}
+	if want("scale") {
+		rows, err := experiments.RunScale(*runs, *programs)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintScale(os.Stdout, *programs, rows)
+		entries = append(entries, experiments.ScaleEntries(rows)...)
 	}
 	if want("obs") {
 		res, err := experiments.RunObs(*programs)

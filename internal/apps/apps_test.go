@@ -202,6 +202,39 @@ func TestMakeEightPrograms(t *testing.T) {
 	}
 }
 
+func TestMakeParallel(t *testing.T) {
+	k := world(t)
+	if err := apps.GenMakeTree(k, "/src", 8); err != nil {
+		t.Fatal(err)
+	}
+	st, out := run(t, k, "sh", "-c", "cd /src; mk -j 4 all")
+	if st != 0 {
+		t.Fatalf("mk -j 4: %d\n%s", st, out)
+	}
+	st, out = run(t, k, "sh", "-c", "cd /src; ./prog1; ./prog4; ./prog8")
+	if st != 0 {
+		t.Fatalf("run progs: %d %q", st, out)
+	}
+	for _, i := range []int{1, 4, 8} {
+		if !strings.Contains(out, apps.ExpectedProgOutput(i)) {
+			t.Fatalf("prog%d output missing; got %q want %q", i, out, apps.ExpectedProgOutput(i))
+		}
+	}
+	// Second parallel make is a no-op: everything up to date.
+	st, out = run(t, k, "sh", "-c", "cd /src; mk -j4 all")
+	if st != 0 || strings.Contains(out, "cc -o") {
+		t.Fatalf("parallel rebuild not up-to-date: %d\n%s", st, out)
+	}
+	// Touch one source; only that program rebuilds, even with -j.
+	st, out = run(t, k, "sh", "-c", "cd /src; touch prog3_sub.c; mk -j 8 all")
+	if st != 0 {
+		t.Fatalf("mk -j 8 after touch: %d\n%s", st, out)
+	}
+	if !strings.Contains(out, "prog3") || strings.Contains(out, "-o prog1") {
+		t.Fatalf("parallel rebuild selection wrong:\n%s", out)
+	}
+}
+
 func TestMakeRebuildsOnTouch(t *testing.T) {
 	k := world(t)
 	if err := apps.GenMakeTree(k, "/src", 2); err != nil {

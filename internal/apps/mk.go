@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"strconv"
 	"strings"
 
 	"interpose/internal/libc"
@@ -13,18 +14,31 @@ import (
 // by fork/exec directly, or through /bin/sh -c when they contain shell
 // syntax. It is the driver of the paper's "make 8 programs" workload
 // (Table 3-3): a collection of related processes making heavy use of
-// system calls.
+// system calls. With -j N the top-level goal's dependencies build in up
+// to N child processes at once, which exercises true kernel concurrency:
+// each job is a separate process issuing stat/open/fork/exec against
+// shared directories.
 func mkMain(t *libc.T) int {
 	file := "Makefile"
+	jobs := 1
 	var goals []string
 	args := t.Args[1:]
 	for i := 0; i < len(args); i++ {
-		if args[i] == "-f" && i+1 < len(args) {
+		switch {
+		case args[i] == "-f" && i+1 < len(args):
 			file = args[i+1]
 			i++
-			continue
+		case args[i] == "-j" && i+1 < len(args):
+			jobs = mkAtoi(args[i+1])
+			i++
+		case strings.HasPrefix(args[i], "-j") && len(args[i]) > 2:
+			jobs = mkAtoi(args[i][2:])
+		default:
+			goals = append(goals, args[i])
 		}
-		goals = append(goals, args[i])
+	}
+	if jobs < 1 {
+		jobs = 1
 	}
 
 	m := &mkFile{t: t, vars: map[string]string{}, rules: map[string]*mkRule{}}
@@ -39,12 +53,26 @@ func mkMain(t *libc.T) int {
 		goals = []string{m.first}
 	}
 	for _, g := range goals {
-		switch m.build(g, 0) {
+		st := mkUpToDate
+		if jobs > 1 {
+			st = m.buildParallel(g, jobs)
+		} else {
+			st = m.build(g, 0)
+		}
+		switch st {
 		case mkErr:
 			return 1
 		}
 	}
 	return 0
+}
+
+func mkAtoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 1
+	}
+	return n
 }
 
 type mkRule struct {
@@ -210,6 +238,114 @@ func (m *mkFile) build(target string, depth int) mkStatus {
 	}
 	r.result = mkRebuilt
 	return mkRebuilt
+}
+
+// cloneFor deep-copies the rule set for a forked child bound to its own
+// libc state. Rule bodies (deps, cmds) are immutable after parse and stay
+// shared; the per-rule done/result scratch is fresh, so a child build
+// never races the parent's bookkeeping.
+func (m *mkFile) cloneFor(ct *libc.T) *mkFile {
+	c := &mkFile{t: ct, vars: m.vars, rules: make(map[string]*mkRule, len(m.rules)), first: m.first}
+	for k, r := range m.rules {
+		c.rules[k] = &mkRule{target: r.target, deps: r.deps, cmds: r.cmds}
+	}
+	return c
+}
+
+// Child exit-code protocol for parallel builds.
+const (
+	mkChildUpToDate = 0
+	mkChildErr      = 1
+	mkChildRebuilt  = 3
+)
+
+// buildParallel brings goal up to date, building its rule-bearing
+// dependencies in up to jobs concurrent child processes (make -j). Each
+// dependency builds in a forked child that reports up-to-date/rebuilt/
+// error through its exit status; the parent folds those results back into
+// its own rule table and finishes the goal serially.
+func (m *mkFile) buildParallel(goal string, jobs int) mkStatus {
+	r := m.rules[goal]
+	if r == nil {
+		return m.build(goal, 0)
+	}
+	var queue []string
+	for _, d := range r.deps {
+		if m.rules[d] != nil {
+			queue = append(queue, d)
+		}
+	}
+	if len(queue) < 2 {
+		return m.build(goal, 0)
+	}
+
+	running := map[int]string{} // child pid → dependency it is building
+	failed := false
+	spawn := func(dep string) bool {
+		pid, err := m.t.Fork(func(ct *libc.T) {
+			switch m.cloneFor(ct).build(dep, 1) {
+			case mkUpToDate:
+				ct.Exit(mkChildUpToDate)
+			case mkRebuilt:
+				ct.Exit(mkChildRebuilt)
+			}
+			ct.Exit(mkChildErr)
+		})
+		if err != sys.OK {
+			m.t.Errorf("fork: %s", err.Error())
+			return false
+		}
+		running[pid] = dep
+		return true
+	}
+	reap := func() {
+		pid, status, err := m.t.Wait()
+		if err != sys.OK {
+			failed = true
+			for p := range running {
+				delete(running, p)
+			}
+			return
+		}
+		dep, ok := running[pid]
+		if !ok {
+			return
+		}
+		delete(running, pid)
+		rr := m.rules[dep]
+		rr.done = true
+		switch {
+		case sys.WIfExited(status) && sys.WExitStatus(status) == mkChildUpToDate:
+			rr.result = mkUpToDate
+		case sys.WIfExited(status) && sys.WExitStatus(status) == mkChildRebuilt:
+			rr.result = mkRebuilt
+		default:
+			rr.result = mkErr
+			failed = true
+		}
+	}
+
+	for _, dep := range queue {
+		if failed {
+			break
+		}
+		for len(running) >= jobs {
+			reap()
+		}
+		if failed || !spawn(dep) {
+			failed = true
+			break
+		}
+	}
+	for len(running) > 0 {
+		reap()
+	}
+	if failed {
+		return mkErr
+	}
+	// Finish serially: the children marked their targets done, so this
+	// only rechecks timestamps and runs the goal's own commands.
+	return m.build(goal, 0)
 }
 
 // runCmd executes one command line.

@@ -113,6 +113,15 @@ func RunMake(k *kernel.Kernel, agents []core.Agent) (time.Duration, error) {
 	return time.Since(start), err
 }
 
+// RunMakeJ builds the tree with mk -j jobs (the scalability table's unit
+// of work), returning the elapsed time. jobs=1 degenerates to RunMake.
+func RunMakeJ(k *kernel.Kernel, agents []core.Agent, jobs int) (time.Duration, error) {
+	start := time.Now()
+	cmd := fmt.Sprintf("cd /src; mk -j %d all", jobs)
+	err := runChecked(k, agents, "/bin/sh", []string{"sh", "-c", cmd})
+	return time.Since(start), err
+}
+
 // RunBench runs the bench program: n repetitions of op under agents.
 func RunBench(k *kernel.Kernel, agents []core.Agent, op string, n int) (time.Duration, error) {
 	start := time.Now()

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"interpose/internal/core"
+	"interpose/internal/kernel"
+)
+
+// The scalability table: the Table 3-3 make workload run with mk -j N for
+// increasing N, on a kernel whose big lock has been split into per-object
+// locks. Each parallel job is a separate interposed process hammering
+// fork/exec/open/stat against shared directories, so the speedup from -j
+// is a direct measurement of how much true concurrency the fine-grained
+// kernel and per-inode VFS locking admit. On a single-CPU host the table
+// still validates correctness (elapsed times stay flat rather than
+// degrading); the speedup column only becomes meaningful with multiple
+// scheduler threads available.
+
+// ScaleJobs is the job-count ladder of the scale table.
+var ScaleJobs = []int{1, 2, 4, 8}
+
+// ScaleRow is one row of the scalability table: elapsed time for mk -j J
+// and the speedup relative to the serial (-j 1) row.
+type ScaleRow struct {
+	Jobs    int
+	Agent   string
+	Elapsed time.Duration
+	Speedup float64 // serial elapsed / this elapsed
+}
+
+// RunScale measures mk -j N over the job ladder, for the bare kernel and
+// under the trace agent stack (showing interposition composes with
+// concurrency). Rounds are interleaved across configurations, after one
+// discarded warm-up round each, mirroring measureStacks.
+func RunScale(runs, programs int) ([]ScaleRow, error) {
+	type cfg struct {
+		jobs  int
+		stack string
+	}
+	var cfgs []cfg
+	for _, j := range ScaleJobs {
+		cfgs = append(cfgs, cfg{j, "none"})
+	}
+	cfgs = append(cfgs, cfg{4, "trace"})
+
+	type env struct {
+		k      *kernel.Kernel
+		agents []core.Agent
+	}
+	envs := make(map[cfg]*env, len(cfgs))
+	for _, c := range cfgs {
+		k, err := World()
+		if err != nil {
+			return nil, err
+		}
+		if err := SetupMake(k, programs); err != nil {
+			return nil, err
+		}
+		agents, err := AgentStack(k, c.stack)
+		if err != nil {
+			return nil, err
+		}
+		envs[c] = &env{k: k, agents: agents}
+	}
+
+	work := func(c cfg) (time.Duration, error) {
+		e := envs[c]
+		if err := CleanMake(e.k, programs); err != nil {
+			return 0, err
+		}
+		return RunMakeJ(e.k, e.agents, c.jobs)
+	}
+
+	totals := make(map[cfg]time.Duration, len(cfgs))
+	for _, c := range cfgs {
+		if _, err := work(c); err != nil {
+			return nil, fmt.Errorf("scale table (j=%d, %s): %w", c.jobs, c.stack, err)
+		}
+	}
+	for r := 0; r < runs; r++ {
+		for _, c := range cfgs {
+			runtime.GC()
+			d, err := work(c)
+			if err != nil {
+				return nil, fmt.Errorf("scale table (j=%d, %s): %w", c.jobs, c.stack, err)
+			}
+			totals[c] += d
+		}
+	}
+
+	rows := make([]ScaleRow, 0, len(cfgs))
+	for _, c := range cfgs {
+		rows = append(rows, ScaleRow{Jobs: c.jobs, Agent: c.stack, Elapsed: totals[c] / time.Duration(runs)})
+	}
+	serial := rows[0].Elapsed
+	for i := range rows {
+		if rows[i].Elapsed > 0 {
+			rows[i].Speedup = float64(serial) / float64(rows[i].Elapsed)
+		}
+	}
+	return rows, nil
+}
+
+// PrintScale writes the scalability table.
+func PrintScale(w io.Writer, programs int, rows []ScaleRow) {
+	fmt.Fprintf(w, "Scale: parallel make of %d programs (mk -j N), GOMAXPROCS=%d\n\n",
+		programs, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "  %-6s %-12s %12s %10s\n", "Jobs", "Agent Name", "Elapsed", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-6d %-12s %12s %9.2fx\n", r.Jobs, r.Agent, fmtDur(r.Elapsed), r.Speedup)
+	}
+	fmt.Fprintln(w)
+}
+
+// ScaleEntries converts scale rows to bench entries.
+func ScaleEntries(rows []ScaleRow) []BenchEntry {
+	var es []BenchEntry
+	for _, r := range rows {
+		es = append(es, BenchEntry{
+			Table:   "scale",
+			Row:     fmt.Sprintf("j%d-%s", r.Jobs, r.Agent),
+			NsPerOp: r.Elapsed.Nanoseconds(),
+		})
+	}
+	return es
+}

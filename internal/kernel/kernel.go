@@ -9,9 +9,12 @@
 // (the analog of Mach 2.5's task_set_emulation), consulted on every system
 // call entry, inherited across fork, and preserved across execve.
 //
-// Internally the kernel uses a single "big kernel lock" with one condition
-// variable for all interruptible sleeps — the concurrency structure of the
-// uniprocessor systems the paper ran on, and immune to lost wakeups.
+// Internally the kernel uses fine-grained locking in the SMP style: a
+// process-table lock for process lifecycle, per-process locks for
+// credentials and descriptor tables, per-object locks for pipes and the
+// console, and per-wait-object queues (wait.go) so a wakeup only wakes
+// its own sleepers. DESIGN.md §8 documents the lock inventory and
+// ordering rules.
 package kernel
 
 import (
@@ -31,19 +34,31 @@ import (
 // Kernel is one simulated machine: a filesystem, a process table, a
 // console, and a clock.
 type Kernel struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-
+	// pmu is the process-table lock: it guards the pid table, pid
+	// allocation, the hostname, process genealogy (ppid, pgrp, children),
+	// process state transitions, exit status, accumulated child rusage,
+	// interval timers, and wait4 coordination. Everything else has moved
+	// to narrower locks (see DESIGN.md §8).
+	pmu      sync.Mutex
 	fs       *vfs.FS
 	images   *image.Registry
 	procs    map[int]*Proc
 	nextPID  int
 	hostname string
 
+	// flockMu guards all advisory file-lock state (Inode.LockEx,
+	// Inode.LockShared, File.lockHeld) and the single queue of lock
+	// waiters; flock is rare enough that one lock for all of it is fine.
+	flockMu sync.Mutex
+	flockQ  waitQ
+
 	timeOffset time.Duration // settimeofday adjustment
 	bootTime   time.Time
 
 	console *Console
+
+	// devices is built by makeTree at boot and frozen before the first
+	// process runs; reads take no lock.
 	devices map[uint32]vfs.Device
 
 	// tracer, when holding a non-nil Tracer, receives kernel-level
@@ -88,8 +103,6 @@ func New(images *image.Registry) *Kernel {
 		console:  newConsole(),
 		devices:  make(map[uint32]vfs.Device),
 	}
-	k.cond = sync.NewCond(&k.mu)
-	k.console.notify = k.cond.Broadcast
 	k.fs = vfs.New(k.Now)
 	k.makeTree()
 	return k
@@ -141,10 +154,9 @@ func (k *Kernel) SetInjector(in Injector) {
 	k.inj.Store(&injectorBox{inj: in})
 }
 
-// lookupDevice finds the driver registered for a device number.
+// lookupDevice finds the driver registered for a device number. The
+// device table is immutable after boot, so no lock is needed.
 func (k *Kernel) lookupDevice(rdev uint32) vfs.Device {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	return k.devices[rdev]
 }
 
@@ -288,12 +300,12 @@ type Console struct {
 	inEOF  bool
 	mirror io.Writer
 
-	// notify wakes sleeping readers when input arrives; wired to the
-	// kernel's condition variable at boot.
-	notify func()
+	// readQ holds processes blocked in a tty read; Feed and FeedEOF wake
+	// only these sleepers, not the rest of the system.
+	readQ waitQ
 }
 
-func newConsole() *Console { return &Console{notify: func() {}} }
+func newConsole() *Console { return &Console{} }
 
 // Output returns everything written to the console so far.
 func (c *Console) Output() string {
@@ -322,8 +334,8 @@ func (c *Console) Mirror(w io.Writer) {
 func (c *Console) Feed(s string) {
 	c.mu.Lock()
 	c.in.WriteString(s)
+	c.readQ.wakeAll()
 	c.mu.Unlock()
-	c.notify()
 }
 
 // FeedEOF marks the console input as ended: readers at the end of the
@@ -331,8 +343,8 @@ func (c *Console) Feed(s string) {
 func (c *Console) FeedEOF() {
 	c.mu.Lock()
 	c.inEOF = true
+	c.readQ.wakeAll()
 	c.mu.Unlock()
-	c.notify()
 }
 
 func (c *Console) write(p []byte) int {
@@ -379,9 +391,33 @@ func (zeroDev) Ioctl(req, arg sys.Word, c sys.Ctx) sys.Errno {
 	return sys.ENOTTY
 }
 
+// blockingDevice is implemented by devices whose reads can block. When a
+// read returns EAGAIN on a blocking descriptor the kernel read path calls
+// WaitInput, which sleeps the process on the device's own wait queue
+// until input may be available (or the sleep is interrupted).
+type blockingDevice interface {
+	WaitInput(p *Proc) sys.Errno
+}
+
 // ttyDev is the console terminal. Reads with no queued input report
 // "would block" to the kernel's read path, which sleeps the caller.
 type ttyDev struct{ k *Kernel }
+
+// WaitInput blocks on the console's read queue until input or EOF is
+// available. The registration happens under the same lock that guards
+// the input buffer, so a Feed between the failed read and the sleep
+// cannot be lost.
+func (t *ttyDev) WaitInput(p *Proc) sys.Errno {
+	c := t.k.console
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.in.Len() == 0 && !c.inEOF {
+		if e := p.sleepOn(&c.readQ, &c.mu); e != sys.OK {
+			return e
+		}
+	}
+	return sys.OK
+}
 
 func (t *ttyDev) Read(p []byte, off int64) (int, sys.Errno) {
 	n, ready := t.k.console.read(p)

@@ -2,6 +2,8 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"interpose/internal/image"
@@ -11,8 +13,10 @@ import (
 	"interpose/internal/vfs"
 )
 
-// procState is a process's lifecycle state.
-type procState int
+// procState is a process's lifecycle state. It is stored in an atomic so
+// any goroutine may read it; writes happen only under the process-table
+// lock k.pmu (state transitions are part of process lifecycle).
+type procState = int32
 
 const (
 	procRunning procState = iota
@@ -21,59 +25,95 @@ const (
 	procDead // reaped
 )
 
-// Proc is one simulated process. All fields are protected by the kernel's
-// big lock except where noted. Proc implements sys.Ctx and image.Proc.
+// Proc is one simulated process. Field groups are guarded by the lock
+// named in their comment; fields with no lock are either immutable after
+// construction or touched only by the process's own goroutine. Proc
+// implements sys.Ctx and image.Proc.
 type Proc struct {
-	k    *Kernel
-	pid  int
-	ppid int
-	pgrp int
+	k   *Kernel
+	pid int // immutable
 
-	as   *mem.AS // has its own internal lock
-	cwd  *vfs.Inode
-	root *vfs.Inode
+	// Guarded by k.pmu (process genealogy and lifecycle).
+	ppid       int
+	pgrp       int
+	exitStatus sys.Word
+	children   map[int]*Proc
+	childrenRu sys.Rusage // accumulated rusage of reaped children
 
-	fds    []fdesc
-	uid    uint32
-	euid   uint32
-	gid    uint32
-	egid   uint32
-	groups []uint32
-	umask  uint32
+	// itimer is the ITIMER_REAL state (not inherited by fork children).
+	// Guarded by k.pmu.
+	itimer itimerState
 
-	rlimits [sys.RLIM_NLIMITS]sys.Rlimit
+	// state is read lock-free anywhere; written only under k.pmu.
+	state atomic.Int32
 
-	// Signal state.
+	as *mem.AS // has its own internal lock
+
+	// mu guards per-process identity: working directories, credentials,
+	// umask, resource limits, the program name, and fork/exec staging.
+	mu          sync.Mutex
+	cwd         *vfs.Inode
+	root        *vfs.Inode
+	uid         uint32
+	euid        uint32
+	gid         uint32
+	egid        uint32
+	groups      []uint32
+	umask       uint32
+	rlimits     [sys.RLIM_NLIMITS]sys.Rlimit
+	comm        string
+	stagedChild image.Entry
+	initialSP   sys.Word
+
+	// fdMu guards the descriptor table. In practice only the process's
+	// own goroutine touches it (plus host-side setup before the process
+	// starts), so it is essentially uncontended.
+	fdMu sync.Mutex
+	fds  []fdesc
+
+	// sigMu is the innermost lock in the kernel: it guards signal state
+	// and may be taken while holding any other kernel lock, and must
+	// never be held while taking one.
+	sigMu       sync.Mutex
 	sigMask     uint32
 	sigPending  uint32
 	sigHandlers [sys.NSIG]sys.Sigvec
 	sigDispatch func(sig int, handler sys.Word) // user-mode upcall, set by libc
 	pauseMask   *uint32                         // sigpause restore mask
 
+	// sigAttn is 1 when checkSignals has work to do (a deliverable
+	// signal is pending, the process is not running, or a sigpause mask
+	// must be restored). It is recomputed under sigMu at every mutation
+	// site so the syscall exit path is a single atomic load.
+	sigAttn atomic.Uint32
+
+	// wake is the process's sleep token: sleepOn parks on it, wakers do a
+	// non-blocking send (see wait.go). Buffered, capacity 1.
+	wake chan struct{}
+
+	// childQ holds this process when it sleeps in wait4; guarded by
+	// k.pmu, woken by exiting children.
+	childQ waitQ
+
+	// exitDone is closed when the process becomes a zombie, for host-side
+	// WaitExit callers (which are not processes and cannot park on a
+	// wait queue).
+	exitDone chan struct{}
+
 	// Emulation (interposition) layers, bottom (index 0) to top, and the
 	// preboxed per-layer call contexts (allocated once at install so the
-	// dispatch path is allocation-free).
+	// dispatch path is allocation-free). Guarded by p.mu for mutation;
+	// read lock-free on the dispatch path, which is safe because layers
+	// are only pushed before the process runs user code or by the
+	// process itself.
 	emu    []*EmuLayer
 	emuCtx []sys.Ctx
 
-	// Fork/exec plumbing.
-	stagedChild image.Entry
-	initialSP   sys.Word
+	startTime time.Time // immutable
+	nsyscalls uint32    // atomic
 
-	state      procState
-	exitStatus sys.Word
-	children   map[int]*Proc
-
-	comm       string
-	startTime  time.Time
-	nsyscalls  uint32
-	childrenRu sys.Rusage // accumulated rusage of reaped children
-
-	pendingChildInit bool // fresh fork child: run layer InitChild hooks
-	execDepth        int  // interpreter recursion guard, reset per execve call
-
-	// itimer is the ITIMER_REAL state (not inherited by fork children).
-	itimer itimerState
+	pendingChildInit bool // fresh fork child: run layer InitChild hooks; p.mu
+	execDepth        int  // interpreter recursion guard; own goroutine only
 
 	// emuCursor is the bump allocator over the emulator segment, used by
 	// agent layers to stage downcall arguments. It resets at each
@@ -88,6 +128,12 @@ type Proc struct {
 	// touches it.
 	telChild time.Duration
 }
+
+// loadState reads the lifecycle state without any lock.
+func (p *Proc) loadState() procState { return p.state.Load() }
+
+// setStateLocked transitions the lifecycle state. Caller holds k.pmu.
+func (p *Proc) setStateLocked(s procState) { p.state.Store(s) }
 
 // EmuLayer is one installed interposition layer: a handler, the set of
 // system call numbers it has registered interest in, and optionally a
@@ -164,10 +210,20 @@ type ProcExiter interface {
 	ProcExit(pid int)
 }
 
-// newProc allocates a process (caller holds k.mu).
-func (k *Kernel) newProcLocked(parent *Proc) *Proc {
+// allocPID hands out the next process id.
+func (k *Kernel) allocPID() int {
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	pid := k.nextPID
 	k.nextPID++
+	return pid
+}
+
+// newProc builds a fully initialized process that is NOT yet in the
+// process table. Callers populate inherited state and then publish it
+// with publishProc, so no concurrent kill or wait can observe a
+// half-constructed process.
+func (k *Kernel) newProc(pid int) *Proc {
 	p := &Proc{
 		k:         k,
 		pid:       pid,
@@ -180,18 +236,27 @@ func (k *Kernel) newProcLocked(parent *Proc) *Proc {
 		children:  make(map[int]*Proc),
 		comm:      "",
 		startTime: time.Now(),
+		wake:      make(chan struct{}, 1),
+		exitDone:  make(chan struct{}),
 	}
 	for i := range p.rlimits {
 		p.rlimits[i] = sys.Rlimit{Cur: sys.RLIM_INFINITY, Max: sys.RLIM_INFINITY}
 	}
 	p.rlimits[sys.RLIMIT_NOFILE] = sys.Rlimit{Cur: sys.OpenMax, Max: sys.OpenMax}
+	return p
+}
+
+// publishProc enters p into the process table, linking it to its parent
+// (nil for host-created processes).
+func (k *Kernel) publishProc(p *Proc, parent *Proc) {
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	if parent != nil {
 		p.ppid = parent.pid
 		p.pgrp = parent.pgrp
-		parent.children[pid] = p
+		parent.children[p.pid] = p
 	}
-	k.procs[pid] = p
-	return p
+	k.procs[p.pid] = p
 }
 
 // PID returns the process id. (sys.Ctx)
@@ -199,15 +264,15 @@ func (p *Proc) PID() int { return p.pid }
 
 // PPID returns the parent process id.
 func (p *Proc) PPID() int {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.k.pmu.Lock()
+	defer p.k.pmu.Unlock()
 	return p.ppid
 }
 
 // Comm returns the program name set by the last exec.
 func (p *Proc) Comm() string {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.comm
 }
 
@@ -237,23 +302,23 @@ func ctxProc(c sys.Ctx) *Proc {
 
 // StageChild implements image.Proc.
 func (p *Proc) StageChild(e image.Entry) {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.stagedChild = e
 }
 
 // InitialSP implements image.Proc.
 func (p *Proc) InitialSP() sys.Word {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.initialSP
 }
 
 // SetComm records the program name, as exec does (a machine-level
 // operation used by toolkit execve reimplementations).
 func (p *Proc) SetComm(name string) {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.comm = name
 }
 
@@ -261,15 +326,15 @@ func (p *Proc) SetComm(name string) {
 // machine-level operation used by the kernel and by toolkit execve
 // reimplementations.
 func (p *Proc) SetInitialSP(sp sys.Word) {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.initialSP = sp
 }
 
 // SetSignalDispatcher implements image.Proc.
 func (p *Proc) SetSignalDispatcher(fn func(sig int, handler sys.Word)) {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.sigMu.Lock()
+	defer p.sigMu.Unlock()
 	p.sigDispatch = fn
 }
 
@@ -290,16 +355,16 @@ func (p *Proc) Yield() { p.checkSignals() }
 // The layer sees the process's system calls (for registered numbers) before
 // lower layers and the kernel; it sees signals after them.
 func (p *Proc) PushEmulation(l *EmuLayer) {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.emu = append(p.emu, l)
 	p.emuCtx = append(p.emuCtx, LayerCtx{Proc: p, layer: len(p.emu) - 1})
 }
 
 // Emulation returns the installed layers, bottom first.
 func (p *Proc) Emulation() []*EmuLayer {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]*EmuLayer, len(p.emu))
 	copy(out, p.emu)
 	return out
@@ -570,11 +635,11 @@ func (p *Proc) runOnce(entry image.Entry) (next image.Entry, status sys.Word) {
 
 // runChildInits invokes InitChild hooks staged by fork.
 func (p *Proc) runChildInits() {
-	p.k.mu.Lock()
+	p.mu.Lock()
 	pending := p.pendingChildInit
 	p.pendingChildInit = false
 	layers := p.emu
-	p.k.mu.Unlock()
+	p.mu.Unlock()
 	if !pending {
 		return
 	}

@@ -22,17 +22,29 @@ func sigSet(sigs ...int) uint32 {
 	return m
 }
 
-// postSignal marks sig pending on p and wakes any interruptible sleep.
-// Caller holds k.mu.
-func (k *Kernel) postSignalLocked(p *Proc, sig int) {
-	if sig <= 0 || sig >= sys.NSIG || p.state == procZombie || p.state == procDead {
+// postSignalPLocked marks sig pending on p and wakes any interruptible
+// sleep. The caller holds k.pmu — signal posting can change process state
+// (SIGCONT resumes a stopped process), and state transitions belong to
+// the process-table lock. p.sigMu is taken internally, so the caller must
+// not hold any object lock (pipe, console, flock): a waker inside such a
+// lock releases it before posting.
+func (k *Kernel) postSignalPLocked(p *Proc, sig int) {
+	if sig <= 0 || sig >= sys.NSIG {
 		return
 	}
+	st := p.loadState()
+	if st == procZombie || st == procDead {
+		return
+	}
+	p.sigMu.Lock()
+	defer p.sigMu.Unlock()
+	continued := false
 	if sig == sys.SIGCONT {
 		// Continuing clears pending stops, and vice versa.
 		p.sigPending &^= sigDefaultStop
-		if p.state == procStopped {
-			p.state = procRunning
+		if st == procStopped {
+			p.setStateLocked(procRunning)
+			continued = true
 		}
 	}
 	if sigDefaultStop&sys.SigMask(sig) != 0 {
@@ -40,50 +52,84 @@ func (k *Kernel) postSignalLocked(p *Proc, sig int) {
 	}
 	// Discard at post time if the disposition is to ignore — explicitly,
 	// or by default action (4.3BSD behaviour; an ignored signal must not
-	// interrupt a sleep).
+	// interrupt a sleep). An ignored SIGCONT still continues the process,
+	// and with targeted wait queues the stopped sleeper must be woken
+	// explicitly — there is no system-wide broadcast to catch it anymore.
 	sv := p.sigHandlers[sig]
 	ignored := sv.Handler == sys.SIG_IGN ||
 		(sv.Handler == sys.SIG_DFL && sigDefaultIgnore&sys.SigMask(sig) != 0)
 	if ignored && sig != sys.SIGKILL && sig != sys.SIGSTOP {
+		p.refreshAttnLocked()
+		if continued {
+			p.wakeup()
+		}
 		return
 	}
 	p.sigPending |= sys.SigMask(sig)
-	k.cond.Broadcast()
+	p.refreshAttnLocked()
+	p.wakeup()
 }
 
 // PostSignal delivers sig to p from outside the system interface (tests,
 // tooling). Normal code uses the kill system call.
 func (k *Kernel) PostSignal(p *Proc, sig int) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.postSignalLocked(p, sig)
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
+	k.postSignalPLocked(p, sig)
 }
 
-// deliverableLocked returns the pending, unmasked signal set.
-func (p *Proc) deliverableLocked() uint32 {
+// deliverableSigLocked returns the pending, unmasked signal set. Caller
+// holds p.sigMu.
+func (p *Proc) deliverableSigLocked() uint32 {
 	return p.sigPending &^ (p.sigMask &^ unmaskable)
 }
 
+// refreshAttnLocked recomputes the signal-attention flag. It must be
+// called, holding p.sigMu, after any change to the pending set, the mask,
+// the pause mask, or the process state — the flag is what lets the
+// syscall exit path skip taking sigMu entirely.
+func (p *Proc) refreshAttnLocked() {
+	if p.deliverableSigLocked() != 0 || p.loadState() != procRunning || p.pauseMask != nil {
+		p.sigAttn.Store(1)
+	} else {
+		p.sigAttn.Store(0)
+	}
+}
+
 // checkSignals delivers pending unmasked signals. It runs on the process's
-// own goroutine at system call exit (and from Yield), walking each signal
-// up through interested emulation layers to the application handler or
-// default action. It must be called without the big lock held.
+// own goroutine at system call exit (and from Yield). The fast path is one
+// atomic load: with no signal work pending, syscall exit takes no lock.
 func (p *Proc) checkSignals() {
+	if p.sigAttn.Load() == 0 {
+		return
+	}
+	p.checkSignalsSlow()
+}
+
+// checkSignalsSlow walks each deliverable signal up through interested
+// emulation layers to the application handler or default action. It must
+// be called with no kernel locks held.
+func (p *Proc) checkSignalsSlow() {
 	for {
-		p.k.mu.Lock()
-		if p.state == procStopped {
-			// Stopped: sleep until continued or killed.
-			for p.state == procStopped && p.sigPending&sys.SigMask(sys.SIGKILL) == 0 {
-				p.k.cond.Wait()
-			}
+		p.sigMu.Lock()
+		// Stopped: sleep until continued or killed. The wait parks on the
+		// process's own wake token under sigMu, the same lock postSignal
+		// uses to change the pending set after a SIGCONT state change, so
+		// the continue cannot be lost.
+		for p.loadState() == procStopped && p.sigPending&sys.SigMask(sys.SIGKILL) == 0 {
+			p.drainWake()
+			p.sigMu.Unlock()
+			<-p.wake
+			p.sigMu.Lock()
 		}
-		deliverable := p.deliverableLocked()
+		deliverable := p.deliverableSigLocked()
 		if deliverable == 0 {
 			if p.pauseMask != nil {
 				p.sigMask = *p.pauseMask
 				p.pauseMask = nil
 			}
-			p.k.mu.Unlock()
+			p.refreshAttnLocked()
+			p.sigMu.Unlock()
 			return
 		}
 		sig := 0
@@ -94,16 +140,17 @@ func (p *Proc) checkSignals() {
 			}
 		}
 		p.sigPending &^= sys.SigMask(sig)
+		p.refreshAttnLocked()
 		dispatch := p.sigDispatch
-		p.k.mu.Unlock()
+		p.sigMu.Unlock()
 
 		// Upward interposition path: kernel → layers (bottom first) → app.
 		// An interposer may rewrite the signal, so the application's
 		// disposition is looked up for the signal that actually arrives.
 		if s2 := p.signalUpFrom(0, sig, 0); s2 > 0 && s2 < sys.NSIG {
-			p.k.mu.Lock()
+			p.sigMu.Lock()
 			sv := p.sigHandlers[s2]
-			p.k.mu.Unlock()
+			p.sigMu.Unlock()
 			p.deliverToUser(s2, sv, dispatch)
 		}
 	}
@@ -127,10 +174,12 @@ func (p *Proc) deliverToUser(sig int, sv sys.Sigvec, dispatch func(int, sys.Word
 	case sig == sys.SIGKILL || (sv.Handler == sys.SIG_DFL && defaultTerminates(sig)):
 		p.exitNow(sys.WStatusSignal(sig))
 	case sv.Handler == sys.SIG_DFL && sigDefaultStop&sys.SigMask(sig) != 0:
-		p.k.mu.Lock()
-		p.state = procStopped
-		p.k.cond.Broadcast()
-		p.k.mu.Unlock()
+		p.k.pmu.Lock()
+		p.setStateLocked(procStopped)
+		p.k.pmu.Unlock()
+		p.sigMu.Lock()
+		p.refreshAttnLocked()
+		p.sigMu.Unlock()
 	case sv.Handler == sys.SIG_DFL || sv.Handler == sys.SIG_IGN:
 		// Default-ignore or explicitly ignored: nothing to do.
 	default:
@@ -139,34 +188,19 @@ func (p *Proc) deliverToUser(sig int, sv sys.Sigvec, dispatch func(int, sys.Word
 			p.exitNow(sys.WStatusSignal(sig))
 		}
 		// Block sig (and sv.Mask) during the handler, as sigvec promises.
-		p.k.mu.Lock()
+		p.sigMu.Lock()
 		old := p.sigMask
 		p.sigMask |= sys.SigMask(sig) | sv.Mask
-		p.k.mu.Unlock()
+		p.refreshAttnLocked()
+		p.sigMu.Unlock()
 		dispatch(sig, sv.Handler)
-		p.k.mu.Lock()
+		p.sigMu.Lock()
 		p.sigMask = old
-		p.k.mu.Unlock()
+		p.refreshAttnLocked()
+		p.sigMu.Unlock()
 	}
 }
 
 func defaultTerminates(sig int) bool {
 	return sigDefaultIgnore&sys.SigMask(sig) == 0 && sigDefaultStop&sys.SigMask(sig) == 0
-}
-
-// sleepLocked blocks the caller on the kernel condition variable until the
-// next broadcast, returning EINTR if p has deliverable signals before or
-// after the wait. A process that is no longer running (its exit path has
-// begun) is never allowed to block again: the sleep fails with EINTR so
-// wait/pipe/flock paths unwind with an error instead of wedging the
-// goroutine. Caller holds k.mu; the lock is held again on return.
-func (k *Kernel) sleepLocked(p *Proc) sys.Errno {
-	if p.state != procRunning || p.deliverableLocked() != 0 {
-		return sys.EINTR
-	}
-	k.cond.Wait()
-	if p.state != procRunning || p.deliverableLocked() != 0 {
-		return sys.EINTR
-	}
-	return sys.OK
 }

@@ -157,31 +157,31 @@ func (k *Kernel) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno)
 
 // cred returns the process's effective credentials for filesystem checks.
 func (p *Proc) cred() vfs.Cred {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return vfs.Cred{UID: p.euid, GID: p.egid, Groups: p.groups}
 }
 
 // realCred returns the real credentials, used by access(2).
 func (p *Proc) realCred() vfs.Cred {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return vfs.Cred{UID: p.uid, GID: p.gid, Groups: p.groups}
 }
 
 // namei resolves a path for p, honoring its working and root directories.
 func (k *Kernel) namei(p *Proc, path string, follow bool) (*vfs.Inode, sys.Errno) {
-	k.mu.Lock()
+	p.mu.Lock()
 	cwd, root := p.cwd, p.root
-	k.mu.Unlock()
+	p.mu.Unlock()
 	return k.fs.LookupEx(root, cwd, path, p.cred(), follow)
 }
 
 // nameiParent resolves a path's parent directory for p.
 func (k *Kernel) nameiParent(p *Proc, path string) (*vfs.Inode, string, *vfs.Inode, sys.Errno) {
-	k.mu.Lock()
+	p.mu.Lock()
 	cwd, root := p.cwd, p.root
-	k.mu.Unlock()
+	p.mu.Unlock()
 	return k.fs.LookupParentEx(root, cwd, path, p.cred())
 }
 

@@ -27,30 +27,34 @@ func (k *Kernel) openPath(p *Proc, path string, flags int, mode sys.Word) (int, 
 	cred := p.cred()
 	var ip *vfs.Inode
 	if flags&sys.O_CREAT != 0 {
-		dir, name, existing, err := k.nameiParent(p, path)
-		if err != sys.OK {
-			return -1, err
-		}
-		if existing != nil && existing.IsSymlink() {
-			// Follow the link for open-with-create of an existing name.
-			existing, err = k.namei(p, path, true)
+		for {
+			dir, name, existing, err := k.nameiParent(p, path)
 			if err != sys.OK {
 				return -1, err
 			}
-		}
-		switch {
-		case existing == nil:
-			k.mu.Lock()
-			um := p.umask
-			k.mu.Unlock()
-			ip, err = k.fs.Create(dir, name, mode&0o7777&^um, cred)
-			if err != sys.OK {
-				return -1, err
+			if existing != nil && existing.IsSymlink() {
+				// Follow the link for open-with-create of an existing name.
+				existing, err = k.namei(p, path, true)
+				if err != sys.OK {
+					return -1, err
+				}
 			}
-		case flags&sys.O_EXCL != 0:
-			return -1, sys.EEXIST
-		default:
-			ip = existing
+			if existing == nil {
+				ip, err = k.fs.Create(dir, name, mode&0o7777&^p.umaskVal(), cred)
+				if err == sys.EEXIST && flags&sys.O_EXCL == 0 {
+					// Lost a create race with another process: go around
+					// and open whatever won.
+					continue
+				}
+				if err != sys.OK {
+					return -1, err
+				}
+			} else if flags&sys.O_EXCL != 0 {
+				return -1, sys.EEXIST
+			} else {
+				ip = existing
+			}
+			break
 		}
 	} else {
 		var err sys.Errno
@@ -80,8 +84,8 @@ func (k *Kernel) openPath(p *Proc, path string, flags int, mode sys.Word) (int, 
 		}
 	}
 
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
 	fd, e := p.allocFDLocked(0)
 	if e != sys.OK {
 		return -1, e
@@ -92,9 +96,9 @@ func (k *Kernel) openPath(p *Proc, path string, flags int, mode sys.Word) (int, 
 }
 
 func (k *Kernel) sysClose(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
+	p.fdMu.Lock()
 	err := p.closeFDLocked(int(a[0]))
-	k.mu.Unlock()
+	p.fdMu.Unlock()
 	k.trace(p, "close", "", "", int(a[0]), err)
 	return sys.Retval{}, err
 }
@@ -105,40 +109,39 @@ func (k *Kernel) sysRead(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
-	k.mu.Lock()
-	f, err := p.fileLocked(fd)
+	f, err := p.file(fd)
 	if err != sys.OK {
-		k.mu.Unlock()
 		return sys.Retval{}, err
 	}
-	if f.flags&sys.O_ACCMODE == sys.O_WRONLY {
-		k.mu.Unlock()
+	f.mu.Lock()
+	flags := f.flags
+	ip, off := f.ip, f.off
+	f.mu.Unlock()
+	if flags&sys.O_ACCMODE == sys.O_WRONLY {
 		return sys.Retval{}, sys.EBADF
 	}
 	if cnt == 0 {
 		// A zero-length read reports readiness, never blocks.
-		k.mu.Unlock()
 		return sys.Retval{0}, sys.OK
 	}
 	if f.pipe != nil {
-		n, err := k.pipeReadLocked(p, f, cnt, bufAddr)
-		k.mu.Unlock()
+		n, err := k.pipeRead(p, f.pipe, cnt, bufAddr, flags)
 		return sys.Retval{sys.Word(n)}, err
 	}
-	ip, off := f.ip, f.off
-	k.mu.Unlock()
 
 	buf := make([]byte, cnt)
 	var n int
 	for {
 		var e sys.Errno
 		n, e = ip.ReadAt(buf, off)
-		if e == sys.EAGAIN && f.flags&sys.O_NONBLOCK == 0 {
-			// Blocking device (tty with no input): sleep and retry.
-			k.mu.Lock()
-			e = k.sleepLocked(p)
-			k.mu.Unlock()
-			if e != sys.OK {
+		if e == sys.EAGAIN && flags&sys.O_NONBLOCK == 0 {
+			// Blocking device (tty with no input): wait on the device's
+			// own queue and retry.
+			bd, ok := ip.Device().(blockingDevice)
+			if !ok {
+				return sys.Retval{}, e
+			}
+			if e = bd.WaitInput(p); e != sys.OK {
 				return sys.Retval{}, e
 			}
 			continue
@@ -153,11 +156,11 @@ func (k *Kernel) sysRead(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 			return sys.Retval{}, e
 		}
 	}
-	k.mu.Lock()
 	if !ip.IsDevice() || deviceSeekable(ip) {
+		f.mu.Lock()
 		f.off = off + int64(n)
+		f.mu.Unlock()
 	}
-	k.mu.Unlock()
 	return sys.Retval{sys.Word(n)}, sys.OK
 }
 
@@ -173,108 +176,115 @@ func (k *Kernel) sysWrite(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 			return sys.Retval{}, e
 		}
 	}
-	k.mu.Lock()
-	f, err := p.fileLocked(fd)
+	f, err := p.file(fd)
 	if err != sys.OK {
-		k.mu.Unlock()
 		return sys.Retval{}, err
 	}
-	if f.flags&sys.O_ACCMODE == sys.O_RDONLY {
-		k.mu.Unlock()
+	f.mu.Lock()
+	flags := f.flags
+	ip, off := f.ip, f.off
+	f.mu.Unlock()
+	if flags&sys.O_ACCMODE == sys.O_RDONLY {
 		return sys.Retval{}, sys.EBADF
 	}
 	if f.pipe != nil {
-		n, err := k.pipeWriteLocked(p, f, buf)
-		k.mu.Unlock()
+		n, err := k.pipeWrite(p, f.pipe, buf, flags)
 		return sys.Retval{sys.Word(n)}, err
 	}
-	ip := f.ip
-	off := f.off
-	if f.flags&sys.O_APPEND != 0 {
+	if flags&sys.O_APPEND != 0 {
 		off = ip.Size()
 	}
-	fsize := int64(p.rlimits[sys.RLIMIT_FSIZE].Cur)
-	k.mu.Unlock()
+	fsize := int64(p.Rlimit(sys.RLIMIT_FSIZE).Cur)
 
 	n, e := ip.WriteAt(buf, off, fsize)
 	if e == sys.EFBIG || (e == sys.OK && n < len(buf) && fsize > 0) {
-		k.mu.Lock()
-		k.postSignalLocked(p, sys.SIGXFSZ)
-		k.mu.Unlock()
+		k.PostSignal(p, sys.SIGXFSZ)
 		if n == 0 {
 			return sys.Retval{}, sys.EFBIG
 		}
 	} else if e != sys.OK {
 		return sys.Retval{}, e
 	}
-	k.mu.Lock()
 	if !ip.IsDevice() || deviceSeekable(ip) {
+		f.mu.Lock()
 		f.off = off + int64(n)
+		f.mu.Unlock()
 	}
-	k.mu.Unlock()
 	return sys.Retval{sys.Word(n)}, sys.OK
 }
 
-// pipeReadLocked blocks until data, EOF, or a signal. Caller holds k.mu.
-func (k *Kernel) pipeReadLocked(p *Proc, f *File, cnt int, bufAddr sys.Word) (int, sys.Errno) {
-	pp := f.pipe
+// pipeRead blocks until data, EOF, or a signal. It takes the pipe's own
+// lock; a successful read wakes only this pipe's writers.
+func (k *Kernel) pipeRead(p *Proc, pp *Pipe, cnt int, bufAddr sys.Word, flags int) (int, sys.Errno) {
+	pp.mu.Lock()
 	for {
 		if pp.count > 0 {
 			buf := make([]byte, min(cnt, pp.count))
 			n := pp.read(buf)
-			k.cond.Broadcast()
+			pp.writeQ.wakeAll()
+			pp.mu.Unlock()
 			if e := p.CopyOut(bufAddr, buf[:n]); e != sys.OK {
 				return 0, e
 			}
 			return n, sys.OK
 		}
 		if pp.writers == 0 {
+			pp.mu.Unlock()
 			return 0, sys.OK // EOF
 		}
-		if f.flags&sys.O_NONBLOCK != 0 {
+		if flags&sys.O_NONBLOCK != 0 {
+			pp.mu.Unlock()
 			return 0, sys.EAGAIN
 		}
-		if e := k.sleepLocked(p); e != sys.OK {
+		if e := p.sleepOn(&pp.readQ, &pp.mu); e != sys.OK {
+			pp.mu.Unlock()
 			return 0, e
 		}
 	}
 }
 
-// pipeWriteLocked writes all of buf or fails. Caller holds k.mu.
-func (k *Kernel) pipeWriteLocked(p *Proc, f *File, buf []byte) (int, sys.Errno) {
-	pp := f.pipe
+// pipeWrite writes all of buf or fails. It takes the pipe's own lock and
+// releases it before posting SIGPIPE — signal posting takes the
+// process-table lock, which must never be acquired while holding an
+// object lock.
+func (k *Kernel) pipeWrite(p *Proc, pp *Pipe, buf []byte, flags int) (int, sys.Errno) {
+	pp.mu.Lock()
 	total := 0
 	for len(buf) > 0 {
 		if pp.readers == 0 {
-			k.postSignalLocked(p, sys.SIGPIPE)
+			pp.mu.Unlock()
+			k.PostSignal(p, sys.SIGPIPE)
 			return total, sys.EPIPE
 		}
 		n := pp.write(buf)
 		if n > 0 {
-			k.cond.Broadcast()
+			pp.readQ.wakeAll()
 			total += n
 			buf = buf[n:]
 			continue
 		}
-		if f.flags&sys.O_NONBLOCK != 0 {
+		if flags&sys.O_NONBLOCK != 0 {
+			pp.mu.Unlock()
 			if total > 0 {
 				return total, sys.OK
 			}
 			return 0, sys.EAGAIN
 		}
-		if e := k.sleepLocked(p); e != sys.OK {
+		if e := p.sleepOn(&pp.writeQ, &pp.mu); e != sys.OK {
+			pp.mu.Unlock()
 			if total > 0 {
 				return total, sys.OK
 			}
 			return 0, e
 		}
 	}
+	pp.mu.Unlock()
 	return total, sys.OK
 }
 
 func (k *Kernel) sysPipe(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
 	rfd, e := p.allocFDLocked(0)
 	if e != sys.OK {
 		return sys.Retval{}, e
@@ -294,15 +304,15 @@ func (k *Kernel) sysPipe(p *Proc) (sys.Retval, sys.Errno) {
 
 func (k *Kernel) sysLseek(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	fd, off, whence := int(a[0]), int64(int32(a[1])), int(a[2])
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	f, err := p.fileLocked(fd)
+	f, err := p.file(fd)
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
 	if f.pipe != nil {
 		return sys.Retval{}, sys.ESPIPE
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var base int64
 	switch whence {
 	case sys.SEEK_SET:
@@ -325,8 +335,8 @@ func (k *Kernel) sysLseek(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 }
 
 func (k *Kernel) sysDup(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
 	f, err := p.fileLocked(int(a[0]))
 	if err != sys.OK {
 		return sys.Retval{}, err
@@ -341,8 +351,8 @@ func (k *Kernel) sysDup(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 
 func (k *Kernel) sysDup2(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	oldfd, newfd := int(a[0]), int(a[1])
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
 	f, err := p.fileLocked(oldfd)
 	if err != sys.OK {
 		return sys.Retval{}, err
@@ -362,8 +372,8 @@ func (k *Kernel) sysDup2(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 
 func (k *Kernel) sysFcntl(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	fd, cmd, arg := int(a[0]), int(a[1]), a[2]
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
 	f, err := p.fileLocked(fd)
 	if err != sys.OK {
 		return sys.Retval{}, err
@@ -386,10 +396,15 @@ func (k *Kernel) sysFcntl(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		p.fds[fd].cloexec = arg&sys.FD_CLOEXEC != 0
 		return sys.Retval{}, sys.OK
 	case sys.F_GETFL:
-		return sys.Retval{sys.Word(f.flags)}, sys.OK
+		f.mu.Lock()
+		v := sys.Word(f.flags)
+		f.mu.Unlock()
+		return sys.Retval{v}, sys.OK
 	case sys.F_SETFL:
 		const settable = sys.O_APPEND | sys.O_NONBLOCK
+		f.mu.Lock()
 		f.flags = f.flags&^settable | int(arg)&settable
+		f.mu.Unlock()
 		return sys.Retval{}, sys.OK
 	}
 	return sys.Retval{}, sys.EINVAL
@@ -419,9 +434,7 @@ func (k *Kernel) sysStat(p *Proc, a sys.Args, follow bool) (sys.Retval, sys.Errn
 }
 
 func (k *Kernel) sysFstat(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	f, err := p.fileLocked(int(a[0]))
-	k.mu.Unlock()
+	f, err := p.file(int(a[0]))
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
@@ -440,9 +453,9 @@ func (k *Kernel) sysAccess(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		return sys.Retval{}, err
 	}
 	// access uses the real, not effective, credentials.
-	k.mu.Lock()
+	p.mu.Lock()
 	cwd, root := p.cwd, p.root
-	k.mu.Unlock()
+	p.mu.Unlock()
 	ip, err := k.fs.LookupEx(root, cwd, path, p.realCred(), true)
 	if err != sys.OK {
 		return sys.Retval{}, err
@@ -575,10 +588,7 @@ func (k *Kernel) sysMkdir(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	case existing != nil:
 		err = sys.EEXIST
 	default:
-		k.mu.Lock()
-		um := p.umask
-		k.mu.Unlock()
-		_, err = k.fs.Mkdir(dir, name, a[1]&0o7777&^um, p.cred())
+		_, err = k.fs.Mkdir(dir, name, a[1]&0o7777&^p.umaskVal(), p.cred())
 	}
 	k.trace(p, "mkdir", path, "", -1, err)
 	return sys.Retval{}, err
@@ -643,13 +653,11 @@ func (k *Kernel) sysTruncate(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 }
 
 func (k *Kernel) sysFtruncate(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	f, err := p.fileLocked(int(a[0]))
-	k.mu.Unlock()
+	f, err := p.file(int(a[0]))
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
-	if f.pipe != nil || f.flags&sys.O_ACCMODE == sys.O_RDONLY {
+	if f.pipe != nil || f.Flags()&sys.O_ACCMODE == sys.O_RDONLY {
 		return sys.Retval{}, sys.EINVAL
 	}
 	return sys.Retval{}, f.ip.Truncate(int64(int32(a[1])))
@@ -697,25 +705,25 @@ func (k *Kernel) sysChdir(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		err = k.fs.Access(ip, sys.X_OK, p.cred())
 	}
 	if err == sys.OK {
-		k.mu.Lock()
+		p.mu.Lock()
 		p.cwd = ip
-		k.mu.Unlock()
+		p.mu.Unlock()
 	}
 	k.trace(p, "chdir", path, "", -1, err)
 	return sys.Retval{}, err
 }
 
 func (k *Kernel) sysFchdir(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	f, err := p.fileLocked(int(a[0]))
+	f, err := p.file(int(a[0]))
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
 	if f.ip == nil || !f.ip.IsDir() {
 		return sys.Retval{}, sys.ENOTDIR
 	}
+	p.mu.Lock()
 	p.cwd = f.ip
+	p.mu.Unlock()
 	return sys.Retval{}, sys.OK
 }
 
@@ -734,10 +742,10 @@ func (k *Kernel) sysChroot(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if !ip.IsDir() {
 		return sys.Retval{}, sys.ENOTDIR
 	}
-	k.mu.Lock()
+	p.mu.Lock()
 	p.root = ip
 	p.cwd = ip
-	k.mu.Unlock()
+	p.mu.Unlock()
 	return sys.Retval{}, sys.OK
 }
 
@@ -769,9 +777,7 @@ func (k *Kernel) sysMknod(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 }
 
 func (k *Kernel) sysIoctl(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	f, err := p.fileLocked(int(a[0]))
-	k.mu.Unlock()
+	f, err := p.file(int(a[0]))
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
@@ -783,19 +789,19 @@ func (k *Kernel) sysIoctl(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 
 func (k *Kernel) sysFlock(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	fd, op := int(a[0]), int(a[1])
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	f, err := p.fileLocked(fd)
+	f, err := p.file(fd)
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
 	if f.ip == nil {
 		return sys.Retval{}, sys.EINVAL
 	}
+	k.flockMu.Lock()
+	defer k.flockMu.Unlock()
 	if op&sys.LOCK_UN != 0 {
 		if f.lockHeld != 0 {
 			unflockLocked(f)
-			k.cond.Broadcast()
+			k.flockQ.wakeAll()
 		}
 		return sys.Retval{}, sys.OK
 	}
@@ -806,7 +812,7 @@ func (k *Kernel) sysFlock(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	// Converting an existing lock releases it first.
 	if f.lockHeld != 0 {
 		unflockLocked(f)
-		k.cond.Broadcast()
+		k.flockQ.wakeAll()
 	}
 	for {
 		conflict := f.ip.LockEx || (want == sys.LOCK_EX && f.ip.LockShared > 0)
@@ -816,7 +822,7 @@ func (k *Kernel) sysFlock(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		if op&sys.LOCK_NB != 0 {
 			return sys.Retval{}, sys.EAGAIN
 		}
-		if e := k.sleepLocked(p); e != sys.OK {
+		if e := p.sleepOn(&k.flockQ, &k.flockMu); e != sys.OK {
 			return sys.Retval{}, e
 		}
 	}
@@ -836,18 +842,16 @@ func (k *Kernel) sysGetdirentries(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		return sys.Retval{}, err
 	}
 	basep := a[3]
-	k.mu.Lock()
-	f, err := p.fileLocked(fd)
+	f, err := p.file(fd)
 	if err != sys.OK {
-		k.mu.Unlock()
 		return sys.Retval{}, err
 	}
 	if f.ip == nil || !f.ip.IsDir() {
-		k.mu.Unlock()
 		return sys.Retval{}, sys.ENOTDIR
 	}
+	f.mu.Lock()
 	ip, off := f.ip, f.off
-	k.mu.Unlock()
+	f.mu.Unlock()
 
 	ents, e := ip.Dirents()
 	if e != sys.OK {
@@ -878,8 +882,8 @@ func (k *Kernel) sysGetdirentries(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 			return sys.Retval{}, e
 		}
 	}
-	k.mu.Lock()
+	f.mu.Lock()
 	f.off = int64(idx)
-	k.mu.Unlock()
+	f.mu.Unlock()
 	return sys.Retval{sys.Word(len(out))}, sys.OK
 }

@@ -6,43 +6,58 @@ import (
 	"interpose/internal/sys"
 )
 
+// Rlimit returns the current limit for res. Exported for toolkit layers
+// that want to honor process limits.
+func (p *Proc) Rlimit(res int) sys.Rlimit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rlimits[res]
+}
+
+// umaskVal snapshots the file-creation mask.
+func (p *Proc) umaskVal() sys.Word {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.umask
+}
+
 func (k *Kernel) sysGetpid(p *Proc) (sys.Retval, sys.Errno) {
 	return sys.Retval{sys.Word(p.pid)}, sys.OK
 }
 
 func (k *Kernel) sysGetppid(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	return sys.Retval{sys.Word(p.ppid)}, sys.OK
 }
 
 func (k *Kernel) sysGetuid(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return sys.Retval{p.uid}, sys.OK
 }
 
 func (k *Kernel) sysGeteuid(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return sys.Retval{p.euid}, sys.OK
 }
 
 func (k *Kernel) sysGetgid(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return sys.Retval{p.gid}, sys.OK
 }
 
 func (k *Kernel) sysGetegid(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return sys.Retval{p.egid}, sys.OK
 }
 
 func (k *Kernel) sysSetuid(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	uid := a[0]
 	if p.euid != 0 && uid != p.uid {
 		return sys.Retval{}, sys.EPERM
@@ -52,9 +67,9 @@ func (k *Kernel) sysSetuid(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 }
 
 func (k *Kernel) sysGetgroups(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
+	p.mu.Lock()
 	groups := append([]uint32(nil), p.groups...)
-	k.mu.Unlock()
+	p.mu.Unlock()
 	n := int(a[0])
 	if n == 0 {
 		return sys.Retval{sys.Word(len(groups))}, sys.OK
@@ -96,16 +111,16 @@ func (k *Kernel) sysSetgroups(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		groups[i] = uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 |
 			uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24
 	}
-	k.mu.Lock()
+	p.mu.Lock()
 	p.groups = groups
-	k.mu.Unlock()
+	p.mu.Unlock()
 	return sys.Retval{}, sys.OK
 }
 
 func (k *Kernel) sysGetpgrp(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	pid := int(a[0])
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	target := p
 	if pid != 0 {
 		t, ok := k.procs[pid]
@@ -119,8 +134,8 @@ func (k *Kernel) sysGetpgrp(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 
 func (k *Kernel) sysSetpgrp(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	pid, pgrp := int(a[0]), int(a[1])
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	target := p
 	if pid != 0 && pid != p.pid {
 		t, ok := k.procs[pid]
@@ -140,15 +155,15 @@ func (k *Kernel) sysSetpgrp(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 }
 
 func (k *Kernel) sysSetsid(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	p.pgrp = p.pid
 	return sys.Retval{sys.Word(p.pid)}, sys.OK
 }
 
 func (k *Kernel) sysUmask(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	old := p.umask
 	p.umask = a[0] & 0o777
 	return sys.Retval{old}, sys.OK
@@ -165,9 +180,9 @@ func (k *Kernel) sysBrk(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 }
 
 func (k *Kernel) sysGethostname(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
+	k.pmu.Lock()
 	name := k.hostname
-	k.mu.Unlock()
+	k.pmu.Unlock()
 	n := int(a[1])
 	if n <= 0 {
 		return sys.Retval{}, sys.EINVAL
@@ -191,9 +206,9 @@ func (k *Kernel) sysSethostname(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if e := p.CopyIn(a[0], buf); e != sys.OK {
 		return sys.Retval{}, e
 	}
-	k.mu.Lock()
+	k.pmu.Lock()
 	k.hostname = string(buf)
-	k.mu.Unlock()
+	k.pmu.Unlock()
 	return sys.Retval{}, sys.OK
 }
 
@@ -233,18 +248,17 @@ func (k *Kernel) sysSettimeofday(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 }
 
 func (k *Kernel) sysGetrusage(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
 	var ru sys.Rusage
 	switch a[0] {
 	case sys.RUSAGE_SELF:
-		ru = p.rusageLocked()
+		ru = p.rusageSelf()
 	case sys.RUSAGE_CHILDREN:
+		k.pmu.Lock()
 		ru = p.childrenRu
+		k.pmu.Unlock()
 	default:
-		k.mu.Unlock()
 		return sys.Retval{}, sys.EINVAL
 	}
-	k.mu.Unlock()
 	var b [sys.RusageSize]byte
 	ru.Encode(b[:])
 	return sys.Retval{}, p.CopyOut(a[1], b[:])
@@ -255,9 +269,7 @@ func (k *Kernel) sysGetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if res < 0 || res >= sys.RLIM_NLIMITS {
 		return sys.Retval{}, sys.EINVAL
 	}
-	k.mu.Lock()
-	rl := p.rlimits[res]
-	k.mu.Unlock()
+	rl := p.Rlimit(res)
 	var b [sys.RlimitSize]byte
 	rl.Encode(b[:])
 	return sys.Retval{}, p.CopyOut(a[1], b[:])
@@ -276,8 +288,8 @@ func (k *Kernel) sysSetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if rl.Cur > rl.Max {
 		return sys.Retval{}, sys.EINVAL
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	old := p.rlimits[res]
 	if rl.Max > old.Max && p.euid != 0 {
 		return sys.Retval{}, sys.EPERM

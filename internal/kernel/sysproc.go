@@ -15,52 +15,76 @@ func (k *Kernel) sysExit(p *Proc, a sys.Args) {
 }
 
 // finishExit turns p into a zombie: closes descriptors, reparents children,
-// and notifies the parent. Safe to call once; later calls are no-ops.
+// and notifies the parent. Safe to call once; later calls are no-ops. It
+// runs in three phases so descriptor teardown — which takes per-object
+// pipe and flock locks and wakes peers — happens outside the
+// process-table lock.
 func (k *Kernel) finishExit(p *Proc, status sys.Word) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if p.state == procZombie || p.state == procDead {
+	k.pmu.Lock()
+	if st := p.loadState(); st == procZombie || st == procDead {
+		k.pmu.Unlock()
 		return
 	}
 	k.stopITimerLocked(p)
+	k.pmu.Unlock()
+
+	// Phase 2: teardown that takes narrower locks. Only the process's own
+	// goroutine reaches here, so there is no double-run hazard in the
+	// window before the state flips to zombie below.
+	p.fdMu.Lock()
 	for fd := range p.fds {
 		if p.fds[fd].file != nil {
 			p.closeFDLocked(fd)
 		}
 	}
-	// Reparent live children to pid 1; orphaned zombies are reaped now.
-	init := k.procs[1]
-	for pid, child := range p.children {
-		delete(p.children, pid)
-		if init != nil && init != p && init.state == procRunning {
-			child.ppid = 1
-			init.children[pid] = child
-		} else {
-			child.ppid = 0
-			if child.state == procZombie {
-				child.state = procDead
-				delete(k.procs, pid)
-			}
-		}
-	}
+	p.fdMu.Unlock()
+
 	// Let stateful emulation layers drop their per-process records.
 	for _, l := range p.emu {
 		if pe, ok := l.Handler.(ProcExiter); ok {
 			pe.ProcExit(p.pid)
 		}
 	}
-	p.exitStatus = status
-	p.state = procZombie
-	if parent, ok := k.procs[p.ppid]; ok && p.ppid != 0 {
-		k.postSignalLocked(parent, sys.SIGCHLD)
-	} else {
-		// No waiting parent inside the system: host-side WaitExit reaps.
+
+	k.pmu.Lock()
+	// Reparent live children to pid 1; orphaned zombies are reaped now.
+	init := k.procs[1]
+	adopted := false
+	for pid, child := range p.children {
+		delete(p.children, pid)
+		if init != nil && init != p && init.loadState() == procRunning {
+			child.ppid = 1
+			init.children[pid] = child
+			adopted = true
+		} else {
+			child.ppid = 0
+			if child.loadState() == procZombie {
+				child.setStateLocked(procDead)
+				delete(k.procs, pid)
+			}
+		}
 	}
-	k.cond.Broadcast()
+	p.exitStatus = status
+	p.setStateLocked(procZombie)
+	p.sigMu.Lock()
+	p.refreshAttnLocked()
+	p.sigMu.Unlock()
+	if adopted {
+		// Init may be sleeping in wait4; its new children need a wakeup.
+		init.childQ.wakeAll()
+	}
+	if parent, ok := k.procs[p.ppid]; ok && p.ppid != 0 {
+		k.postSignalPLocked(parent, sys.SIGCHLD)
+		parent.childQ.wakeAll()
+	}
+	close(p.exitDone) // host-side WaitExit callers unblock here
+	k.pmu.Unlock()
 }
 
-// rusageLocked computes the process's own resource usage.
-func (p *Proc) rusageLocked() sys.Rusage {
+// rusageSelf computes the process's own resource usage. All inputs are
+// atomics, immutable fields, or self-locking (the address space), so no
+// kernel lock is needed.
+func (p *Proc) rusageSelf() sys.Rusage {
 	elapsed := time.Since(p.startTime)
 	return sys.Rusage{
 		Utime:    durTimeval(elapsed),
@@ -91,52 +115,60 @@ func maxU32(a, b uint32) uint32 {
 }
 
 func (k *Kernel) sysFork(p *Proc) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
+	p.mu.Lock()
 	entry := p.stagedChild
 	p.stagedChild = nil
+	p.mu.Unlock()
 	if entry == nil {
 		// No staged child continuation: the simulated machine cannot
 		// snapshot a program counter, so fork without one is a fault.
-		k.mu.Unlock()
 		return sys.Retval{}, sys.EAGAIN
 	}
-	child := k.newProcLocked(p)
+	// Build the child fully before publishing it: once it is in the
+	// process table a concurrent kill or wait4 may touch it, so no field
+	// may still be half-copied at that point.
+	child := k.newProc(k.allocPID())
 	child.as = p.as.Clone()
+	p.fdMu.Lock()
 	for fd := range p.fds {
 		if f := p.fds[fd].file; f != nil {
 			child.fds[fd] = fdesc{file: f, cloexec: p.fds[fd].cloexec}
-			f.refs++
+			f.ref()
 		}
 	}
+	p.fdMu.Unlock()
+	p.mu.Lock()
 	child.cwd = p.cwd
 	child.root = p.root
 	child.uid, child.euid = p.uid, p.euid
 	child.gid, child.egid = p.gid, p.egid
 	child.groups = append([]uint32(nil), p.groups...)
 	child.umask = p.umask
+	child.rlimits = p.rlimits
+	child.comm = p.comm
+	child.initialSP = p.initialSP
+	p.mu.Unlock()
+	p.sigMu.Lock()
 	child.sigMask = p.sigMask
 	child.sigHandlers = p.sigHandlers
 	child.sigDispatch = p.sigDispatch
-	child.rlimits = p.rlimits
+	p.sigMu.Unlock()
 	child.emu = append([]*EmuLayer(nil), p.emu...)
 	for i := range child.emu {
 		child.emuCtx = append(child.emuCtx, LayerCtx{Proc: child, layer: i})
 	}
-	child.comm = p.comm
-	child.initialSP = p.initialSP
 	child.pendingChildInit = len(child.emu) > 0
-	pid := child.pid
-	k.mu.Unlock()
-	k.trace(p, "fork", "", "", pid, sys.OK)
+	k.publishProc(child, p)
+	k.trace(p, "fork", "", "", child.pid, sys.OK)
 	go child.run(entry)
-	return sys.Retval{sys.Word(pid)}, sys.OK
+	return sys.Retval{sys.Word(child.pid)}, sys.OK
 }
 
 func (k *Kernel) sysWait4(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	sel := int(int32(a[0]))
 	statusAddr, options, ruAddr := a[1], int(a[2]), a[3]
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	for {
 		matched := false
 		for pid, child := range p.children {
@@ -148,14 +180,14 @@ func (k *Kernel) sysWait4(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 				continue
 			}
 			matched = true
-			if child.state != procZombie {
+			if child.loadState() != procZombie {
 				continue
 			}
 			// Reap.
 			delete(p.children, pid)
 			delete(k.procs, pid)
-			child.state = procDead
-			ru := child.rusageLocked()
+			child.setStateLocked(procDead)
+			ru := child.rusageSelf()
 			addRusage(&ru, child.childrenRu)
 			addRusage(&p.childrenRu, ru)
 			if statusAddr != 0 {
@@ -181,7 +213,9 @@ func (k *Kernel) sysWait4(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		if options&sys.WNOHANG != 0 {
 			return sys.Retval{sys.Word(0)}, sys.OK
 		}
-		if e := k.sleepLocked(p); e != sys.OK {
+		// Sleep on this process's own child queue; exiting children wake
+		// it (finishExit), as does any posted signal.
+		if e := p.sleepOn(&p.childQ, &k.pmu); e != sys.OK {
 			return sys.Retval{}, e
 		}
 	}
@@ -293,34 +327,38 @@ func (k *Kernel) execLoad(p *Proc, path string, argv, envp []string) (image.Entr
 		return nil, sys.ENOEXEC
 	}
 
-	k.mu.Lock()
 	// Set-id bits change the effective credentials.
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	p.mu.Lock()
 	if imgMode&sys.S_ISUID != 0 {
 		p.euid = imgUID
 	}
 	if imgMode&sys.S_ISGID != 0 {
 		p.egid = imgGID
 	}
+	p.stagedChild = nil
+	p.comm = base
+	p.mu.Unlock()
 	// Close close-on-exec descriptors.
+	p.fdMu.Lock()
 	for fd := range p.fds {
 		if p.fds[fd].file != nil && p.fds[fd].cloexec {
 			p.closeFDLocked(fd)
 		}
 	}
+	p.fdMu.Unlock()
 	// Caught signals revert to default; ignored/default dispositions keep.
+	p.sigMu.Lock()
 	for s := 1; s < sys.NSIG; s++ {
 		if h := p.sigHandlers[s].Handler; h != sys.SIG_DFL && h != sys.SIG_IGN {
 			p.sigHandlers[s] = sys.Sigvec{Handler: sys.SIG_DFL}
 		}
 	}
 	p.sigDispatch = nil
-	p.stagedChild = nil
-	base := path
-	if i := strings.LastIndexByte(base, '/'); i >= 0 {
-		base = base[i+1:]
-	}
-	p.comm = base
-	k.mu.Unlock()
+	p.sigMu.Unlock()
 
 	// Replace the address space and build the new stack.
 	p.as.Reset()
@@ -336,9 +374,9 @@ func (k *Kernel) execLoad(p *Proc, path string, argv, envp []string) (image.Entr
 
 // NewProc allocates a fresh process with no parent, for host-side spawning.
 func (k *Kernel) NewProc() *Proc {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.newProcLocked(nil)
+	p := k.newProc(k.allocPID())
+	k.publishProc(p, nil)
+	return p
 }
 
 // OpenConsole wires descriptors 0, 1 and 2 of p to /dev/console.
@@ -347,8 +385,8 @@ func (p *Proc) OpenConsole() error {
 	if err != sys.OK {
 		return err
 	}
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
 	for fd := 0; fd < 3; fd++ {
 		if p.fds[fd].file == nil {
 			f := &File{ip: ip, flags: sys.O_RDWR}
@@ -360,8 +398,8 @@ func (p *Proc) OpenConsole() error {
 
 // SetCreds sets the process's identity (host-side world building).
 func (p *Proc) SetCreds(uid, gid uint32, groups ...uint32) {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.uid, p.euid = uid, uid
 	p.gid, p.egid = gid, gid
 	p.groups = groups
@@ -373,8 +411,8 @@ func (p *Proc) Chdir(path string) error {
 	if err != sys.OK {
 		return err
 	}
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.cwd = ip
 	return nil
 }
@@ -395,16 +433,16 @@ func (k *Kernel) Spawn(path string, argv, envp []string) (*Proc, error) {
 
 // WaitExit blocks until p terminates and reaps it, returning the wait
 // status. Intended for host-side callers that spawned p; processes inside
-// the system use wait4.
+// the system use wait4. The wait itself is on the process's exit-done
+// channel — the host caller is not a process and cannot park on a wait
+// queue.
 func (k *Kernel) WaitExit(p *Proc) sys.Word {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	for p.state != procZombie && p.state != procDead {
-		k.cond.Wait()
-	}
+	<-p.exitDone
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	status := p.exitStatus
-	if p.state == procZombie {
-		p.state = procDead
+	if p.loadState() == procZombie {
+		p.setStateLocked(procDead)
 		delete(k.procs, p.pid)
 		if parent, ok := k.procs[p.ppid]; ok {
 			delete(parent.children, p.pid)
@@ -415,15 +453,15 @@ func (k *Kernel) WaitExit(p *Proc) sys.Word {
 
 // ProcCount returns the number of live (non-reaped) processes.
 func (k *Kernel) ProcCount() int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	return len(k.procs)
 }
 
 // FindProc returns the process with the given pid, if it is live.
 func (k *Kernel) FindProc(pid int) (*Proc, bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 	p, ok := k.procs[pid]
 	return p, ok
 }

@@ -8,22 +8,33 @@ func (k *Kernel) sysKill(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if sig < 0 || sig >= sys.NSIG {
 		return sys.Retval{}, sys.EINVAL
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.mu.Lock()
+	cuid, ceuid := p.uid, p.euid
+	p.mu.Unlock()
+
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
 
 	mayKill := func(t *Proc) bool {
-		return p.euid == 0 || p.uid == t.uid || p.euid == t.uid || p.uid == t.euid
+		t.mu.Lock()
+		tuid, teuid := t.uid, t.euid
+		t.mu.Unlock()
+		return ceuid == 0 || cuid == tuid || ceuid == tuid || cuid == teuid
 	}
 	post := func(t *Proc) {
 		if sig != 0 {
-			k.postSignalLocked(t, sig)
+			k.postSignalPLocked(t, sig)
 		}
+	}
+	alive := func(t *Proc) bool {
+		st := t.loadState()
+		return st == procRunning || st == procStopped
 	}
 
 	switch {
 	case pid > 0:
 		t, ok := k.procs[pid]
-		if !ok || t.state == procZombie || t.state == procDead {
+		if !ok || !alive(t) {
 			return sys.Retval{}, sys.ESRCH
 		}
 		if !mayKill(t) {
@@ -37,7 +48,7 @@ func (k *Kernel) sysKill(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		}
 		found, denied := false, false
 		for _, t := range k.procs {
-			if t.pgrp != pgrp || t.state != procRunning && t.state != procStopped {
+			if t.pgrp != pgrp || !alive(t) {
 				continue
 			}
 			if !mayKill(t) {
@@ -56,7 +67,7 @@ func (k *Kernel) sysKill(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	case pid == -1:
 		found := false
 		for _, t := range k.procs {
-			if t == p || t.pid == 1 || t.state != procRunning && t.state != procStopped {
+			if t == p || t.pid == 1 || !alive(t) {
 				continue
 			}
 			if mayKill(t) {
@@ -77,9 +88,9 @@ func (k *Kernel) sysSigvec(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if sig <= 0 || sig >= sys.NSIG {
 		return sys.Retval{}, sys.EINVAL
 	}
-	k.mu.Lock()
+	p.sigMu.Lock()
 	old := p.sigHandlers[sig]
-	k.mu.Unlock()
+	p.sigMu.Unlock()
 	if osvAddr != 0 {
 		var b [sys.SigvecSize]byte
 		old.Encode(b[:])
@@ -96,43 +107,54 @@ func (k *Kernel) sysSigvec(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 			return sys.Retval{}, e
 		}
 		sv := sys.DecodeSigvec(b[:])
-		k.mu.Lock()
+		p.sigMu.Lock()
 		p.sigHandlers[sig] = sv
 		if sv.Handler == sys.SIG_IGN {
 			p.sigPending &^= sys.SigMask(sig)
 		}
-		k.mu.Unlock()
+		p.refreshAttnLocked()
+		p.sigMu.Unlock()
 	}
 	return sys.Retval{}, sys.OK
 }
 
 func (k *Kernel) sysSigblock(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.sigMu.Lock()
+	defer p.sigMu.Unlock()
 	old := p.sigMask
 	p.sigMask |= a[0] &^ unmaskable
+	p.refreshAttnLocked()
 	return sys.Retval{old}, sys.OK
 }
 
 func (k *Kernel) sysSigsetmask(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	p.sigMu.Lock()
+	defer p.sigMu.Unlock()
 	old := p.sigMask
 	p.sigMask = a[0] &^ unmaskable
-	k.cond.Broadcast()
+	p.refreshAttnLocked()
 	return sys.Retval{old}, sys.OK
 }
 
 func (k *Kernel) sysSigpause(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	// Atomically set the mask and wait for a deliverable signal. The wait
+	// parks on the process's own wake token under sigMu — the same lock
+	// every signal post takes — so a signal cannot slip between the check
+	// and the park.
+	p.sigMu.Lock()
 	old := p.sigMask
 	p.sigMask = a[0] &^ unmaskable
-	for p.deliverableLocked() == 0 {
-		k.cond.Wait()
+	p.refreshAttnLocked()
+	for p.deliverableSigLocked() == 0 && p.loadState() == procRunning {
+		p.drainWake()
+		p.sigMu.Unlock()
+		<-p.wake
+		p.sigMu.Lock()
 	}
 	// Restore the mask after the pending signal has been delivered (which
 	// happens at system call exit); checkSignals consumes pauseMask.
 	p.pauseMask = &old
+	p.refreshAttnLocked()
+	p.sigMu.Unlock()
 	return sys.Retval{}, sys.EINTR
 }

@@ -11,14 +11,15 @@ import (
 // machinery under both setitimer(2) and the C library's alarm()/sleep().
 
 // itimerState is a process's real-interval-timer state, guarded by the
-// big kernel lock.
+// process-table lock (timer expiry needs to post a signal, which is a
+// k.pmu operation anyway, so the timer fields live under the same lock).
 type itimerState struct {
 	timer    *time.Timer
 	interval time.Duration
 	expiry   time.Time // zero when disarmed
 }
 
-// armITimerLocked (re)arms the timer. Caller holds k.mu.
+// armITimerLocked (re)arms the timer. Caller holds k.pmu.
 func (k *Kernel) armITimerLocked(p *Proc, value, interval time.Duration) {
 	k.stopITimerLocked(p)
 	if value <= 0 {
@@ -29,7 +30,7 @@ func (k *Kernel) armITimerLocked(p *Proc, value, interval time.Duration) {
 	p.itimer.timer = time.AfterFunc(value, func() { k.itimerFire(p) })
 }
 
-// stopITimerLocked disarms the timer. Caller holds k.mu.
+// stopITimerLocked disarms the timer. Caller holds k.pmu.
 func (k *Kernel) stopITimerLocked(p *Proc) {
 	if p.itimer.timer != nil {
 		p.itimer.timer.Stop()
@@ -41,12 +42,13 @@ func (k *Kernel) stopITimerLocked(p *Proc) {
 
 // itimerFire runs on the timer goroutine: post SIGALRM and rearm.
 func (k *Kernel) itimerFire(p *Proc) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if p.state != procRunning && p.state != procStopped {
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
+	st := p.loadState()
+	if st != procRunning && st != procStopped {
 		return
 	}
-	k.postSignalLocked(p, sys.SIGALRM)
+	k.postSignalPLocked(p, sys.SIGALRM)
 	if iv := p.itimer.interval; iv > 0 {
 		p.itimer.expiry = time.Now().Add(iv)
 		p.itimer.timer = time.AfterFunc(iv, func() { k.itimerFire(p) })
@@ -74,9 +76,9 @@ func (k *Kernel) sysSetitimer(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if a[0] != sys.ITIMER_REAL {
 		return sys.Retval{}, sys.EINVAL
 	}
-	k.mu.Lock()
+	k.pmu.Lock()
 	old := k.itimerValueLocked(p)
-	k.mu.Unlock()
+	k.pmu.Unlock()
 	if a[2] != 0 {
 		var b [sys.ItimervalSize]byte
 		old.Encode(b[:])
@@ -90,9 +92,9 @@ func (k *Kernel) sysSetitimer(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 			return sys.Retval{}, e
 		}
 		nv := sys.DecodeItimerval(b[:])
-		k.mu.Lock()
+		k.pmu.Lock()
 		k.armITimerLocked(p, tvDuration(nv.Value), tvDuration(nv.Interval))
-		k.mu.Unlock()
+		k.pmu.Unlock()
 	}
 	return sys.Retval{}, sys.OK
 }
@@ -101,15 +103,15 @@ func (k *Kernel) sysGetitimer(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if a[0] != sys.ITIMER_REAL {
 		return sys.Retval{}, sys.EINVAL
 	}
-	k.mu.Lock()
+	k.pmu.Lock()
 	cur := k.itimerValueLocked(p)
-	k.mu.Unlock()
+	k.pmu.Unlock()
 	var b [sys.ItimervalSize]byte
 	cur.Encode(b[:])
 	return sys.Retval{}, p.CopyOut(a[1], b[:])
 }
 
-// itimerValueLocked snapshots the timer as an itimerval. Caller holds k.mu.
+// itimerValueLocked snapshots the timer as an itimerval. Caller holds k.pmu.
 func (k *Kernel) itimerValueLocked(p *Proc) sys.Itimerval {
 	var out sys.Itimerval
 	out.Interval = durationTv(p.itimer.interval)

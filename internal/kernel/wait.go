@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"sync"
+
+	"interpose/internal/sys"
+)
+
+// Per-object wait queues.
+//
+// The uniprocessor kernel had one condition variable for every sleep in
+// the system and woke it with Broadcast. The SMP kernel gives every
+// blocking object (each pipe direction, each parent's wait4, the console
+// input buffer, the flock table) its own waitQ, guarded by that object's
+// lock, so a wakeup touches only the processes actually sleeping there.
+//
+// A sleeping process parks on its own one-token channel (p.wake, buffered
+// capacity 1). Wakers never block: waitQ.wakeAll and Proc.wakeup do a
+// non-blocking send. Stale tokens — a wakeup that raced with the sleeper
+// giving up — are drained at the next sleep entry, which is also why a
+// spurious token is harmless: every sleep site loops on its condition.
+//
+// The signal path does not use queues at all. postSignal marks the signal
+// pending under p.sigMu and unconditionally sends a token; sleepOn checks
+// deliverable signals under the same p.sigMu both before parking and after
+// waking, so a signal either lands before the sleeper commits (the sleeper
+// sees it pending and returns EINTR without parking) or after (the token
+// is already in the channel when the sleeper parks). The same two checks
+// preserve the exit guarantee from the fault-injection PR: a process that
+// is no longer running (zombie, stopped) can never re-block here.
+
+// waitQ is a set of processes sleeping on one object. It is guarded by
+// the lock of the object that embeds it.
+type waitQ struct {
+	waiters []*Proc
+}
+
+// wakeAll wakes every sleeper and empties the queue. The caller holds the
+// owning object's lock.
+func (q *waitQ) wakeAll() {
+	for _, p := range q.waiters {
+		p.wakeup()
+	}
+	q.waiters = q.waiters[:0]
+}
+
+// enqueue adds p. The caller holds the owning object's lock.
+func (q *waitQ) enqueue(p *Proc) { q.waiters = append(q.waiters, p) }
+
+// dequeue removes p if present. The caller holds the owning object's lock.
+func (q *waitQ) dequeue(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// wakeup hands p one wake token without blocking.
+func (p *Proc) wakeup() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainWake discards a stale token left over from an earlier sleep.
+func (p *Proc) drainWake() {
+	select {
+	case <-p.wake:
+	default:
+	}
+}
+
+// sleepOn blocks p on q until a wakeup or a deliverable signal. objMu is
+// the lock guarding q; the caller holds it and gets it back on return.
+// Returns EINTR when the sleep was (or would immediately be) interrupted;
+// callers re-evaluate their wait condition on OK, because wakeups can be
+// spurious.
+func (p *Proc) sleepOn(q *waitQ, objMu sync.Locker) sys.Errno {
+	p.sigMu.Lock()
+	if p.loadState() != procRunning || p.deliverableSigLocked() != 0 {
+		p.sigMu.Unlock()
+		return sys.EINTR
+	}
+	p.drainWake()
+	p.sigMu.Unlock()
+	q.enqueue(p)
+	objMu.Unlock()
+
+	<-p.wake
+
+	objMu.Lock()
+	q.dequeue(p)
+	p.sigMu.Lock()
+	intr := p.loadState() != procRunning || p.deliverableSigLocked() != 0
+	p.sigMu.Unlock()
+	if intr {
+		return sys.EINTR
+	}
+	return sys.OK
+}

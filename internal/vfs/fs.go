@@ -3,6 +3,7 @@ package vfs
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interpose/internal/sys"
@@ -12,13 +13,28 @@ import (
 const MaxSymlinks = 8
 
 // FS is one in-memory filesystem instance.
+//
+// Locking: there is no filesystem-wide lock. Each inode carries its own
+// read-write mutex; path resolution locks one directory at a time
+// (hand-over-hand without coupling — inodes are never freed, so a stale
+// pointer is safe to lock). Mutations lock the parent directory, then at
+// most one child inode nested inside it. Rename, the only operation that
+// must hold two directories at once, additionally serializes against
+// other renames with renameMu and locks its parents ancestor-first (or
+// in inode-number order when unrelated), which keeps it compatible with
+// the parent-before-child order everyone else uses.
 type FS struct {
-	mu      sync.Mutex
-	dev     uint32
-	root    *Inode
-	nextIno uint32
-	clock   func() time.Time
-	ninodes int
+	dev     uint32 // immutable
+	root    *Inode // immutable
+	nextIno atomic.Uint32
+	ninodes atomic.Int64
+	clock   func() time.Time // immutable
+
+	// renameMu serializes renames against each other. With it held, the
+	// directory topology can only change by mkdir/rmdir of leaves, so a
+	// rename can validate ancestry and then lock its two parents in a
+	// deterministic order without deadlocking another rename.
+	renameMu sync.Mutex
 }
 
 // New creates an empty filesystem whose timestamps come from clock
@@ -27,10 +43,11 @@ func New(clock func() time.Time) *FS {
 	if clock == nil {
 		clock = time.Now
 	}
-	fs := &FS{dev: 1, nextIno: 2, clock: clock}
-	fs.root = fs.newInodeLocked(sys.S_IFDIR|0o755, Cred{UID: 0, GID: 0})
+	fs := &FS{dev: 1, clock: clock}
+	fs.nextIno.Store(2)
+	fs.root = fs.newInode(sys.S_IFDIR|0o755, Cred{UID: 0, GID: 0})
 	fs.root.Nlink = 2
-	fs.root.parent = fs.root
+	fs.root.setParent(fs.root)
 	return fs
 }
 
@@ -38,19 +55,16 @@ func New(clock func() time.Time) *FS {
 func (fs *FS) Root() *Inode { return fs.root }
 
 // NumInodes returns the live inode count (an invariant checked by tests).
-func (fs *FS) NumInodes() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.ninodes
-}
+func (fs *FS) NumInodes() int { return int(fs.ninodes.Load()) }
 
 func (fs *FS) now() time.Time { return fs.clock() }
 
-func (fs *FS) newInodeLocked(mode uint32, cred Cred) *Inode {
+func (fs *FS) newInode(mode uint32, cred Cred) *Inode {
 	now := fs.now()
 	ip := &Inode{
 		fs:    fs,
-		Ino:   fs.nextIno,
+		Ino:   fs.nextIno.Add(1) - 1,
+		typ:   mode & sys.S_IFMT,
 		Mode:  mode,
 		Nlink: 1,
 		UID:   cred.UID,
@@ -59,11 +73,10 @@ func (fs *FS) newInodeLocked(mode uint32, cred Cred) *Inode {
 		Mtime: now,
 		Ctime: now,
 	}
-	if mode&sys.S_IFMT == sys.S_IFDIR {
+	if ip.typ == sys.S_IFDIR {
 		ip.entries = make(map[string]*Inode)
 	}
-	fs.nextIno++
-	fs.ninodes++
+	fs.ninodes.Add(1)
 	return ip
 }
 
@@ -91,9 +104,7 @@ func (fs *FS) Lookup(start *Inode, path string, cred Cred, follow bool) (*Inode,
 // LookupEx is Lookup with an explicit root directory, for chrooted callers:
 // absolute paths and absolute symbolic-link targets resolve from root.
 func (fs *FS) LookupEx(root, start *Inode, path string, cred Cred, follow bool) (*Inode, sys.Errno) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	ip, _, _, err := fs.resolveLocked(root, start, path, cred, follow, false)
+	ip, _, _, err := fs.resolve(root, start, path, cred, follow, false)
 	return ip, err
 }
 
@@ -107,9 +118,7 @@ func (fs *FS) LookupParent(start *Inode, path string, cred Cred) (dir *Inode, na
 
 // LookupParentEx is LookupParent with an explicit root directory.
 func (fs *FS) LookupParentEx(root, start *Inode, path string, cred Cred) (dir *Inode, name string, existing *Inode, err sys.Errno) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	existing, dir, name, err = fs.resolveLocked(root, start, path, cred, false, true)
+	existing, dir, name, err = fs.resolve(root, start, path, cred, false, true)
 	if err == sys.ENOENT && dir != nil && name != "" {
 		// Parent found, leaf missing: success for create-style callers.
 		return dir, name, nil, sys.OK
@@ -117,10 +126,13 @@ func (fs *FS) LookupParentEx(root, start *Inode, path string, cred Cred) (dir *I
 	return dir, name, existing, err
 }
 
-// resolveLocked walks path. With wantParent set it also reports the parent
-// directory and leaf name (which requires the path not to end in "." or
-// ".."). Returns the found inode (nil with ENOENT if the leaf is absent).
-func (fs *FS) resolveLocked(root, start *Inode, path string, cred Cred, follow, wantParent bool) (*Inode, *Inode, string, sys.Errno) {
+// resolve walks path, locking one directory at a time. With wantParent set
+// it also reports the parent directory and leaf name (which requires the
+// path not to end in "." or ".."). Returns the found inode (nil with
+// ENOENT if the leaf is absent). The result is a snapshot: by the time the
+// caller acts on it, a concurrent rename may have moved things — callers
+// that mutate re-validate under the parent's lock.
+func (fs *FS) resolve(root, start *Inode, path string, cred Cred, follow, wantParent bool) (*Inode, *Inode, string, sys.Errno) {
 	if root == nil {
 		root = fs.root
 	}
@@ -147,16 +159,21 @@ func (fs *FS) resolveLocked(root, start *Inode, path string, cred Cred, follow, 
 		if !cur.IsDir() {
 			return nil, nil, "", sys.ENOTDIR
 		}
-		if e := CheckAccess(cred, cur.Mode, cur.UID, cur.GID, sys.X_OK); e != sys.OK {
+		cur.mu.RLock()
+		e := CheckAccess(cred, cur.Mode, cur.UID, cur.GID, sys.X_OK)
+		var next *Inode
+		if e == sys.OK {
+			if name == ".." && cur == root {
+				next = cur // ".." at the (possibly chroot) root stays put
+			} else {
+				next = cur.lookupLocked(name)
+			}
+		}
+		cur.mu.RUnlock()
+		if e != sys.OK {
 			return nil, nil, "", e
 		}
 		last := i == len(parts)-1
-		var next *Inode
-		if name == ".." && cur == root {
-			next = cur // ".." at the (possibly chroot) root stays put
-		} else {
-			next = cur.lookupLocked(name)
-		}
 		if last && wantParent {
 			if name == "." || name == ".." {
 				return next, nil, "", sys.EINVAL
@@ -204,16 +221,21 @@ func (fs *FS) resolveLocked(root, start *Inode, path string, cred Cred, follow, 
 }
 
 // checkWrite verifies that cred may modify directory dir's contents.
+// Caller holds dir.mu.
 func checkWrite(cred Cred, dir *Inode) sys.Errno {
 	return CheckAccess(cred, dir.Mode, dir.UID, dir.GID, sys.W_OK)
 }
 
-// stickyCheck enforces the sticky-directory deletion rule.
+// stickyCheck enforces the sticky-directory deletion rule. Caller holds
+// dir.mu but not victim.mu (the victim's owner is read under its own lock).
 func stickyCheck(cred Cred, dir, victim *Inode) sys.Errno {
 	if dir.Mode&sys.S_ISVTX == 0 || cred.Root() {
 		return sys.OK
 	}
-	if cred.UID != dir.UID && cred.UID != victim.UID {
+	victim.mu.RLock()
+	vuid := victim.UID
+	victim.mu.RUnlock()
+	if cred.UID != dir.UID && cred.UID != vuid {
 		return sys.EPERM
 	}
 	return sys.OK
@@ -222,41 +244,28 @@ func stickyCheck(cred Cred, dir, victim *Inode) sys.Errno {
 // Create makes a new regular file entry name in dir with the given
 // permission bits. It fails with EEXIST if the name is taken.
 func (fs *FS) Create(dir *Inode, name string, perm uint32, cred Cred) (*Inode, sys.Errno) {
-	return fs.makeNode(dir, name, sys.S_IFREG|perm&0o7777, cred, nil, "")
+	return fs.makeNode(dir, name, sys.S_IFREG|perm&0o7777, cred, nil, "", 0)
 }
 
 // Mkdir makes a new directory entry name in dir.
 func (fs *FS) Mkdir(dir *Inode, name string, perm uint32, cred Cred) (*Inode, sys.Errno) {
-	ip, err := fs.makeNode(dir, name, sys.S_IFDIR|perm&0o7777, cred, nil, "")
-	if err == sys.OK {
-		fs.mu.Lock()
-		ip.Nlink = 2 // "." counts
-		dir.Nlink++  // ".." in the child
-		ip.parent = dir
-		fs.mu.Unlock()
-	}
-	return ip, err
+	return fs.makeNode(dir, name, sys.S_IFDIR|perm&0o7777, cred, nil, "", 0)
 }
 
 // Symlink makes a symbolic link entry name in dir pointing at target.
 func (fs *FS) Symlink(dir *Inode, name, target string, cred Cred) (*Inode, sys.Errno) {
-	return fs.makeNode(dir, name, sys.S_IFLNK|0o777, cred, nil, target)
+	return fs.makeNode(dir, name, sys.S_IFLNK|0o777, cred, nil, target, 0)
 }
 
 // MkDev makes a character-device entry name in dir backed by dev.
 func (fs *FS) MkDev(dir *Inode, name string, perm, rdev uint32, dev Device, cred Cred) (*Inode, sys.Errno) {
-	ip, err := fs.makeNode(dir, name, sys.S_IFCHR|perm&0o7777, cred, dev, "")
-	if err == sys.OK {
-		fs.mu.Lock()
-		ip.Rdev = rdev
-		fs.mu.Unlock()
-	}
-	return ip, err
+	return fs.makeNode(dir, name, sys.S_IFCHR|perm&0o7777, cred, dev, "", rdev)
 }
 
-func (fs *FS) makeNode(dir *Inode, name string, mode uint32, cred Cred, dev Device, link string) (*Inode, sys.Errno) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+// makeNode creates and publishes a fully initialized inode under dir. The
+// new inode is complete — device vector, link target, directory setup —
+// before it is inserted, so no observer can see a half-built node.
+func (fs *FS) makeNode(dir *Inode, name string, mode uint32, cred Cred, dev Device, link string, rdev uint32) (*Inode, sys.Errno) {
 	if !dir.IsDir() {
 		return nil, sys.ENOTDIR
 	}
@@ -266,25 +275,34 @@ func (fs *FS) makeNode(dir *Inode, name string, mode uint32, cred Cred, dev Devi
 	if len(name) > sys.NameMax {
 		return nil, sys.ENAMETOOLONG
 	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.Nlink == 0 {
+		return nil, sys.ENOENT // directory was removed under us
+	}
 	if dir.lookupLocked(name) != nil {
 		return nil, sys.EEXIST
 	}
 	if e := checkWrite(cred, dir); e != sys.OK {
 		return nil, e
 	}
-	ip := fs.newInodeLocked(mode, cred)
+	ip := fs.newInode(mode, cred)
 	ip.dev = dev
 	ip.link = link
+	ip.Rdev = rdev
 	// BSD semantics: new files inherit the group of their directory.
 	ip.GID = dir.GID
+	if ip.IsDir() {
+		ip.Nlink = 2 // "." counts
+		ip.setParent(dir)
+		dir.Nlink++ // ".." in the child
+	}
 	dir.insertLocked(name, ip)
 	return ip, sys.OK
 }
 
 // Link adds a hard link named name in dir to the existing inode target.
 func (fs *FS) Link(dir *Inode, name string, target *Inode, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if target.IsDir() {
 		return sys.EPERM
 	}
@@ -294,34 +312,51 @@ func (fs *FS) Link(dir *Inode, name string, target *Inode, cred Cred) sys.Errno 
 	if name == "" || name == "." || name == ".." {
 		return sys.EINVAL
 	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.Nlink == 0 {
+		return sys.ENOENT
+	}
 	if dir.lookupLocked(name) != nil {
 		return sys.EEXIST
 	}
 	if e := checkWrite(cred, dir); e != sys.OK {
 		return e
 	}
+	target.mu.Lock()
 	if target.Nlink >= 32767 {
+		target.mu.Unlock()
 		return sys.EMLINK
+	}
+	if target.Nlink == 0 {
+		// Lost a race with the final unlink; linking would resurrect a
+		// reclaimed inode and corrupt the live count.
+		target.mu.Unlock()
+		return sys.ENOENT
 	}
 	target.Nlink++
 	target.Ctime = fs.now()
+	target.mu.Unlock()
 	dir.insertLocked(name, target)
 	return sys.OK
 }
 
 // Unlink removes the entry name from dir. Directories cannot be unlinked.
 func (fs *FS) Unlink(dir *Inode, name string, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if !dir.IsDir() {
 		return sys.ENOTDIR
+	}
+	if name == "." || name == ".." {
+		return sys.EINVAL
+	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.Nlink == 0 {
+		return sys.ENOENT
 	}
 	victim := dir.lookupLocked(name)
 	if victim == nil {
 		return sys.ENOENT
-	}
-	if name == "." || name == ".." {
-		return sys.EINVAL
 	}
 	if victim.IsDir() {
 		return sys.EPERM
@@ -333,19 +368,22 @@ func (fs *FS) Unlink(dir *Inode, name string, cred Cred) sys.Errno {
 		return e
 	}
 	dir.removeLocked(name)
-	fs.dropLocked(victim)
+	fs.drop(victim)
 	return sys.OK
 }
 
 // Rmdir removes the empty directory entry name from dir.
 func (fs *FS) Rmdir(dir *Inode, name string, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if !dir.IsDir() {
 		return sys.ENOTDIR
 	}
 	if name == "." || name == ".." {
 		return sys.EINVAL
+	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.Nlink == 0 {
+		return sys.ENOENT
 	}
 	victim := dir.lookupLocked(name)
 	if victim == nil {
@@ -357,39 +395,75 @@ func (fs *FS) Rmdir(dir *Inode, name string, cred Cred) sys.Errno {
 	if victim == fs.root {
 		return sys.EBUSY
 	}
-	if len(victim.entries) != 0 {
-		return sys.ENOTEMPTY
-	}
 	if e := checkWrite(cred, dir); e != sys.OK {
 		return e
 	}
 	if e := stickyCheck(cred, dir, victim); e != sys.OK {
 		return e
 	}
+	victim.mu.Lock()
+	if len(victim.entries) != 0 {
+		victim.mu.Unlock()
+		return sys.ENOTEMPTY
+	}
+	victim.Nlink = 0
+	victim.setParent(nil)
+	victim.mu.Unlock()
 	dir.removeLocked(name)
 	dir.Nlink-- // the victim's ".."
-	victim.Nlink = 0
-	victim.parent = nil
-	fs.ninodes--
+	fs.ninodes.Add(-1)
 	return sys.OK
 }
 
-// dropLocked decrements a link count and reclaims the inode at zero.
-func (fs *FS) dropLocked(ip *Inode) {
+// drop decrements a link count and reclaims the inode at zero. Caller
+// holds the parent directory's lock but not ip's.
+func (fs *FS) drop(ip *Inode) {
+	ip.mu.Lock()
 	ip.Nlink--
 	ip.Ctime = fs.now()
-	if ip.Nlink == 0 {
-		fs.ninodes--
+	last := ip.Nlink == 0
+	ip.mu.Unlock()
+	if last {
+		fs.ninodes.Add(-1)
 		// Data stays reachable through any open file description; the Go
 		// garbage collector is our block-free list.
 	}
 }
 
+// orderParents returns rename's two (distinct) parent directories in lock
+// order: the ancestor first if one contains the other, otherwise by inode
+// number. Caller holds renameMu, so the answer cannot be invalidated by a
+// concurrent rename.
+func (fs *FS) orderParents(a, b *Inode) (*Inode, *Inode) {
+	for d := b; ; {
+		if d == a {
+			return a, b // a is an ancestor of b
+		}
+		pp := d.parentPtr()
+		if d == fs.root || pp == nil || pp == d {
+			break
+		}
+		d = pp
+	}
+	for d := a; ; {
+		if d == b {
+			return b, a
+		}
+		pp := d.parentPtr()
+		if d == fs.root || pp == nil || pp == d {
+			break
+		}
+		d = pp
+	}
+	if a.Ino < b.Ino {
+		return a, b
+	}
+	return b, a
+}
+
 // Rename moves the entry oldName in oldDir to newName in newDir, replacing
 // a compatible existing target, with the usual Unix restrictions.
 func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName string, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if !oldDir.IsDir() || !newDir.IsDir() {
 		return sys.ENOTDIR
 	}
@@ -397,9 +471,41 @@ func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName strin
 		oldName == "" || newName == "" {
 		return sys.EINVAL
 	}
+	fs.renameMu.Lock()
+	defer fs.renameMu.Unlock()
+
+	first, second := oldDir, newDir
+	if oldDir != newDir {
+		first, second = fs.orderParents(oldDir, newDir)
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	if second != first {
+		second.mu.Lock()
+		defer second.mu.Unlock()
+	}
+	if oldDir.Nlink == 0 || newDir.Nlink == 0 {
+		return sys.ENOENT
+	}
+
 	src := oldDir.lookupLocked(oldName)
 	if src == nil {
 		return sys.ENOENT
+	}
+	// A directory may not be moved into itself or a descendant. This also
+	// rules out src == newDir, so the child locks taken below can never
+	// alias the parent locks already held.
+	if src.IsDir() {
+		for d := newDir; ; {
+			if d == src {
+				return sys.EINVAL
+			}
+			pp := d.parentPtr()
+			if d == fs.root || pp == nil || pp == d {
+				break
+			}
+			d = pp
+		}
 	}
 	if e := checkWrite(cred, oldDir); e != sys.OK {
 		return e
@@ -409,17 +515,6 @@ func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName strin
 	}
 	if e := stickyCheck(cred, oldDir, src); e != sys.OK {
 		return e
-	}
-	// A directory may not be moved into itself or a descendant.
-	if src.IsDir() {
-		for d := newDir; ; d = d.parent {
-			if d == src {
-				return sys.EINVAL
-			}
-			if d == fs.root || d.parent == d {
-				break
-			}
-		}
 	}
 	dst := newDir.lookupLocked(newName)
 	if dst == src {
@@ -431,20 +526,29 @@ func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName strin
 			return sys.EISDIR
 		case !dst.IsDir() && src.IsDir():
 			return sys.ENOTDIR
-		case dst.IsDir() && len(dst.entries) != 0:
-			return sys.ENOTEMPTY
 		}
-		if e := stickyCheck(cred, newDir, dst); e != sys.OK {
-			return e
-		}
-		newDir.removeLocked(newName)
 		if dst.IsDir() {
-			newDir.Nlink--
+			dst.mu.Lock()
+			if len(dst.entries) != 0 {
+				dst.mu.Unlock()
+				return sys.ENOTEMPTY
+			}
+			if e := stickyCheckLocked(cred, newDir, dst.UID); e != sys.OK {
+				dst.mu.Unlock()
+				return e
+			}
 			dst.Nlink = 0
-			dst.parent = nil
-			fs.ninodes--
+			dst.setParent(nil)
+			dst.mu.Unlock()
+			newDir.removeLocked(newName)
+			newDir.Nlink--
+			fs.ninodes.Add(-1)
 		} else {
-			fs.dropLocked(dst)
+			if e := stickyCheck(cred, newDir, dst); e != sys.OK {
+				return e
+			}
+			newDir.removeLocked(newName)
+			fs.drop(dst)
 		}
 	}
 	oldDir.removeLocked(oldName)
@@ -452,20 +556,36 @@ func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName strin
 	if src.IsDir() && oldDir != newDir {
 		oldDir.Nlink--
 		newDir.Nlink++
-		src.parent = newDir
+	}
+	src.mu.Lock()
+	if src.IsDir() {
+		src.setParent(newDir)
 	}
 	src.Ctime = fs.now()
+	src.mu.Unlock()
+	return sys.OK
+}
+
+// stickyCheckLocked is stickyCheck for callers already holding the
+// victim's lock (they pass the owner they read under it).
+func stickyCheckLocked(cred Cred, dir *Inode, victimUID uint32) sys.Errno {
+	if dir.Mode&sys.S_ISVTX == 0 || cred.Root() {
+		return sys.OK
+	}
+	if cred.UID != dir.UID && cred.UID != victimUID {
+		return sys.EPERM
+	}
 	return sys.OK
 }
 
 // Chmod sets the permission bits of ip.
 func (fs *FS) Chmod(ip *Inode, mode uint32, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
 	if !cred.Root() && cred.UID != ip.UID {
 		return sys.EPERM
 	}
-	ip.Mode = ip.Type() | mode&0o7777
+	ip.Mode = ip.typ | mode&0o7777
 	ip.Ctime = fs.now()
 	return sys.OK
 }
@@ -474,8 +594,8 @@ func (fs *FS) Chmod(ip *Inode, mode uint32, cred Cred) sys.Errno {
 // an owner may change the group to one they belong to. 0xffffffff leaves a
 // field unchanged.
 func (fs *FS) Chown(ip *Inode, uid, gid uint32, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
 	if !cred.Root() {
 		if uid != 0xffffffff && uid != ip.UID {
 			return sys.EPERM
@@ -503,8 +623,8 @@ func (fs *FS) Chown(ip *Inode, uid, gid uint32, cred Cred) sys.Errno {
 
 // Utimes sets the access and modification times of ip.
 func (fs *FS) Utimes(ip *Inode, atime, mtime time.Time, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
 	if !cred.Root() && cred.UID != ip.UID {
 		if e := CheckAccess(cred, ip.Mode, ip.UID, ip.GID, sys.W_OK); e != sys.OK {
 			return sys.EPERM
@@ -517,10 +637,10 @@ func (fs *FS) Utimes(ip *Inode, atime, mtime time.Time, cred Cred) sys.Errno {
 
 // Access checks want against ip for cred (the access system call).
 func (fs *FS) Access(ip *Inode, want int, cred Cred) sys.Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if want == sys.F_OK {
 		return sys.OK
 	}
+	ip.mu.RLock()
+	defer ip.mu.RUnlock()
 	return CheckAccess(cred, ip.Mode, ip.UID, ip.GID, want)
 }

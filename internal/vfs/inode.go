@@ -1,6 +1,8 @@
 package vfs
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"interpose/internal/sys"
@@ -15,11 +17,17 @@ type Device interface {
 	Ioctl(req sys.Word, arg sys.Word, c sys.Ctx) sys.Errno
 }
 
-// Inode is one filesystem object. Fields are protected by the owning FS's
-// lock; callers outside this package use accessor methods, which take it.
+// Inode is one filesystem object, protected by its own read-write lock.
+// Immutable-after-creation fields (the type bits, the device vector, the
+// symlink target, the inode number) are read without it; everything else
+// is accessed under mu. The parent pointer is additionally readable
+// lock-free (it is atomic) so ancestry walks need no lock at all.
 type Inode struct {
+	mu sync.RWMutex
+
 	fs    *FS
 	Ino   uint32
+	typ   uint32 // file-type bits of Mode; immutable
 	Mode  uint32 // file type | permission bits
 	Nlink uint32
 	UID   uint32
@@ -31,43 +39,44 @@ type Inode struct {
 	Ctime time.Time
 
 	data []byte // regular files
-	link string // symlink target
+	link string // symlink target; immutable
 
 	// Directories: lookup map plus stable insertion order for iteration.
 	entries map[string]*Inode
 	order   []string
-	parent  *Inode // ".." for directories
+	parent  atomic.Pointer[Inode] // ".." for directories
 
-	dev Device // character devices
+	dev Device // character devices; immutable
 
-	// Advisory flock state, managed by the kernel's descriptor layer.
+	// Advisory flock state. These fields belong to the kernel's global
+	// flock lock, not to mu: they are read and written together with the
+	// descriptor-layer lock bookkeeping.
 	LockEx     bool
 	LockShared int
 }
 
 // Type returns the file-type bits of the mode.
-func (ip *Inode) Type() uint32 { return ip.Mode & sys.S_IFMT }
+func (ip *Inode) Type() uint32 { return ip.typ }
 
 // IsDir reports whether the inode is a directory.
-func (ip *Inode) IsDir() bool { return ip.Type() == sys.S_IFDIR }
+func (ip *Inode) IsDir() bool { return ip.typ == sys.S_IFDIR }
 
 // IsSymlink reports whether the inode is a symbolic link.
-func (ip *Inode) IsSymlink() bool { return ip.Type() == sys.S_IFLNK }
+func (ip *Inode) IsSymlink() bool { return ip.typ == sys.S_IFLNK }
 
 // IsDevice reports whether the inode is a character device.
-func (ip *Inode) IsDevice() bool { return ip.Type() == sys.S_IFCHR }
+func (ip *Inode) IsDevice() bool { return ip.typ == sys.S_IFCHR }
 
 // Device returns the operations vector of a device inode (nil otherwise).
-func (ip *Inode) Device() Device {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
-	return ip.dev
-}
+func (ip *Inode) Device() Device { return ip.dev }
+
+func (ip *Inode) parentPtr() *Inode   { return ip.parent.Load() }
+func (ip *Inode) setParent(pp *Inode) { ip.parent.Store(pp) }
 
 // size returns the logical size; directories report their entry count
-// encoded as dirent records, symlinks their target length.
+// encoded as dirent records, symlinks their target length. Caller holds mu.
 func (ip *Inode) size() uint32 {
-	switch ip.Type() {
+	switch ip.typ {
 	case sys.S_IFREG:
 		return uint32(len(ip.data))
 	case sys.S_IFLNK:
@@ -84,8 +93,8 @@ func (ip *Inode) size() uint32 {
 
 // Stat fills a sys.Stat from the inode.
 func (ip *Inode) Stat() sys.Stat {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
+	ip.mu.RLock()
+	defer ip.mu.RUnlock()
 	return ip.statLocked()
 }
 
@@ -114,16 +123,14 @@ func toTimeval(t time.Time) sys.Timeval {
 // ReadAt copies file data at offset off into p, returning the byte count.
 // Reading at or past EOF returns 0. Device inodes dispatch to their driver.
 func (ip *Inode) ReadAt(p []byte, off int64) (int, sys.Errno) {
-	ip.fs.mu.Lock()
 	if ip.dev != nil {
-		dev := ip.dev
-		ip.fs.mu.Unlock()
-		return dev.Read(p, off)
+		return ip.dev.Read(p, off)
 	}
-	defer ip.fs.mu.Unlock()
 	if ip.IsDir() {
 		return 0, sys.EISDIR
 	}
+	ip.mu.Lock() // write lock: reads update the access time
+	defer ip.mu.Unlock()
 	ip.Atime = ip.fs.now()
 	if off >= int64(len(ip.data)) {
 		return 0, sys.OK
@@ -136,16 +143,14 @@ func (ip *Inode) ReadAt(p []byte, off int64) (int, sys.Errno) {
 // zero-filling any hole) as needed. maxSize, when nonzero, caps the
 // resulting file size (RLIMIT_FSIZE).
 func (ip *Inode) WriteAt(p []byte, off int64, maxSize int64) (int, sys.Errno) {
-	ip.fs.mu.Lock()
 	if ip.dev != nil {
-		dev := ip.dev
-		ip.fs.mu.Unlock()
-		return dev.Write(p, off)
+		return ip.dev.Write(p, off)
 	}
-	defer ip.fs.mu.Unlock()
 	if ip.IsDir() {
 		return 0, sys.EISDIR
 	}
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
 	end := off + int64(len(p))
 	if maxSize > 0 && end > maxSize {
 		if off >= maxSize {
@@ -167,8 +172,6 @@ func (ip *Inode) WriteAt(p []byte, off int64, maxSize int64) (int, sys.Errno) {
 
 // Truncate sets the file length, zero-filling growth.
 func (ip *Inode) Truncate(length int64) sys.Errno {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
 	if ip.IsDir() {
 		return sys.EISDIR
 	}
@@ -178,6 +181,8 @@ func (ip *Inode) Truncate(length int64) sys.Errno {
 	if length < 0 {
 		return sys.EINVAL
 	}
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
 	switch {
 	case int64(len(ip.data)) > length:
 		ip.data = ip.data[:length]
@@ -193,8 +198,8 @@ func (ip *Inode) Truncate(length int64) sys.Errno {
 
 // Bytes returns a copy of a regular file's contents.
 func (ip *Inode) Bytes() []byte {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
+	ip.mu.RLock()
+	defer ip.mu.RUnlock()
 	out := make([]byte, len(ip.data))
 	copy(out, ip.data)
 	return out
@@ -202,15 +207,13 @@ func (ip *Inode) Bytes() []byte {
 
 // Size returns the logical size of the inode.
 func (ip *Inode) Size() int64 {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
+	ip.mu.RLock()
+	defer ip.mu.RUnlock()
 	return int64(ip.size())
 }
 
 // Readlink returns the target of a symbolic link.
 func (ip *Inode) Readlink() (string, sys.Errno) {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
 	if !ip.IsSymlink() {
 		return "", sys.EINVAL
 	}
@@ -220,14 +223,14 @@ func (ip *Inode) Readlink() (string, sys.Errno) {
 // Dirents returns the directory's entries in iteration order, with "." and
 // ".." synthesized first, as getdirentries presents them.
 func (ip *Inode) Dirents() ([]sys.Dirent, sys.Errno) {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
 	if !ip.IsDir() {
 		return nil, sys.ENOTDIR
 	}
+	ip.mu.RLock()
+	defer ip.mu.RUnlock()
 	out := make([]sys.Dirent, 0, len(ip.order)+2)
 	out = append(out, sys.Dirent{Ino: ip.Ino, Name: "."})
-	pp := ip.parent
+	pp := ip.parentPtr()
 	if pp == nil {
 		pp = ip
 	}
@@ -240,23 +243,23 @@ func (ip *Inode) Dirents() ([]sys.Dirent, sys.Errno) {
 
 // EntryCount returns the number of real (non-dot) directory entries.
 func (ip *Inode) EntryCount() (int, sys.Errno) {
-	ip.fs.mu.Lock()
-	defer ip.fs.mu.Unlock()
 	if !ip.IsDir() {
 		return 0, sys.ENOTDIR
 	}
+	ip.mu.RLock()
+	defer ip.mu.RUnlock()
 	return len(ip.order), sys.OK
 }
 
-// directory-entry helpers; callers hold fs.mu.
+// directory-entry helpers; callers hold the directory's lock.
 
 func (ip *Inode) lookupLocked(name string) *Inode {
 	switch name {
 	case ".":
 		return ip
 	case "..":
-		if ip.parent != nil {
-			return ip.parent
+		if pp := ip.parentPtr(); pp != nil {
+			return pp
 		}
 		return ip
 	}

@@ -528,14 +528,14 @@ func checkInvariants(t *testing.T, fs *FS) {
 			t.Fatalf("dirents: %v", err)
 		}
 		for _, e := range ents[2:] {
-			dir.fs.mu.Lock()
+			dir.mu.RLock()
 			child := dir.entries[e.Name]
-			dir.fs.mu.Unlock()
+			dir.mu.RUnlock()
 			if child == nil {
 				t.Fatalf("listed entry %q missing from map", e.Name)
 			}
 			if child.IsDir() {
-				if child.parent != dir {
+				if child.parentPtr() != dir {
 					t.Fatalf("directory %q parent pointer wrong", e.Name)
 				}
 				walk(child)
@@ -552,9 +552,9 @@ func checkInvariants(t *testing.T, fs *FS) {
 			want = refs + 1
 			ents, _ := ip.Dirents()
 			for _, e := range ents[2:] {
-				ip.fs.mu.Lock()
+				ip.mu.RLock()
 				child := ip.entries[e.Name]
-				ip.fs.mu.Unlock()
+				ip.mu.RUnlock()
 				if child.IsDir() {
 					want++
 				}
