@@ -26,6 +26,7 @@ func main() {
 	runs := flag.Int("runs", 9, "timed repetitions per row (after one discarded run)")
 	programs := flag.Int("programs", 8, "program count for the make workload")
 	benchJSON := flag.Bool("json", false, "write measured rows to BENCH_<date>.json")
+	check := flag.String("check", "", "baseline BENCH json to compare against; exit 1 if a guarded row regresses >50%")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -104,6 +105,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		statRows, err := experiments.RunStatHeavy(*runs)
+		if err != nil {
+			fail(err)
+		}
+		rows = append(rows, statRows...)
 		experiments.PrintScale(os.Stdout, *programs, rows)
 		entries = append(entries, experiments.ScaleEntries(rows)...)
 	}
@@ -123,5 +129,18 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("wrote " + name)
+	}
+
+	if *check != "" {
+		baseline, err := experiments.ReadBenchJSON(*check)
+		if err != nil {
+			fail(err)
+		}
+		report, err := experiments.CheckBaseline(baseline, entries,
+			experiments.GuardedRows, experiments.MaxRegress)
+		fmt.Printf("Baseline check against %s:\n%s", *check, report)
+		if err != nil {
+			fail(err)
+		}
 	}
 }

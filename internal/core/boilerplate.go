@@ -157,8 +157,10 @@ func DownWriteString(c sys.Ctx, fd int, s string) sys.Errno {
 // Install attaches an agent to a process as its topmost emulation layer.
 // The agent sees the process's registered system calls before lower
 // layers and the kernel, and its registered signals after them. The layer
-// is inherited by the process's future children.
-func Install(p *kernel.Proc, a Agent) {
+// is inherited by the process's future children. The returned layer
+// handle can be passed to kernel.Proc.RemoveEmulation (or the agent
+// itself to Uninstall) to detach it again.
+func Install(p *kernel.Proc, a Agent) *kernel.EmuLayer {
 	layer := kernel.NewEmuLayer(a)
 	layer.Name = agentName(a)
 	nums, all := a.InterestedSyscalls()
@@ -181,6 +183,22 @@ func Install(p *kernel.Proc, a Agent) {
 		}
 	}
 	p.PushEmulation(layer)
+	return layer
+}
+
+// Uninstall detaches the topmost layer running agent a from p, reporting
+// whether one was installed. The process's dispatch plan is recompiled
+// atomically: the next system call entry no longer consults the agent,
+// and calls for numbers only a intercepted return to the uninterposed
+// fast path.
+func Uninstall(p *kernel.Proc, a Agent) bool {
+	layers := p.Emulation()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if layers[i].Handler == sys.Handler(a) {
+			return p.RemoveEmulation(layers[i])
+		}
+	}
+	return false
 }
 
 // agentName derives the short name telemetry uses to label an agent's

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"interpose/internal/agents/nullagent"
+	"interpose/internal/agents/timex"
+	"interpose/internal/agents/trace"
+	"interpose/internal/core"
+	"interpose/internal/image"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+	"interpose/internal/telemetry"
+)
+
+// TestInterestVectorCompilation checks the per-syscall interest bitmaps
+// the kernel compiles at stack-build time: a partial-interest agent sets
+// its bit only on its registered numbers, a blanket agent on all, and
+// attach/detach recompute the vector.
+func TestInterestVectorCompilation(t *testing.T) {
+	k := kernel.New(image.NewRegistry())
+	p := k.NewProc()
+
+	if m := p.InterestMask(sys.SYS_getpid); m != 0 {
+		t.Fatalf("empty stack: getpid mask %#x, want 0", m)
+	}
+
+	// Layer 0: timex, interested only in gettimeofday.
+	tx, err := timex.New("3600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Install(p, tx)
+	if m := p.InterestMask(sys.SYS_gettimeofday); m != 1 {
+		t.Fatalf("timex: gettimeofday mask %#x, want 1", m)
+	}
+	if m := p.InterestMask(sys.SYS_getpid); m != 0 {
+		t.Fatalf("timex: getpid mask %#x, want 0 (uninterested)", m)
+	}
+
+	// Layer 1: trace, blanket interest — both bits on gettimeofday, only
+	// trace's on getpid.
+	tr := trace.New()
+	core.Install(p, tr)
+	if m := p.InterestMask(sys.SYS_gettimeofday); m != 0b11 {
+		t.Fatalf("timex+trace: gettimeofday mask %#x, want 0b11", m)
+	}
+	if m := p.InterestMask(sys.SYS_getpid); m != 0b10 {
+		t.Fatalf("timex+trace: getpid mask %#x, want 0b10", m)
+	}
+
+	// Detach trace: masks drop back to timex alone.
+	if !core.Uninstall(p, tr) {
+		t.Fatal("uninstall trace failed")
+	}
+	if m := p.InterestMask(sys.SYS_getpid); m != 0 {
+		t.Fatalf("after detach: getpid mask %#x, want 0", m)
+	}
+	if m := p.InterestMask(sys.SYS_gettimeofday); m != 1 {
+		t.Fatalf("after detach: gettimeofday mask %#x, want 1", m)
+	}
+
+	// Detach timex: empty again. Double-detach reports false.
+	if !core.Uninstall(p, tx) {
+		t.Fatal("uninstall timex failed")
+	}
+	if m := p.InterestMask(sys.SYS_gettimeofday); m != 0 {
+		t.Fatalf("empty again: gettimeofday mask %#x, want 0", m)
+	}
+	if core.Uninstall(p, tx) {
+		t.Fatal("second uninstall of timex reported true")
+	}
+}
+
+// layerCalls returns the attribution call count for one layer index.
+func layerCalls(s telemetry.Snapshot, layer int) uint64 {
+	for _, l := range s.Layers {
+		if l.Layer == layer {
+			return l.Calls
+		}
+	}
+	return 0
+}
+
+// TestDetachReturnsToFastPath is the satellite claim for detach: while an
+// agent interested in getpid is attached its layer accrues attribution;
+// after Uninstall the same calls run uninterposed — the kernel's count
+// keeps growing, the layer's stops.
+func TestDetachReturnsToFastPath(t *testing.T) {
+	k := kernel.New(image.NewRegistry())
+	reg := telemetry.NewRegistry()
+	k.SetTelemetry(reg)
+	p := k.NewProc()
+
+	a := nullagent.New()
+	core.Install(p, a)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := p.Syscall(sys.SYS_getpid, sys.Args{}); err != sys.OK {
+			t.Fatalf("getpid under agent: %v", err)
+		}
+	}
+	mid := reg.Snapshot()
+	agentMid, kernMid := layerCalls(mid, 1), layerCalls(mid, 0)
+	if agentMid < n {
+		t.Fatalf("agent layer attribution %d, want ≥%d", agentMid, n)
+	}
+
+	if !core.Uninstall(p, a) {
+		t.Fatal("uninstall failed")
+	}
+	if m := p.InterestMask(sys.SYS_getpid); m != 0 {
+		t.Fatalf("after detach: getpid mask %#x, want 0", m)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := p.Syscall(sys.SYS_getpid, sys.Args{}); err != sys.OK {
+			t.Fatalf("getpid after detach: %v", err)
+		}
+	}
+	end := reg.Snapshot()
+	agentEnd, kernEnd := layerCalls(end, 1), layerCalls(end, 0)
+	if agentEnd != agentMid {
+		t.Fatalf("agent layer still accruing after detach: %d → %d", agentMid, agentEnd)
+	}
+	if kernEnd < kernMid+n {
+		t.Fatalf("kernel attribution %d → %d, want +%d", kernMid, kernEnd, n)
+	}
+}
+
+// TestMidRunAttachDetach attaches and detaches a trace agent while the
+// client is alive: output produced before attach and after detach is
+// untraced, output in between is traced.
+func TestMidRunAttachDetach(t *testing.T) {
+	k := world(t)
+	p, err := core.Launch(k, nil, "/bin/clock", []string{"clock"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach and immediately detach a trace agent on the live process: the
+	// stack recompiles atomically both times and the process must still
+	// run to completion untraced.
+	tr := trace.New()
+	core.Install(p, tr)
+	if m := p.InterestMask(sys.SYS_getpid); m == 0 {
+		t.Fatal("trace attached but getpid mask empty")
+	}
+	if !core.Uninstall(p, tr) {
+		t.Fatal("uninstall failed")
+	}
+	st := k.WaitExit(p)
+	if sys.WExitStatus(st) != 0 {
+		t.Fatalf("clock exited %d", sys.WExitStatus(st))
+	}
+	out := k.Console().TakeOutput()
+	if !strings.Contains(out, "sec=") {
+		t.Fatalf("clock produced no output: %q", out)
+	}
+}

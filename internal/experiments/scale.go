@@ -105,6 +105,83 @@ func RunScale(runs, programs int) ([]ScaleRow, error) {
 	return rows, nil
 }
 
+// StatHeavyJobs is the parallelism of the stat-heavy workload rows.
+const StatHeavyJobs = 4
+
+// StatHeavyOps is the number of stat calls each parallel job performs.
+const StatHeavyOps = 20000
+
+// RunStatHeavy measures the pathname-cache rows of the scale table: a
+// stat-heavy parallel workload (StatHeavyJobs guests each performing
+// StatHeavyOps stat calls on the same path) with the VFS name/attribute
+// cache on and off. The Speedup column reports cache-off elapsed over
+// this row's elapsed, so the cache-on row directly reads as the cache's
+// speedup factor. Rounds are interleaved after one discarded warm-up.
+func RunStatHeavy(runs int) ([]ScaleRow, error) {
+	cfgs := []bool{true, false} // cache on, cache off
+	envs := make(map[bool]*kernel.Kernel, len(cfgs))
+	for _, on := range cfgs {
+		k, err := World()
+		if err != nil {
+			return nil, err
+		}
+		k.FS().SetNameCache(on)
+		envs[on] = k
+	}
+
+	work := func(on bool) (time.Duration, error) {
+		k := envs[on]
+		start := time.Now()
+		procs := make([]*kernel.Proc, 0, StatHeavyJobs)
+		argv := []string{"bench", "stat", fmt.Sprint(StatHeavyOps)}
+		for j := 0; j < StatHeavyJobs; j++ {
+			p, err := core.Launch(k, nil, "/bin/bench", argv, nil)
+			if err != nil {
+				return 0, err
+			}
+			procs = append(procs, p)
+		}
+		for _, p := range procs {
+			k.WaitExit(p)
+		}
+		return time.Since(start), nil
+	}
+
+	totals := make(map[bool]time.Duration, len(cfgs))
+	for _, on := range cfgs {
+		if _, err := work(on); err != nil {
+			return nil, fmt.Errorf("stat-heavy (cache=%v): %w", on, err)
+		}
+	}
+	for r := 0; r < runs; r++ {
+		for _, on := range cfgs {
+			runtime.GC()
+			d, err := work(on)
+			if err != nil {
+				return nil, fmt.Errorf("stat-heavy (cache=%v): %w", on, err)
+			}
+			totals[on] += d
+		}
+	}
+
+	label := map[bool]string{true: "stat-cache-on", false: "stat-cache-off"}
+	rows := make([]ScaleRow, 0, len(cfgs))
+	for _, on := range cfgs {
+		rows = append(rows, ScaleRow{
+			Jobs:    StatHeavyJobs,
+			Agent:   label[on],
+			Elapsed: totals[on] / time.Duration(runs),
+		})
+	}
+	off := totals[false] / time.Duration(runs)
+	for i := range rows {
+		if rows[i].Elapsed > 0 {
+			rows[i].Speedup = float64(off) / float64(rows[i].Elapsed)
+		}
+	}
+	return rows, nil
+}
+
 // PrintScale writes the scalability table.
 func PrintScale(w io.Writer, programs int, rows []ScaleRow) {
 	fmt.Fprintf(w, "Scale: parallel make of %d programs (mk -j N), GOMAXPROCS=%d\n\n",

@@ -1,0 +1,36 @@
+package kernel
+
+import "sync"
+
+// Transfer buffers for read/write system calls. Every read and write
+// stages the user's bytes through a kernel buffer (the simulated copyin /
+// copyout); allocating it per call made the allocator the hottest part of
+// the I/O path. A sync.Pool amortizes that: buffers up to maxPooledIO are
+// recycled, larger ones (rare — ioCount caps requests at 8 MB) fall back
+// to one-shot allocations.
+//
+// Holders must finish with the buffer before putIOBuf: nothing downstream
+// may retain it (inodes, pipes, devices, and the console all copy).
+
+const maxPooledIO = 256 << 10 // recycle buffers up to this size
+
+var ioBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 8<<10)
+	return &b
+}}
+
+// getIOBuf returns an n-byte buffer and the pool token to return it with.
+func getIOBuf(n int) (*[]byte, []byte) {
+	bp := ioBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return bp, (*bp)[:n:cap(*bp)]
+}
+
+// putIOBuf recycles a buffer obtained from getIOBuf.
+func putIOBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledIO {
+		ioBufPool.Put(bp)
+	}
+}

@@ -76,6 +76,10 @@ type Kernel struct {
 	// — below all emulation layers — and may satisfy or rewrite the call
 	// (fault injection). While nil it costs one atomic pointer load.
 	inj atomic.Pointer[injectorBox]
+
+	// exec memoizes execve's image-header parsing per inode, validated by
+	// the inode generation counter (execcache.go).
+	exec execCache
 }
 
 // Injector is the kernel-side fault injection hook: consulted after all
@@ -134,9 +138,31 @@ func (k *Kernel) SetTracer(t Tracer) {
 
 // SetTelemetry installs (or removes, with nil) the telemetry registry.
 // Toggling is safe while processes run; syscalls in flight when the
-// registry changes may be only partially recorded.
+// registry changes may be only partially recorded. An installed registry
+// also samples the kernel's cache counters (VFS name/attribute cache,
+// exec image cache) at snapshot time.
 func (k *Kernel) SetTelemetry(r *telemetry.Registry) {
+	if r != nil {
+		r.SetGaugeSource(k.cacheGauges)
+	}
 	k.tel.Store(r)
+}
+
+// cacheGauges samples the kernel's caches for telemetry export. The rows
+// appear in the "counters:" section of /dev/metrics and agentrun -stats.
+func (k *Kernel) cacheGauges() []telemetry.NamedCounter {
+	cs := k.fs.CacheStats()
+	eh, em := k.exec.hits.Load(), k.exec.misses.Load()
+	return []telemetry.NamedCounter{
+		{Name: "vfs.dentry.hit", Value: cs.Hits},
+		{Name: "vfs.dentry.miss", Value: cs.Misses},
+		{Name: "vfs.dentry.neghit", Value: cs.NegHits},
+		{Name: "vfs.dentry.inval", Value: cs.Invals},
+		{Name: "vfs.attr.hit", Value: cs.AttrHit},
+		{Name: "vfs.attr.miss", Value: cs.AttrMis},
+		{Name: "exec.image.hit", Value: eh},
+		{Name: "exec.image.miss", Value: em},
+	}
 }
 
 // Telemetry returns the installed registry, or nil.

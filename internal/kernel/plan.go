@@ -1,0 +1,113 @@
+package kernel
+
+import (
+	"math/bits"
+
+	"interpose/internal/sys"
+)
+
+// planMaxLayers bounds the stack depth the per-syscall interest bitmaps
+// cover. Deeper stacks (never seen in practice) fall back to the linear
+// Wants walk.
+const planMaxLayers = 32
+
+// dispatchPlan is the compiled form of a process's emulation stack: an
+// immutable snapshot of the layers, their preboxed call contexts, and a
+// per-syscall-number bitmap of which layers intercept each call. It is
+// recompiled whenever the stack changes (attach, detach, fork) and
+// published with one atomic store, so the dispatch fast path is a single
+// atomic load followed by an array index: a call no layer registered
+// interest in goes straight to the kernel without consulting any layer.
+//
+// In-flight calls keep using the plan they started under (each LayerCtx
+// carries its plan), so a detach during a call cannot renumber the layers
+// under a Down in progress.
+type dispatchPlan struct {
+	layers []*EmuLayer
+	ctxs   []sys.Ctx // preboxed LayerCtx per layer; allocation-free dispatch
+
+	// interest[num] has bit i set when layers[i] intercepts call num;
+	// allMask covers out-of-range numbers (blanket-interest layers only).
+	// nil when the stack is deeper than planMaxLayers (fallback walk).
+	interest *[sys.MaxSyscall]uint32
+	allMask  uint32
+}
+
+// emptyPlan is the shared plan of every process with no emulation layers.
+var emptyPlan = &dispatchPlan{}
+
+// interestBelow returns the interested-layer bitmap for num restricted to
+// layers strictly below index `below`. Callers must check that the plan
+// has a bitmap (interest != nil) first.
+func (pl *dispatchPlan) interestBelow(below, num int) uint32 {
+	var m uint32
+	if num >= 0 && num < sys.MaxSyscall {
+		m = pl.interest[num]
+	} else {
+		m = pl.allMask
+	}
+	if below < planMaxLayers {
+		m &= 1<<uint(below) - 1
+	}
+	return m
+}
+
+// topInterested returns the index of the highest interested layer in mask.
+func topInterested(mask uint32) int { return bits.Len32(mask) - 1 }
+
+// compilePlan builds the dispatch plan for the given stack, bound to p.
+// Caller holds p.mu (or p is not yet shared).
+func compilePlan(p *Proc, layers []*EmuLayer) *dispatchPlan {
+	if len(layers) == 0 {
+		return emptyPlan
+	}
+	pl := &dispatchPlan{layers: layers}
+	pl.ctxs = make([]sys.Ctx, len(layers))
+	for i := range layers {
+		pl.ctxs[i] = LayerCtx{Proc: p, plan: pl, layer: i}
+	}
+	if len(layers) > planMaxLayers {
+		return pl // bitmap can't cover the stack; dispatch walks Wants
+	}
+	pl.interest = new([sys.MaxSyscall]uint32)
+	for i, l := range layers {
+		bit := uint32(1) << uint(i)
+		if l.interestAll {
+			pl.allMask |= bit
+		}
+		for num := 0; num < sys.MaxSyscall; num++ {
+			if l.Wants(num) {
+				pl.interest[num] |= bit
+			}
+		}
+	}
+	return pl
+}
+
+// currentPlan returns the process's live dispatch plan (never nil).
+func (p *Proc) currentPlan() *dispatchPlan { return p.plan.Load() }
+
+// recompilePlan rebuilds and publishes the plan from p.emu. Caller holds
+// p.mu.
+func (p *Proc) recompilePlanLocked() {
+	layers := append([]*EmuLayer(nil), p.emu...)
+	p.plan.Store(compilePlan(p, layers))
+}
+
+// InterestMask reports, for tests and tooling, the bitmap of layers that
+// would intercept call num (bit i = layer i, bottom = 0). Stacks too deep
+// for the compiled bitmap are walked linearly; layers beyond bit 31 are
+// not representable and are omitted.
+func (p *Proc) InterestMask(num int) uint32 {
+	pl := p.currentPlan()
+	if pl.interest != nil {
+		return pl.interestBelow(len(pl.layers), num)
+	}
+	var m uint32
+	for i := 0; i < len(pl.layers) && i < planMaxLayers; i++ {
+		if pl.layers[i].Wants(num) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}

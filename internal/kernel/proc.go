@@ -100,14 +100,13 @@ type Proc struct {
 	// wait queue).
 	exitDone chan struct{}
 
-	// Emulation (interposition) layers, bottom (index 0) to top, and the
-	// preboxed per-layer call contexts (allocated once at install so the
-	// dispatch path is allocation-free). Guarded by p.mu for mutation;
-	// read lock-free on the dispatch path, which is safe because layers
-	// are only pushed before the process runs user code or by the
-	// process itself.
-	emu    []*EmuLayer
-	emuCtx []sys.Ctx
+	// Emulation (interposition) layers, bottom (index 0) to top. emu is
+	// the mutable source list, guarded by p.mu; plan is its compiled
+	// form (per-syscall interest bitmaps plus preboxed per-layer call
+	// contexts), rebuilt on every attach/detach and published atomically.
+	// The dispatch path reads only the plan: one atomic load, no lock.
+	emu  []*EmuLayer
+	plan atomic.Pointer[dispatchPlan]
 
 	startTime time.Time // immutable
 	nsyscalls uint32    // atomic
@@ -243,6 +242,7 @@ func (k *Kernel) newProc(pid int) *Proc {
 		p.rlimits[i] = sys.Rlimit{Cur: sys.RLIM_INFINITY, Max: sys.RLIM_INFINITY}
 	}
 	p.rlimits[sys.RLIMIT_NOFILE] = sys.Rlimit{Cur: sys.OpenMax, Max: sys.OpenMax}
+	p.plan.Store(emptyPlan)
 	return p
 }
 
@@ -353,12 +353,31 @@ func (p *Proc) Yield() { p.checkSignals() }
 
 // PushEmulation installs an interposition layer above any existing layers.
 // The layer sees the process's system calls (for registered numbers) before
-// lower layers and the kernel; it sees signals after them.
+// lower layers and the kernel; it sees signals after them. The dispatch
+// plan is recompiled and published atomically: calls already in flight
+// finish under the old plan, the next call sees the new stack.
 func (p *Proc) PushEmulation(l *EmuLayer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.emu = append(p.emu, l)
-	p.emuCtx = append(p.emuCtx, LayerCtx{Proc: p, layer: len(p.emu) - 1})
+	p.recompilePlanLocked()
+}
+
+// RemoveEmulation detaches the topmost occurrence of layer l from the
+// stack, reporting whether it was installed. Lower layers keep their
+// positions; the recompiled plan takes effect at the next system call
+// entry (in-flight calls finish under the plan they started with).
+func (p *Proc) RemoveEmulation(l *EmuLayer) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.emu) - 1; i >= 0; i-- {
+		if p.emu[i] == l {
+			p.emu = append(p.emu[:i:i], p.emu[i+1:]...)
+			p.recompilePlanLocked()
+			return true
+		}
+	}
+	return false
 }
 
 // Emulation returns the installed layers, bottom first.
@@ -371,10 +390,13 @@ func (p *Proc) Emulation() []*EmuLayer {
 }
 
 // LayerCtx is the per-call context handed to an emulation layer: the
-// calling process plus the layer's own position, so that Down can resume
-// dispatch below it (the htg_unix_syscall analog).
+// calling process, the plan the call entered under, and the layer's own
+// position, so that Down can resume dispatch below it (the
+// htg_unix_syscall analog). Carrying the plan keeps a call's view of the
+// stack stable even if layers attach or detach while it runs.
 type LayerCtx struct {
 	*Proc
+	plan  *dispatchPlan
 	layer int
 }
 
@@ -382,7 +404,7 @@ type LayerCtx struct {
 // interested layers, or the kernel. This is how an agent performs a system
 // call that would otherwise be intercepted by itself.
 func (lc LayerCtx) Down(num int, a sys.Args) (sys.Retval, sys.Errno) {
-	return lc.Proc.dispatch(lc.layer, num, a)
+	return lc.Proc.dispatch(lc.plan, lc.layer, num, a)
 }
 
 // DownSignal continues signal interposition above this layer, returning the
@@ -399,10 +421,11 @@ func (p *Proc) Syscall(num int, a sys.Args) (sys.Retval, sys.Errno) {
 	addUint32(&p.nsyscalls, 1)
 	p.emuCursor = 0 // agent scratch is per-call
 	p.telChild = 0  // attribution accounting is per-call
+	pl := p.plan.Load()
 	if r := p.k.tel.Load(); r != nil {
-		return p.syscallTimed(r, num, a)
+		return p.syscallTimed(r, pl, num, a)
 	}
-	rv, err := p.dispatch(len(p.emu), num, a)
+	rv, err := p.dispatch(pl, len(pl.layers), num, a)
 	p.checkSignals()
 	return rv, err
 }
@@ -412,13 +435,13 @@ func (p *Proc) Syscall(num int, a sys.Args) (sys.Retval, sys.Errno) {
 // event. Per-layer attribution happens frame by frame in dispatch. Calls
 // that unwind instead of returning (exit, successful execve) are recorded
 // at entry with unknown duration, since no code runs after them.
-func (p *Proc) syscallTimed(r *telemetry.Registry, num int, a sys.Args) (sys.Retval, sys.Errno) {
+func (p *Proc) syscallTimed(r *telemetry.Registry, pl *dispatchPlan, num int, a sys.Args) (sys.Retval, sys.Errno) {
 	unwinds := num == sys.SYS_exit || num == sys.SYS_execve
 	if unwinds {
 		r.RecordEvent(p.pid, num, 0, -1)
 	}
 	start := time.Now()
-	rv, err := p.dispatch(len(p.emu), num, a)
+	rv, err := p.dispatch(pl, len(pl.layers), num, a)
 	d := time.Since(start)
 	r.RecordSyscall(num, d, err != sys.OK)
 	if !unwinds {
@@ -479,17 +502,29 @@ func (p *Proc) EmuBytes(b []byte) (sys.Word, sys.Errno) {
 // dispatch runs the system call at the highest interested layer strictly
 // below index `below` (layers are indexed bottom=0). The kernel is below
 // layer 0. Uninterested layers are skipped entirely — interception is
-// pay-per-use.
-func (p *Proc) dispatch(below int, num int, a sys.Args) (sys.Retval, sys.Errno) {
-	// Reading p.emu without the big lock is safe: layers are only pushed
-	// before the process runs user code or by the process itself.
-	for i := below - 1; i >= 0; i-- {
-		l := p.emu[i]
-		if l.Wants(num) {
-			if r := p.k.tel.Load(); r != nil {
-				return p.layerCallTimed(r, i, num, a)
+// pay-per-use: with the precompiled interest bitmap, a call no layer
+// registered for costs one array read before going straight to the
+// kernel, regardless of stack depth.
+func (p *Proc) dispatch(pl *dispatchPlan, below int, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	if below > 0 {
+		if pl.interest != nil {
+			if mask := pl.interestBelow(below, num); mask != 0 {
+				i := topInterested(mask)
+				if r := p.k.tel.Load(); r != nil {
+					return p.layerCallTimed(r, pl, i, num, a)
+				}
+				return pl.layers[i].Handler.Syscall(pl.ctxs[i], num, a)
 			}
-			return l.Handler.Syscall(p.emuCtx[i], num, a)
+		} else {
+			// Stack too deep for the bitmap: linear interest walk.
+			for i := below - 1; i >= 0; i-- {
+				if pl.layers[i].Wants(num) {
+					if r := p.k.tel.Load(); r != nil {
+						return p.layerCallTimed(r, pl, i, num, a)
+					}
+					return pl.layers[i].Handler.Syscall(pl.ctxs[i], num, a)
+				}
+			}
 		}
 	}
 	// Kernel-side fault injection sits below every emulation layer; while
@@ -513,12 +548,12 @@ func (p *Proc) dispatch(below int, num int, a sys.Args) (sys.Retval, sys.Errno) 
 // layerCallTimed runs layer i's handler and attributes its self time —
 // wall time minus the time nested downcalls spent in lower instances
 // (accumulated into p.telChild by the frames below this one).
-func (p *Proc) layerCallTimed(r *telemetry.Registry, i, num int, a sys.Args) (sys.Retval, sys.Errno) {
-	l := p.emu[i]
+func (p *Proc) layerCallTimed(r *telemetry.Registry, pl *dispatchPlan, i, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	l := pl.layers[i]
 	saved := p.telChild
 	p.telChild = 0
 	start := time.Now()
-	rv, err := l.Handler.Syscall(p.emuCtx[i], num, a)
+	rv, err := l.Handler.Syscall(pl.ctxs[i], num, a)
 	elapsed := time.Since(start)
 	self := elapsed - p.telChild
 	if self < 0 {
@@ -638,14 +673,14 @@ func (p *Proc) runChildInits() {
 	p.mu.Lock()
 	pending := p.pendingChildInit
 	p.pendingChildInit = false
-	layers := p.emu
 	p.mu.Unlock()
 	if !pending {
 		return
 	}
-	for i, l := range layers {
+	pl := p.plan.Load()
+	for i, l := range pl.layers {
 		if ci, ok := l.Handler.(ChildIniter); ok {
-			ci.InitChild(LayerCtx{Proc: p, layer: i})
+			ci.InitChild(pl.ctxs[i])
 		}
 	}
 }

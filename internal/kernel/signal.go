@@ -159,10 +159,11 @@ func (p *Proc) checkSignalsSlow() {
 // signalUpFrom runs the signal through emulation layers starting at index
 // from (bottom=0), returning the possibly rewritten signal, 0 if consumed.
 func (p *Proc) signalUpFrom(from, sig, code int) int {
-	for i := from; i < len(p.emu) && sig != 0; i++ {
-		l := p.emu[i]
+	pl := p.plan.Load()
+	for i := from; i < len(pl.layers) && sig != 0; i++ {
+		l := pl.layers[i]
 		if l.WantsSignal(sig) {
-			sig = l.Signals.Signal(LayerCtx{Proc: p, layer: i}, sig, code)
+			sig = l.Signals.Signal(pl.ctxs[i], sig, code)
 		}
 	}
 	return sig

@@ -129,7 +129,8 @@ func (k *Kernel) sysRead(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		return sys.Retval{sys.Word(n)}, err
 	}
 
-	buf := make([]byte, cnt)
+	bp, buf := getIOBuf(cnt)
+	defer putIOBuf(bp)
 	var n int
 	for {
 		var e sys.Errno
@@ -170,7 +171,8 @@ func (k *Kernel) sysWrite(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if err != sys.OK {
 		return sys.Retval{}, err
 	}
-	buf := make([]byte, cnt)
+	bp, buf := getIOBuf(cnt)
+	defer putIOBuf(bp)
 	if cnt > 0 {
 		if e := p.CopyIn(bufAddr, buf); e != sys.OK {
 			return sys.Retval{}, e
@@ -219,11 +221,13 @@ func (k *Kernel) pipeRead(p *Proc, pp *Pipe, cnt int, bufAddr sys.Word, flags in
 	pp.mu.Lock()
 	for {
 		if pp.count > 0 {
-			buf := make([]byte, min(cnt, pp.count))
+			bp, buf := getIOBuf(min(cnt, pp.count))
 			n := pp.read(buf)
 			pp.writeQ.wakeAll()
 			pp.mu.Unlock()
-			if e := p.CopyOut(bufAddr, buf[:n]); e != sys.OK {
+			e := p.CopyOut(bufAddr, buf[:n])
+			putIOBuf(bp)
+			if e != sys.OK {
 				return 0, e
 			}
 			return n, sys.OK

@@ -40,7 +40,7 @@ func (k *Kernel) finishExit(p *Proc, status sys.Word) {
 	p.fdMu.Unlock()
 
 	// Let stateful emulation layers drop their per-process records.
-	for _, l := range p.emu {
+	for _, l := range p.Emulation() {
 		if pe, ok := l.Handler.(ProcExiter); ok {
 			pe.ProcExit(p.pid)
 		}
@@ -153,10 +153,10 @@ func (k *Kernel) sysFork(p *Proc) (sys.Retval, sys.Errno) {
 	child.sigHandlers = p.sigHandlers
 	child.sigDispatch = p.sigDispatch
 	p.sigMu.Unlock()
+	p.mu.Lock()
 	child.emu = append([]*EmuLayer(nil), p.emu...)
-	for i := range child.emu {
-		child.emuCtx = append(child.emuCtx, LayerCtx{Proc: child, layer: i})
-	}
+	p.mu.Unlock()
+	child.plan.Store(compilePlan(child, child.emu))
 	child.pendingChildInit = len(child.emu) > 0
 	k.publishProc(child, p)
 	k.trace(p, "fork", "", "", child.pid, sys.OK)
@@ -298,9 +298,10 @@ func (k *Kernel) execLoad(p *Proc, path string, argv, envp []string) (image.Entr
 		if e := k.fs.Access(ip, sys.X_OK, cred); e != sys.OK {
 			return nil, e
 		}
-		data := ip.Bytes()
-		if name, ok := image.ParseHeader(data); ok {
-			e, found := k.images.Lookup(name)
+		ep := k.exec.parse(ip)
+		switch ep.kind {
+		case execImage:
+			e, found := k.images.Lookup(ep.name)
 			if !found {
 				return nil, sys.ENOEXEC
 			}
@@ -309,22 +310,22 @@ func (k *Kernel) execLoad(p *Proc, path string, argv, envp []string) (image.Entr
 			if len(argv) == 0 {
 				argv = []string{path}
 			}
-			break
-		}
-		if interp, arg, ok := image.ParseInterpreter(data); ok {
-			newArgv := []string{interp}
-			if arg != "" {
-				newArgv = append(newArgv, arg)
+		case execInterp:
+			newArgv := []string{ep.interp}
+			if ep.arg != "" {
+				newArgv = append(newArgv, ep.arg)
 			}
 			newArgv = append(newArgv, path)
 			if len(argv) > 1 {
 				newArgv = append(newArgv, argv[1:]...)
 			}
 			argv = newArgv
-			path = interp
+			path = ep.interp
 			continue
+		default:
+			return nil, sys.ENOEXEC
 		}
-		return nil, sys.ENOEXEC
+		break
 	}
 
 	// Set-id bits change the effective credentials.

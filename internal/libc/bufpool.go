@@ -1,0 +1,17 @@
+package libc
+
+import "sync"
+
+// xferPool recycles the fixed-size transfer buffers the convenience I/O
+// loops (ReadFile, stdio fill, ReadAll) stage reads through. The loops
+// issue one system call per buffer-full, so without pooling every
+// iteration of every whole-file read allocated a fresh chunk.
+var xferPool = sync.Pool{New: func() any {
+	b := make([]byte, xferBufSize)
+	return &b
+}}
+
+const xferBufSize = 8192
+
+func getXfer() *[]byte   { return xferPool.Get().(*[]byte) }
+func putXfer(bp *[]byte) { xferPool.Put(bp) }

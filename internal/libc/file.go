@@ -389,7 +389,9 @@ func (t *T) ReadFile(path string) ([]byte, sys.Errno) {
 	}
 	defer t.Close(fd)
 	var out []byte
-	buf := make([]byte, 8192)
+	bp := getXfer()
+	defer putXfer(bp)
+	buf := *bp
 	for {
 		n, err := t.ReadRetry(fd, buf)
 		if err != sys.OK {

@@ -147,7 +147,9 @@ func (f *FILE) Read(p []byte) (int, sys.Errno) {
 }
 
 func (f *FILE) fill() sys.Errno {
-	buf := make([]byte, stdioBuf)
+	bp := getXfer()
+	defer putXfer(bp)
+	buf := (*bp)[:stdioBuf]
 	n, err := f.t.ReadRetry(f.fd, buf)
 	if err != sys.OK {
 		f.err = err
@@ -187,7 +189,9 @@ func (f *FILE) ReadLine() (string, bool) {
 // ReadAll reads the stream to end of file.
 func (f *FILE) ReadAll() ([]byte, sys.Errno) {
 	var out []byte
-	buf := make([]byte, stdioBuf)
+	bp := getXfer()
+	defer putXfer(bp)
+	buf := (*bp)[:stdioBuf]
 	for {
 		n, err := f.Read(buf)
 		if err != sys.OK {

@@ -62,6 +62,10 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Unlock()
 
+	if fp := r.gauges.Load(); fp != nil {
+		s.Counters = append(s.Counters, (*fp)()...)
+	}
+
 	for num := range r.syscalls {
 		st := &r.syscalls[num]
 		n := st.calls.Load()

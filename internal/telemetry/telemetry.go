@@ -64,6 +64,11 @@ type Registry struct {
 	// (bottom = 0), matching the kernel's layer indexing.
 	layers [1 + MaxAttrLayers]layerStat
 
+	// gauges, when non-nil, is sampled at Snapshot time to append values
+	// maintained outside the registry (kernel cache counters) to the
+	// exported counter list without per-event recording cost.
+	gauges atomic.Pointer[func() []NamedCounter]
+
 	ring ring
 }
 
@@ -93,6 +98,18 @@ func (r *Registry) Counter(name string) *Counter {
 	r.named[name] = c
 	r.order = append(r.order, name)
 	return c
+}
+
+// SetGaugeSource installs fn as the registry's gauge sampler: it is
+// invoked at every Snapshot and its rows are appended to the exported
+// counters. One slot — the latest call wins; nil removes it. The sampler
+// must be safe to call from any goroutine.
+func (r *Registry) SetGaugeSource(fn func() []NamedCounter) {
+	if fn == nil {
+		r.gauges.Store(nil)
+		return
+	}
+	r.gauges.Store(&fn)
 }
 
 // IncSyscall counts one occurrence of a system call number without latency

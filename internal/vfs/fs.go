@@ -35,6 +35,12 @@ type FS struct {
 	// rename can validate ancestry and then lock its two parents in a
 	// deterministic order without deadlocking another rename.
 	renameMu sync.Mutex
+
+	// dcache is the pathname (dentry) cache: the namei fast path. cstats
+	// holds its hit/miss/invalidation counters plus the stat-attribute
+	// cache counters (see cache.go).
+	dcache dcache
+	cstats cacheCounters
 }
 
 // New creates an empty filesystem whose timestamps come from clock
@@ -48,6 +54,7 @@ func New(clock func() time.Time) *FS {
 	fs.root = fs.newInode(sys.S_IFDIR|0o755, Cred{UID: 0, GID: 0})
 	fs.root.Nlink = 2
 	fs.root.setParent(fs.root)
+	fs.root.publishAttrs()
 	return fs
 }
 
@@ -76,6 +83,7 @@ func (fs *FS) newInode(mode uint32, cred Cred) *Inode {
 	if ip.typ == sys.S_IFDIR {
 		ip.entries = make(map[string]*Inode)
 	}
+	ip.publishAttrs()
 	fs.ninodes.Add(1)
 	return ip
 }
@@ -141,6 +149,17 @@ func (fs *FS) resolve(root, start *Inode, path string, cred Cred, follow, wantPa
 	}
 	if len(path) >= sys.PathMax {
 		return nil, nil, "", sys.ENAMETOOLONG
+	}
+	if !wantParent && fs.dcache.enabled() {
+		// Fast path: walk cached components without inode locks or any
+		// allocation. It bails (ok=false) on symlinks and other cases
+		// needing the full walk.
+		if ip, e, ok := fs.lookupFast(root, start, path, cred, follow); ok {
+			if e != sys.OK {
+				return nil, nil, "", e
+			}
+			return ip, nil, "", sys.OK
+		}
 	}
 	parts, absolute, wantDir := SplitPath(path)
 	cur := start
@@ -292,6 +311,7 @@ func (fs *FS) makeNode(dir *Inode, name string, mode uint32, cred Cred, dev Devi
 	ip.Rdev = rdev
 	// BSD semantics: new files inherit the group of their directory.
 	ip.GID = dir.GID
+	ip.publishAttrs() // republish: the group changed after newInode
 	if ip.IsDir() {
 		ip.Nlink = 2 // "." counts
 		ip.setParent(dir)
@@ -336,6 +356,7 @@ func (fs *FS) Link(dir *Inode, name string, target *Inode, cred Cred) sys.Errno 
 	}
 	target.Nlink++
 	target.Ctime = fs.now()
+	target.bump()
 	target.mu.Unlock()
 	dir.insertLocked(name, target)
 	return sys.OK
@@ -408,6 +429,7 @@ func (fs *FS) Rmdir(dir *Inode, name string, cred Cred) sys.Errno {
 	}
 	victim.Nlink = 0
 	victim.setParent(nil)
+	victim.bump()
 	victim.mu.Unlock()
 	dir.removeLocked(name)
 	dir.Nlink-- // the victim's ".."
@@ -421,6 +443,7 @@ func (fs *FS) drop(ip *Inode) {
 	ip.mu.Lock()
 	ip.Nlink--
 	ip.Ctime = fs.now()
+	ip.bump()
 	last := ip.Nlink == 0
 	ip.mu.Unlock()
 	if last {
@@ -539,6 +562,7 @@ func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName strin
 			}
 			dst.Nlink = 0
 			dst.setParent(nil)
+			dst.bump()
 			dst.mu.Unlock()
 			newDir.removeLocked(newName)
 			newDir.Nlink--
@@ -562,6 +586,7 @@ func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName strin
 		src.setParent(newDir)
 	}
 	src.Ctime = fs.now()
+	src.bump()
 	src.mu.Unlock()
 	return sys.OK
 }
@@ -587,6 +612,8 @@ func (fs *FS) Chmod(ip *Inode, mode uint32, cred Cred) sys.Errno {
 	}
 	ip.Mode = ip.typ | mode&0o7777
 	ip.Ctime = fs.now()
+	ip.bump()
+	ip.publishAttrs()
 	return sys.OK
 }
 
@@ -618,6 +645,8 @@ func (fs *FS) Chown(ip *Inode, uid, gid uint32, cred Cred) sys.Errno {
 		ip.Mode &^= sys.S_ISUID | sys.S_ISGID
 	}
 	ip.Ctime = fs.now()
+	ip.bump()
+	ip.publishAttrs()
 	return sys.OK
 }
 
@@ -632,6 +661,7 @@ func (fs *FS) Utimes(ip *Inode, atime, mtime time.Time, cred Cred) sys.Errno {
 	}
 	ip.Atime, ip.Mtime = atime, mtime
 	ip.Ctime = fs.now()
+	ip.bump()
 	return sys.OK
 }
 

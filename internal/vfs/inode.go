@@ -48,12 +48,60 @@ type Inode struct {
 
 	dev Device // character devices; immutable
 
+	// gen counts stat-visible mutations (data, times, ownership, link
+	// count, entry table). It is bumped only while mu is held exclusively
+	// and read lock-free: a cached attribute snapshot tagged with the
+	// current generation is still valid.
+	gen atomic.Uint64
+
+	// attrs is the lock-free access-check snapshot (mode, uid, gid),
+	// republished on chmod/chown. The resolve fast path evaluates
+	// directory execute permission against it without taking mu.
+	attrs atomic.Pointer[attrSnap]
+
+	// statc caches the last computed Stat together with the generation it
+	// was computed at; stat/fstat serve from it while the generation is
+	// unchanged.
+	statc atomic.Pointer[statSnap]
+
+	// dmap is this directory's dentry snapshot (see cache.go): an
+	// immutable name→child map the resolve fast path probes without
+	// taking mu. Nil until the first fill; always nil for non-dirs.
+	dmap atomic.Pointer[dirCache]
+
 	// Advisory flock state. These fields belong to the kernel's global
 	// flock lock, not to mu: they are read and written together with the
 	// descriptor-layer lock bookkeeping.
 	LockEx     bool
 	LockShared int
 }
+
+// attrSnap is the atomically published permission snapshot of an inode.
+type attrSnap struct {
+	mode, uid, gid uint32
+}
+
+// statSnap is a Stat computed at a known generation.
+type statSnap struct {
+	gen uint64
+	st  sys.Stat
+}
+
+// bump invalidates cached attribute state. Callers hold mu exclusively
+// (or the inode is not yet published).
+func (ip *Inode) bump() { ip.gen.Add(1) }
+
+// publishAttrs refreshes the lock-free permission snapshot from the
+// current mode/owner. Callers hold mu exclusively (or the inode is not
+// yet published).
+func (ip *Inode) publishAttrs() {
+	ip.attrs.Store(&attrSnap{mode: ip.Mode, uid: ip.UID, gid: ip.GID})
+}
+
+// Gen returns the current attribute generation (lock-free). Consumers
+// cache derived state keyed by inode + generation — the exec loader keeps
+// parsed images this way.
+func (ip *Inode) Gen() uint64 { return ip.gen.Load() }
 
 // Type returns the file-type bits of the mode.
 func (ip *Inode) Type() uint32 { return ip.typ }
@@ -91,11 +139,26 @@ func (ip *Inode) size() uint32 {
 	return 0
 }
 
-// Stat fills a sys.Stat from the inode.
+// Stat fills a sys.Stat from the inode. While the attribute generation is
+// unchanged it is served from a cached snapshot without taking the inode
+// lock; the generation check makes a stale snapshot impossible to serve
+// (every stat-visible mutation bumps the generation under the write lock).
 func (ip *Inode) Stat() sys.Stat {
+	if ip.fs.dcache.enabled() {
+		if sc := ip.statc.Load(); sc != nil && sc.gen == ip.gen.Load() {
+			ip.fs.cstats.attrHit.Add(1)
+			return sc.st
+		}
+	}
 	ip.mu.RLock()
-	defer ip.mu.RUnlock()
-	return ip.statLocked()
+	st := ip.statLocked()
+	// gen is stable under the read lock (bumps require the write lock), so
+	// the snapshot is tagged with exactly the generation it reflects.
+	g := ip.gen.Load()
+	ip.mu.RUnlock()
+	ip.fs.cstats.attrMis.Add(1)
+	ip.statc.Store(&statSnap{gen: g, st: st})
+	return st
 }
 
 func (ip *Inode) statLocked() sys.Stat {
@@ -132,6 +195,7 @@ func (ip *Inode) ReadAt(p []byte, off int64) (int, sys.Errno) {
 	ip.mu.Lock() // write lock: reads update the access time
 	defer ip.mu.Unlock()
 	ip.Atime = ip.fs.now()
+	ip.bump()
 	if off >= int64(len(ip.data)) {
 		return 0, sys.OK
 	}
@@ -167,6 +231,7 @@ func (ip *Inode) WriteAt(p []byte, off int64, maxSize int64) (int, sys.Errno) {
 	copy(ip.data[off:], p)
 	now := ip.fs.now()
 	ip.Mtime, ip.Ctime = now, now
+	ip.bump()
 	return len(p), sys.OK
 }
 
@@ -193,6 +258,7 @@ func (ip *Inode) Truncate(length int64) sys.Errno {
 	}
 	now := ip.fs.now()
 	ip.Mtime, ip.Ctime = now, now
+	ip.bump()
 	return sys.OK
 }
 
@@ -271,6 +337,13 @@ func (ip *Inode) insertLocked(name string, child *Inode) {
 	ip.order = append(ip.order, name)
 	now := ip.fs.now()
 	ip.Mtime, ip.Ctime = now, now
+	ip.bump()
+	// Discard any negative dentry for the name just created. Running
+	// under the directory's write lock orders this against concurrent
+	// fills, which hold the read lock.
+	if ip.fs.dcache.invalidate(ip, name) {
+		ip.fs.cstats.invals.Add(1)
+	}
 }
 
 func (ip *Inode) removeLocked(name string) {
@@ -283,4 +356,8 @@ func (ip *Inode) removeLocked(name string) {
 	}
 	now := ip.fs.now()
 	ip.Mtime, ip.Ctime = now, now
+	ip.bump()
+	if ip.fs.dcache.invalidate(ip, name) {
+		ip.fs.cstats.invals.Add(1)
+	}
 }
