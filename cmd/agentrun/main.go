@@ -4,7 +4,8 @@
 //
 //	agentrun [-a agent[=arg]]... [-feed text] [-trace-kernel]
 //	         [-inject plan] [-stats] [-stats-json] [-flight-dump]
-//	         -- PROGRAM [args...]
+//	         [-supervise strict|bypass] [-agent-deadline dur]
+//	         [-supervise-errno NAME] -- PROGRAM [args...]
 //
 // Examples:
 //
@@ -15,6 +16,7 @@
 //	agentrun -a trace -a timex=60 -- /bin/date   # stacked agents
 //	agentrun -a 'faulty=seed=7,write=EIO@0.05' -a zip=/z -- /bin/prog
 //	agentrun -inject 'seed=7,open=ENOSPC@0.01' -- /bin/sh -c 'mk all'
+//	agentrun -supervise strict -a 'faulty=seed=7,write=panic@0.01' -- /bin/sh -c 'cd /src; mk all'
 //
 // -inject installs the same deterministic fault plan the faulty agent
 // uses, but as a kernel-side hook below every agent; the end-of-run
@@ -31,6 +33,14 @@
 // standard error after the run. -flight-dump prints the flight-recorder
 // ring of recent events; if the program dies on a signal the ring is
 // dumped automatically, like a crash recorder should.
+//
+// -supervise installs the kernel's agent supervisor: a panicking (or,
+// with -agent-deadline, hanging) agent upcall is contained instead of
+// crashing the world — the call fails with -supervise-errno (strict) or
+// completes below the failed layer (bypass) — and repeated failures
+// quarantine the layer, which is announced on standard error along with
+// a flight-ring dump whose supervise:* events carry the layer name.
+// Breaker state appears as supervise.layer.* gauges in -stats.
 package main
 
 import (
@@ -67,6 +77,9 @@ func main() {
 	flightDump := flag.Bool("flight-dump", false, "print the flight-recorder ring on standard error")
 	traceKernel := flag.Bool("trace-kernel", false, "print kernel-level file-reference trace events on standard error")
 	inject := flag.String("inject", "", "kernel-side fault plan, injected below all agents (e.g. 'seed=7,write=EIO@0.05')")
+	supervise := flag.String("supervise", "off", "contain agent failures: strict (failed call errors), bypass (failed call completes below the layer), or off")
+	agentDeadline := flag.Duration("agent-deadline", 0, "abandon an agent upcall running longer than this (0 disables; needs -supervise)")
+	superviseErrno := flag.String("supervise-errno", "EFAULT", "errno a contained agent failure returns in strict mode")
 	flag.Parse()
 
 	if *list {
@@ -104,6 +117,30 @@ func main() {
 		}
 		kinj = fault.NewInjector(plan)
 		k.SetInjector(kinj)
+	}
+	mode, supervised, err := kernel.ParseSuperviseMode(*supervise)
+	if err != nil {
+		fatal(err)
+	}
+	if supervised {
+		errno, ok := sys.ErrnoByName(*superviseErrno)
+		if !ok {
+			fatal(fmt.Errorf("unknown errno %q for -supervise-errno", *superviseErrno))
+		}
+		k.SetSupervisor(kernel.NewSupervisor(k, kernel.SupervisorConfig{
+			Mode:     mode,
+			Errno:    errno,
+			Deadline: *agentDeadline,
+			// A quarantine is the crash-recorder moment for an agent: say
+			// which layer was fenced off and dump the recent-event ring,
+			// whose supervise:* events carry the layer name.
+			OnQuarantine: func(layer string, stack []byte) {
+				fmt.Fprintf(os.Stderr, "agentrun: layer %q quarantined after repeated failures\n", layer)
+				reg.Snapshot().WriteFlight(os.Stderr)
+			},
+		}))
+	} else if *agentDeadline != 0 {
+		fatal(fmt.Errorf("-agent-deadline requires -supervise strict or bypass"))
 	}
 	if *feed != "" {
 		k.Console().Feed(*feed)

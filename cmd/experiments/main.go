@@ -16,13 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"interpose/internal/experiments"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, all")
+	table := flag.String("table", "all", "comma-separated tables to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, all")
 	runs := flag.Int("runs", 9, "timed repetitions per row (after one discarded run)")
 	programs := flag.Int("programs", 8, "program count for the make workload")
 	benchJSON := flag.Bool("json", false, "write measured rows to BENCH_<date>.json")
@@ -34,7 +35,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	want := func(name string) bool { return *table == "all" || *table == name }
+	want := func(name string) bool {
+		for _, t := range strings.Split(*table, ",") {
+			if t == "all" || t == name {
+				return true
+			}
+		}
+		return false
+	}
 	var entries []experiments.BenchEntry
 
 	if want("3-1") {
@@ -121,6 +129,14 @@ func main() {
 		experiments.PrintObs(os.Stdout, res)
 		entries = append(entries,
 			experiments.BenchEntry{Table: "obs", Row: "make-under-trace", NsPerOp: res.Elapsed.Nanoseconds()})
+	}
+	if want("sup") {
+		rows, err := experiments.RunSupervised()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintSup(os.Stdout, rows)
+		entries = append(entries, experiments.SupEntries(rows)...)
 	}
 
 	if *benchJSON {

@@ -6,6 +6,11 @@
 // so a run replays exactly.
 //
 //	agentrun -a 'faulty=seed=7,write=EIO@0.05' -a zip=/z -- /bin/prog
+//
+// The panic and hang rule kinds make the agent itself misbehave —
+// panicking or blocking inside its upcall — simulating buggy agent code
+// for the kernel's supervisor (agentrun -supervise) to contain, with
+// the same deterministic replay as every other rule.
 package faulty
 
 import (

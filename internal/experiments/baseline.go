@@ -20,9 +20,17 @@ import (
 // so scheduler jitter on shared CI runners does not trip the gate, while
 // a genuine fall back to the pre-cache walk (stat() ~825ns) or a slow
 // dispatch path still blows well past the +50% limit.
+//
+// The sup rows guard the supervisor's pay-per-use contract: idle is the
+// uninterposed fast path with a supervisor installed but no layers —
+// it must stay at the off cost (one atomic plan load, ~23ns → 28ns
+// baseline) — and strict is the fully supervised interposed leg
+// (~63ns → 76ns baseline).
 var GuardedRows = []string{
 	"3-5:stat()/without",
 	"3-5:getpid()/with",
+	"sup:getpid()/idle",
+	"sup:getpid()/strict",
 }
 
 // MaxRegress is the allowed slowdown factor before the check fails:

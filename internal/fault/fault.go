@@ -44,6 +44,17 @@ const (
 	// EffectSignal posts the rule's signal to the caller mid-call, then
 	// lets the call proceed (typically surfacing as EINTR from sleeps).
 	EffectSignal
+	// EffectPanic panics inside the injection site — a deterministic
+	// stand-in for a bug in agent code, for exercising the kernel's
+	// supervision (panic containment and circuit breakers). Injected
+	// kernel-side, below all agents, the panic is NOT supervised and
+	// kills the process like any kernel bug would.
+	EffectPanic
+	// EffectHang blocks the call for the rule's wall-clock duration and
+	// then fails it with EINTR — a stuck layer, for exercising
+	// supervision deadlines. It deliberately does not proceed below
+	// after the sleep: a deadline-abandoned call must not run twice.
+	EffectHang
 )
 
 // Rule is one fault rule: a call/path filter plus an effect and its
@@ -52,10 +63,11 @@ type Rule struct {
 	Call   int    // syscall number, or -1 to match any pathname call
 	Prefix string // pathname prefix filter; "" matches any call
 	Effect Effect
-	Err    sys.Errno // EffectErrno
-	N      int       // EffectShort byte limit, EffectDelay tick count
-	Sig    int       // EffectSignal signal number
-	Prob   float64   // firing probability in (0, 1]
+	Err    sys.Errno     // EffectErrno
+	N      int           // EffectShort byte limit, EffectDelay tick count
+	Sig    int           // EffectSignal signal number
+	Dur    time.Duration // EffectHang block duration
+	Prob   float64       // firing probability in (0, 1]
 }
 
 // String renders the rule in the plan syntax it was parsed from.
@@ -79,6 +91,10 @@ func (r Rule) String() string {
 		eff = "delay:" + strconv.Itoa(r.N)
 	case EffectSignal:
 		eff = "sig:" + sys.SignalName(r.Sig)
+	case EffectPanic:
+		eff = "panic"
+	case EffectHang:
+		eff = "hang:" + r.Dur.String()
 	}
 	return fmt.Sprintf("%s=%s@%g", key, eff, r.Prob)
 }
@@ -97,8 +113,9 @@ type Plan struct {
 //	CALL:/prefix=EFFECT[@PROB]  rule on a syscall limited to a path prefix
 //	path:/prefix=EFFECT[@PROB]  rule on any pathname call under a prefix
 //
-// where EFFECT is an errno name ("EIO"), "short:N", "delay:N", or
-// "sig:NAME", and PROB defaults to 1.
+// where EFFECT is an errno name ("EIO"), "short:N", "delay:N",
+// "sig:NAME", "panic", or "hang:DUR" (a Go duration, e.g. "hang:250ms"),
+// and PROB defaults to 1.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{Seed: 1}
 	for _, field := range strings.Split(spec, ",") {
@@ -184,6 +201,14 @@ func parseRule(key, val string) (Rule, error) {
 			return Rule{}, fmt.Errorf("fault: rule %s=%s: unknown signal", key, val)
 		}
 		r.Effect, r.Sig = EffectSignal, sig
+	case eff == "panic":
+		r.Effect = EffectPanic
+	case strings.HasPrefix(eff, "hang:"):
+		d, err := time.ParseDuration(eff[len("hang:"):])
+		if err != nil || d <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %s=%s: bad hang duration", key, val)
+		}
+		r.Effect, r.Dur = EffectHang, d
 	default:
 		errno, ok := sys.ErrnoByName(eff)
 		if !ok {
@@ -307,6 +332,18 @@ func (in *Injector) Summary() string {
 	return b.String()
 }
 
+// InjectedPanic is the value a panic rule throws. The kernel's
+// supervisor (when installed) contains it like any agent bug; the
+// record identifies which decision fired, so contained-panic logs line
+// up with the injector's own log under replay.
+type InjectedPanic struct{ Record Record }
+
+func (p *InjectedPanic) Error() string { return p.String() }
+
+func (p *InjectedPanic) String() string {
+	return "fault: injected panic: " + p.Record.String()
+}
+
 // splitmix64 is the decision hash: a well-mixed 64-bit permutation.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
@@ -396,6 +433,13 @@ func (in *Injector) Inject(c sys.Ctx, num int, a sys.Args) (out sys.Args, rv sys
 		case EffectErrno:
 			in.note(c, num, rec, r.Err)
 			return out, sys.Retval{}, r.Err, true
+		case EffectPanic:
+			in.note(c, num, rec, sys.EFAULT)
+			panic(&InjectedPanic{Record: rec})
+		case EffectHang:
+			in.note(c, num, rec, sys.EINTR)
+			time.Sleep(r.Dur)
+			return out, sys.Retval{}, sys.EINTR, true
 		case EffectShort:
 			if out[2] > sys.Word(r.N) {
 				out[2] = sys.Word(r.N)

@@ -3,6 +3,7 @@ package fault
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"interpose/internal/sys"
 )
@@ -248,5 +249,79 @@ func TestPathSyscallsCoverage(t *testing.T) {
 	}
 	if len(want) != 0 {
 		t.Fatalf("PathSyscalls missing %v", want)
+	}
+}
+
+func TestParsePanicAndHangRules(t *testing.T) {
+	p, err := ParsePlan("seed=4,write=panic@0.25,read=hang:30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Call: sys.SYS_write, Effect: EffectPanic, Prob: 0.25},
+		{Call: sys.SYS_read, Effect: EffectHang, Dur: 30 * time.Millisecond, Prob: 1},
+	}
+	for i, w := range want {
+		if p.Rules[i] != w {
+			t.Errorf("rule %d = %+v, want %+v", i, p.Rules[i], w)
+		}
+	}
+	// Both render round-trippably, like every other effect.
+	for _, r := range p.Rules {
+		again, err := ParsePlan(r.String())
+		if err != nil || again.Rules[0] != r {
+			t.Errorf("round trip %q: %+v, %v", r.String(), again.Rules[0], err)
+		}
+	}
+	for _, bad := range []string{
+		"read=hang",      // missing duration
+		"read=hang:",     // empty duration
+		"read=hang:x",    // unparsable duration
+		"read=hang:-5ms", // non-positive duration
+		"read=hang:0s",   // non-positive duration
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEffectPanicRaisesInjectedPanic(t *testing.T) {
+	p, err := ParsePlan("write=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		in.Inject(&fakeCtx{pid: 3}, sys.SYS_write, sys.Args{1, 0, 8})
+	}()
+	ip, ok := got.(*InjectedPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *InjectedPanic", got, got)
+	}
+	if !strings.Contains(ip.Error(), "injected panic") || !strings.Contains(ip.Error(), "write") {
+		t.Fatalf("message %q", ip.Error())
+	}
+	// The decision is logged before the panic, so replay records it.
+	if in.Count() != 1 {
+		t.Fatalf("count = %d, want 1", in.Count())
+	}
+}
+
+func TestEffectHangBlocksThenEINTR(t *testing.T) {
+	p, err := ParsePlan("read=hang:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	start := time.Now()
+	_, _, errno, handled := in.Inject(&fakeCtx{pid: 3}, sys.SYS_read, sys.Args{0, 0, 8})
+	if !handled || errno != sys.EINTR {
+		t.Fatalf("hang: handled=%v err=%s", handled, errno.Name())
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("hang returned after %v, want >= 20ms", d)
 	}
 }

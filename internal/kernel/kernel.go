@@ -77,6 +77,13 @@ type Kernel struct {
 	// (fault injection). While nil it costs one atomic pointer load.
 	inj atomic.Pointer[injectorBox]
 
+	// sup, when non-nil, supervises every agent upcall: panic
+	// containment, per-layer circuit breakers, and optional deadlines
+	// (supervise.go). It is consulted only on the interposed leg of
+	// dispatch, so the uninterposed fast path stays one atomic plan
+	// load; while nil the interposed leg pays one atomic pointer load.
+	sup atomic.Pointer[Supervisor]
+
 	// exec memoizes execve's image-header parsing per inode, validated by
 	// the inode generation counter (execcache.go).
 	exec execCache
@@ -153,7 +160,7 @@ func (k *Kernel) SetTelemetry(r *telemetry.Registry) {
 func (k *Kernel) cacheGauges() []telemetry.NamedCounter {
 	cs := k.fs.CacheStats()
 	eh, em := k.exec.hits.Load(), k.exec.misses.Load()
-	return []telemetry.NamedCounter{
+	out := []telemetry.NamedCounter{
 		{Name: "vfs.dentry.hit", Value: cs.Hits},
 		{Name: "vfs.dentry.miss", Value: cs.Misses},
 		{Name: "vfs.dentry.neghit", Value: cs.NegHits},
@@ -163,6 +170,10 @@ func (k *Kernel) cacheGauges() []telemetry.NamedCounter {
 		{Name: "exec.image.hit", Value: eh},
 		{Name: "exec.image.miss", Value: em},
 	}
+	if s := k.sup.Load(); s != nil {
+		out = append(out, s.Gauges()...)
+	}
+	return out
 }
 
 // Telemetry returns the installed registry, or nil.
@@ -189,7 +200,10 @@ func (k *Kernel) lookupDevice(rdev uint32) vfs.Device {
 // rootCred is used for kernel-internal filesystem setup.
 var rootCred = vfs.Cred{UID: 0, GID: 0}
 
-// makeTree builds the standard directory tree and device nodes.
+// makeTree builds the standard directory tree and device nodes. The
+// panics below are true boot invariants, not guest-reachable errors: no
+// process exists yet and the filesystem is empty, so a failure here
+// means the kernel itself is broken and there is nothing to degrade to.
 func (k *Kernel) makeTree() {
 	root := k.fs.Root()
 	mk := func(parent *vfs.Inode, name string, mode uint32) *vfs.Inode {
@@ -226,7 +240,7 @@ func (k *Kernel) makeTree() {
 
 	passwd, err := k.fs.Create(etc, "passwd", 0o644, rootCred)
 	if err != sys.OK {
-		panic("kernel: boot create passwd")
+		panic("kernel: boot create passwd") // boot invariant: empty /etc cannot refuse a create
 	}
 	passwd.WriteAt([]byte("root:*:0:0:Super User:/:/bin/sh\nuser:*:100:100:User:/home:/bin/sh\n"), 0, 0)
 
@@ -234,6 +248,8 @@ func (k *Kernel) makeTree() {
 	motd.WriteAt([]byte("4.3BSD (interpose.sim) — simulated system interface\n"), 0, 0)
 }
 
+// mustLookup resolves a path during boot; failure is a boot invariant
+// violation (the path was created lines earlier in makeTree).
 func mustLookup(fs *vfs.FS, path string) *vfs.Inode {
 	ip, err := fs.Lookup(fs.Root(), path, rootCred, true)
 	if err != sys.OK {

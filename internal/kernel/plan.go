@@ -70,7 +70,15 @@ func compilePlan(p *Proc, layers []*EmuLayer) *dispatchPlan {
 		return pl // bitmap can't cover the stack; dispatch walks Wants
 	}
 	pl.interest = new([sys.MaxSyscall]uint32)
+	sup := p.k.sup.Load()
 	for i, l := range layers {
+		if sup != nil && sup.quarantined(l) {
+			// A quarantined layer stays in the stack (indices and Down
+			// targets are stable) but gets no interest bits: dispatch
+			// routes past it without entering the supervisor at all.
+			// Re-admission republishes the plan with the bits restored.
+			continue
+		}
 		bit := uint32(1) << uint(i)
 		if l.interestAll {
 			pl.allMask |= bit

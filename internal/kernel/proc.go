@@ -294,10 +294,16 @@ func (p *Proc) AS() *mem.AS { return p.as }
 // LayerCtx wrapper).
 func (p *Proc) KProc() *Proc { return p }
 
-// ctxProc extracts the *Proc behind any kernel-made sys.Ctx.
+// ctxProc extracts the *Proc behind any kernel-made sys.Ctx, or nil for
+// a foreign context. Agent code can hand the kernel any sys.Ctx it
+// likes; a context this kernel did not mint must fail the call, not
+// panic the world.
 func ctxProc(c sys.Ctx) *Proc {
 	type kp interface{ KProc() *Proc }
-	return c.(kp).KProc()
+	if p, ok := c.(kp); ok {
+		return p.KProc()
+	}
+	return nil
 }
 
 // StageChild implements image.Proc.
@@ -510,6 +516,9 @@ func (p *Proc) dispatch(pl *dispatchPlan, below int, num int, a sys.Args) (sys.R
 		if pl.interest != nil {
 			if mask := pl.interestBelow(below, num); mask != 0 {
 				i := topInterested(mask)
+				if s := p.k.sup.Load(); s != nil {
+					return s.call(p, pl, i, num, a)
+				}
 				if r := p.k.tel.Load(); r != nil {
 					return p.layerCallTimed(r, pl, i, num, a)
 				}
@@ -519,6 +528,9 @@ func (p *Proc) dispatch(pl *dispatchPlan, below int, num int, a sys.Args) (sys.R
 			// Stack too deep for the bitmap: linear interest walk.
 			for i := below - 1; i >= 0; i-- {
 				if pl.layers[i].Wants(num) {
+					if s := p.k.sup.Load(); s != nil {
+						return s.call(p, pl, i, num, a)
+					}
 					if r := p.k.tel.Load(); r != nil {
 						return p.layerCallTimed(r, pl, i, num, a)
 					}

@@ -1,0 +1,74 @@
+package kernel
+
+// Kernel resource limits: the 4.3BSD getrlimit/setrlimit surface and the
+// accessors the rest of the kernel enforces them through. The limits
+// with real semantics here are RLIMIT_NOFILE (descriptor allocation
+// fails with EMFILE at the ceiling — fd.go's allocFDLocked and dup2's
+// index check), RLIMIT_FSIZE (a write or truncate extending a file past
+// the limit fails with EFBIG and posts SIGXFSZ — sysfile.go), and
+// RLIMIT_DATA (wired to the address-space allocator). Limits are copied
+// by fork and preserved across execve, like every other per-process
+// identity field guarded by p.mu.
+
+import "interpose/internal/sys"
+
+// Rlimit returns the current limit for res. Exported for toolkit layers
+// that want to honor process limits. Out-of-range resource numbers —
+// reachable from agent code, which the kernel must survive — read as
+// unlimited rather than panicking.
+func (p *Proc) Rlimit(res int) sys.Rlimit {
+	if res < 0 || res >= sys.RLIM_NLIMITS {
+		return sys.Rlimit{Cur: sys.RLIM_INFINITY, Max: sys.RLIM_INFINITY}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rlimits[res]
+}
+
+// checkFsize reports whether growing a file to length would exceed the
+// process's RLIMIT_FSIZE; when it would, SIGXFSZ is posted and EFBIG
+// returned, per 4.3BSD (truncate and write share this behavior).
+func (k *Kernel) checkFsize(p *Proc, length int64) sys.Errno {
+	if length > int64(p.Rlimit(sys.RLIMIT_FSIZE).Cur) {
+		k.PostSignal(p, sys.SIGXFSZ)
+		return sys.EFBIG
+	}
+	return sys.OK
+}
+
+func (k *Kernel) sysGetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	res := int(a[0])
+	if res < 0 || res >= sys.RLIM_NLIMITS {
+		return sys.Retval{}, sys.EINVAL
+	}
+	rl := p.Rlimit(res)
+	var b [sys.RlimitSize]byte
+	rl.Encode(b[:])
+	return sys.Retval{}, p.CopyOut(a[1], b[:])
+}
+
+func (k *Kernel) sysSetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
+	res := int(a[0])
+	if res < 0 || res >= sys.RLIM_NLIMITS {
+		return sys.Retval{}, sys.EINVAL
+	}
+	var b [sys.RlimitSize]byte
+	if e := p.CopyIn(a[1], b[:]); e != sys.OK {
+		return sys.Retval{}, e
+	}
+	rl := sys.DecodeRlimit(b[:])
+	if rl.Cur > rl.Max {
+		return sys.Retval{}, sys.EINVAL
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.rlimits[res]
+	if rl.Max > old.Max && p.euid != 0 {
+		return sys.Retval{}, sys.EPERM
+	}
+	p.rlimits[res] = rl
+	if res == sys.RLIMIT_DATA {
+		p.as.SetLimit(rl.Cur)
+	}
+	return sys.Retval{}, sys.OK
+}

@@ -1,0 +1,160 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"interpose/internal/image"
+	"interpose/internal/kernel"
+	"interpose/internal/libc"
+	"interpose/internal/sys"
+)
+
+// The errno paths of the limits with real kernel semantics: EMFILE at the
+// descriptor ceiling (and fd reuse after close), EFBIG/SIGXFSZ on file
+// growth, inheritance across fork and execve, and the setrlimit guards.
+
+func TestRlimitNofileReuseAfterClose(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Setrlimit(sys.RLIMIT_NOFILE, sys.Rlimit{Cur: 5, Max: 5})
+		a, _ := lt.Open("/etc/passwd", sys.O_RDONLY, 0)
+		b, _ := lt.Open("/etc/passwd", sys.O_RDONLY, 0)
+		_, err := lt.Open("/etc/passwd", sys.O_RDONLY, 0)
+		lt.Printf("full %s\n", err.Name())
+		// Closing one slot frees exactly that descriptor for reuse.
+		lt.Close(a)
+		c, err2 := lt.Open("/etc/passwd", sys.O_RDONLY, 0)
+		lt.Printf("reuse %d %v\n", c, err2 == sys.OK)
+		_ = b
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "full EMFILE\nreuse 3 true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRlimitFsizeDefaultKills(t *testing.T) {
+	// Without a handler, the SIGXFSZ posted alongside EFBIG terminates
+	// the process, per the 4.3BSD default disposition.
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Setrlimit(sys.RLIMIT_FSIZE, sys.Rlimit{Cur: 4, Max: 4})
+		fd, _ := lt.Open("/tmp/capped", sys.O_CREAT|sys.O_WRONLY, 0o644)
+		lt.Write(fd, []byte("0123456789"))
+		lt.Printf("survived?!\n")
+		return 0
+	})
+	if sys.WIfExited(st) || sys.WTermSig(st) != sys.SIGXFSZ {
+		t.Fatalf("status = %#x, output:\n%s", st, out)
+	}
+}
+
+func TestRlimitTruncateFsize(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Ignore(sys.SIGXFSZ)
+		lt.Setrlimit(sys.RLIMIT_FSIZE, sys.Rlimit{Cur: 10, Max: 10})
+		fd, _ := lt.Open("/tmp/f", sys.O_CREAT|sys.O_WRONLY, 0o644)
+		lt.Write(fd, []byte("short"))
+		lt.Printf("truncate %s\n", lt.Truncate("/tmp/f", 20).Name())
+		lt.Printf("ftruncate %s\n", lt.Ftruncate(fd, 20).Name())
+		// Shrinking (or growing within the limit) is fine.
+		lt.Printf("within %v\n", lt.Ftruncate(fd, 8) == sys.OK)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "truncate EFBIG\nftruncate EFBIG\nwithin true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRlimitDup2BeyondLimit(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Setrlimit(sys.RLIMIT_NOFILE, sys.Rlimit{Cur: 5, Max: 5})
+		lt.Printf("past %s\n", lt.Dup2(1, 6).Name())
+		lt.Printf("within %v\n", lt.Dup2(1, 4) == sys.OK)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "past EBADF\nwithin true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRlimitForkInheritance(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		lt.Setrlimit(sys.RLIMIT_NOFILE, sys.Rlimit{Cur: 9, Max: 11})
+		lt.Setrlimit(sys.RLIMIT_FSIZE, sys.Rlimit{Cur: 123, Max: 200})
+		pid, err := lt.Fork(func(ct *libc.T) {
+			nf, _ := ct.Getrlimit(sys.RLIMIT_NOFILE)
+			fs, _ := ct.Getrlimit(sys.RLIMIT_FSIZE)
+			ct.Printf("child %d/%d %d/%d\n", nf.Cur, nf.Max, fs.Cur, fs.Max)
+		})
+		if err != sys.OK {
+			lt.Printf("fork: %s\n", err.Name())
+			return 1
+		}
+		lt.Waitpid(pid)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "child 9/11 123/200\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRlimitExecInheritance(t *testing.T) {
+	reg := image.NewRegistry()
+	reg.Register("main", libc.Main(func(lt *libc.T) int {
+		lt.Setrlimit(sys.RLIMIT_FSIZE, sys.Rlimit{Cur: 55, Max: 77})
+		err := lt.Exec("/bin/show", []string{"show"}, nil)
+		lt.Printf("exec failed: %s\n", err.Name())
+		return 1
+	}))
+	reg.Register("show", libc.Main(func(lt *libc.T) int {
+		fs, _ := lt.Getrlimit(sys.RLIMIT_FSIZE)
+		lt.Printf("after exec %d/%d\n", fs.Cur, fs.Max)
+		return 0
+	}))
+	k := kernel.New(reg)
+	for path, name := range map[string]string{"/bin/main": "main", "/bin/show": "show"} {
+		if err := k.InstallProgram(path, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := k.Spawn("/bin/main", []string{"main"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.WaitExit(p)
+	out := k.Console().TakeOutput()
+	if out = expectOK(t, st, out); out != "after exec 55/77\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRlimitSetrlimitGuards(t *testing.T) {
+	st, out := runFn(t, func(lt *libc.T) int {
+		check := func(what string, got, want sys.Errno) {
+			if got != want {
+				lt.Printf("FAIL %s: got %s want %s\n", what, got.Name(), want.Name())
+			}
+		}
+		_, err := lt.Getrlimit(99)
+		check("getrlimit bad res", err, sys.EINVAL)
+		check("setrlimit bad res", lt.Setrlimit(-1, sys.Rlimit{}), sys.EINVAL)
+		check("cur above max", lt.Setrlimit(sys.RLIMIT_NOFILE, sys.Rlimit{Cur: 10, Max: 5}), sys.EINVAL)
+		// Root may raise the hard limit; a plain user may not.
+		check("root lowers", lt.Setrlimit(sys.RLIMIT_CORE, sys.Rlimit{Cur: 10, Max: 10}), sys.OK)
+		lt.Syscall(sys.SYS_setuid, 5)
+		check("user raises max", lt.Setrlimit(sys.RLIMIT_CORE, sys.Rlimit{Cur: 10, Max: 20}), sys.EPERM)
+		check("user lowers", lt.Setrlimit(sys.RLIMIT_CORE, sys.Rlimit{Cur: 5, Max: 10}), sys.OK)
+		return 0
+	})
+	if out := expectOK(t, st, out); out != "" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRlimitHostAccessorOutOfRange(t *testing.T) {
+	k := kernel.New(image.NewRegistry())
+	p := k.NewProc()
+	rl := p.Rlimit(99)
+	if rl.Cur != sys.RLIM_INFINITY || rl.Max != sys.RLIM_INFINITY {
+		t.Fatalf("Rlimit(99) = %+v, want infinity", rl)
+	}
+}

@@ -10,6 +10,11 @@ import (
 // kernel (a *Proc or a LayerCtx wrapping one).
 func (k *Kernel) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
 	p := ctxProc(c)
+	if p == nil {
+		// A context not minted by this kernel carries no process state to
+		// run the call against; fail it instead of crashing.
+		return sys.Retval{}, sys.EFAULT
+	}
 	var rv sys.Retval
 	var err sys.Errno
 	switch num {

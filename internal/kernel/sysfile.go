@@ -364,6 +364,11 @@ func (k *Kernel) sysDup2(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	if newfd < 0 || newfd >= len(p.fds) {
 		return sys.Retval{}, sys.EBADF
 	}
+	// 4.3BSD bounds newfd by the descriptor limit, not just the table:
+	// dup2 past getdtablesize() — here RLIMIT_NOFILE — is EBADF.
+	if lim := int(p.Rlimit(sys.RLIMIT_NOFILE).Cur); newfd >= lim {
+		return sys.Retval{}, sys.EBADF
+	}
 	if newfd == oldfd {
 		return sys.Retval{sys.Word(newfd)}, sys.OK
 	}
@@ -650,6 +655,9 @@ func (k *Kernel) sysTruncate(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		err = k.fs.Access(ip, sys.W_OK, p.cred())
 	}
 	if err == sys.OK {
+		err = k.checkFsize(p, int64(int32(a[1])))
+	}
+	if err == sys.OK {
 		err = ip.Truncate(int64(int32(a[1])))
 	}
 	k.trace(p, "truncate", path, "", -1, err)
@@ -663,6 +671,9 @@ func (k *Kernel) sysFtruncate(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	}
 	if f.pipe != nil || f.Flags()&sys.O_ACCMODE == sys.O_RDONLY {
 		return sys.Retval{}, sys.EINVAL
+	}
+	if e := k.checkFsize(p, int64(int32(a[1]))); e != sys.OK {
+		return sys.Retval{}, e
 	}
 	return sys.Retval{}, f.ip.Truncate(int64(int32(a[1])))
 }

@@ -6,14 +6,6 @@ import (
 	"interpose/internal/sys"
 )
 
-// Rlimit returns the current limit for res. Exported for toolkit layers
-// that want to honor process limits.
-func (p *Proc) Rlimit(res int) sys.Rlimit {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.rlimits[res]
-}
-
 // umaskVal snapshots the file-creation mask.
 func (p *Proc) umaskVal() sys.Word {
 	p.mu.Lock()
@@ -264,39 +256,3 @@ func (k *Kernel) sysGetrusage(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	return sys.Retval{}, p.CopyOut(a[1], b[:])
 }
 
-func (k *Kernel) sysGetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	res := int(a[0])
-	if res < 0 || res >= sys.RLIM_NLIMITS {
-		return sys.Retval{}, sys.EINVAL
-	}
-	rl := p.Rlimit(res)
-	var b [sys.RlimitSize]byte
-	rl.Encode(b[:])
-	return sys.Retval{}, p.CopyOut(a[1], b[:])
-}
-
-func (k *Kernel) sysSetrlimit(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
-	res := int(a[0])
-	if res < 0 || res >= sys.RLIM_NLIMITS {
-		return sys.Retval{}, sys.EINVAL
-	}
-	var b [sys.RlimitSize]byte
-	if e := p.CopyIn(a[1], b[:]); e != sys.OK {
-		return sys.Retval{}, e
-	}
-	rl := sys.DecodeRlimit(b[:])
-	if rl.Cur > rl.Max {
-		return sys.Retval{}, sys.EINVAL
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	old := p.rlimits[res]
-	if rl.Max > old.Max && p.euid != 0 {
-		return sys.Retval{}, sys.EPERM
-	}
-	p.rlimits[res] = rl
-	if res == sys.RLIMIT_DATA {
-		p.as.SetLimit(rl.Cur)
-	}
-	return sys.Retval{}, sys.OK
-}

@@ -270,6 +270,8 @@ func (k *Kernel) sysExecve(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 		return sys.Retval{}, err
 	}
 	p.Exec(entry) // does not return
+	// Invariant: Exec always unwinds by panic (execUnwind); reaching here
+	// would mean the unwind machinery itself is broken.
 	panic("unreachable")
 }
 

@@ -152,6 +152,9 @@ func (t *T) Exit(code int) {
 	t.Stdout.Flush()
 	t.Stderr.Flush()
 	t.Syscall(sys.SYS_exit, sys.Word(code))
+	// Invariant: SYS_exit terminates the process goroutine by unwind and
+	// never returns; this panic only fires if the kernel's exit path is
+	// broken, which no guest input can cause.
 	panic("libc: exit returned")
 }
 

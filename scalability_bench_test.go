@@ -29,19 +29,35 @@ import (
 // concurrently. getpid takes no kernel lock at all, so this is the
 // upper bound the lock split is aiming at.
 func BenchmarkScalability_SyscallThroughput(b *testing.B) {
-	k := mustWorld(b)
-	var mu sync.Mutex
-	procs := []*kernel.Proc{}
-	b.RunParallel(func(pb *testing.PB) {
-		p := k.NewProc()
-		mu.Lock()
-		procs = append(procs, p)
-		mu.Unlock()
-		for pb.Next() {
-			p.Syscall(sys.SYS_getpid, sys.Args{})
-		}
-	})
-	_ = procs
+	// The supervised sub-run proves the supervisor's pay-per-use claim at
+	// full concurrency: with a supervisor installed but no layers, the
+	// uninterposed path is still one atomic plan load and must match the
+	// unsupervised throughput.
+	for _, sup := range []struct {
+		name      string
+		supervise bool
+	}{{"off", false}, {"supervised-idle", true}} {
+		b.Run(sup.name, func(b *testing.B) {
+			k := mustWorld(b)
+			if sup.supervise {
+				k.SetSupervisor(kernel.NewSupervisor(k, kernel.SupervisorConfig{
+					Mode: kernel.SuperviseStrict,
+				}))
+			}
+			var mu sync.Mutex
+			procs := []*kernel.Proc{}
+			b.RunParallel(func(pb *testing.PB) {
+				p := k.NewProc()
+				mu.Lock()
+				procs = append(procs, p)
+				mu.Unlock()
+				for pb.Next() {
+					p.Syscall(sys.SYS_getpid, sys.Args{})
+				}
+			})
+			_ = procs
+		})
+	}
 }
 
 // BenchmarkScalability_VFSParallel measures namespace churn — create,

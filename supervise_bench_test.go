@@ -1,0 +1,111 @@
+// Supervisor microbenchmarks: the cost of agent supervision at each
+// point of the dispatch path. The off-path rows (Off, Idle) are the
+// pay-per-use contract — installing a supervisor must not slow calls
+// that no layer intercepts — and the idle number is what the perf-smoke
+// gate folds into its guarded rows (sup:getpid()/idle in
+// BENCH_BASELINE.json). Containment measures the full recover path of a
+// panicking layer, the worst case a buggy agent can inflict per call.
+//
+//	go test -bench 'Supervisor' .
+package interpose_test
+
+import (
+	"testing"
+
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+)
+
+// benchProc makes a host-driven process, optionally under a supervised
+// or unsupervised pass-through layer.
+func benchProc(b *testing.B, layer sys.Handler, cfg *kernel.SupervisorConfig) *kernel.Proc {
+	b.Helper()
+	k := mustWorld(b)
+	p := k.NewProc()
+	if err := p.OpenConsole(); err != nil {
+		b.Fatal(err)
+	}
+	if layer != nil {
+		l := kernel.NewEmuLayer(layer)
+		l.Name = "bench"
+		l.RegisterAll()
+		p.PushEmulation(l)
+	}
+	if cfg != nil {
+		k.SetSupervisor(kernel.NewSupervisor(k, *cfg))
+	}
+	return p
+}
+
+type benchDowner interface {
+	Down(num int, a sys.Args) (sys.Retval, sys.Errno)
+}
+
+// benchPassThrough forwards every call to the next-lower instance.
+type benchPassThrough struct{}
+
+func (benchPassThrough) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	return c.(benchDowner).Down(num, a)
+}
+
+// benchPanics fails every upcall the way a buggy agent does.
+type benchPanics struct{}
+
+func (benchPanics) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	panic("bench: injected agent bug")
+}
+
+// BenchmarkSupervisor_Off is the floor: uninterposed dispatch, no
+// supervisor installed.
+func BenchmarkSupervisor_Off(b *testing.B) {
+	p := benchProc(b, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Syscall(sys.SYS_getpid, sys.Args{})
+	}
+}
+
+// BenchmarkSupervisor_Idle is the same uninterposed call with a
+// supervisor installed: the off-path number the perf gate guards. It
+// must match BenchmarkSupervisor_Off.
+func BenchmarkSupervisor_Idle(b *testing.B) {
+	p := benchProc(b, nil, &kernel.SupervisorConfig{Mode: kernel.SuperviseStrict})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Syscall(sys.SYS_getpid, sys.Args{})
+	}
+}
+
+// BenchmarkSupervisor_Layer is the interposed call without supervision:
+// the baseline the strict row is compared against.
+func BenchmarkSupervisor_Layer(b *testing.B) {
+	p := benchProc(b, benchPassThrough{}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Syscall(sys.SYS_getpid, sys.Args{})
+	}
+}
+
+// BenchmarkSupervisor_Strict is the supervised interposed call: breaker
+// lookup plus the contained upcall.
+func BenchmarkSupervisor_Strict(b *testing.B) {
+	p := benchProc(b, benchPassThrough{}, &kernel.SupervisorConfig{Mode: kernel.SuperviseStrict})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Syscall(sys.SYS_getpid, sys.Args{})
+	}
+}
+
+// BenchmarkSupervisor_Containment measures a contained panic per call —
+// recover, stack capture, breaker accounting — with a threshold high
+// enough that the breaker never trips.
+func BenchmarkSupervisor_Containment(b *testing.B) {
+	p := benchProc(b, benchPanics{}, &kernel.SupervisorConfig{
+		Mode:          kernel.SuperviseStrict,
+		TripThreshold: 1 << 30,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Syscall(sys.SYS_getpid, sys.Args{})
+	}
+}
