@@ -5,7 +5,8 @@
 //	agentrun [-a agent[=arg]]... [-feed text] [-trace-kernel]
 //	         [-inject plan] [-stats] [-stats-json] [-flight-dump]
 //	         [-supervise strict|bypass] [-agent-deadline dur]
-//	         [-supervise-errno NAME] -- PROGRAM [args...]
+//	         [-supervise-errno NAME] [-trace-out file]
+//	         [-trace-sample p] [-trace-slow dur] -- PROGRAM [args...]
 //
 // Examples:
 //
@@ -41,6 +42,18 @@
 // quarantine the layer, which is announced on standard error along with
 // a flight-ring dump whose supervise:* events carry the layer name.
 // Breaker state appears as supervise.layer.* gauges in -stats.
+//
+// -trace-out installs the causal span tracer and writes the collected
+// spans as Chrome trace-event JSON, loadable in Perfetto
+// (https://ui.perfetto.dev) — per-syscall spans nested per layer, with
+// fork/exec/pipe/signal/wait arrows connecting processes:
+//
+//	agentrun -trace-out make.json -- /bin/sh -c 'cd /src; mk -j 4 all'
+//
+// -trace-sample sets the head-sampling probability (default 1.0 when
+// -trace-out is given); -trace-slow additionally retains unsampled calls
+// at least that slow. Guests can read the same JSON from /dev/trace and
+// retune sampling by writing "sample P" or "clear" to it.
 package main
 
 import (
@@ -56,6 +69,7 @@ import (
 	"interpose/internal/kernel"
 	"interpose/internal/sys"
 	"interpose/internal/telemetry"
+	"interpose/internal/trace"
 )
 
 // agentList collects repeated -a flags.
@@ -80,6 +94,9 @@ func main() {
 	supervise := flag.String("supervise", "off", "contain agent failures: strict (failed call errors), bypass (failed call completes below the layer), or off")
 	agentDeadline := flag.Duration("agent-deadline", 0, "abandon an agent upcall running longer than this (0 disables; needs -supervise)")
 	superviseErrno := flag.String("supervise-errno", "EFAULT", "errno a contained agent failure returns in strict mode")
+	traceOut := flag.String("trace-out", "", "write causal span trace as Chrome trace-event JSON to this file (load in Perfetto)")
+	traceSample := flag.Float64("trace-sample", -1, "span head-sampling probability in [0,1]; default 1 with -trace-out, else tracing off")
+	traceSlow := flag.Duration("trace-slow", 0, "also retain unsampled calls at least this slow (tail sampling; 0 disables)")
 	flag.Parse()
 
 	if *list {
@@ -108,6 +125,19 @@ func main() {
 	k.SetTelemetry(reg)
 	if *traceKernel {
 		k.SetTracer(stderrTracer{})
+	}
+	var spanTracer *trace.Tracer
+	if *traceOut != "" || *traceSample >= 0 || *traceSlow > 0 {
+		sample := *traceSample
+		if sample < 0 {
+			sample = 1 // -trace-out alone means "trace everything"
+		}
+		spanTracer = trace.NewTracer(trace.Config{
+			Sample:     sample,
+			Slow:       *traceSlow,
+			TailErrors: *traceSlow > 0 || sample < 1,
+		})
+		k.SetSpanTracer(spanTracer)
 	}
 	var kinj *fault.Injector
 	if *inject != "" {
@@ -176,6 +206,22 @@ func main() {
 	}
 	if kinj != nil {
 		fmt.Fprint(os.Stderr, kinj.Summary())
+	}
+
+	if spanTracer != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		werr := spanTracer.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		spans, dropped := spanTracer.Stats()
+		fmt.Fprintf(os.Stderr, "agentrun: wrote %d spans to %s (%d dropped)\n", spans-dropped, *traceOut, dropped)
 	}
 
 	snap := reg.Snapshot()

@@ -4,9 +4,13 @@
 package agenttest
 
 import (
+	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,6 +18,8 @@ import (
 	"interpose/internal/core"
 	"interpose/internal/kernel"
 	"interpose/internal/sys"
+	"interpose/internal/telemetry"
+	"interpose/internal/trace"
 )
 
 // World boots a kernel with all applications installed in /bin.
@@ -43,6 +49,55 @@ func Run(t testing.TB, k *kernel.Kernel, agents []core.Agent, argv ...string) (i
 		t.Fatalf("agenttest: %v killed by %s\n%s", argv, sys.SignalName(sys.WTermSig(st)), out)
 	}
 	return sys.WExitStatus(st), out
+}
+
+// artifactSeq disambiguates artifact files when one test arms several
+// worlds (a chaos soak looping over seeds).
+var artifactSeq atomic.Uint64
+
+// DumpArtifacts arms crash forensics for a soak test: it makes sure a
+// telemetry registry and a tail-retention span tracer (slow calls and
+// errors only — cheap enough to leave on for a whole soak) are installed
+// on k, and registers a cleanup that writes the flight ring and the span
+// trace to $ARTIFACT_DIR when the test fails. CI sets ARTIFACT_DIR on
+// the chaos and supervision jobs and uploads the directory on failure,
+// so a once-in-fifty flake leaves its last moments behind.
+func DumpArtifacts(t testing.TB, k *kernel.Kernel) {
+	t.Helper()
+	if k.Telemetry() == nil {
+		k.SetTelemetry(telemetry.NewRegistry())
+	}
+	if k.SpanTracer() == nil {
+		k.SetSpanTracer(trace.NewTracer(trace.Config{
+			Slow:       time.Millisecond,
+			TailErrors: true,
+		}))
+	}
+	seq := artifactSeq.Add(1)
+	t.Cleanup(func() {
+		dir := os.Getenv("ARTIFACT_DIR")
+		if dir == "" || !t.Failed() {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("agenttest: artifacts: %v", err)
+			return
+		}
+		base := fmt.Sprintf("%s-%d",
+			strings.NewReplacer("/", "_", " ", "_").Replace(t.Name()), seq)
+		var flight bytes.Buffer
+		k.Telemetry().Snapshot().WriteFlight(&flight)
+		if err := os.WriteFile(filepath.Join(dir, base+"-flight.txt"), flight.Bytes(), 0o644); err != nil {
+			t.Logf("agenttest: artifacts: %v", err)
+		}
+		var spans bytes.Buffer
+		if err := k.SpanTracer().WriteChrome(&spans); err == nil {
+			if err := os.WriteFile(filepath.Join(dir, base+"-trace.json"), spans.Bytes(), 0o644); err != nil {
+				t.Logf("agenttest: artifacts: %v", err)
+			}
+		}
+		t.Logf("agenttest: wrote failure artifacts %s-{flight.txt,trace.json} in %s", base, dir)
+	})
 }
 
 // Watchdog arms a deadline for a test section that runs simulated guests:

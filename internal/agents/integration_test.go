@@ -20,13 +20,16 @@ import (
 	"interpose/internal/sys"
 )
 
-// buildWorld boots a world with the make workload in /src.
+// buildWorld boots a world with the make workload in /src. Every world
+// is armed for crash forensics: when a soak fails under CI, the flight
+// ring and the tail-sampled span trace land in $ARTIFACT_DIR for upload.
 func buildWorld(t *testing.T, programs int) *kernel.Kernel {
 	t.Helper()
 	k := agenttest.World(t)
 	if err := apps.GenMakeTree(k, "/src", programs); err != nil {
 		t.Fatal(err)
 	}
+	agenttest.DumpArtifacts(t, k)
 	return k
 }
 

@@ -1,20 +1,23 @@
 // Package monitor implements a system call and resource usage monitoring
 // agent (paper §2.4, "System Call Tracing and Monitoring Facilities"): it
-// counts every system call made by its clients, per call and per process,
-// and can print a usage report when each client exits.
+// counts and times every system call made by its clients, per call and
+// per process, and can print a usage report when each client exits.
 //
 // Per-call accounting is backed by a telemetry.Registry, so the counters
 // are atomics shared with the rest of the flight-recorder substrate and a
-// full structured Snapshot is available. Per-process accounting lives in a
-// map pruned as each client exits; totals for dead processes fold into
-// aggregate counters, so a long-lived monitor over many short-lived
-// clients uses bounded memory.
+// full structured Snapshot is available; each downcall's wall time feeds
+// the registry's log2 histograms, so the report carries p50/p90/p99 next
+// to raw counts. Per-process accounting lives in a map pruned as each
+// client exits; totals for dead processes fold into aggregate counters,
+// so a long-lived monitor over many short-lived clients uses bounded
+// memory.
 package monitor
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"interpose/internal/core"
 	"interpose/internal/sys"
@@ -46,16 +49,19 @@ func New(report bool) *Agent {
 	return a
 }
 
-// Registry exposes the agent's telemetry registry (count-only: the
-// monitor records occurrences, not latencies).
+// Registry exposes the agent's telemetry registry: occurrence counters
+// plus the latency histograms fed by timing each downcall.
 func (a *Agent) Registry() *telemetry.Registry { return a.reg }
 
 // Snapshot returns a structured view of everything the monitor has
 // counted so far.
 func (a *Agent) Snapshot() telemetry.Snapshot { return a.reg.Snapshot() }
 
-// Syscall counts and passes the call through (numeric-layer agent: no
-// argument decoding is needed to count).
+// Syscall counts the call at entry, times the downcall, and passes the
+// result through (numeric-layer agent: no argument decoding is needed).
+// Counting happens before the downcall so calls that never return (exit,
+// a successful execve) are still counted; the latency observation lands
+// only for calls that do return.
 func (a *Agent) Syscall(c sys.Ctx, num int, args sys.Args) (sys.Retval, sys.Errno) {
 	a.reg.IncSyscall(num)
 	a.mu.Lock()
@@ -65,7 +71,9 @@ func (a *Agent) Syscall(c sys.Ctx, num int, args sys.Args) (sys.Retval, sys.Errn
 	if num == sys.SYS_exit && a.report {
 		core.DownWriteString(c, 2, a.Report(c.PID()))
 	}
+	start := time.Now()
 	rv, err := core.Down(c, num, args)
+	a.reg.ObserveLatency(num, time.Since(start))
 	if err != sys.OK {
 		a.reg.IncSyscallErr(num)
 	}
@@ -151,7 +159,11 @@ func (a *Agent) Report(pid int) string {
 	}
 	s += "\n"
 	for _, e := range entries {
-		s += fmt.Sprintf("monitor:   %-16s %8d\n", sys.SyscallName(e.num), e.n)
+		line := fmt.Sprintf("monitor:   %-16s %8d", sys.SyscallName(e.num), e.n)
+		if qs, timed := a.reg.SyscallQuantiles(e.num, 0.5, 0.9, 0.99); timed > 0 {
+			line += fmt.Sprintf("  p50 %-8v p90 %-8v p99 %v", qs[0], qs[1], qs[2])
+		}
+		s += line + "\n"
 	}
 	return s
 }

@@ -26,11 +26,19 @@ import (
 // it must stay at the off cost (one atomic plan load, ~23ns → 28ns
 // baseline) — and strict is the fully supervised interposed leg
 // (~63ns → 76ns baseline).
+//
+// The trace rows guard the span tracer's pay-per-use contract: off is
+// the fast path with no tracer installed (one extra atomic pointer
+// load over sup off), and sampled is an installed tracer at 1% — the
+// unsampled 99% must pay only an xorshift draw, not clock reads or
+// span recording.
 var GuardedRows = []string{
 	"3-5:stat()/without",
 	"3-5:getpid()/with",
 	"sup:getpid()/idle",
 	"sup:getpid()/strict",
+	"trace:getpid()/off",
+	"trace:getpid()/sampled",
 }
 
 // MaxRegress is the allowed slowdown factor before the check fails:

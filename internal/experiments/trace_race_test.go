@@ -1,0 +1,217 @@
+package experiments_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"interpose/internal/experiments"
+	"interpose/internal/kernel"
+	"interpose/internal/sys"
+	spantrace "interpose/internal/trace"
+)
+
+// TestTraceToggleUnderStorm flips the span tracer in and out — and
+// retunes its sampling rate — while many guest processes hammer the
+// system call path. Under -race this checks the atomic installation
+// protocol: calls in flight may trace against either generation of
+// tracer, but never against torn state, and toggling must not disturb
+// the workload.
+func TestTraceToggleUnderStorm(t *testing.T) {
+	k, err := experiments.World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := kernel.NewEmuLayer(passLayer{})
+	layer.Name = "storm"
+	layer.RegisterAll()
+
+	tr := spantrace.NewTracer(spantrace.Config{Sample: 0.5, TailErrors: true})
+	var done atomic.Bool
+	toggled := make(chan struct{})
+	go func() {
+		defer close(toggled)
+		for i := 0; !done.Load(); i++ {
+			switch i % 4 {
+			case 0:
+				k.SetSpanTracer(tr)
+			case 1:
+				tr.SetSample(1)
+			case 2:
+				tr.SetSample(0.01)
+			default:
+				k.SetSpanTracer(nil)
+			}
+		}
+	}()
+
+	const workers = 8
+	const callsPer = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := k.NewProc()
+			if w%2 == 0 {
+				// Half the workers run interposed so layer and kernel-leg
+				// child spans race against the toggling too.
+				p.PushEmulation(layer)
+			}
+			for i := 0; i < callsPer; i++ {
+				if _, err := p.Syscall(sys.SYS_getpid, sys.Args{}); err != sys.OK {
+					t.Errorf("getpid: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	done.Store(true)
+	<-toggled
+
+	// Functional check in a deterministic window: pinned on at full
+	// sampling, one process's calls must record coherent spans.
+	k.SetSpanTracer(tr)
+	tr.SetSample(1)
+	tr.Clear()
+	p := k.NewProc()
+	for i := 0; i < 100; i++ {
+		p.Syscall(sys.SYS_getpid, sys.Args{})
+	}
+	spans := tr.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("tracer recorded nothing in the pinned window")
+	}
+	for _, sp := range spans {
+		if sp.ID == 0 {
+			t.Fatalf("span with zero id: %+v", sp)
+		}
+	}
+}
+
+// passLayer forwards every call downward.
+type passLayer struct{}
+
+func (passLayer) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	type downer interface {
+		Down(num int, a sys.Args) (sys.Retval, sys.Errno)
+	}
+	return c.(downer).Down(num, a)
+}
+
+// TestMakeJConnectedTrace is the tentpole acceptance check: a parallel
+// build (mk -j 4, eight programs) under full sampling exports as one
+// causally connected Perfetto trace. The test goes through the Chrome
+// JSON the same way a human would — parse, index spans by id, walk
+// parent links — and checks every process chains back to the root.
+func TestMakeJConnectedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process build")
+	}
+	k, err := experiments.World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.SetupMake(k, 8); err != nil {
+		t.Fatal(err)
+	}
+	tr := spantrace.NewTracer(spantrace.Config{Sample: 1, Capacity: 1 << 21})
+	k.SetSpanTracer(tr)
+	if _, err := experiments.RunMakeJ(k, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	k.SetSpanTracer(nil)
+	if _, dropped := tr.Stats(); dropped != 0 {
+		t.Fatalf("%d spans dropped; the buffer must hold the whole build", dropped)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			PID  int32  `json:"pid"`
+			Args struct {
+				Span   uint64 `json:"span"`
+				Trace  uint64 `json:"trace"`
+				Parent uint64 `json:"parent"`
+				Link   uint64 `json:"link"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid Chrome trace JSON: %v", err)
+	}
+
+	type span struct {
+		pid    int32
+		parent uint64
+	}
+	byID := make(map[uint64]span)
+	traces := make(map[uint64]bool)
+	pids := make(map[int32]bool)
+	var flows int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			byID[e.Args.Span] = span{pid: e.PID, parent: e.Args.Parent}
+			traces[e.Args.Trace] = true
+			pids[e.PID] = true
+		case "s", "f":
+			flows++
+		}
+	}
+	if len(byID) == 0 {
+		t.Fatal("no spans exported")
+	}
+	if len(traces) != 1 {
+		t.Fatalf("build exported %d trace ids, want 1 connected trace", len(traces))
+	}
+	// mk -j 4 over 8 programs: sh, mk, and a compiler pipeline per
+	// program — well past 8 processes.
+	if len(pids) < 8 {
+		t.Fatalf("build spans cover %d pids, want >= 8", len(pids))
+	}
+	if flows == 0 {
+		t.Fatal("no flow arrows exported for a multi-process build")
+	}
+
+	// Walk parent links: every span must resolve to a root (parent 0)
+	// through the byID index, and every non-root process must reach a
+	// span of another pid on the way (the causal chain to its forker).
+	crossed := make(map[int32]bool)
+	for id, sp := range byID {
+		seen := 0
+		cur, curPID := sp, sp.pid
+		for cur.parent != 0 {
+			next, ok := byID[cur.parent]
+			if !ok {
+				t.Fatalf("span %d: parent %d not in export", id, cur.parent)
+			}
+			if next.pid != curPID {
+				crossed[curPID] = true
+			}
+			cur, curPID = next, next.pid
+			if seen++; seen > len(byID) {
+				t.Fatalf("span %d: parent chain does not terminate", id)
+			}
+		}
+	}
+	var rootPID int32 = -1
+	for id, sp := range byID {
+		if sp.parent == 0 && (rootPID == -1 || sp.pid < rootPID) {
+			rootPID = sp.pid
+		}
+		_ = id
+	}
+	for pid := range pids {
+		if pid != rootPID && !crossed[pid] {
+			t.Errorf("pid %d never chains to another process: disconnected from the build trace", pid)
+		}
+	}
+}

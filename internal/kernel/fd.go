@@ -152,6 +152,11 @@ type Pipe struct {
 
 	readQ  waitQ // blocked readers, waiting for bytes or writer close
 	writeQ waitQ // blocked writers, waiting for space or reader close
+
+	// edgeSpan is the root span of the most recent traced writer; the
+	// next traced reader consumes it as its causal link (the pipe
+	// write→read edge of causal tracing). Guarded by mu.
+	edgeSpan uint64
 }
 
 func newPipe() *Pipe {

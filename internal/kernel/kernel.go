@@ -28,6 +28,7 @@ import (
 	"interpose/internal/image"
 	"interpose/internal/sys"
 	"interpose/internal/telemetry"
+	"interpose/internal/trace"
 	"interpose/internal/vfs"
 )
 
@@ -83,6 +84,13 @@ type Kernel struct {
 	// dispatch, so the uninterposed fast path stays one atomic plan
 	// load; while nil the interposed leg pays one atomic pointer load.
 	sup atomic.Pointer[Supervisor]
+
+	// trc, when non-nil, is the causal span tracer: sampled syscalls open
+	// root spans, interested layer upcalls and the kernel leg open child
+	// spans, and causal edges (fork, exec, pipe, signal, wait) connect
+	// spans across processes (internal/trace, DESIGN.md §11). While nil
+	// the facility costs one atomic pointer load per syscall entry.
+	trc atomic.Pointer[trace.Tracer]
 
 	// exec memoizes execve's image-header parsing per inode, validated by
 	// the inode generation counter (execcache.go).
@@ -173,12 +181,32 @@ func (k *Kernel) cacheGauges() []telemetry.NamedCounter {
 	if s := k.sup.Load(); s != nil {
 		out = append(out, s.Gauges()...)
 	}
+	if t := k.trc.Load(); t != nil {
+		spans, dropped := t.Stats()
+		out = append(out,
+			telemetry.NamedCounter{Name: "trace.spans", Value: spans},
+			telemetry.NamedCounter{Name: "trace.dropped", Value: dropped},
+			telemetry.NamedCounter{Name: "trace.sample_ppm", Value: uint64(t.SampleRate() * 1e6)},
+		)
+	}
 	return out
 }
 
 // Telemetry returns the installed registry, or nil.
 func (k *Kernel) Telemetry() *telemetry.Registry {
 	return k.tel.Load()
+}
+
+// SetSpanTracer installs (or removes, with nil) the causal span tracer.
+// Toggling is safe while processes run; calls in flight when the tracer
+// changes may be only partially recorded.
+func (k *Kernel) SetSpanTracer(t *trace.Tracer) {
+	k.trc.Store(t)
+}
+
+// SpanTracer returns the installed span tracer, or nil.
+func (k *Kernel) SpanTracer() *trace.Tracer {
+	return k.trc.Load()
 }
 
 // SetInjector installs (or removes, with nil) the kernel-side fault
@@ -227,16 +255,19 @@ func (k *Kernel) makeTree() {
 
 	tty := &ttyDev{k: k}
 	metrics := &metricsDev{k: k}
+	traced := &traceDev{k: k}
 	k.devices[makeRdev(1, 3)] = nullDev{}
 	k.devices[makeRdev(1, 5)] = zeroDev{}
 	k.devices[makeRdev(2, 0)] = tty
 	k.devices[makeRdev(0, 0)] = tty
 	k.devices[makeRdev(3, 0)] = metrics
+	k.devices[makeRdev(3, 1)] = traced
 	k.fs.MkDev(dev, "null", 0o666, makeRdev(1, 3), nullDev{}, rootCred)
 	k.fs.MkDev(dev, "zero", 0o666, makeRdev(1, 5), zeroDev{}, rootCred)
 	k.fs.MkDev(dev, "tty", 0o666, makeRdev(2, 0), tty, rootCred)
 	k.fs.MkDev(dev, "console", 0o666, makeRdev(0, 0), tty, rootCred)
 	k.fs.MkDev(dev, "metrics", 0o444, makeRdev(3, 0), metrics, rootCred)
+	k.fs.MkDev(dev, "trace", 0o666, makeRdev(3, 1), traced, rootCred)
 
 	passwd, err := k.fs.Create(etc, "passwd", 0o644, rootCred)
 	if err != sys.OK {

@@ -10,6 +10,7 @@ import (
 	"interpose/internal/mem"
 	"interpose/internal/sys"
 	"interpose/internal/telemetry"
+	"interpose/internal/trace"
 	"interpose/internal/vfs"
 )
 
@@ -123,9 +124,37 @@ type Proc struct {
 	// telChild accumulates, within the current dispatch frame, the wall
 	// time spent in lower instances of the system interface — the
 	// subtrahend of per-layer self-time attribution. Reset at each
-	// top-level system call entry; only the process's own goroutine
-	// touches it.
-	telChild time.Duration
+	// top-level system call entry.
+	telChild atomic.Int64 // nanoseconds
+
+	// Span-tracing state (see internal/trace). trcRand is touched only
+	// at root-span entry on the process's own goroutine. The per-call
+	// scratch (traceID, causeSpan, curSpan, spanParent, curLink) and
+	// telChild above are normally own-goroutine too — fork copies trace
+	// identity to the child on the parent's goroutine before publishProc
+	// makes the child visible — but they are atomics because a
+	// deadline-abandoned supervised upcall (see Supervisor.runDeadline)
+	// keeps running detached and may still reach them through nested
+	// downcalls. Post-abandonment writes can misattribute or mislink the
+	// live call's spans; that is the documented price of abandoning an
+	// upcall ("its side effects may still land"), kept memory-safe here.
+	trcRand    uint64        // xorshift head-sampling state, seeded lazily from the pid
+	traceID    atomic.Uint64 // trace this process belongs to (0 until first sampled span; fork-inherited)
+	causeSpan  atomic.Uint64 // causal parent for the next root span (fork/exec/signal edge); consumed on use
+	curSpan    atomic.Uint64 // open root span of the call in flight; 0 when unsampled
+	spanParent atomic.Uint64 // innermost open span: parent for nested layer/kernel child spans
+	curLink    atomic.Uint64 // pending cross-process link (pipe read, reaped child) for the open root span
+
+	// exitSpan is the root span of the process's exit call, written in
+	// finishExit under k.pmu before the zombie transition and read by the
+	// reaping parent in wait4, also under k.pmu (the wait causal edge).
+	exitSpan uint64
+
+	// sigCauseTrace/sigCauseSpan identify the poster's open span for the
+	// next delivered signal (the signal post→deliver causal edge).
+	// Guarded by sigMu.
+	sigCauseTrace uint64
+	sigCauseSpan  uint64
 }
 
 // loadState reads the lifecycle state without any lock.
@@ -426,8 +455,19 @@ func (lc LayerCtx) DownSignal(sig, code int) int {
 func (p *Proc) Syscall(num int, a sys.Args) (sys.Retval, sys.Errno) {
 	addUint32(&p.nsyscalls, 1)
 	p.emuCursor = 0 // agent scratch is per-call
-	p.telChild = 0  // attribution accounting is per-call
+	// Attribution and span scratch are per-call (stale after an exec
+	// unwind). Conditional clears: the atomic loads are plain reads on
+	// the hot path, the stores only run when instrumentation left state.
+	if p.telChild.Load() != 0 {
+		p.telChild.Store(0)
+	}
+	if p.curSpan.Load() != 0 {
+		p.curSpan.Store(0)
+	}
 	pl := p.plan.Load()
+	if t := p.k.trc.Load(); t != nil {
+		return p.syscallTraced(t, pl, num, a)
+	}
 	if r := p.k.tel.Load(); r != nil {
 		return p.syscallTimed(r, pl, num, a)
 	}
@@ -453,6 +493,104 @@ func (p *Proc) syscallTimed(r *telemetry.Registry, pl *dispatchPlan, num int, a 
 	if !unwinds {
 		r.RecordEvent(p.pid, num, int32(err), d)
 	}
+	p.checkSignals()
+	return rv, err
+}
+
+// syscallTraced is the span-tracing top half of Syscall, used whenever a
+// span tracer is installed. It folds in syscallTimed's telemetry duties
+// so the two facilities share one pair of clock reads. A head-sampled
+// call opens a root span whose Parent is the pending causal edge (fork,
+// exec, or signal delivery) and whose Link is filled by cross-process
+// edges observed during dispatch (pipe read, reaped child). Unsampled
+// calls may still be retained by tail rules when slow or failed; when
+// neither facility needs a duration, the clock is never read. Calls that
+// unwind instead of returning (exit, successful execve) record their
+// span at entry with unknown duration, and the span is left as the
+// causal parent so the post-exec image's first call chains under it.
+func (p *Proc) syscallTraced(t *trace.Tracer, pl *dispatchPlan, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	r := p.k.tel.Load()
+	unwinds := num == sys.SYS_exit || num == sys.SYS_execve
+	if unwinds && r != nil {
+		r.RecordEvent(p.pid, num, 0, -1)
+	}
+	sampled := t.Sampled(&p.trcRand, p.pid)
+	var span trace.Span
+	if sampled {
+		if p.traceID.Load() == 0 {
+			p.traceID.Store(t.NewTrace())
+		}
+		span = trace.Span{
+			Trace:  p.traceID.Load(),
+			ID:     t.NewSpanID(),
+			Parent: p.causeSpan.Load(),
+			PID:    int32(p.pid),
+			Num:    int32(num),
+			Layer:  trace.LayerRoot,
+		}
+		p.causeSpan.Store(0)
+		p.curSpan.Store(span.ID)
+		p.spanParent.Store(span.ID)
+		p.curLink.Store(0)
+		if unwinds {
+			span.Start = t.Now()
+			span.Dur = -1
+			t.Record(span)
+			p.causeSpan.Store(span.ID)
+		}
+	}
+	needClock := r != nil || (sampled && !unwinds) || t.TailEnabled()
+	var start time.Time
+	if needClock {
+		start = time.Now()
+	}
+	rv, err := p.dispatch(pl, len(pl.layers), num, a)
+	var d time.Duration
+	if needClock {
+		d = time.Since(start)
+	}
+	if r != nil {
+		r.RecordSyscall(num, d, err != sys.OK)
+		if !unwinds {
+			r.RecordEvent(p.pid, num, int32(err), d)
+		}
+	}
+	if sampled {
+		if unwinds {
+			// Reaching here means execve failed and returned an errno: drop
+			// the entry-recorded span as causal parent so later calls do not
+			// chain under an exec that never happened.
+			p.causeSpan.Store(0)
+		} else {
+			span.Start = t.At(start)
+			span.Dur = int64(d)
+			span.Err = int32(err)
+			span.Link = p.curLink.Load()
+			t.Record(span)
+		}
+	} else if !unwinds && t.Tail(d, err != sys.OK) {
+		// Tail retention: a slow or failed call that head sampling skipped
+		// is recorded as a root-only span.
+		if p.traceID.Load() == 0 {
+			p.traceID.Store(t.NewTrace())
+		}
+		t.Record(trace.Span{
+			Trace:  p.traceID.Load(),
+			ID:     t.NewSpanID(),
+			Parent: p.causeSpan.Load(),
+			Link:   p.curLink.Load(),
+			PID:    int32(p.pid),
+			Num:    int32(num),
+			Layer:  trace.LayerRoot,
+			Err:    int32(err),
+			Start:  t.At(start),
+			Dur:    int64(d),
+		})
+		p.causeSpan.Store(0)
+	}
+	p.curSpan.Store(0)
+	p.spanParent.Store(0)
+	p.curLink.Store(0)
 	p.checkSignals()
 	return rv, err
 }
@@ -519,10 +657,7 @@ func (p *Proc) dispatch(pl *dispatchPlan, below int, num int, a sys.Args) (sys.R
 				if s := p.k.sup.Load(); s != nil {
 					return s.call(p, pl, i, num, a)
 				}
-				if r := p.k.tel.Load(); r != nil {
-					return p.layerCallTimed(r, pl, i, num, a)
-				}
-				return pl.layers[i].Handler.Syscall(pl.ctxs[i], num, a)
+				return p.invokeLayer(pl, i, num, a)
 			}
 		} else {
 			// Stack too deep for the bitmap: linear interest walk.
@@ -531,10 +666,7 @@ func (p *Proc) dispatch(pl *dispatchPlan, below int, num int, a sys.Args) (sys.R
 					if s := p.k.sup.Load(); s != nil {
 						return s.call(p, pl, i, num, a)
 					}
-					if r := p.k.tel.Load(); r != nil {
-						return p.layerCallTimed(r, pl, i, num, a)
-					}
-					return pl.layers[i].Handler.Syscall(pl.ctxs[i], num, a)
+					return p.invokeLayer(pl, i, num, a)
 				}
 			}
 		}
@@ -551,41 +683,136 @@ func (p *Proc) dispatch(pl *dispatchPlan, below int, num int, a sys.Args) (sys.R
 			return rv, err
 		}
 	}
-	if r := p.k.tel.Load(); r != nil {
-		return p.kernelCallTimed(r, num, a)
+	if r := p.k.tel.Load(); r != nil || p.curSpan.Load() != 0 {
+		return p.kernelCallTraced(r, num, a)
 	}
 	return p.k.Syscall(p, num, a)
 }
 
-// layerCallTimed runs layer i's handler and attributes its self time —
-// wall time minus the time nested downcalls spent in lower instances
-// (accumulated into p.telChild by the frames below this one).
-func (p *Proc) layerCallTimed(r *telemetry.Registry, pl *dispatchPlan, i, num int, a sys.Args) (sys.Retval, sys.Errno) {
+// invokeLayer runs layer i's handler, adding telemetry attribution
+// and/or a child span when either facility needs it; with both off it is
+// a direct handler call. The supervisor's containment paths route
+// through it too, so supervised upcalls get the same per-call
+// attribution and spans as bare dispatch.
+func (p *Proc) invokeLayer(pl *dispatchPlan, i, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	if r := p.k.tel.Load(); r != nil || p.curSpan.Load() != 0 {
+		return p.layerCallTraced(r, pl, i, num, a)
+	}
+	return pl.layers[i].Handler.Syscall(pl.ctxs[i], num, a)
+}
+
+// layerCallTraced runs layer i's handler with instrumentation. When a
+// registry is installed (r may be nil) it attributes the layer's self
+// time — wall time minus the time nested downcalls spent in lower
+// instances (accumulated into p.telChild by the frames below this one).
+// When the call in flight carries an open root span, it additionally
+// opens a child span under the innermost open span, so nested Down
+// chains render as nested intervals. If a panic travels through this
+// frame — the exit/exec control-flow unwinds, or an agent bug headed
+// for the supervisor above — the open span is recorded entry-style
+// (Dur=-1) on the way out: downcalls that completed under it (the
+// toolkit's exec emulation reads the image and closes descriptors
+// before the final unwinding execve) already reference it as their
+// parent and must not dangle.
+func (p *Proc) layerCallTraced(r *telemetry.Registry, pl *dispatchPlan, i, num int, a sys.Args) (sys.Retval, sys.Errno) {
 	l := pl.layers[i]
-	saved := p.telChild
-	p.telChild = 0
+	var t *trace.Tracer
+	var span trace.Span
+	var savedParent uint64
+	if p.curSpan.Load() != 0 {
+		if t = p.k.trc.Load(); t != nil {
+			span = trace.Span{
+				Trace:  p.traceID.Load(),
+				ID:     t.NewSpanID(),
+				Parent: p.spanParent.Load(),
+				PID:    int32(p.pid),
+				Num:    int32(num),
+				Layer:  int32(1 + i),
+				Name:   l.Name,
+			}
+			savedParent = p.spanParent.Load()
+			p.spanParent.Store(span.ID)
+		}
+	}
+	saved := p.telChild.Load()
+	p.telChild.Store(0)
 	start := time.Now()
+	if t != nil {
+		defer func() {
+			if rec := recover(); rec != nil {
+				span.Start = t.At(start)
+				span.Dur = -1
+				t.Record(span)
+				panic(rec)
+			}
+		}()
+	}
 	rv, err := l.Handler.Syscall(pl.ctxs[i], num, a)
 	elapsed := time.Since(start)
-	self := elapsed - p.telChild
-	if self < 0 {
-		self = 0
+	if r != nil {
+		self := elapsed - time.Duration(p.telChild.Load())
+		if self < 0 {
+			self = 0
+		}
+		r.RecordLayer(1+i, l.Name, self)
 	}
-	r.RecordLayer(1+i, l.Name, self)
-	p.telChild = saved + elapsed
+	p.telChild.Store(saved + int64(elapsed))
+	if t != nil {
+		p.spanParent.Store(savedParent)
+		span.Start = t.At(start)
+		span.Dur = int64(elapsed)
+		span.Err = int32(err)
+		t.Record(span)
+	}
 	return rv, err
 }
 
-// kernelCallTimed runs the kernel's implementation and attributes its
-// time to the kernel slot (layer 0); the kernel makes no downcalls, so
-// its self time is its wall time.
-func (p *Proc) kernelCallTimed(r *telemetry.Registry, num int, a sys.Args) (sys.Retval, sys.Errno) {
-	saved := p.telChild
+// kernelCallTraced runs the kernel's implementation with
+// instrumentation: self time to the kernel attribution slot when a
+// registry is installed (r may be nil), and a kernel-leg child span when
+// the call in flight carries an open root span. The kernel makes no
+// downcalls, so its self time is its wall time.
+func (p *Proc) kernelCallTraced(r *telemetry.Registry, num int, a sys.Args) (sys.Retval, sys.Errno) {
+	var t *trace.Tracer
+	var span trace.Span
+	if p.curSpan.Load() != 0 {
+		if t = p.k.trc.Load(); t != nil {
+			span = trace.Span{
+				Trace:  p.traceID.Load(),
+				ID:     t.NewSpanID(),
+				Parent: p.spanParent.Load(),
+				PID:    int32(p.pid),
+				Num:    int32(num),
+				Layer:  trace.LayerKernel,
+			}
+		}
+	}
+	saved := p.telChild.Load()
 	start := time.Now()
+	if t != nil {
+		// Exit and exec unwind through here; record the kernel leg
+		// entry-style so the trace shows where the call went.
+		defer func() {
+			if rec := recover(); rec != nil {
+				span.Start = t.At(start)
+				span.Dur = -1
+				t.Record(span)
+				panic(rec)
+			}
+		}()
+	}
 	rv, err := p.k.Syscall(p, num, a)
 	elapsed := time.Since(start)
-	r.RecordLayer(0, "kernel", elapsed)
-	p.telChild = saved + elapsed
+	if r != nil {
+		r.RecordLayer(0, "kernel", elapsed)
+	}
+	p.telChild.Store(saved + int64(elapsed))
+	if t != nil {
+		span.Start = t.At(start)
+		span.Dur = int64(elapsed)
+		span.Err = int32(err)
+		t.Record(span)
+	}
 	return rv, err
 }
 

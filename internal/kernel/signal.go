@@ -1,6 +1,9 @@
 package kernel
 
-import "interpose/internal/sys"
+import (
+	"interpose/internal/sys"
+	"interpose/internal/trace"
+)
 
 // unmaskable signals can be neither blocked, caught, nor ignored.
 const unmaskable = uint32(1<<(sys.SIGKILL-1)) | uint32(1<<(sys.SIGSTOP-1))
@@ -68,6 +71,21 @@ func (k *Kernel) postSignalPLocked(p *Proc, sig int) {
 	p.sigPending |= sys.SigMask(sig)
 	p.refreshAttnLocked()
 	p.wakeup()
+}
+
+// noteSigCause records the poster's open root span as the causal origin
+// of the next signal delivered to target (the post→deliver edge of
+// causal tracing). Best-effort: one slot, latest poster wins, consumed
+// at delivery. Takes only target.sigMu, the innermost lock, so any
+// posting context may call it.
+func noteSigCause(target *Proc, traceID, span uint64) {
+	if span == 0 {
+		return
+	}
+	target.sigMu.Lock()
+	target.sigCauseTrace = traceID
+	target.sigCauseSpan = span
+	target.sigMu.Unlock()
 }
 
 // PostSignal delivers sig to p from outside the system interface (tests,
@@ -142,7 +160,32 @@ func (p *Proc) checkSignalsSlow() {
 		p.sigPending &^= sys.SigMask(sig)
 		p.refreshAttnLocked()
 		dispatch := p.sigDispatch
+		causeTrace, causeSpan := p.sigCauseTrace, p.sigCauseSpan
+		p.sigCauseTrace, p.sigCauseSpan = 0, 0
 		p.sigMu.Unlock()
+
+		// Causal tracing: an instant delivery span linked to the poster's
+		// span. The receiver adopts the poster's trace if it has none yet,
+		// and the delivery becomes the causal parent of whatever the
+		// receiver does next (e.g. a handler's first system call).
+		if causeSpan != 0 {
+			if t := p.k.trc.Load(); t != nil {
+				if p.traceID.Load() == 0 {
+					p.traceID.Store(causeTrace)
+				}
+				sp := trace.Span{
+					Trace: p.traceID.Load(),
+					ID:    t.NewSpanID(),
+					Link:  causeSpan,
+					PID:   int32(p.pid),
+					Num:   int32(sig),
+					Layer: trace.LayerSignal,
+					Start: t.Now(),
+				}
+				t.Record(sp)
+				p.causeSpan.Store(sp.ID)
+			}
+		}
 
 		// Upward interposition path: kernel → layers (bottom first) → app.
 		// An interposer may rewrite the signal, so the application's

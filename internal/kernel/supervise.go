@@ -236,11 +236,12 @@ func (s *Supervisor) Gauges() []telemetry.NamedCounter {
 	}
 	s.mu.Unlock()
 	sort.Slice(bs, func(i, j int) bool { return bs[i].name < bs[j].name })
-	out := make([]telemetry.NamedCounter, 0, 5*len(bs))
+	out := make([]telemetry.NamedCounter, 0, 6*len(bs))
 	for _, b := range bs {
 		pre := "supervise.layer." + b.name + "."
+		st := b.state.Load()
 		var q uint64
-		if b.state.Load() == breakerOpen {
+		if st == breakerOpen {
 			q = 1
 		}
 		out = append(out,
@@ -249,6 +250,9 @@ func (s *Supervisor) Gauges() []telemetry.NamedCounter {
 			telemetry.NamedCounter{Name: pre + "contained", Value: b.contained.Load()},
 			telemetry.NamedCounter{Name: pre + "trips", Value: b.trips.Load()},
 			telemetry.NamedCounter{Name: pre + "quarantined", Value: q},
+			// state distinguishes half-open (2) from open (1) and closed
+			// (0), which the boolean quarantined gauge cannot.
+			telemetry.NamedCounter{Name: pre + "state", Value: uint64(st)},
 		)
 	}
 	return out
@@ -334,11 +338,7 @@ func (p *Proc) runLayerContained(pl *dispatchPlan, i, num int, a sys.Args) (rv s
 			pan = &panicInfo{val: r, stack: captureStack()}
 		}
 	}()
-	if r := p.k.tel.Load(); r != nil {
-		rv, err = p.layerCallTimed(r, pl, i, num, a)
-		return
-	}
-	rv, err = pl.layers[i].Handler.Syscall(pl.ctxs[i], num, a)
+	rv, err = p.invokeLayer(pl, i, num, a)
 	return
 }
 
@@ -369,11 +369,7 @@ func (s *Supervisor) runDeadline(p *Proc, pl *dispatchPlan, i, num int, a sys.Ar
 				o.pan = &panicInfo{val: r, stack: captureStack()}
 			}
 		}()
-		if r := p.k.tel.Load(); r != nil {
-			o.rv, o.err = p.layerCallTimed(r, pl, i, num, a)
-			return
-		}
-		o.rv, o.err = pl.layers[i].Handler.Syscall(pl.ctxs[i], num, a)
+		o.rv, o.err = p.invokeLayer(pl, i, num, a)
 	}()
 	t := time.NewTimer(s.cfg.Deadline)
 	defer t.Stop()

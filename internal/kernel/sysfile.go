@@ -221,6 +221,11 @@ func (k *Kernel) pipeRead(p *Proc, pp *Pipe, cnt int, bufAddr sys.Word, flags in
 	pp.mu.Lock()
 	for {
 		if pp.count > 0 {
+			// Causal tracing: link this read's span to the last traced
+			// writer's span (under pp.mu, same as the data it explains).
+			if pp.edgeSpan != 0 && p.curSpan.Load() != 0 {
+				p.curLink.Store(pp.edgeSpan)
+			}
 			bp, buf := getIOBuf(min(cnt, pp.count))
 			n := pp.read(buf)
 			pp.writeQ.wakeAll()
@@ -253,6 +258,12 @@ func (k *Kernel) pipeRead(p *Proc, pp *Pipe, cnt int, bufAddr sys.Word, flags in
 // object lock.
 func (k *Kernel) pipeWrite(p *Proc, pp *Pipe, buf []byte, flags int) (int, sys.Errno) {
 	pp.mu.Lock()
+	// Causal tracing: publish this write's span for the next traced
+	// reader. Latest traced writer wins, which matches what a reader
+	// draining the buffer most plausibly consumed last.
+	if s := p.curSpan.Load(); s != 0 {
+		pp.edgeSpan = s
+	}
 	total := 0
 	for len(buf) > 0 {
 		if pp.readers == 0 {

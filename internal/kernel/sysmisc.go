@@ -255,4 +255,3 @@ func (k *Kernel) sysGetrusage(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	ru.Encode(b[:])
 	return sys.Retval{}, p.CopyOut(a[1], b[:])
 }
-

@@ -64,6 +64,12 @@ func (k *Kernel) finishExit(p *Proc, status sys.Word) {
 			}
 		}
 	}
+	// Publish the exit call's root span for the wait causal edge before
+	// the zombie transition makes the process reapable. finishExit always
+	// runs on the process's own goroutine; holding k.pmu here is what
+	// makes the copy visible to the reaping parent, which reads exitSpan
+	// under k.pmu.
+	p.exitSpan = p.curSpan.Load()
 	p.exitStatus = status
 	p.setStateLocked(procZombie)
 	p.sigMu.Lock()
@@ -75,6 +81,7 @@ func (k *Kernel) finishExit(p *Proc, status sys.Word) {
 	}
 	if parent, ok := k.procs[p.ppid]; ok && p.ppid != 0 {
 		k.postSignalPLocked(parent, sys.SIGCHLD)
+		noteSigCause(parent, p.traceID.Load(), p.curSpan.Load())
 		parent.childQ.wakeAll()
 	}
 	close(p.exitDone) // host-side WaitExit callers unblock here
@@ -158,6 +165,11 @@ func (k *Kernel) sysFork(p *Proc) (sys.Retval, sys.Errno) {
 	p.mu.Unlock()
 	child.plan.Store(compilePlan(child, child.emu))
 	child.pendingChildInit = len(child.emu) > 0
+	// Causal tracing: the child joins the parent's trace and its first
+	// sampled span parents to the fork span. This runs on the parent's
+	// goroutine before publishProc, so the copy races with nothing.
+	child.traceID.Store(p.traceID.Load())
+	child.causeSpan.Store(p.curSpan.Load())
 	k.publishProc(child, p)
 	k.trace(p, "fork", "", "", child.pid, sys.OK)
 	go child.run(entry)
@@ -187,6 +199,11 @@ func (k *Kernel) sysWait4(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 			delete(p.children, pid)
 			delete(k.procs, pid)
 			child.setStateLocked(procDead)
+			// Causal tracing: link this wait span to the child's exit span
+			// (written in finishExit; the shared k.pmu carries it here).
+			if child.exitSpan != 0 && p.curSpan.Load() != 0 {
+				p.curLink.Store(child.exitSpan)
+			}
 			ru := child.rusageSelf()
 			addRusage(&ru, child.childrenRu)
 			addRusage(&p.childrenRu, ru)

@@ -24,6 +24,9 @@ func (k *Kernel) sysKill(p *Proc, a sys.Args) (sys.Retval, sys.Errno) {
 	post := func(t *Proc) {
 		if sig != 0 {
 			k.postSignalPLocked(t, sig)
+			// Causal tracing: remember the killer's open span so the
+			// delivery span can link back to it.
+			noteSigCause(t, p.traceID.Load(), p.curSpan.Load())
 		}
 	}
 	alive := func(t *Proc) bool {

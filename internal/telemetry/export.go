@@ -24,6 +24,8 @@ type SyscallSnap struct {
 	Errs  uint64        `json:"errs"`
 	Total time.Duration `json:"total_ns"`
 	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
 	P99   time.Duration `json:"p99_ns"`
 	Max   time.Duration `json:"max_ns"`
 	Timed uint64        `json:"timed"` // observations with latency data
@@ -82,7 +84,8 @@ func (r *Registry) Snapshot() Snapshot {
 		if row.Timed > 0 {
 			row.Total = st.hist.Sum()
 			row.Mean = st.hist.Mean()
-			row.P99 = st.hist.Quantile(0.99)
+			qs := st.hist.Quantiles(0.5, 0.9, 0.99)
+			row.P50, row.P90, row.P99 = qs[0], qs[1], qs[2]
 			row.Max = st.hist.Max()
 		}
 		s.Total += n
@@ -143,14 +146,16 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 	if len(s.Syscalls) > 0 {
 		fmt.Fprintf(w, "syscalls:\n")
-		fmt.Fprintf(w, "  %-16s %10s %8s %10s %10s %10s\n", "call", "count", "errs", "mean", "p99", "max")
+		fmt.Fprintf(w, "  %-16s %10s %8s %10s %10s %10s %10s %10s\n",
+			"call", "count", "errs", "mean", "p50", "p90", "p99", "max")
 		for _, r := range s.Syscalls {
 			if r.Timed == 0 {
 				fmt.Fprintf(w, "  %-16s %10d %8d\n", r.Name, r.Count, r.Errs)
 				continue
 			}
-			fmt.Fprintf(w, "  %-16s %10d %8d %10s %10s %10s\n",
-				r.Name, r.Count, r.Errs, fmtDur(r.Mean), fmtDur(r.P99), fmtDur(r.Max))
+			fmt.Fprintf(w, "  %-16s %10d %8d %10s %10s %10s %10s %10s\n",
+				r.Name, r.Count, r.Errs, fmtDur(r.Mean),
+				fmtDur(r.P50), fmtDur(r.P90), fmtDur(r.P99), fmtDur(r.Max))
 		}
 	}
 }

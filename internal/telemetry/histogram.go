@@ -89,24 +89,38 @@ func (h *Histogram) Buckets() [NumBuckets]uint64 {
 // the bucket containing the q-th observation — an overestimate bounded by
 // the bucket width (a factor of two).
 func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles estimates several quantiles from one snapshot of the bucket
+// counts, so a p50/p90/p99 triple read while recording continues comes
+// from the same distribution. Each estimate follows the Quantile rule:
+// the upper bound of the bucket holding the q-th observation.
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
 	b := h.Buckets()
 	var total uint64
 	for _, n := range b {
 		total += n
 	}
+	out := make([]time.Duration, len(qs))
 	if total == 0 {
-		return 0
+		return out
 	}
-	target := uint64(q * float64(total))
-	if target >= total {
-		target = total - 1
-	}
-	var seen uint64
-	for i, n := range b {
-		seen += n
-		if seen > target {
-			return time.Duration(BucketBound(i))
+	for k, q := range qs {
+		target := uint64(q * float64(total))
+		if target >= total {
+			target = total - 1
 		}
+		var seen uint64
+		v := time.Duration(BucketBound(NumBuckets - 1))
+		for i, n := range b {
+			seen += n
+			if seen > target {
+				v = time.Duration(BucketBound(i))
+				break
+			}
+		}
+		out[k] = v
 	}
-	return time.Duration(BucketBound(NumBuckets - 1))
+	return out
 }

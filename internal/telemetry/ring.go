@@ -67,7 +67,15 @@ func (r *ring) record(e Event) {
 	s.mu.Unlock()
 }
 
-// snapshot returns the surviving events sorted by sequence number.
+// snapshot returns the surviving events merged into one totally ordered
+// history: sorted by global sequence number, then trimmed to the longest
+// gap-free suffix. Shards overwrite independently, so a recorder
+// preempted between taking its sequence number and filling its slot can
+// leave a stale old event surviving in one shard while the others have
+// moved on; everything before the resulting sequence gap is dropped, so
+// the dump reads as one contiguous recent history rather than reordered
+// fragments. In steady state the per-shard windows line up exactly and
+// nothing is trimmed.
 func (r *ring) snapshot() []Event {
 	var out []Event
 	for i := range r.shards {
@@ -83,5 +91,12 @@ func (r *ring) snapshot() []Event {
 		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	start := len(out) - 1
+	for start > 0 && out[start-1].Seq+1 == out[start].Seq {
+		start--
+	}
+	if start > 0 {
+		out = out[start:]
+	}
 	return out
 }

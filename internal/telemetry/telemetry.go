@@ -127,6 +127,26 @@ func (r *Registry) IncSyscallErr(num int) {
 	}
 }
 
+// ObserveLatency records latency for one call number without touching
+// the occurrence counters, for instruments that count at entry (the
+// monitor agent must count exit, which never returns from its downcall).
+func (r *Registry) ObserveLatency(num int, d time.Duration) {
+	if num >= 0 && num < sys.MaxSyscall {
+		r.syscalls[num].hist.Observe(d)
+	}
+}
+
+// SyscallQuantiles estimates latency quantiles for one call number; the
+// second result is the number of latency observations backing them (0
+// means the call was only ever counted, never timed).
+func (r *Registry) SyscallQuantiles(num int, qs ...float64) ([]time.Duration, uint64) {
+	if num < 0 || num >= sys.MaxSyscall {
+		return make([]time.Duration, len(qs)), 0
+	}
+	h := &r.syscalls[num].hist
+	return h.Quantiles(qs...), h.Count()
+}
+
 // SyscallCount returns the number of recorded calls for one number.
 func (r *Registry) SyscallCount(num int) uint64 {
 	if num < 0 || num >= sys.MaxSyscall {

@@ -40,6 +40,62 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 9 medium, 1 slow: p50 lands in the fast
+	// bucket, p90 at its edge, p99 in the slow tail.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket [64, 128)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	qs := h.Quantiles(0.5, 0.9, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("Quantiles returned %d values", len(qs))
+	}
+	if qs[0] != h.Quantile(0.5) || qs[2] != h.Quantile(0.99) {
+		t.Errorf("Quantiles disagrees with Quantile: %v vs %v/%v", qs, h.Quantile(0.5), h.Quantile(0.99))
+	}
+	if qs[0] > 128*time.Nanosecond {
+		t.Errorf("p50 = %v, want within the fast bucket", qs[0])
+	}
+	if qs[1] < qs[0] || qs[2] < qs[1] {
+		t.Errorf("quantiles not monotone: %v", qs)
+	}
+	if qs[2] < 100*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 100ms", qs[2])
+	}
+
+	var empty Histogram
+	for _, q := range empty.Quantiles(0.5, 0.99) {
+		if q != 0 {
+			t.Errorf("empty histogram quantile = %v, want 0", q)
+		}
+	}
+}
+
+func TestObserveLatencyAndSyscallQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.IncSyscall(sys.SYS_write) // counted, never timed
+	if _, timed := r.SyscallQuantiles(sys.SYS_write, 0.5); timed != 0 {
+		t.Fatalf("timed = %d for an untimed call", timed)
+	}
+	r.ObserveLatency(sys.SYS_write, time.Microsecond)
+	if got := r.SyscallCount(sys.SYS_write); got != 1 {
+		t.Fatalf("ObserveLatency changed the occurrence count: %d", got)
+	}
+	qs, timed := r.SyscallQuantiles(sys.SYS_write, 0.5, 0.99)
+	if timed != 1 {
+		t.Fatalf("timed = %d, want 1", timed)
+	}
+	if qs[0] < time.Microsecond || qs[0] > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs bucket bound", qs[0])
+	}
+}
+
 func TestRingOverwritesOldest(t *testing.T) {
 	var r ring
 	r.init(16)
@@ -55,9 +111,48 @@ func TestRingOverwritesOldest(t *testing.T) {
 			t.Fatalf("events not ordered by seq: %d then %d", evs[i-1].Seq, evs[i].Seq)
 		}
 	}
-	// All survivors are from the most recent writes.
+	// All survivors are from the most recent writes, gap-free.
 	if evs[0].Seq < 84 {
 		t.Fatalf("oldest surviving seq = %d, want >= 84", evs[0].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("gap in dump: seq %d follows %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+// TestRingTrimsStaleSurvivor forces the hazard the gap-free trim exists
+// for: a recorder preempted between drawing its sequence number and
+// filling its slot leaves one shard holding a stale old event while the
+// others wrap far past it. The dump must drop everything at or before
+// the resulting gap rather than splice ancient events into the middle of
+// recent history.
+func TestRingTrimsStaleSurvivor(t *testing.T) {
+	var r ring
+	r.init(16)
+	for i := 0; i < 100; i++ {
+		r.record(Event{PID: int32(i)})
+	}
+	s := &r.shards[5]
+	s.mu.Lock()
+	s.slots[0] = Event{Seq: 5, PID: 5}
+	s.mu.Unlock()
+
+	evs := r.snapshot()
+	if len(evs) == 0 {
+		t.Fatal("empty dump")
+	}
+	for i, e := range evs {
+		if e.Seq == 5 {
+			t.Fatalf("stale event survived the trim at index %d", i)
+		}
+		if i > 0 && evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("gap in dump: seq %d follows %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != 99 {
+		t.Fatalf("newest surviving seq = %d, want 99", evs[len(evs)-1].Seq)
 	}
 }
 

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"interpose/internal/sys"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X"
+// complete events for spans, "s"/"f" flow events for cross-process
+// causal edges), the JSON dialect Perfetto and chrome://tracing load.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// spanName renders a span's display name: the syscall name for root and
+// kernel spans (prefixed "kernel:" for the kernel leg), the recorded
+// layer name for agent-layer spans, and "signal:NAME" for deliveries.
+func spanName(sp Span) string {
+	switch {
+	case sp.Layer == LayerSignal:
+		return "signal:" + sys.SignalName(int(sp.Num))
+	case sp.Layer == LayerKernel:
+		return "kernel:" + sys.SyscallName(int(sp.Num))
+	case sp.Layer > 0:
+		return sp.Name + ":" + sys.SyscallName(int(sp.Num))
+	}
+	return sys.SyscallName(int(sp.Num))
+}
+
+// WriteChrome renders spans as a Chrome trace-event JSON document.
+// Every span becomes an "X" complete event; entry-recorded spans
+// (Dur < 0: exit, exec) render with zero duration and an "unfinished"
+// arg. Parent references that cross a process boundary (fork, exec,
+// signal adoption) and all Link references (pipe, wait, signal) become
+// "s"→"f" flow pairs, the arrows Perfetto draws between tracks.
+func WriteChrome(w io.Writer, spans []Span) error {
+	byID := make(map[uint64]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	events := make([]chromeEvent, 0, len(spans)+len(spans)/4)
+	for i := range spans {
+		sp := &spans[i]
+		args := map[string]any{
+			"span":  sp.ID,
+			"trace": sp.Trace,
+			"layer": sp.Layer,
+		}
+		if sp.Parent != 0 {
+			args["parent"] = sp.Parent
+		}
+		if sp.Link != 0 {
+			args["link"] = sp.Link
+		}
+		if sp.Err != 0 {
+			args["errno"] = sys.Errno(sp.Err).Name()
+		}
+		dur := float64(sp.Dur) / 1e3
+		if sp.Dur < 0 {
+			dur = 0
+			args["unfinished"] = true
+		}
+		events = append(events, chromeEvent{
+			Name: spanName(*sp),
+			Cat:  "syscall",
+			Ph:   "X",
+			TS:   float64(sp.Start) / 1e3,
+			Dur:  dur,
+			PID:  sp.PID,
+			TID:  sp.PID,
+			Args: args,
+		})
+		if src, ok := byID[sp.Parent]; ok && src.PID != sp.PID {
+			events = append(events, flowPair(src, sp, "causal", fmt.Sprintf("p%d", sp.ID))...)
+		}
+		if src, ok := byID[sp.Link]; ok {
+			events = append(events, flowPair(src, sp, "link", fmt.Sprintf("l%d", sp.ID))...)
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// flowPair builds the "s" (at the source span's end) and "f" (at the
+// destination span's start) events for one causal arrow.
+func flowPair(src, dst *Span, cat, id string) []chromeEvent {
+	srcEnd := src.Start
+	if src.Dur > 0 {
+		srcEnd += src.Dur
+	}
+	return []chromeEvent{
+		{Name: cat, Cat: cat, Ph: "s", TS: float64(srcEnd) / 1e3, PID: src.PID, TID: src.PID, ID: id},
+		{Name: cat, Cat: cat, Ph: "f", BP: "e", TS: float64(dst.Start) / 1e3, PID: dst.PID, TID: dst.PID, ID: id},
+	}
+}
+
+// WriteChrome renders the tracer's current buffer; see the package-level
+// WriteChrome.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, t.Snapshot())
+}

@@ -1,0 +1,53 @@
+// Span tracer microbenchmarks: the cost of causal tracing at each
+// sampling setting. Off is the pay-per-use contract — with no tracer
+// installed the syscall path pays one atomic pointer load, so it must
+// stay within noise of BenchmarkScalability_SyscallThroughput/off — and
+// Sampled is what the perf-smoke gate folds into its guarded rows
+// (trace:getpid()/{off,sampled} in BENCH_BASELINE.json): the unsampled
+// 99% of calls pay one xorshift draw, no clock reads, no recording.
+// Full is the worst case: every call allocates a trace, reads the clock
+// twice, and records a root span.
+//
+//	go test -bench 'Trace' .
+package interpose_test
+
+import (
+	"testing"
+
+	"interpose/internal/sys"
+	"interpose/internal/trace"
+)
+
+// benchTraceProcs runs the parallel getpid storm with an optional span
+// tracer installed, one guest process per worker goroutine.
+func benchTraceProcs(b *testing.B, cfg *trace.Config) {
+	b.Helper()
+	k := mustWorld(b)
+	if cfg != nil {
+		k.SetSpanTracer(trace.NewTracer(*cfg))
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		p := k.NewProc()
+		for pb.Next() {
+			p.Syscall(sys.SYS_getpid, sys.Args{})
+		}
+	})
+}
+
+// BenchmarkTrace_Off is the floor: no tracer installed. Must match
+// BenchmarkScalability_SyscallThroughput/off.
+func BenchmarkTrace_Off(b *testing.B) {
+	benchTraceProcs(b, nil)
+}
+
+// BenchmarkTrace_Sampled is a tracer at 1% head sampling: the common
+// production setting, dominated by the unsampled path.
+func BenchmarkTrace_Sampled(b *testing.B) {
+	benchTraceProcs(b, &trace.Config{Sample: 0.01, TailErrors: true})
+}
+
+// BenchmarkTrace_Full is every call sampled: root span per call, shard
+// lock per record.
+func BenchmarkTrace_Full(b *testing.B) {
+	benchTraceProcs(b, &trace.Config{Sample: 1})
+}
