@@ -6,7 +6,9 @@
 //	         [-inject plan] [-stats] [-stats-json] [-flight-dump]
 //	         [-supervise strict|bypass] [-agent-deadline dur]
 //	         [-supervise-errno NAME] [-trace-out file]
-//	         [-trace-sample p] [-trace-slow dur] -- PROGRAM [args...]
+//	         [-trace-sample p] [-trace-slow dur]
+//	         [-journal file] [-checkpoint file] [-restore file]
+//	         -- PROGRAM [args...]
 //
 // Examples:
 //
@@ -54,18 +56,34 @@
 // -trace-out is given); -trace-slow additionally retains unsampled calls
 // at least that slow. Guests can read the same JSON from /dev/trace and
 // retune sampling by writing "sample P" or "clear" to it.
+//
+// -journal attaches a write-ahead journal backed by a host file: every
+// filesystem mutation is logged before it is applied, so an injected
+// crash (-inject '...write=crash@p' or torn:N) leaves a replayable
+// record of everything that was durable. -checkpoint writes the final
+// world to a file after a clean run; -restore boots from such a file
+// instead of a fresh world. Combining -restore with -journal first
+// replays the journal's surviving suffix on top of the checkpoint
+// (discarding a torn tail), then continues journaling to the same file:
+//
+//	agentrun -journal w.jnl -inject 'seed=7,write=torn:16@0.001' -- /bin/sh -c 'cd /src; mk all'
+//	agentrun -journal w.jnl -restore w.ckpt -- /bin/ls /src   # recover, then keep going
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"interpose/internal/agents"
 	"interpose/internal/apps"
 	"interpose/internal/core"
 	"interpose/internal/fault"
+	"interpose/internal/image"
+	"interpose/internal/journal"
 	"interpose/internal/kernel"
 	"interpose/internal/sys"
 	"interpose/internal/telemetry"
@@ -97,6 +115,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write causal span trace as Chrome trace-event JSON to this file (load in Perfetto)")
 	traceSample := flag.Float64("trace-sample", -1, "span head-sampling probability in [0,1]; default 1 with -trace-out, else tracing off")
 	traceSlow := flag.Duration("trace-slow", 0, "also retain unsampled calls at least this slow (tail sampling; 0 disables)")
+	journalPath := flag.String("journal", "", "attach a write-ahead journal backed by this host file (with -restore: replay it first, then append)")
+	checkpointPath := flag.String("checkpoint", "", "write a checkpoint of the final world to this file after a clean run")
+	restorePath := flag.String("restore", "", "boot from this checkpoint file instead of a fresh world")
 	flag.Parse()
 
 	if *list {
@@ -117,9 +138,62 @@ func main() {
 		os.Exit(2)
 	}
 
-	k, err := apps.NewWorld()
+	var k *kernel.Kernel
+	var err error
+	if *restorePath != "" {
+		images := image.NewRegistry()
+		apps.Register(images)
+		f, oerr := os.Open(*restorePath)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		k, err = kernel.Restore(images, f)
+		f.Close()
+	} else {
+		k, err = apps.NewWorld()
+	}
 	if err != nil {
 		fatal(err)
+	}
+
+	// The journal attaches before anything runs. An existing journal file
+	// is first replayed onto the world — onto the checkpoint with
+	// -restore (the sequence watermark skips whatever the checkpoint
+	// already contains), onto the fresh boot otherwise — so rerunning
+	// with the same -journal file recovers a crashed world and continues
+	// it. A torn tail is reported, cut off, and appended over.
+	var jstore *journal.FileStore
+	replayed := 0
+	if *journalPath != "" {
+		st, data, jerr := journal.OpenFileStore(*journalPath)
+		if jerr != nil {
+			fatal(jerr)
+		}
+		applied, skipped, torn, rerr := k.ReplayJournal(data)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if torn != nil {
+			fmt.Fprintln(os.Stderr, "agentrun:", torn.Error())
+			if terr := st.TruncateTo(torn.Off); terr != nil {
+				fatal(terr)
+			}
+		}
+		if applied+skipped > 0 {
+			fmt.Fprintf(os.Stderr, "agentrun: journal: replayed %d records (%d already checkpointed)\n", applied, skipped)
+		}
+		replayed = applied + skipped
+		w := journal.NewWriter(st, 0)
+		w.StartAt(k.FS().JournalSeq() + 1)
+		k.SetJournal(w)
+		jstore = st
+	}
+	if *restorePath != "" || replayed > 0 {
+		// The recovery verifier runs after every restore or replay: a
+		// world that fails fsck must not be handed to programs.
+		if bad := k.FS().Check(); len(bad) != 0 {
+			fatal(fmt.Errorf("recovered world fails fsck: %s", strings.Join(bad, "; ")))
+		}
 	}
 	reg := telemetry.NewRegistry()
 	k.SetTelemetry(reg)
@@ -146,6 +220,15 @@ func main() {
 			fatal(err)
 		}
 		kinj = fault.NewInjector(plan)
+		kinj.OnCrash(func(torn int) {
+			// The machine dies: the journal is frozen at its durable prefix
+			// (minus any torn bytes) and every process is killed. What the
+			// file holds afterward is exactly what a recovery may trust.
+			if jstore != nil {
+				jstore.Freeze(torn)
+			}
+			k.Crash()
+		})
 		k.SetInjector(kinj)
 	}
 	mode, supervised, err := kernel.ParseSuperviseMode(*supervise)
@@ -208,6 +291,33 @@ func main() {
 		fmt.Fprint(os.Stderr, kinj.Summary())
 	}
 
+	crashed := kinj != nil && kinj.Crashed()
+	if w := k.Journal(); w != nil && !crashed {
+		// Final group-commit barrier: a clean exit leaves a complete
+		// journal file. (A crashed world's store is frozen as-is.)
+		if err := w.Commit(); err != nil {
+			fmt.Fprintln(os.Stderr, "agentrun: journal:", err)
+		}
+	}
+	if *checkpointPath != "" {
+		if crashed {
+			fmt.Fprintln(os.Stderr, "agentrun: world crashed; no checkpoint written (recover from the journal)")
+		} else {
+			f, err := os.Create(*checkpointPath)
+			if err != nil {
+				fatal(err)
+			}
+			werr := k.Checkpoint(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fatal(werr)
+			}
+			fmt.Fprintf(os.Stderr, "agentrun: checkpoint written to %s\n", *checkpointPath)
+		}
+	}
+
 	if spanTracer != nil && *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -237,14 +347,47 @@ func main() {
 	if !sys.WIfExited(status) {
 		fmt.Fprintf(os.Stderr, "agentrun: %s killed by %s\n", argv[0], sys.SignalName(sys.WTermSig(status)))
 		// A crash recorder's whole point: dump the recent-event ring when
-		// the program dies abnormally, whether or not it was asked for.
+		// the program dies abnormally, whether or not it was asked for —
+		// and persist it (plus the span trace) to $ARTIFACT_DIR so CI
+		// keeps the forensics even though stderr scrolls away.
 		snap.WriteFlight(os.Stderr)
+		writeDeathArtifacts(snap, spanTracer)
 		os.Exit(128 + sys.WTermSig(status))
 	}
 	if *flightDump {
 		snap.WriteFlight(os.Stderr)
 	}
 	os.Exit(sys.WExitStatus(status))
+}
+
+// writeDeathArtifacts writes the flight ring and span trace as files in
+// $ARTIFACT_DIR when the program dies on a signal. An injected crash is
+// an expected death, so a soak harness exits nonzero here without any
+// test framework marking failure — the artifacts must not depend on one.
+func writeDeathArtifacts(snap telemetry.Snapshot, tr *trace.Tracer) {
+	dir := os.Getenv("ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "agentrun: artifacts:", err)
+		return
+	}
+	name := fmt.Sprintf("agentrun-%d", os.Getpid())
+	var flight bytes.Buffer
+	snap.WriteFlight(&flight)
+	if err := os.WriteFile(filepath.Join(dir, name+"-flight.txt"), flight.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "agentrun: artifacts:", err)
+	}
+	if tr != nil {
+		var spans bytes.Buffer
+		if tr.WriteChrome(&spans) == nil {
+			if err := os.WriteFile(filepath.Join(dir, name+"-trace.json"), spans.Bytes(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "agentrun: artifacts:", err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "agentrun: wrote death artifacts %s-* in %s\n", name, dir)
 }
 
 // stderrTracer prints kernel file-reference trace events, one per line.

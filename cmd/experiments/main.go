@@ -2,7 +2,7 @@
 // section against this reproduction:
 //
 //	experiments              # all tables
-//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace)
+//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace, crash)
 //	experiments -runs 9      # timed repetitions per row (paper used 9)
 //	experiments -json        # also write BENCH_<date>.json (per-table ns/op)
 //
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "comma-separated tables to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace, all")
+	table := flag.String("table", "all", "comma-separated tables to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace, crash, all")
 	runs := flag.Int("runs", 9, "timed repetitions per row (after one discarded run)")
 	programs := flag.Int("programs", 8, "program count for the make workload")
 	benchJSON := flag.Bool("json", false, "write measured rows to BENCH_<date>.json")
@@ -147,6 +147,15 @@ func main() {
 		entries = append(entries, experiments.TraceEntries(rows)...)
 	}
 
+	if want("crash") {
+		rows, err := experiments.RunCrashTable(*runs)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintCrash(os.Stdout, rows)
+		entries = append(entries, experiments.CrashEntries(rows)...)
+	}
+
 	if *benchJSON {
 		name := "BENCH_" + time.Now().Format("2006-01-02") + ".json"
 		if err := experiments.WriteBenchJSON(name, entries); err != nil {
@@ -163,6 +172,13 @@ func main() {
 		report, err := experiments.CheckBaseline(baseline, entries,
 			experiments.GuardedRows, experiments.MaxRegress)
 		fmt.Printf("Baseline check against %s:\n%s", *check, report)
+		if err != nil {
+			fail(err)
+		}
+		relReport, err := experiments.CheckRelations(entries, experiments.Relations)
+		if relReport != "" {
+			fmt.Printf("Relation check:\n%s", relReport)
+		}
 		if err != nil {
 			fail(err)
 		}

@@ -55,14 +55,30 @@ func Run(t testing.TB, k *kernel.Kernel, agents []core.Agent, argv ...string) (i
 // worlds (a chaos soak looping over seeds).
 var artifactSeq atomic.Uint64
 
+// crasher is the capability of fault injectors that can kill the world:
+// DumpArtifacts treats an injected crash like a failure for artifact
+// purposes, because the interesting forensics (what the world was doing
+// when it died) would otherwise be discarded by a test that expects and
+// then recovers from the crash.
+type crasher interface {
+	Crashed() bool
+}
+
 // DumpArtifacts arms crash forensics for a soak test: it makes sure a
 // telemetry registry and a tail-retention span tracer (slow calls and
 // errors only — cheap enough to leave on for a whole soak) are installed
 // on k, and registers a cleanup that writes the flight ring and the span
-// trace to $ARTIFACT_DIR when the test fails. CI sets ARTIFACT_DIR on
-// the chaos and supervision jobs and uploads the directory on failure,
-// so a once-in-fifty flake leaves its last moments behind.
-func DumpArtifacts(t testing.TB, k *kernel.Kernel) {
+// trace to $ARTIFACT_DIR when the test fails OR when the world died to
+// an injected crash (fault "crash"/"torn" rules), not only on t.Failed()
+// — an expected crash still leaves its last moments behind. CI sets
+// ARTIFACT_DIR on the chaos and supervision jobs and uploads the
+// directory, so a once-in-fifty flake is diagnosable after the fact.
+//
+// The returned function force-writes the artifacts immediately,
+// regardless of test state — call it at the moment of an interesting
+// event (a failed recovery, right before re-booting a crashed world)
+// when waiting for cleanup would lose the state.
+func DumpArtifacts(t testing.TB, k *kernel.Kernel) (force func()) {
 	t.Helper()
 	if k.Telemetry() == nil {
 		k.SetTelemetry(telemetry.NewRegistry())
@@ -74,9 +90,9 @@ func DumpArtifacts(t testing.TB, k *kernel.Kernel) {
 		}))
 	}
 	seq := artifactSeq.Add(1)
-	t.Cleanup(func() {
+	dump := func() {
 		dir := os.Getenv("ARTIFACT_DIR")
-		if dir == "" || !t.Failed() {
+		if dir == "" {
 			return
 		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -97,7 +113,18 @@ func DumpArtifacts(t testing.TB, k *kernel.Kernel) {
 			}
 		}
 		t.Logf("agenttest: wrote failure artifacts %s-{flight.txt,trace.json} in %s", base, dir)
+	}
+	t.Cleanup(func() {
+		crashed := false
+		if c, ok := k.Injector().(crasher); ok && c != nil {
+			crashed = c.Crashed()
+		}
+		if !t.Failed() && !crashed {
+			return
+		}
+		dump()
 	})
+	return dump
 }
 
 // Watchdog arms a deadline for a test section that runs simulated guests:

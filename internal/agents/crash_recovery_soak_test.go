@@ -1,0 +1,195 @@
+package agents_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/apps"
+	"interpose/internal/core"
+	"interpose/internal/fault"
+	"interpose/internal/journal"
+	"interpose/internal/kernel"
+)
+
+// TestCrashRecoverySoakMk is the crash/recovery soak: many seeded cycles
+// of the mk workload dying mid-build to injected crashes (clean and
+// torn-tail), each recovered by replaying the frozen journal onto an
+// identically built fresh world. Every cycle enforces the three
+// crash-consistency promises:
+//
+//   - zero verifier violations: the recovered world passes fsck;
+//   - zero loss of committed data: files written before an explicit
+//     group-commit barrier survive the crash byte-for-byte;
+//   - determinism: the same seed over the same workload yields a
+//     byte-identical journal across two runs, two independent replays of
+//     that journal agree on the state hash, and a second replay onto an
+//     already-recovered world applies nothing (convergence).
+//
+// A failing cycle leaves its journal and a checkpoint of the recovered
+// world in $ARTIFACT_DIR for post-mortem.
+func TestCrashRecoverySoakMk(t *testing.T) {
+	defer agenttest.Watchdog(t, 8*time.Minute)()
+	cycles := 200
+	if testing.Short() {
+		cycles = 20
+	}
+	crashes := 0
+	for c := 0; c < cycles; c++ {
+		if runCrashRecoveryCycle(t, c) {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no cycle crashed; the plans are too weak to soak anything")
+	}
+	t.Logf("%d/%d cycles crashed and recovered cleanly", crashes, cycles)
+}
+
+// soakEffects rotates crash profiles through the cycles: clean crashes
+// and torn tails of varying size, on the workload's hottest calls.
+var soakEffects = []string{
+	"write=crash@0.01",
+	"write=torn:13@0.01",
+	"open=crash@0.02",
+	"write=torn:63@0.005",
+}
+
+// runCrashRecoveryCycle runs one seeded crash/recover cycle and reports
+// whether the seed actually crashed the world (a clean build is a valid,
+// uninteresting outcome).
+func runCrashRecoveryCycle(t *testing.T, cycle int) bool {
+	t.Helper()
+	planSpec := fmt.Sprintf("seed=%d,%s", cycle+1, soakEffects[cycle%len(soakEffects)])
+	plan, err := fault.ParsePlan(planSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// build constructs the cycle's world twice over, identically: boot,
+	// mk source tree, journal, then the committed set — files forced
+	// durable by an explicit group-commit barrier before the faulty
+	// workload starts. Identical construction makes one run's journal
+	// replayable onto another run's world.
+	var committedPaths []string
+	committed := map[string]string{}
+	for i := 0; i < 4; i++ {
+		path := fmt.Sprintf("/durable/f%d", i)
+		committedPaths = append(committedPaths, path)
+		committed[path] = fmt.Sprintf("cycle %d file %d\n", cycle, i)
+	}
+	build := func(withJournal bool) (*kernel.Kernel, *journal.MemStore) {
+		k := agenttest.World(t)
+		if err := apps.GenMakeTree(k, "/src", 2); err != nil {
+			t.Fatal(err)
+		}
+		var st *journal.MemStore
+		if withJournal {
+			st = journal.NewMemStore(0)
+			k.SetJournal(journal.NewWriter(st, 0))
+			if err := k.MkdirAll("/durable", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for _, path := range committedPaths {
+				if err := k.WriteFile(path, []byte(committed[path]), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := k.Journal().Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k, st
+	}
+
+	// run executes the workload under the seeded crash plan and returns
+	// the frozen journal, or nil if the seed never fired.
+	run := func() []byte {
+		k, st := build(true)
+		inj := fault.NewInjector(plan)
+		inj.OnCrash(func(torn int) {
+			st.Freeze(torn)
+			k.Crash()
+		})
+		k.SetInjector(inj)
+		if _, _, err := core.Run(k, nil, "/bin/sh",
+			[]string{"sh", "-c", "cd /src; mk all"}, []string{"PATH=/bin"}); err != nil {
+			t.Fatalf("cycle %d (%s): spawn: %v", cycle, planSpec, err)
+		}
+		if !inj.Crashed() {
+			return nil
+		}
+		return st.Bytes()
+	}
+
+	j1, j2 := run(), run()
+	if (j1 == nil) != (j2 == nil) {
+		t.Fatalf("cycle %d (%s): one run crashed and the other did not", cycle, planSpec)
+	}
+	if j1 == nil {
+		return false
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("cycle %d (%s): same seed produced different journals (%d vs %d bytes)",
+			cycle, planSpec, len(j1), len(j2))
+	}
+
+	failCycle := func(k2 *kernel.Kernel, format string, args ...any) {
+		t.Helper()
+		if dir := os.Getenv("ARTIFACT_DIR"); dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err == nil {
+				os.WriteFile(filepath.Join(dir, fmt.Sprintf("soak-cycle%03d.jnl", cycle)), j1, 0o644)
+				if k2 != nil {
+					var snap bytes.Buffer
+					if k2.Checkpoint(&snap) == nil {
+						os.WriteFile(filepath.Join(dir, fmt.Sprintf("soak-cycle%03d.ckpt", cycle)), snap.Bytes(), 0o644)
+					}
+				}
+				t.Logf("cycle %d: wrote failed-recovery artifacts in %s", cycle, dir)
+			}
+		}
+		t.Fatalf("cycle %d (%s): %s", cycle, planSpec, fmt.Sprintf(format, args...))
+	}
+
+	// recover replays the journal onto an identically built fresh world
+	// and checks the per-world invariants.
+	recover := func() *kernel.Kernel {
+		k2, _ := build(false)
+		applied, _, _, err := k2.ReplayJournal(j1)
+		if err != nil {
+			failCycle(k2, "replay: %v", err)
+		}
+		if applied == 0 {
+			failCycle(k2, "crashed journal replayed no records")
+		}
+		if bad := k2.FS().Check(); len(bad) != 0 {
+			failCycle(k2, "recovered world fails fsck: %v", bad)
+		}
+		again, _, _, err := k2.ReplayJournal(j1)
+		if err != nil {
+			failCycle(k2, "second replay: %v", err)
+		}
+		if again != 0 {
+			failCycle(k2, "replay did not converge: second pass applied %d records", again)
+		}
+		return k2
+	}
+	r1, r2 := recover(), recover()
+	if r1.FS().StateHash() != r2.FS().StateHash() {
+		failCycle(r1, "two replays of the same journal disagree on state")
+	}
+	for path, want := range committed {
+		data, err := r1.ReadFile(path)
+		if err != nil {
+			failCycle(r1, "committed file %s lost: %v", path, err)
+		}
+		if string(data) != want {
+			failCycle(r1, "committed file %s corrupted: %q != %q", path, data, want)
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package txn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"interpose/internal/agents/agenttest"
+	"interpose/internal/agents/txn"
+	"interpose/internal/core"
+	"interpose/internal/fault"
+	"interpose/internal/journal"
+	"interpose/internal/kernel"
+)
+
+// The crash-consistency contract under test: a transactional commit
+// interrupted by a world crash must, after journal replay plus
+// txn.Recover, leave the real tree either fully committed or fully
+// rolled back — never a mixture.
+
+const nCrashFiles = 12
+
+// buildCrashWorld deterministically populates /data with files the
+// transaction will overwrite and remove; two invocations yield
+// ino-identical worlds, so one's journal replays onto the other.
+func buildCrashWorld(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	k := agenttest.World(t)
+	if err := k.MkdirAll("/data", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nCrashFiles; i++ {
+		k.WriteFile(fmt.Sprintf("/data/keep%02d", i), []byte(fmt.Sprintf("old-%02d\n", i)), 0o644)
+		k.WriteFile(fmt.Sprintf("/data/gone%02d", i), []byte("doomed\n"), 0o644)
+	}
+	return k
+}
+
+// crashScript overwrites every keep file, removes every gone file and
+// creates a new file per index — enough distinct objects that a torn
+// commit would be visible as a mixture.
+func crashScript() string {
+	s := ""
+	for i := 0; i < nCrashFiles; i++ {
+		s += fmt.Sprintf("echo new-%02d > /data/keep%02d; rm /data/gone%02d; echo made > /data/new%02d; ",
+			i, i, i, i)
+	}
+	return s + "true"
+}
+
+// classify reports the state of /data: "committed", "rolledback", or a
+// description of the first inconsistency of a torn state.
+func classify(k *kernel.Kernel) string {
+	committed, rolled := true, true
+	detail := ""
+	note := func(s string) {
+		if detail == "" {
+			detail = s
+		}
+	}
+	for i := 0; i < nCrashFiles; i++ {
+		keep, _ := k.ReadFile(fmt.Sprintf("/data/keep%02d", i))
+		_, goneErr := k.ReadFile(fmt.Sprintf("/data/gone%02d", i))
+		_, newErr := k.ReadFile(fmt.Sprintf("/data/new%02d", i))
+		if string(keep) != fmt.Sprintf("new-%02d\n", i) || goneErr == nil || newErr != nil {
+			committed = false
+			note(fmt.Sprintf("index %d not committed: keep=%q gone-present=%v new-present=%v",
+				i, keep, goneErr == nil, newErr == nil))
+		}
+		if string(keep) != fmt.Sprintf("old-%02d\n", i) || goneErr != nil || newErr == nil {
+			rolled = false
+			note(fmt.Sprintf("index %d not rolled back: keep=%q gone-present=%v new-present=%v",
+				i, keep, goneErr == nil, newErr == nil))
+		}
+	}
+	switch {
+	case committed:
+		return "committed"
+	case rolled:
+		return "rolledback"
+	default:
+		return "torn: " + detail
+	}
+}
+
+// TestTxnCrashMidCommitRecovers drives the full loop across seeds and
+// two crash profiles: rename=crash fires only inside Commit's
+// move-aside phase (always after the durable commit point, so recovery
+// must roll forward to a full commit), while write=crash can land
+// anywhere — during the workload's shadow writes, on the marker write
+// itself, or during commit-time copying — so recovery must land on
+// whichever side of the commit point the crash did.
+func TestTxnCrashMidCommitRecovers(t *testing.T) {
+	plans := []string{"rename=crash@0.12", "write=crash@0.004"}
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, planSpec := range plans {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", planSpec, seed), func(t *testing.T) {
+				runCrashCycle(t, fmt.Sprintf("seed=%d,%s", seed, planSpec))
+			})
+		}
+	}
+}
+
+func runCrashCycle(t *testing.T, planSpec string) {
+	k := buildCrashWorld(t)
+	st := journal.NewMemStore(0)
+	k.SetJournal(journal.NewWriter(st, 1))
+
+	plan, err := fault.ParsePlan(planSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(plan)
+	inj.OnCrash(func(torn int) {
+		st.Freeze(torn)
+		k.Crash()
+	})
+	k.SetInjector(inj)
+
+	a, err := txn.New("/tmp/shadow", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, out, err := core.Run(k, []core.Agent{a}, "/bin/sh",
+		[]string{"sh", "-c", crashScript()}, []string{"PATH=/bin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Crashed() {
+		// The seed never fired; the commit ran to completion and the live
+		// world must show it in full.
+		if got := classify(k); got != "committed" {
+			t.Fatalf("uncrashed run: %s (status %#x, out %q)", got, status, out)
+		}
+		return
+	}
+
+	// Recovery: an identical fresh world, the frozen journal replayed onto
+	// it, then the interrupted transaction resolved.
+	k2 := buildCrashWorld(t)
+	if _, _, _, err := k2.ReplayJournal(st.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if bad := k2.FS().Check(); len(bad) != 0 {
+		t.Fatalf("fsck after replay: %v", bad)
+	}
+	rolledForward, err := txn.Recover(k2, "/tmp/shadow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("crashed; recovery rolled forward=%v", rolledForward)
+	if bad := k2.FS().Check(); len(bad) != 0 {
+		t.Fatalf("fsck after recover: %v", bad)
+	}
+	got := classify(k2)
+	want := "rolledback"
+	if rolledForward {
+		want = "committed"
+	}
+	if got != want {
+		t.Fatalf("recovered state %s, want %s (status %#x, out %q)", got, want, status, out)
+	}
+}

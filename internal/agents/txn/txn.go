@@ -563,10 +563,51 @@ func (a *Agent) Changes() (writes, removes []string) {
 // rolls every step already taken back, leaving the real filesystem in its
 // exact pre-transaction state. No buffered side effect can leak from an
 // aborted commit.
+//
+// Against crashes (the world dying mid-commit, not an errno failure) the
+// commit point is a durable intention marker: before the first real
+// mutation the full change list is written to <shadowRoot>/.commit and
+// forced to the write-ahead journal with sync. Recover rolls the
+// transaction forward whenever the marker survives a crash and leaves
+// the pre-transaction state untouched whenever it does not, so a crashed
+// commit still fully commits or fully rolls back — never half of each.
 func (a *Agent) Commit(c sys.Ctx) sys.Errno {
 	writes, removes := a.Changes()
 	// Shorter paths (parents) first for creations.
 	sort.Slice(writes, func(i, j int) bool { return len(writes[i]) < len(writes[j]) })
+
+	marker := a.shadowRoot + markerName
+	var in strings.Builder
+	in.WriteString(markerMagic)
+	a.mu.Lock()
+	for _, path := range writes {
+		tag := "W"
+		if a.entries[path].isDir {
+			tag = "D"
+		}
+		fmt.Fprintf(&in, "%s %q\n", tag, path)
+	}
+	for _, path := range removes {
+		tag := "R"
+		if a.entries[path].isDir {
+			tag = "X"
+		}
+		fmt.Fprintf(&in, "%s %q\n", tag, path)
+	}
+	a.mu.Unlock()
+	if err := core.DownMkdirAll(c, a.shadowRoot, 0o777); err != sys.OK {
+		return err
+	}
+	if err := core.DownWriteFile(c, marker, []byte(in.String()), 0o600); err != sys.OK {
+		return err
+	}
+	// The sync is the commit point: once the marker's journal records are
+	// on the store, a crash anywhere below resolves to roll-forward.
+	core.Down(c, sys.SYS_sync, sys.Args{})
+	clearMarker := func() {
+		core.DownPath(c, sys.SYS_unlink, marker)
+		core.Down(c, sys.SYS_sync, sys.Args{})
+	}
 
 	undoRoot := a.shadowRoot + "/.undo"
 	var undo []func() // applied in reverse on failure
@@ -574,6 +615,7 @@ func (a *Agent) Commit(c sys.Ctx) sys.Errno {
 		for i := len(undo) - 1; i >= 0; i-- {
 			undo[i]()
 		}
+		clearMarker()
 		return err
 	}
 	// moveAside preserves whatever exists at real before commit touches
@@ -662,5 +704,6 @@ func (a *Agent) Commit(c sys.Ctx) sys.Errno {
 			return rollback(err)
 		}
 	}
+	clearMarker()
 	return sys.OK
 }

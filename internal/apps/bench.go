@@ -12,6 +12,7 @@ import (
 //	gettimeofday N gettimeofday calls
 //	fstat        N fstat calls on an open file
 //	read1k       N 1 KB reads (seeking back each time)
+//	write4k      N 4 KB overwrites in place (seeking back each time)
 //	stat         N stat calls on a six-component pathname
 //	fork         N fork/wait/_exit cycles
 //	execve       an exec chain N long (each exec re-enters this program)
@@ -56,6 +57,17 @@ func benchMain(t *libc.T) int {
 		buf := t.Malloc(1024)
 		for i := 0; i < n; i++ {
 			t.Syscall(sys.SYS_read, sys.Word(fd), buf, 1024)
+			t.Syscall(sys.SYS_lseek, sys.Word(fd), 0, sys.SEEK_SET)
+		}
+	case "write4k":
+		fd, err := t.Open("/tmp/bench.out", sys.O_WRONLY|sys.O_CREAT|sys.O_TRUNC, 0o644)
+		if err != sys.OK {
+			t.Errorf("open: %v", err)
+			return 1
+		}
+		buf := t.Malloc(4096)
+		for i := 0; i < n; i++ {
+			t.Syscall(sys.SYS_write, sys.Word(fd), buf, 4096)
 			t.Syscall(sys.SYS_lseek, sys.Word(fd), 0, sys.SEEK_SET)
 		}
 	case "stat":

@@ -3,6 +3,7 @@ package apps
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"interpose/internal/agents/hpux"
 	"interpose/internal/image"
@@ -50,12 +51,13 @@ var mains = map[string]func(*libc.T) int{
 	"bench":    benchMain,
 }
 
-// Names returns the registered program names.
+// Names returns the registered program names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(mains))
 	for n := range mains {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -67,12 +69,14 @@ func Register(reg *image.Registry) {
 }
 
 // NewWorld boots a kernel with all applications registered and installed
-// in /bin.
+// in /bin. Programs are installed in sorted order so two boots assign
+// identical inode numbers throughout — a journal recorded against one
+// fresh world must replay exactly onto another.
 func NewWorld() (*kernel.Kernel, error) {
 	reg := image.NewRegistry()
 	Register(reg)
 	k := kernel.New(reg)
-	for name := range mains {
+	for _, name := range Names() {
 		if err := k.InstallProgram("/bin/"+name, name); err != nil {
 			return nil, fmt.Errorf("apps: install %s: %w", name, err)
 		}

@@ -45,6 +45,67 @@ var GuardedRows = []string{
 // 0.5 means a guarded row may be at most 50% slower than its baseline.
 const MaxRegress = 0.5
 
+// Relation is a relational guard between two rows measured in the same
+// run: Left must cost at most Factor times Right. Unlike the absolute
+// baseline guards, a relation compares two legs of the same noisy
+// machine against each other, so it holds on any host.
+type Relation struct {
+	Left, Right string  // "table:row" keys
+	Factor      float64 // Left <= Factor * Right
+	Why         string
+}
+
+// Relations are the relational guards of the -check gate. A relation is
+// skipped when neither side was measured (its table was not requested),
+// but a half-measured relation fails — a vanished leg is not a pass.
+var Relations = []Relation{
+	{Left: "crash:make/on", Right: "crash:make/off", Factor: 1.15,
+		Why: "journal-on write-path overhead must stay within 15% on the write-heavy make workload"},
+	{Left: "crash:restore", Right: "crash:boot", Factor: 1.0,
+		Why: "restoring a checkpoint must beat a full boot"},
+}
+
+// CheckRelations enforces Relations over the measured entries.
+func CheckRelations(measured []BenchEntry, rels []Relation) (string, error) {
+	got := make(map[string]int64, len(measured))
+	for _, e := range measured {
+		got[e.Table+":"+e.Row] = e.NsPerOp
+	}
+	var report strings.Builder
+	var failures []string
+	for _, r := range rels {
+		l, okL := got[r.Left]
+		rv, okR := got[r.Right]
+		switch {
+		case !okL && !okR:
+			continue
+		case !okL || !okR:
+			missing := r.Left
+			if okL {
+				missing = r.Right
+			}
+			failures = append(failures, fmt.Sprintf("%s vs %s: %s not measured", r.Left, r.Right, missing))
+		case rv <= 0:
+			failures = append(failures, fmt.Sprintf("%s vs %s: degenerate measurement %dns", r.Left, r.Right, rv))
+		default:
+			ratio := float64(l) / float64(rv)
+			status := "ok"
+			if ratio > r.Factor {
+				status = "VIOLATED"
+				failures = append(failures, fmt.Sprintf("%s: %dns > %.2f x %s (%dns) — %s",
+					r.Left, l, r.Factor, r.Right, rv, r.Why))
+			}
+			fmt.Fprintf(&report, "  %-24s %10dns <= %.2f x %-24s %10dns  (x%.2f)  %s\n",
+				r.Left, l, r.Factor, r.Right, rv, ratio, status)
+		}
+	}
+	if len(failures) > 0 {
+		return report.String(), fmt.Errorf("experiments: relation check failed:\n  %s",
+			strings.Join(failures, "\n  "))
+	}
+	return report.String(), nil
+}
+
 // ReadBenchJSON loads a bench-entries file written by WriteBenchJSON.
 func ReadBenchJSON(path string) ([]BenchEntry, error) {
 	data, err := os.ReadFile(path)

@@ -55,6 +55,16 @@ const (
 	// supervision deadlines. It deliberately does not proceed below
 	// after the sleep: a deadline-abandoned call must not run twice.
 	EffectHang
+	// EffectCrash kills the whole world at this call: the crash callback
+	// (OnCrash) freezes the journal at its current durable prefix and the
+	// caller — along with every other process — dies with SIGKILL. The
+	// call itself fails with EINTR and never reaches the kernel, exactly
+	// like a machine losing power mid-syscall.
+	EffectCrash
+	// EffectTorn is EffectCrash with a half-written final journal sector:
+	// the crash callback tears the rule's N bytes off the journal tail
+	// before freezing, exercising torn-tail detection on recovery.
+	EffectTorn
 )
 
 // Rule is one fault rule: a call/path filter plus an effect and its
@@ -95,6 +105,10 @@ func (r Rule) String() string {
 		eff = "panic"
 	case EffectHang:
 		eff = "hang:" + r.Dur.String()
+	case EffectCrash:
+		eff = "crash"
+	case EffectTorn:
+		eff = "torn:" + strconv.Itoa(r.N)
 	}
 	return fmt.Sprintf("%s=%s@%g", key, eff, r.Prob)
 }
@@ -114,8 +128,10 @@ type Plan struct {
 //	path:/prefix=EFFECT[@PROB]  rule on any pathname call under a prefix
 //
 // where EFFECT is an errno name ("EIO"), "short:N", "delay:N",
-// "sig:NAME", "panic", or "hang:DUR" (a Go duration, e.g. "hang:250ms"),
-// and PROB defaults to 1.
+// "sig:NAME", "panic", "hang:DUR" (a Go duration, e.g. "hang:250ms"),
+// "crash" (kill the world, journal frozen at its durable prefix), or
+// "torn:N" (crash with N bytes torn off the journal tail), and PROB
+// defaults to 1.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{Seed: 1}
 	for _, field := range strings.Split(spec, ",") {
@@ -203,6 +219,14 @@ func parseRule(key, val string) (Rule, error) {
 		r.Effect, r.Sig = EffectSignal, sig
 	case eff == "panic":
 		r.Effect = EffectPanic
+	case eff == "crash":
+		r.Effect = EffectCrash
+	case strings.HasPrefix(eff, "torn:"):
+		n, err := strconv.Atoi(eff[len("torn:"):])
+		if err != nil || n <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %s=%s: bad torn byte count", key, val)
+		}
+		r.Effect, r.N = EffectTorn, n
 	case strings.HasPrefix(eff, "hang:"):
 		d, err := time.ParseDuration(eff[len("hang:"):])
 		if err != nil || d <= 0 {
@@ -279,9 +303,16 @@ func (r Record) String() string {
 type Injector struct {
 	plan *Plan
 
-	mu  sync.Mutex
-	seq map[seqKey]uint64
-	log []Record
+	// onCrash, when set, is fired exactly once by the first crash/torn
+	// rule that triggers: it receives the torn byte count (0 for a clean
+	// crash) and is expected to freeze the journal store and kill the
+	// world (kernel.Crash).
+	onCrash func(torn int)
+
+	mu      sync.Mutex
+	seq     map[seqKey]uint64
+	log     []Record
+	crashed bool
 }
 
 type seqKey struct{ pid, call int }
@@ -293,6 +324,20 @@ func NewInjector(p *Plan) *Injector {
 
 // Plan returns the injector's plan (for interest registration).
 func (in *Injector) Plan() *Plan { return in.plan }
+
+// OnCrash installs the world-killing callback fired by crash/torn rules.
+// Install it before the first process runs; an injector with crash rules
+// but no callback fails the call with EINTR and otherwise does nothing.
+func (in *Injector) OnCrash(fn func(torn int)) { in.onCrash = fn }
+
+// Crashed reports whether a crash/torn rule has fired. Test harnesses
+// use it to tell an injected world-kill from an organic failure and dump
+// artifacts accordingly.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
 
 // Log returns a copy of the injected-fault log in injection order.
 func (in *Injector) Log() []Record {
@@ -439,6 +484,25 @@ func (in *Injector) Inject(c sys.Ctx, num int, a sys.Args) (out sys.Args, rv sys
 		case EffectHang:
 			in.note(c, num, rec, sys.EINTR)
 			time.Sleep(r.Dur)
+			return out, sys.Retval{}, sys.EINTR, true
+		case EffectCrash, EffectTorn:
+			// Only the first crash fires: the world is already dying, and
+			// a second Freeze/Crash from a racing process must not tear
+			// the journal again.
+			in.mu.Lock()
+			first := !in.crashed
+			in.crashed = true
+			in.mu.Unlock()
+			in.note(c, num, rec, sys.EINTR)
+			if first && in.onCrash != nil {
+				torn := 0
+				if r.Effect == EffectTorn {
+					torn = r.N
+				}
+				in.onCrash(torn)
+			}
+			// The dying caller sees EINTR; SIGKILL is already pending and
+			// is delivered at syscall exit.
 			return out, sys.Retval{}, sys.EINTR, true
 		case EffectShort:
 			if out[2] > sys.Word(r.N) {

@@ -1,0 +1,251 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func rec(op Op, ino uint32, name string) *Record {
+	return &Record{Op: op, Dir: 2, Ino: ino, Name: name, Mode: 0o100644}
+}
+
+func TestRoundTrip(t *testing.T) {
+	st := NewMemStore(0)
+	w := NewWriter(st, 1) // commit every record
+	in := []*Record{
+		rec(OpCreate, 10, "a"),
+		{Op: OpWrite, Ino: 10, Off: 4096, Data: []byte("hello world")},
+		{Op: OpRename, Dir: 2, Name: "a", Dir2: 3, Name2: "b", Ino: 10},
+		{Op: OpTruncate, Ino: 10, Size: 5},
+		{Op: OpUtimes, Ino: 10, Off: -123456789, Size: 987654321},
+	}
+	for _, r := range in {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	got, torn := Scan(st.Bytes())
+	if torn != nil {
+		t.Fatalf("unexpected torn tail: %v", torn)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d records, want %d", len(got), len(in))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d", i, r.Seq)
+		}
+		if r.Op != in[i].Op || r.Ino != in[i].Ino || r.Off != in[i].Off ||
+			r.Size != in[i].Size || r.Name != in[i].Name || r.Name2 != in[i].Name2 ||
+			!bytes.Equal(r.Data, in[i].Data) {
+			t.Errorf("record %d mismatch: %v vs %v", i, r, in[i])
+		}
+	}
+}
+
+func TestGroupCommitBuffers(t *testing.T) {
+	st := NewMemStore(0)
+	w := NewWriter(st, 1<<20) // threshold far above what we append
+	for i := 0; i < 10; i++ {
+		if err := w.Append(rec(OpCreate, uint32(10+i), "f")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Size() != 0 {
+		t.Fatalf("store has %d bytes before commit; group commit leaked", st.Size())
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn := Scan(st.Bytes())
+	if torn != nil || len(recs) != 10 {
+		t.Fatalf("after commit: %d records, torn=%v", len(recs), torn)
+	}
+	records, flushes := w.Stats()
+	if records != 10 || flushes != 1 {
+		t.Fatalf("stats = (%d records, %d flushes), want (10, 1)", records, flushes)
+	}
+}
+
+func TestTornTailDetection(t *testing.T) {
+	st := NewMemStore(0)
+	w := NewWriter(st, 1)
+	for i := 0; i < 5; i++ {
+		w.Append(&Record{Op: OpWrite, Ino: 9, Data: []byte("payload payload payload")})
+	}
+	whole := st.Bytes()
+	for cut := 1; cut < 40; cut += 7 {
+		data := whole[:len(whole)-cut]
+		recs, torn := Scan(data)
+		if torn == nil {
+			t.Fatalf("cut %d: no torn tail reported", cut)
+		}
+		if len(recs) != 4 {
+			t.Fatalf("cut %d: %d records survived, want 4", cut, len(recs))
+		}
+		if torn.Lost <= 0 {
+			t.Fatalf("cut %d: lost %d bytes", cut, torn.Lost)
+		}
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	st := NewMemStore(0)
+	w := NewWriter(st, 1)
+	w.Append(rec(OpCreate, 10, "a"))
+	w.Append(rec(OpCreate, 11, "b"))
+	data := st.Bytes()
+	data[len(data)-2] ^= 0xff // flip a byte inside the second payload
+	recs, torn := Scan(data)
+	if torn == nil || len(recs) != 1 {
+		t.Fatalf("corrupt frame: %d records, torn=%v", len(recs), torn)
+	}
+	if torn.Reason != "payload checksum mismatch" {
+		t.Fatalf("reason = %q", torn.Reason)
+	}
+}
+
+func TestSequenceGapDetected(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, &Record{Seq: 1, Op: OpCreate, Ino: 10, Name: "a"})
+	buf = AppendFrame(buf, &Record{Seq: 3, Op: OpCreate, Ino: 11, Name: "b"})
+	recs, torn := Scan(buf)
+	if torn == nil || len(recs) != 1 {
+		t.Fatalf("gap: %d records, torn=%v", len(recs), torn)
+	}
+}
+
+func TestNoSpaceLatches(t *testing.T) {
+	st := NewMemStore(64) // tiny device
+	w := NewWriter(st, 1)
+	var firstErr error
+	for i := 0; i < 100 && firstErr == nil; i++ {
+		firstErr = w.Append(&Record{Op: OpWrite, Ino: 9, Data: bytes.Repeat([]byte("x"), 32)})
+	}
+	if firstErr == nil {
+		t.Fatal("64-byte store accepted 100 records")
+	}
+	if err := w.Append(rec(OpCreate, 10, "a")); err == nil {
+		t.Fatal("append after store failure succeeded; failure must latch")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() nil after latched failure")
+	}
+	// Whatever made it to the store is still a valid journal prefix.
+	if recs, torn := Scan(st.Bytes()); torn != nil {
+		t.Fatalf("prefix invalid after ENOSPC: %d recs, %v", len(recs), torn)
+	}
+}
+
+func TestFreezeDropsLaterAppends(t *testing.T) {
+	st := NewMemStore(0)
+	w := NewWriter(st, 1)
+	w.Append(rec(OpCreate, 10, "a"))
+	before := st.Size()
+	st.Freeze(0)
+	if err := w.Append(rec(OpCreate, 11, "b")); err != nil {
+		t.Fatalf("append to frozen store errored: %v", err)
+	}
+	if st.Size() != before {
+		t.Fatal("frozen store grew")
+	}
+	st.Freeze(4) // second freeze must not tear again
+	if st.Size() != before {
+		t.Fatal("second Freeze mutated a frozen store")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/j.log"
+	fst, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(fst, 1)
+	w.Append(rec(OpCreate, 10, "a"))
+	w.Append(&Record{Op: OpWrite, Ino: 10, Data: []byte("data")})
+	fst.Close()
+
+	st2, data, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, torn := Scan(data)
+	if torn != nil || len(recs) != 2 {
+		t.Fatalf("reopened: %d records, torn=%v", len(recs), torn)
+	}
+	// Continue the sequence after replaying the prefix.
+	w2 := NewWriter(st2, 1)
+	w2.StartAt(recs[len(recs)-1].Seq + 1)
+	if err := w2.Append(rec(OpCreate, 11, "b")); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	_, data2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs2, torn2 := Scan(data2)
+	if torn2 != nil || len(recs2) != 3 || recs2[2].Seq != 3 {
+		t.Fatalf("continued journal: %d records, torn=%v", len(recs2), torn2)
+	}
+}
+
+// TestFreezeClampsToSyncWatermark: a torn tail models a half-written
+// final sector, so it may destroy group-committed bytes that were never
+// fsynced — but never a byte an explicit Commit barrier promised
+// durable.
+func TestFreezeClampsToSyncWatermark(t *testing.T) {
+	st := NewMemStore(0)
+	w := NewWriter(st, 1)
+	w.Append(rec(OpCreate, 10, "a"))
+	w.Append(&Record{Op: OpWrite, Ino: 10, Data: []byte("committed")})
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	durable := st.Size()
+	w.Append(&Record{Op: OpWrite, Ino: 10, Data: []byte("in flight")})
+	st.Freeze(1 << 20) // tear far more than the unsynced tail
+	if st.Size() != durable {
+		t.Fatalf("torn tail reached below the sync watermark: %d != %d", st.Size(), durable)
+	}
+	recs, torn := Scan(st.Bytes())
+	if torn != nil || len(recs) != 2 {
+		t.Fatalf("synced prefix damaged: %d records, torn=%v", len(recs), torn)
+	}
+}
+
+// TestFileStoreFreezeClampsToSyncWatermark mirrors the MemStore clamp
+// for the host-file-backed store, including the reopened-prefix rule:
+// bytes already on disk at OpenFileStore are durable by definition.
+func TestFileStoreFreezeClampsToSyncWatermark(t *testing.T) {
+	path := t.TempDir() + "/j.log"
+	fst, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(fst, 1)
+	w.Append(rec(OpCreate, 10, "a"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	fst.Close()
+
+	st2, data, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	w2 := NewWriter(st2, 1)
+	w2.StartAt(2)
+	w2.Append(&Record{Op: OpWrite, Ino: 10, Data: []byte("in flight")})
+	st2.Freeze(1 << 20)
+	if st2.Size() != int64(len(data)) {
+		t.Fatalf("torn tail reached into the reopened prefix: %d != %d", st2.Size(), len(data))
+	}
+	recs, torn := Scan(data)
+	if torn != nil || len(recs) != 1 {
+		t.Fatalf("durable prefix damaged: %d records, torn=%v", len(recs), torn)
+	}
+}

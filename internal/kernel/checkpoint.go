@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"interpose/internal/image"
+	"interpose/internal/journal"
+	"interpose/internal/sys"
+	"interpose/internal/vfs"
+)
+
+// World checkpoint/restore: a checkpoint freezes a quiesced world — the
+// whole filesystem (program binaries included, since executables are
+// ordinary files holding registered image headers) plus the list of
+// image names the world depends on — into one self-validating stream.
+// Restore builds a kernel shell around the reconstructed filesystem,
+// resolving device nodes against the fresh driver table and verifying
+// every required image is registered. Composed with the write-ahead
+// journal this is crash recovery: restore the last checkpoint (or boot
+// fresh), then ReplayJournal the suffix the journal kept.
+
+// ckptMagic heads every checkpoint stream.
+const ckptMagic = "INTERPOSE-CKPT1\n"
+
+// Checkpoint writes the world's durable state to w. The world must be
+// quiesced: no running processes (their address spaces and descriptor
+// tables are transient state and are not captured). Call Journal's
+// Commit first if a journal is attached so the checkpoint and journal
+// agree on the sequence watermark.
+func (k *Kernel) Checkpoint(w io.Writer) error {
+	names := k.images.Names()
+	var hdr []byte
+	hdr = append(hdr, ckptMagic...)
+	hdr = binary.AppendUvarint(hdr, uint64(len(names)))
+	for _, n := range names {
+		hdr = binary.AppendUvarint(hdr, uint64(len(n)))
+		hdr = append(hdr, n...)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	return k.fs.WriteSnapshot(w)
+}
+
+// Restore reconstructs a checkpointed world against the given image
+// registry, which must provide every image name the checkpoint recorded.
+func Restore(images *image.Registry, r io.Reader) (*Kernel, error) {
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("kernel: checkpoint header: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return nil, fmt.Errorf("kernel: not a checkpoint (bad magic)")
+	}
+	br := byteReaderFrom(r)
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: checkpoint image list: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		ln, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: checkpoint image list: %w", err)
+		}
+		name := make([]byte, ln)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("kernel: checkpoint image list: %w", err)
+		}
+		if _, ok := images.Lookup(string(name)); !ok {
+			return nil, fmt.Errorf("kernel: checkpoint needs unregistered image %q", name)
+		}
+	}
+
+	k := newKernel(images)
+	fs, err := vfs.ReadSnapshot(br, k.Now, func(rdev uint32) (vfs.Device, bool) {
+		d := k.lookupDevice(rdev)
+		return d, d != nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	k.fs = fs
+	return k, nil
+}
+
+// byteReaderFrom adapts r for binary.ReadUvarint without buffering ahead
+// (the snapshot reader must see the stream exactly where we left it).
+func byteReaderFrom(r io.Reader) *oneByteReader {
+	if br, ok := r.(*oneByteReader); ok {
+		return br
+	}
+	return &oneByteReader{r: r}
+}
+
+type oneByteReader struct{ r io.Reader }
+
+func (o *oneByteReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+func (o *oneByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(o.r, b[:])
+	return b[0], err
+}
+
+// ReplayJournal scans raw journal bytes and replays them onto this
+// world's filesystem, rolling it forward to the last durable mutation.
+// Records at or below the filesystem's applied watermark self-skip, so
+// replaying a full journal over a mid-journal checkpoint is exact. A
+// torn tail is normal after a crash — replay stops cleanly before it —
+// and is returned for reporting, not as a failure.
+func (k *Kernel) ReplayJournal(data []byte) (applied, skipped int, torn *journal.Torn, err error) {
+	recs, torn := journal.Scan(data)
+	rp := vfs.NewReplayer(k.fs, func(rdev uint32) (vfs.Device, bool) {
+		d := k.lookupDevice(rdev)
+		return d, d != nil
+	})
+	if err := rp.ReplayAll(recs); err != nil {
+		return 0, 0, torn, err
+	}
+	applied, skipped = rp.Stats()
+	return applied, skipped, torn, nil
+}
+
+// SetJournal attaches a write-ahead journal to the world's filesystem
+// (nil detaches). Attach on a quiesced world; after recovery, StartAt
+// the filesystem's JournalSeq()+1 first.
+func (k *Kernel) SetJournal(w *journal.Writer) { k.fs.SetJournal(w) }
+
+// Journal returns the attached journal writer, or nil.
+func (k *Kernel) Journal() *journal.Writer { return k.fs.Journal() }
+
+// Injector returns the installed fault injector, or nil.
+func (k *Kernel) Injector() Injector {
+	if b := k.inj.Load(); b != nil {
+		return b.inj
+	}
+	return nil
+}
+
+// Crash kills the world: every live process gets an unmaskable,
+// uncatchable SIGKILL, exactly as if the machine lost power with the
+// filesystem's journal frozen at its current prefix. Callers freeze the
+// journal store first (the injected-crash path does), then WaitExit the
+// top-level process and recover.
+func (k *Kernel) Crash() {
+	k.pmu.Lock()
+	defer k.pmu.Unlock()
+	for _, p := range k.procs {
+		k.postSignalPLocked(p, sys.SIGKILL)
+	}
+}

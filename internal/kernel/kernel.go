@@ -113,6 +113,16 @@ type injectorBox struct{ inj Injector }
 // New boots a kernel: an empty filesystem with the standard directory
 // tree and devices, and the given program image registry.
 func New(images *image.Registry) *Kernel {
+	k := newKernel(images)
+	k.fs = vfs.New(k.Now)
+	k.makeTree()
+	return k
+}
+
+// newKernel builds a kernel shell — process table, console, device
+// drivers — without a filesystem. New adds an empty tree; Restore
+// (checkpoint.go) adds one reconstructed from a snapshot.
+func newKernel(images *image.Registry) *Kernel {
 	k := &Kernel{
 		images:   images,
 		procs:    make(map[int]*Proc),
@@ -122,8 +132,7 @@ func New(images *image.Registry) *Kernel {
 		console:  newConsole(),
 		devices:  make(map[uint32]vfs.Device),
 	}
-	k.fs = vfs.New(k.Now)
-	k.makeTree()
+	k.makeDevices()
 	return k
 }
 
@@ -225,6 +234,18 @@ func (k *Kernel) lookupDevice(rdev uint32) vfs.Device {
 	return k.devices[rdev]
 }
 
+// makeDevices builds the driver table. It runs before the filesystem
+// exists so Restore can resolve snapshot device nodes against it.
+func (k *Kernel) makeDevices() {
+	tty := &ttyDev{k: k}
+	k.devices[makeRdev(1, 3)] = nullDev{}
+	k.devices[makeRdev(1, 5)] = zeroDev{}
+	k.devices[makeRdev(2, 0)] = tty
+	k.devices[makeRdev(0, 0)] = tty
+	k.devices[makeRdev(3, 0)] = &metricsDev{k: k}
+	k.devices[makeRdev(3, 1)] = &traceDev{k: k}
+}
+
 // rootCred is used for kernel-internal filesystem setup.
 var rootCred = vfs.Cred{UID: 0, GID: 0}
 
@@ -253,21 +274,20 @@ func (k *Kernel) makeTree() {
 	mk(usr, "lib", 0o755)
 	mk(usr, "tmp", 0o1777)
 
-	tty := &ttyDev{k: k}
-	metrics := &metricsDev{k: k}
-	traced := &traceDev{k: k}
-	k.devices[makeRdev(1, 3)] = nullDev{}
-	k.devices[makeRdev(1, 5)] = zeroDev{}
-	k.devices[makeRdev(2, 0)] = tty
-	k.devices[makeRdev(0, 0)] = tty
-	k.devices[makeRdev(3, 0)] = metrics
-	k.devices[makeRdev(3, 1)] = traced
-	k.fs.MkDev(dev, "null", 0o666, makeRdev(1, 3), nullDev{}, rootCred)
-	k.fs.MkDev(dev, "zero", 0o666, makeRdev(1, 5), zeroDev{}, rootCred)
-	k.fs.MkDev(dev, "tty", 0o666, makeRdev(2, 0), tty, rootCred)
-	k.fs.MkDev(dev, "console", 0o666, makeRdev(0, 0), tty, rootCred)
-	k.fs.MkDev(dev, "metrics", 0o444, makeRdev(3, 0), metrics, rootCred)
-	k.fs.MkDev(dev, "trace", 0o666, makeRdev(3, 1), traced, rootCred)
+	for _, d := range []struct {
+		name string
+		mode uint32
+		rdev uint32
+	}{
+		{"null", 0o666, makeRdev(1, 3)},
+		{"zero", 0o666, makeRdev(1, 5)},
+		{"tty", 0o666, makeRdev(2, 0)},
+		{"console", 0o666, makeRdev(0, 0)},
+		{"metrics", 0o444, makeRdev(3, 0)},
+		{"trace", 0o666, makeRdev(3, 1)},
+	} {
+		k.fs.MkDev(dev, d.name, d.mode, d.rdev, k.devices[d.rdev], rootCred)
+	}
 
 	passwd, err := k.fs.Create(etc, "passwd", 0o644, rootCred)
 	if err != sys.OK {

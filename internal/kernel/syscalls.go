@@ -63,7 +63,15 @@ func (k *Kernel) Syscall(c sys.Ctx, num int, a sys.Args) (sys.Retval, sys.Errno)
 	case sys.SYS_access:
 		rv, err = k.sysAccess(p, a)
 	case sys.SYS_sync, sys.SYS_fsync:
-		// The in-memory filesystem is always "on disk".
+		// The in-memory filesystem itself is always "on disk", but with a
+		// write-ahead journal attached, sync is the group-commit barrier:
+		// it pushes the buffered journal tail to the store. A latched
+		// journal failure surfaces as EIO.
+		if w := k.fs.Journal(); w != nil {
+			if w.Commit() != nil {
+				err = sys.EIO
+			}
+		}
 	case sys.SYS_kill:
 		rv, err = k.sysKill(p, a)
 	case sys.SYS_stat:

@@ -26,6 +26,19 @@ func (t *T) Close(fd int) sys.Errno {
 	return err
 }
 
+// Fsync forces fd's data to stable storage. With a write-ahead journal
+// attached it is the group-commit barrier.
+func (t *T) Fsync(fd int) sys.Errno {
+	_, err := t.Syscall(sys.SYS_fsync, sys.Word(fd))
+	return err
+}
+
+// Sync flushes all pending filesystem state to stable storage.
+func (t *T) Sync() sys.Errno {
+	_, err := t.Syscall(sys.SYS_sync)
+	return err
+}
+
 // Read reads into b, staging through the address space.
 func (t *T) Read(fd int, b []byte) (int, sys.Errno) {
 	if len(b) == 0 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"interpose/internal/journal"
 	"interpose/internal/sys"
 )
 
@@ -41,6 +42,15 @@ type FS struct {
 	// cache counters (see cache.go).
 	dcache dcache
 	cstats cacheCounters
+
+	// jnl, when non-nil, receives a write-ahead redo record for every
+	// mutation (journal.go). While nil it costs one atomic pointer load
+	// per mutation. jnlSeq is the highest journal sequence number applied
+	// to this world — advanced by jlog on the live world and by replay
+	// during recovery, persisted in snapshots — and is what makes replay
+	// exactly-once: records at or below it are skipped.
+	jnl    atomic.Pointer[journal.Writer]
+	jnlSeq atomic.Uint64
 }
 
 // New creates an empty filesystem whose timestamps come from clock
@@ -312,6 +322,12 @@ func (fs *FS) makeNode(dir *Inode, name string, mode uint32, cred Cred, dev Devi
 	// BSD semantics: new files inherit the group of their directory.
 	ip.GID = dir.GID
 	ip.publishAttrs() // republish: the group changed after newInode
+	if e := fs.jlog(&journal.Record{Op: journal.OpCreate, Dir: dir.Ino, Name: name,
+		Ino: ip.Ino, Mode: ip.Mode, UID: ip.UID, GID: ip.GID, Rdev: rdev,
+		Data: []byte(link)}); e != sys.OK {
+		fs.ninodes.Add(-1) // newInode counted it; the node is never published
+		return nil, e
+	}
 	if ip.IsDir() {
 		ip.Nlink = 2 // "." counts
 		ip.setParent(dir)
@@ -354,6 +370,11 @@ func (fs *FS) Link(dir *Inode, name string, target *Inode, cred Cred) sys.Errno 
 		target.mu.Unlock()
 		return sys.ENOENT
 	}
+	if e := fs.jlog(&journal.Record{Op: journal.OpLink, Dir: dir.Ino, Name: name,
+		Ino: target.Ino}); e != sys.OK {
+		target.mu.Unlock()
+		return e
+	}
 	target.Nlink++
 	target.Ctime = fs.now()
 	target.bump()
@@ -386,6 +407,10 @@ func (fs *FS) Unlink(dir *Inode, name string, cred Cred) sys.Errno {
 		return e
 	}
 	if e := stickyCheck(cred, dir, victim); e != sys.OK {
+		return e
+	}
+	if e := fs.jlog(&journal.Record{Op: journal.OpUnlink, Dir: dir.Ino, Name: name,
+		Ino: victim.Ino}); e != sys.OK {
 		return e
 	}
 	dir.removeLocked(name)
@@ -426,6 +451,11 @@ func (fs *FS) Rmdir(dir *Inode, name string, cred Cred) sys.Errno {
 	if len(victim.entries) != 0 {
 		victim.mu.Unlock()
 		return sys.ENOTEMPTY
+	}
+	if e := fs.jlog(&journal.Record{Op: journal.OpRmdir, Dir: dir.Ino, Name: name,
+		Ino: victim.Ino}); e != sys.OK {
+		victim.mu.Unlock()
+		return e
 	}
 	victim.Nlink = 0
 	victim.setParent(nil)
@@ -550,29 +580,46 @@ func (fs *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName strin
 		case !dst.IsDir() && src.IsDir():
 			return sys.ENOTDIR
 		}
-		if dst.IsDir() {
-			dst.mu.Lock()
-			if len(dst.entries) != 0 {
-				dst.mu.Unlock()
-				return sys.ENOTEMPTY
-			}
-			if e := stickyCheckLocked(cred, newDir, dst.UID); e != sys.OK {
-				dst.mu.Unlock()
-				return e
-			}
-			dst.Nlink = 0
-			dst.setParent(nil)
-			dst.bump()
+	}
+	// One logical record covers the whole rename, replacement included, so
+	// it is logged only after every remaining check has passed and before
+	// the first mutation.
+	rec := &journal.Record{Op: journal.OpRename, Dir: oldDir.Ino, Name: oldName,
+		Dir2: newDir.Ino, Name2: newName, Ino: src.Ino}
+	switch {
+	case dst != nil && dst.IsDir():
+		dst.mu.Lock()
+		if len(dst.entries) != 0 {
 			dst.mu.Unlock()
-			newDir.removeLocked(newName)
-			newDir.Nlink--
-			fs.ninodes.Add(-1)
-		} else {
-			if e := stickyCheck(cred, newDir, dst); e != sys.OK {
-				return e
-			}
-			newDir.removeLocked(newName)
-			fs.drop(dst)
+			return sys.ENOTEMPTY
+		}
+		if e := stickyCheckLocked(cred, newDir, dst.UID); e != sys.OK {
+			dst.mu.Unlock()
+			return e
+		}
+		if e := fs.jlog(rec); e != sys.OK {
+			dst.mu.Unlock()
+			return e
+		}
+		dst.Nlink = 0
+		dst.setParent(nil)
+		dst.bump()
+		dst.mu.Unlock()
+		newDir.removeLocked(newName)
+		newDir.Nlink--
+		fs.ninodes.Add(-1)
+	case dst != nil:
+		if e := stickyCheck(cred, newDir, dst); e != sys.OK {
+			return e
+		}
+		if e := fs.jlog(rec); e != sys.OK {
+			return e
+		}
+		newDir.removeLocked(newName)
+		fs.drop(dst)
+	default:
+		if e := fs.jlog(rec); e != sys.OK {
+			return e
 		}
 	}
 	oldDir.removeLocked(oldName)
@@ -610,6 +657,10 @@ func (fs *FS) Chmod(ip *Inode, mode uint32, cred Cred) sys.Errno {
 	if !cred.Root() && cred.UID != ip.UID {
 		return sys.EPERM
 	}
+	if e := fs.jlog(&journal.Record{Op: journal.OpChmod, Ino: ip.Ino,
+		Mode: ip.typ | mode&0o7777}); e != sys.OK {
+		return e
+	}
 	ip.Mode = ip.typ | mode&0o7777
 	ip.Ctime = fs.now()
 	ip.bump()
@@ -634,16 +685,24 @@ func (fs *FS) Chown(ip *Inode, uid, gid uint32, cred Cred) sys.Errno {
 			return sys.EPERM
 		}
 	}
+	// Resolve the absolute post-call identity (0xffffffff keeps a field,
+	// non-root chown clears set-id bits) so the journal record replays
+	// without re-deriving credentials.
+	newUID, newGID, newMode := ip.UID, ip.GID, ip.Mode
 	if uid != 0xffffffff {
-		ip.UID = uid
+		newUID = uid
 	}
 	if gid != 0xffffffff {
-		ip.GID = gid
+		newGID = gid
 	}
-	// Clear set-id bits on ownership change by non-root.
 	if !cred.Root() {
-		ip.Mode &^= sys.S_ISUID | sys.S_ISGID
+		newMode &^= sys.S_ISUID | sys.S_ISGID
 	}
+	if e := fs.jlog(&journal.Record{Op: journal.OpChown, Ino: ip.Ino,
+		UID: newUID, GID: newGID, Mode: newMode}); e != sys.OK {
+		return e
+	}
+	ip.UID, ip.GID, ip.Mode = newUID, newGID, newMode
 	ip.Ctime = fs.now()
 	ip.bump()
 	ip.publishAttrs()
@@ -658,6 +717,10 @@ func (fs *FS) Utimes(ip *Inode, atime, mtime time.Time, cred Cred) sys.Errno {
 		if e := CheckAccess(cred, ip.Mode, ip.UID, ip.GID, sys.W_OK); e != sys.OK {
 			return sys.EPERM
 		}
+	}
+	if e := fs.jlog(&journal.Record{Op: journal.OpUtimes, Ino: ip.Ino,
+		Off: atime.UnixNano(), Size: mtime.UnixNano()}); e != sys.OK {
+		return e
 	}
 	ip.Atime, ip.Mtime = atime, mtime
 	ip.Ctime = fs.now()

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"interpose/internal/journal"
 	"interpose/internal/sys"
 )
 
@@ -223,6 +224,10 @@ func (ip *Inode) WriteAt(p []byte, off int64, maxSize int64) (int, sys.Errno) {
 		p = p[:maxSize-off]
 		end = maxSize
 	}
+	if e := ip.fs.jlog(&journal.Record{Op: journal.OpWrite, Ino: ip.Ino,
+		Off: off, Data: p}); e != sys.OK {
+		return 0, e
+	}
 	if end > int64(len(ip.data)) {
 		grown := make([]byte, end)
 		copy(grown, ip.data)
@@ -248,6 +253,10 @@ func (ip *Inode) Truncate(length int64) sys.Errno {
 	}
 	ip.mu.Lock()
 	defer ip.mu.Unlock()
+	if e := ip.fs.jlog(&journal.Record{Op: journal.OpTruncate, Ino: ip.Ino,
+		Size: length}); e != sys.OK {
+		return e
+	}
 	switch {
 	case int64(len(ip.data)) > length:
 		ip.data = ip.data[:length]

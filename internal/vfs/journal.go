@@ -1,0 +1,61 @@
+package vfs
+
+import (
+	"interpose/internal/journal"
+	"interpose/internal/sys"
+)
+
+// Write-ahead journaling: every FS mutation appends one logical redo
+// record to the attached journal.Writer before the mutation is applied.
+// Records are emitted while the relevant directory/inode locks are held,
+// so per-object journal order equals apply order; the writer's own mutex
+// is a leaf lock below every inode lock (DESIGN.md §12).
+//
+// A journal in the latched-failure state (device full, I/O error) makes
+// every subsequent mutation fail with EROFS before it touches anything:
+// the filesystem degrades to read-only rather than diverging from its
+// journal. While no journal is attached the entire facility costs one
+// atomic pointer load per mutation.
+
+// SetJournal attaches (or, with nil, detaches) a write-ahead journal.
+// Attaching is meant to happen on a quiesced world — mutations running
+// during the switch may escape the journal.
+func (fs *FS) SetJournal(w *journal.Writer) {
+	fs.jnl.Store(w)
+}
+
+// Journal returns the attached journal writer, or nil.
+func (fs *FS) Journal() *journal.Writer { return fs.jnl.Load() }
+
+// jlog appends one redo record, mapping a latched journal failure to
+// EROFS. Callers hold the locks that order the mutation; they must apply
+// the mutation unconditionally after OK (write-ahead: every applied
+// mutation has a record, and a record that loses its mutation to a crash
+// is harmlessly redone at replay).
+func (fs *FS) jlog(r *journal.Record) sys.Errno {
+	w := fs.jnl.Load()
+	if w == nil {
+		return sys.OK
+	}
+	if err := w.Append(r); err != nil {
+		return sys.EROFS
+	}
+	fs.bumpSeq(r.Seq)
+	return sys.OK
+}
+
+// bumpSeq advances the applied-sequence watermark to seq (monotonic;
+// concurrent mutators may report out of order).
+func (fs *FS) bumpSeq(seq uint64) {
+	for {
+		old := fs.jnlSeq.Load()
+		if seq <= old || fs.jnlSeq.CompareAndSwap(old, seq) {
+			return
+		}
+	}
+}
+
+// JournalSeq returns the highest journal sequence number this world has
+// applied — the point a journal writer must continue from (StartAt) after
+// recovery, and the threshold below which replay skips records.
+func (fs *FS) JournalSeq() uint64 { return fs.jnlSeq.Load() }
