@@ -21,6 +21,13 @@
 //	agentrun -inject 'seed=7,open=ENOSPC@0.01' -- /bin/sh -c 'mk all'
 //	agentrun -supervise strict -a 'faulty=seed=7,write=panic@0.01' -- /bin/sh -c 'cd /src; mk all'
 //
+// The flags are a command-line syntax for a world.Spec: agentrun parses
+// them into the declarative spec, hands it to the world lifecycle layer
+// (internal/world) — which owns boot, journal replay, fsck gating,
+// facility attachment, and teardown for every loader in the repository —
+// and runs one session. The multi-tenant daemon (cmd/worldd) accepts the
+// same spec as JSON.
+//
 // -inject installs the same deterministic fault plan the faulty agent
 // uses, but as a kernel-side hook below every agent; the end-of-run
 // injection summary lands on standard error either way.
@@ -80,14 +87,11 @@ import (
 
 	"interpose/internal/agents"
 	"interpose/internal/apps"
-	"interpose/internal/core"
-	"interpose/internal/fault"
-	"interpose/internal/image"
-	"interpose/internal/journal"
 	"interpose/internal/kernel"
 	"interpose/internal/sys"
 	"interpose/internal/telemetry"
 	"interpose/internal/trace"
+	"interpose/internal/world"
 )
 
 // agentList collects repeated -a flags.
@@ -138,176 +142,89 @@ func main() {
 		os.Exit(2)
 	}
 
-	var k *kernel.Kernel
-	var err error
-	if *restorePath != "" {
-		images := image.NewRegistry()
-		apps.Register(images)
-		f, oerr := os.Open(*restorePath)
-		if oerr != nil {
-			fatal(oerr)
-		}
-		k, err = kernel.Restore(images, f)
-		f.Close()
-	} else {
-		k, err = apps.NewWorld()
-	}
-	if err != nil {
-		fatal(err)
-	}
-
-	// The journal attaches before anything runs. An existing journal file
-	// is first replayed onto the world — onto the checkpoint with
-	// -restore (the sequence watermark skips whatever the checkpoint
-	// already contains), onto the fresh boot otherwise — so rerunning
-	// with the same -journal file recovers a crashed world and continues
-	// it. A torn tail is reported, cut off, and appended over.
-	var jstore *journal.FileStore
-	replayed := 0
-	if *journalPath != "" {
-		st, data, jerr := journal.OpenFileStore(*journalPath)
-		if jerr != nil {
-			fatal(jerr)
-		}
-		applied, skipped, torn, rerr := k.ReplayJournal(data)
-		if rerr != nil {
-			fatal(rerr)
-		}
-		if torn != nil {
-			fmt.Fprintln(os.Stderr, "agentrun:", torn.Error())
-			if terr := st.TruncateTo(torn.Off); terr != nil {
-				fatal(terr)
-			}
-		}
-		if applied+skipped > 0 {
-			fmt.Fprintf(os.Stderr, "agentrun: journal: replayed %d records (%d already checkpointed)\n", applied, skipped)
-		}
-		replayed = applied + skipped
-		w := journal.NewWriter(st, 0)
-		w.StartAt(k.FS().JournalSeq() + 1)
-		k.SetJournal(w)
-		jstore = st
-	}
-	if *restorePath != "" || replayed > 0 {
-		// The recovery verifier runs after every restore or replay: a
-		// world that fails fsck must not be handed to programs.
-		if bad := k.FS().Check(); len(bad) != 0 {
-			fatal(fmt.Errorf("recovered world fails fsck: %s", strings.Join(bad, "; ")))
-		}
-	}
-	reg := telemetry.NewRegistry()
-	k.SetTelemetry(reg)
-	if *traceKernel {
-		k.SetTracer(stderrTracer{})
-	}
-	var spanTracer *trace.Tracer
+	// The flags are a world.Spec in command-line clothing. The lifecycle
+	// layer owns the sequencing (restore vs fresh boot, journal replay
+	// with torn-tail cutting, the post-recovery fsck gate, injector
+	// crash hooks freezing the store); this program is a pure parser
+	// plus end-of-run reporting.
+	spec := apps.Spec()
+	spec.Name = "agentrun"
+	spec.Agents = specs
+	spec.RestorePath = *restorePath
+	spec.JournalPath = *journalPath
+	spec.Inject = *inject
+	spec.Telemetry = true
+	spec.Mirror = os.Stdout
 	if *traceOut != "" || *traceSample >= 0 || *traceSlow > 0 {
 		sample := *traceSample
 		if sample < 0 {
 			sample = 1 // -trace-out alone means "trace everything"
 		}
-		spanTracer = trace.NewTracer(trace.Config{
+		spec.Trace = &world.TraceSpec{
 			Sample:     sample,
 			Slow:       *traceSlow,
 			TailErrors: *traceSlow > 0 || sample < 1,
-		})
-		k.SetSpanTracer(spanTracer)
-	}
-	var kinj *fault.Injector
-	if *inject != "" {
-		plan, err := fault.ParsePlan(*inject)
-		if err != nil {
-			fatal(err)
 		}
-		kinj = fault.NewInjector(plan)
-		kinj.OnCrash(func(torn int) {
-			// The machine dies: the journal is frozen at its durable prefix
-			// (minus any torn bytes) and every process is killed. What the
-			// file holds afterward is exactly what a recovery may trust.
-			if jstore != nil {
-				jstore.Freeze(torn)
-			}
-			k.Crash()
-		})
-		k.SetInjector(kinj)
 	}
-	mode, supervised, err := kernel.ParseSuperviseMode(*supervise)
-	if err != nil {
-		fatal(err)
-	}
-	if supervised {
-		errno, ok := sys.ErrnoByName(*superviseErrno)
-		if !ok {
-			fatal(fmt.Errorf("unknown errno %q for -supervise-errno", *superviseErrno))
-		}
-		k.SetSupervisor(kernel.NewSupervisor(k, kernel.SupervisorConfig{
-			Mode:     mode,
-			Errno:    errno,
+	if *supervise != "off" || *agentDeadline != 0 {
+		spec.Supervise = &world.SuperviseSpec{
+			Mode:     *supervise,
+			Errno:    *superviseErrno,
 			Deadline: *agentDeadline,
-			// A quarantine is the crash-recorder moment for an agent: say
-			// which layer was fenced off and dump the recent-event ring,
-			// whose supervise:* events carry the layer name.
-			OnQuarantine: func(layer string, stack []byte) {
-				fmt.Fprintf(os.Stderr, "agentrun: layer %q quarantined after repeated failures\n", layer)
-				reg.Snapshot().WriteFlight(os.Stderr)
-			},
-		}))
-	} else if *agentDeadline != 0 {
-		fatal(fmt.Errorf("-agent-deadline requires -supervise strict or bypass"))
-	}
-	if *feed != "" {
-		k.Console().Feed(*feed)
-	}
-	k.Console().FeedEOF()
-	k.Console().Mirror(os.Stdout)
-
-	var stack []core.Agent
-	var instances []*agents.Instance
-	for _, spec := range specs {
-		inst, err := agents.New(spec)
-		if err != nil {
-			fatal(err)
 		}
-		stack = append(stack, inst.Agent)
-		instances = append(instances, inst)
+	}
+	// A quarantine is the crash-recorder moment for an agent: say which
+	// layer was fenced off and dump the recent-event ring, whose
+	// supervise:* events carry the layer name.
+	var w *world.World
+	spec.OnQuarantine = func(layer string, stack []byte) {
+		fmt.Fprintf(os.Stderr, "agentrun: layer %q quarantined after repeated failures\n", layer)
+		if w != nil && w.Telemetry() != nil {
+			w.Telemetry().Snapshot().WriteFlight(os.Stderr)
+		}
 	}
 
-	path := argv[0]
-	if !strings.HasPrefix(path, "/") {
-		path = "/bin/" + path
-	}
-	p, err := core.Launch(k, stack, path, argv, []string{"PATH=/bin:/usr/bin"})
+	w, err := world.Boot(spec)
 	if err != nil {
 		fatal(err)
 	}
-	status := k.WaitExit(p)
-
-	for _, inst := range instances {
-		if inst.Finish != nil {
-			inst.Finish(os.Stderr)
-		}
+	if w.Torn != nil {
+		fmt.Fprintln(os.Stderr, "agentrun:", w.Torn.Error())
 	}
-	if kinj != nil {
-		fmt.Fprint(os.Stderr, kinj.Summary())
+	if w.Replayed() > 0 {
+		fmt.Fprintf(os.Stderr, "agentrun: journal: replayed %d records (%d already checkpointed)\n",
+			w.Applied, w.Skipped)
+	}
+	if *traceKernel {
+		w.Kernel().SetTracer(stderrTracer{})
 	}
 
-	crashed := kinj != nil && kinj.Crashed()
-	if w := k.Journal(); w != nil && !crashed {
+	res, err := w.Exec(world.ExecRequest{Argv: argv, Feed: *feed})
+	if err != nil {
+		fatal(err)
+	}
+
+	w.FinishReports(os.Stderr)
+	if inj := w.Injector(); inj != nil {
+		fmt.Fprint(os.Stderr, inj.Summary())
+	}
+
+	if jw := w.Kernel().Journal(); jw != nil && !w.Crashed() {
 		// Final group-commit barrier: a clean exit leaves a complete
 		// journal file. (A crashed world's store is frozen as-is.)
-		if err := w.Commit(); err != nil {
+		if err := jw.Commit(); err != nil {
 			fmt.Fprintln(os.Stderr, "agentrun: journal:", err)
 		}
 	}
 	if *checkpointPath != "" {
-		if crashed {
+		if w.Crashed() {
 			fmt.Fprintln(os.Stderr, "agentrun: world crashed; no checkpoint written (recover from the journal)")
 		} else {
 			f, err := os.Create(*checkpointPath)
 			if err != nil {
 				fatal(err)
 			}
-			werr := k.Checkpoint(f)
+			werr := w.Checkpoint(f)
 			if cerr := f.Close(); werr == nil {
 				werr = cerr
 			}
@@ -318,23 +235,23 @@ func main() {
 		}
 	}
 
-	if spanTracer != nil && *traceOut != "" {
+	if w.Tracer() != nil && *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fatal(err)
 		}
-		werr := spanTracer.WriteChrome(f)
+		werr := w.Tracer().WriteChrome(f)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
 			fatal(werr)
 		}
-		spans, dropped := spanTracer.Stats()
+		spans, dropped := w.Tracer().Stats()
 		fmt.Fprintf(os.Stderr, "agentrun: wrote %d spans to %s (%d dropped)\n", spans-dropped, *traceOut, dropped)
 	}
 
-	snap := reg.Snapshot()
+	snap := w.Telemetry().Snapshot()
 	if *stats {
 		snap.WriteText(os.Stderr)
 	}
@@ -344,20 +261,20 @@ func main() {
 		}
 	}
 
-	if !sys.WIfExited(status) {
-		fmt.Fprintf(os.Stderr, "agentrun: %s killed by %s\n", argv[0], sys.SignalName(sys.WTermSig(status)))
+	if !res.Exited() {
+		fmt.Fprintf(os.Stderr, "agentrun: %s killed by %s\n", argv[0], res.Signal)
 		// A crash recorder's whole point: dump the recent-event ring when
 		// the program dies abnormally, whether or not it was asked for —
 		// and persist it (plus the span trace) to $ARTIFACT_DIR so CI
 		// keeps the forensics even though stderr scrolls away.
 		snap.WriteFlight(os.Stderr)
-		writeDeathArtifacts(snap, spanTracer)
-		os.Exit(128 + sys.WTermSig(status))
+		writeDeathArtifacts(snap, w.Tracer())
+		os.Exit(res.Status)
 	}
 	if *flightDump {
 		snap.WriteFlight(os.Stderr)
 	}
-	os.Exit(sys.WExitStatus(status))
+	os.Exit(res.Status)
 }
 
 // writeDeathArtifacts writes the flight ring and span trace as files in

@@ -1,0 +1,81 @@
+// Command worldd serves simulated worlds over a unix-socket HTTP/JSON
+// API: a multi-tenant daemon hosting many independent machines
+// (internal/world) in one process, each with its own agent stack,
+// resource budgets, and optional journal.
+//
+//	worldd [-socket /run/worldd.sock] [-quiet]
+//
+// Talk to it with curl:
+//
+//	curl --unix-socket /run/worldd.sock -X POST -d '{"name":"t1","agents":["trace"]}' \
+//	    http://worldd/1.0/worlds
+//	curl --unix-socket /run/worldd.sock -X POST -d '{"argv":["echo","hello"]}' \
+//	    http://worldd/1.0/worlds/w1/exec
+//	curl --unix-socket /run/worldd.sock http://worldd/1.0/metrics
+//	curl --unix-socket /run/worldd.sock -X DELETE http://worldd/1.0/worlds/w1
+//
+// SIGTERM (or SIGINT) drains gracefully: the socket stops accepting,
+// in-flight sessions finish, every world is closed — journals flushed,
+// guest processes reaped — and the daemon exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"interpose/internal/apps"
+	"interpose/internal/worldd"
+)
+
+func main() {
+	socket := flag.String("socket", "worldd.sock", "unix socket path for the API")
+	quiet := flag.Bool("quiet", false, "suppress per-event log lines")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain after SIGTERM")
+	flag.Parse()
+
+	cfg := worldd.Config{Register: apps.Register}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv, err := worldd.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := worldd.ListenUnix(*socket)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("worldd: serving on %s", *socket)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("worldd: %s: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	os.Remove(*socket)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "worldd:", err)
+	os.Exit(1)
+}

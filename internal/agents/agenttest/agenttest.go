@@ -20,16 +20,30 @@ import (
 	"interpose/internal/sys"
 	"interpose/internal/telemetry"
 	"interpose/internal/trace"
+	"interpose/internal/world"
 )
 
 // World boots a kernel with all applications installed in /bin.
 func World(t testing.TB) *kernel.Kernel {
 	t.Helper()
-	k, err := apps.NewWorld()
+	return Boot(t, apps.Spec()).Kernel()
+}
+
+// Boot boots a world from spec (usually apps.Spec() plus options) and
+// registers its teardown: the world is closed — guest processes reaped,
+// journal flushed, facilities detached — when the test ends.
+func Boot(t testing.TB, spec world.Spec) *world.World {
+	t.Helper()
+	w, err := world.Boot(spec)
 	if err != nil {
 		t.Fatalf("agenttest: world: %v", err)
 	}
-	return k
+	t.Cleanup(func() {
+		if err := w.Close(); err != nil {
+			t.Errorf("agenttest: close world: %v", err)
+		}
+	})
+	return w
 }
 
 // Run executes argv[0] from /bin under the given agent stack and returns

@@ -10,6 +10,7 @@ import (
 	"interpose/internal/kernel"
 	"interpose/internal/libc"
 	"interpose/internal/sys"
+	"interpose/internal/world"
 )
 
 // mains maps program names to their entry functions.
@@ -68,20 +69,25 @@ func Register(reg *image.Registry) {
 	}
 }
 
+// Spec returns the base world spec for the full application set: every
+// program registered and installed in /bin. Callers layer their own
+// options (agents, journals, budgets) on top before world.Boot.
+func Spec() world.Spec {
+	return world.Spec{Register: Register}
+}
+
 // NewWorld boots a kernel with all applications registered and installed
-// in /bin. Programs are installed in sorted order so two boots assign
-// identical inode numbers throughout — a journal recorded against one
-// fresh world must replay exactly onto another.
+// in /bin — a thin caller of the world lifecycle layer, kept for the
+// many tests that only need the raw kernel. The layer installs programs
+// in sorted order so two boots assign identical inode numbers
+// throughout — a journal recorded against one fresh world must replay
+// exactly onto another.
 func NewWorld() (*kernel.Kernel, error) {
-	reg := image.NewRegistry()
-	Register(reg)
-	k := kernel.New(reg)
-	for _, name := range Names() {
-		if err := k.InstallProgram("/bin/"+name, name); err != nil {
-			return nil, fmt.Errorf("apps: install %s: %w", name, err)
-		}
+	w, err := world.Boot(Spec())
+	if err != nil {
+		return nil, fmt.Errorf("apps: %w", err)
 	}
-	return k, nil
+	return w.Kernel(), nil
 }
 
 // hpuxdateMain is a binary from a variant operating system: it uses the

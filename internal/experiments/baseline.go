@@ -32,6 +32,14 @@ import (
 // load over sup off), and sampled is an installed tracer at 1% — the
 // unsampled 99% must pay only an xorshift draw, not clock reads or
 // span recording.
+// The worldd rows guard the multi-tenant server's scaling claims: a
+// session is one exec round trip through the daemon handler (its
+// inverse is the daemon's sessions/sec), and idle-mem/world is the
+// per-world heap floor with a 10,000-world idle fleet resident — the
+// row's unit is bytes, not nanoseconds, but the regression arithmetic
+// is the same. The memory row is what keeps per-world facilities
+// honest: anything attached unconditionally at boot shows up here
+// multiplied by ten thousand.
 var GuardedRows = []string{
 	"3-5:stat()/without",
 	"3-5:getpid()/with",
@@ -39,6 +47,8 @@ var GuardedRows = []string{
 	"sup:getpid()/strict",
 	"trace:getpid()/off",
 	"trace:getpid()/sampled",
+	"worldd:session",
+	"worldd:idle-mem/world",
 }
 
 // MaxRegress is the allowed slowdown factor before the check fails:

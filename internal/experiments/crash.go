@@ -11,6 +11,7 @@ import (
 	"interpose/internal/image"
 	"interpose/internal/journal"
 	"interpose/internal/kernel"
+	"interpose/internal/world"
 )
 
 // The crash-consistency cost table ("crash"): what the write-ahead
@@ -42,15 +43,17 @@ const crashPrograms = 4
 // crashWorld boots the world the checkpoint rows snapshot: a full
 // application world carrying the mk workload's source tree, so "boot"
 // means the work a crashed deployment would redo without a checkpoint.
+// It is a Setup hook away from the standard benchmark spec.
 func crashWorld() (*kernel.Kernel, error) {
-	k, err := World()
+	s := WorldSpec()
+	s.Setup = append(s.Setup, func(k *kernel.Kernel) error {
+		return apps.GenMakeTree(k, "/src", 4)
+	})
+	w, err := world.Boot(s)
 	if err != nil {
 		return nil, err
 	}
-	if err := apps.GenMakeTree(k, "/src", 4); err != nil {
-		return nil, err
-	}
-	return k, nil
+	return w.Kernel(), nil
 }
 
 // RunCrashTable measures the crash table: per-write cost with the

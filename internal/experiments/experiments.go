@@ -18,18 +18,27 @@ import (
 	"interpose/internal/core"
 	"interpose/internal/kernel"
 	"interpose/internal/sys"
+	"interpose/internal/world"
 )
 
-// World boots a full application world with the benchmark fixtures.
+// WorldSpec declares the benchmark world: the full application set plus
+// the benchmark fixtures. Tables needing more state append Setup hooks.
+func WorldSpec() world.Spec {
+	s := apps.Spec()
+	s.Setup = append(s.Setup, func(k *kernel.Kernel) error {
+		return apps.SetupBenchFiles(k)
+	})
+	return s
+}
+
+// World boots a full application world with the benchmark fixtures — a
+// thin caller of the world lifecycle layer.
 func World() (*kernel.Kernel, error) {
-	k, err := apps.NewWorld()
+	w, err := world.Boot(WorldSpec())
 	if err != nil {
 		return nil, err
 	}
-	if err := apps.SetupBenchFiles(k); err != nil {
-		return nil, err
-	}
-	return k, nil
+	return w.Kernel(), nil
 }
 
 // AgentStack builds one of the paper's agent configurations by name:

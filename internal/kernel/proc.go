@@ -48,6 +48,11 @@ type Proc struct {
 	// state is read lock-free anywhere; written only under k.pmu.
 	state atomic.Int32
 
+	// started is set just before the process goroutine is spawned. A
+	// process without one (NewProc driven from the host, never Started)
+	// can never process a signal, so Shutdown exits it directly.
+	started atomic.Bool
+
 	as *mem.AS // has its own internal lock
 
 	// mu guards per-process identity: working directories, credentials,
@@ -852,6 +857,7 @@ func (p *Proc) Start(path string, argv, envp []string) error {
 	if err != sys.OK {
 		return fmt.Errorf("start %s: %w", path, err)
 	}
+	p.started.Store(true)
 	go p.run(entry)
 	return nil
 }
@@ -864,6 +870,7 @@ func (p *Proc) StartEntry(e image.Entry, argv, envp []string) error {
 		return fmt.Errorf("start entry: %w", errno)
 	}
 	p.SetInitialSP(sp)
+	p.started.Store(true)
 	go p.run(e)
 	return nil
 }

@@ -10,7 +10,12 @@ package kernel
 // by fork and preserved across execve, like every other per-process
 // identity field guarded by p.mu.
 
-import "interpose/internal/sys"
+import (
+	"fmt"
+	"strings"
+
+	"interpose/internal/sys"
+)
 
 // Rlimit returns the current limit for res. Exported for toolkit layers
 // that want to honor process limits. Out-of-range resource numbers —
@@ -23,6 +28,48 @@ func (p *Proc) Rlimit(res int) sys.Rlimit {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.rlimits[res]
+}
+
+// SetRlimit installs a limit from outside the system interface (world
+// building: a tenant spec's resource budget applied before the first
+// program runs). Unlike sysSetrlimit there is no privilege check — the
+// host is the machine owner — but the Cur<=Max invariant still holds.
+func (p *Proc) SetRlimit(res int, rl sys.Rlimit) error {
+	if res < 0 || res >= sys.RLIM_NLIMITS {
+		return fmt.Errorf("kernel: setrlimit: resource %d out of range", res)
+	}
+	if rl.Cur > rl.Max {
+		return fmt.Errorf("kernel: setrlimit: cur %d > max %d", rl.Cur, rl.Max)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rlimits[res] = rl
+	if res == sys.RLIMIT_DATA {
+		p.as.SetLimit(rl.Cur)
+	}
+	return nil
+}
+
+// RlimitByName maps a spec-file resource name to its RLIMIT_* number.
+// Recognized names: nofile, fsize, data, cpu, core, stack, rss.
+func RlimitByName(name string) (int, bool) {
+	switch strings.ToLower(name) {
+	case "nofile":
+		return sys.RLIMIT_NOFILE, true
+	case "fsize":
+		return sys.RLIMIT_FSIZE, true
+	case "data":
+		return sys.RLIMIT_DATA, true
+	case "cpu":
+		return sys.RLIMIT_CPU, true
+	case "core":
+		return sys.RLIMIT_CORE, true
+	case "stack":
+		return sys.RLIMIT_STACK, true
+	case "rss":
+		return sys.RLIMIT_RSS, true
+	}
+	return 0, false
 }
 
 // checkFsize reports whether growing a file to length would exceed the

@@ -172,6 +172,7 @@ func (k *Kernel) sysFork(p *Proc) (sys.Retval, sys.Errno) {
 	child.causeSpan.Store(p.curSpan.Load())
 	k.publishProc(child, p)
 	k.trace(p, "fork", "", "", child.pid, sys.OK)
+	child.started.Store(true)
 	go child.run(entry)
 	return sys.Retval{sys.Word(child.pid)}, sys.OK
 }
@@ -469,6 +470,43 @@ func (k *Kernel) WaitExit(p *Proc) sys.Word {
 		}
 	}
 	return status
+}
+
+// Shutdown kills and reaps every live process: each gets an unmaskable
+// SIGKILL (waking any kernel sleep, per the no-re-block-on-exit
+// guarantee), and the caller then waits for every process goroutine to
+// exit and removes it from the table. After Shutdown returns the world
+// runs no goroutines and holds no zombies — it is quiesced, ready to be
+// checkpointed or discarded. This is the teardown half of the world
+// lifecycle layer (internal/world); a multi-tenant server calls it on
+// every world it closes, so it must not leak even when guests are
+// mid-syscall or blocked in sleeps.
+//
+// Signals are re-posted each round because a fork racing with the first
+// round can publish a new child after the table was swept; the loop
+// terminates because a killed process cannot fork again and every round
+// reaps at least one process.
+func (k *Kernel) Shutdown() {
+	for {
+		k.pmu.Lock()
+		var victim *Proc
+		for _, p := range k.procs {
+			victim = p
+			k.postSignalPLocked(p, sys.SIGKILL)
+		}
+		k.pmu.Unlock()
+		if victim == nil {
+			return
+		}
+		if !victim.started.Load() {
+			// A host-driven process with no goroutine (NewProc without
+			// Start, or a Start that failed to load): nothing will ever
+			// deliver the signal, so shutdown performs its exit directly.
+			// finishExit is idempotent, so a racing late Start is benign.
+			k.finishExit(victim, sys.WStatusSignal(sys.SIGKILL))
+		}
+		k.WaitExit(victim)
+	}
 }
 
 // ProcCount returns the number of live (non-reaped) processes.

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Snapshot aggregation: a multi-tenant server exports one fleet-wide
+// view over many per-world registries. Counts, errors, and total times
+// sum exactly; means are re-derived from the sums; quantiles and flight
+// events are per-world artifacts that do not merge (a p99 of p99s is
+// not a p99), so the merged rows carry zeros there and callers wanting
+// distribution detail read the per-world snapshots.
+
+// Merge combines per-world snapshots into one aggregate snapshot.
+// Syscall rows merge by call number, layer rows by layer name, counters
+// by counter name. Uptime is the longest of the inputs.
+func Merge(snaps []Snapshot) Snapshot {
+	var out Snapshot
+	sysByNum := make(map[int]*SyscallSnap)
+	layerByName := make(map[string]*LayerSnap)
+	counterByName := make(map[string]uint64)
+	var counterOrder []string
+
+	for _, s := range snaps {
+		if s.Uptime > out.Uptime {
+			out.Uptime = s.Uptime
+		}
+		out.Total += s.Total
+		out.Errs += s.Errs
+		for _, row := range s.Syscalls {
+			agg, ok := sysByNum[row.Num]
+			if !ok {
+				agg = &SyscallSnap{Num: row.Num, Name: row.Name}
+				sysByNum[row.Num] = agg
+			}
+			agg.Count += row.Count
+			agg.Errs += row.Errs
+			agg.Total += row.Total
+			agg.Timed += row.Timed
+			if row.Max > agg.Max {
+				agg.Max = row.Max
+			}
+		}
+		for _, l := range s.Layers {
+			agg, ok := layerByName[l.Name]
+			if !ok {
+				agg = &LayerSnap{Layer: l.Layer, Name: l.Name}
+				layerByName[l.Name] = agg
+			}
+			agg.Calls += l.Calls
+			agg.Self += l.Self
+		}
+		for _, c := range s.Counters {
+			if _, ok := counterByName[c.Name]; !ok {
+				counterOrder = append(counterOrder, c.Name)
+			}
+			counterByName[c.Name] += c.Value
+		}
+	}
+
+	for _, agg := range sysByNum {
+		if agg.Timed > 0 {
+			agg.Mean = agg.Total / time.Duration(agg.Timed)
+		}
+		out.Syscalls = append(out.Syscalls, *agg)
+	}
+	sort.Slice(out.Syscalls, func(i, j int) bool {
+		if out.Syscalls[i].Count != out.Syscalls[j].Count {
+			return out.Syscalls[i].Count > out.Syscalls[j].Count
+		}
+		return out.Syscalls[i].Num < out.Syscalls[j].Num
+	})
+	for _, agg := range layerByName {
+		out.Layers = append(out.Layers, *agg)
+	}
+	sort.Slice(out.Layers, func(i, j int) bool {
+		if out.Layers[i].Layer != out.Layers[j].Layer {
+			return out.Layers[i].Layer < out.Layers[j].Layer
+		}
+		return out.Layers[i].Name < out.Layers[j].Name
+	})
+	for _, name := range counterOrder {
+		out.Counters = append(out.Counters, NamedCounter{Name: name, Value: counterByName[name]})
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+// Package worldd is the multi-tenant world server: one process hosting
+// many independent simulated machines (internal/world) behind a
+// unix-socket HTTP/JSON API, in the shape of a machine-container daemon:
+//
+//	POST   /1.0/worlds           create a world from a wire world.Spec
+//	GET    /1.0/worlds           list worlds
+//	GET    /1.0/worlds/{id}      inspect one world
+//	POST   /1.0/worlds/{id}/exec run one session (world.ExecRequest)
+//	DELETE /1.0/worlds/{id}      close and remove a world
+//	GET    /1.0/metrics          fleet-wide aggregated telemetry
+//
+// Each tenant's Spec carries its own budgets — rlimits applied to every
+// process the world launches, circuit-breaker thresholds for its agent
+// stack, an optional private journal — and the world layer enforces
+// them, so one tenant exhausting its descriptor budget or quarantining
+// its agents cannot perturb a sibling. Idle worlds run zero goroutines;
+// the per-world cost is the kernel's in-memory filesystem plus whatever
+// facilities the spec opted into (telemetry registries carry latency
+// histograms and a flight ring, so memory-conscious fleets leave
+// Telemetry off and rely on the server's own session counters).
+//
+// # Lock ordering
+//
+// Server.mu guards only the world table (id → entry) and the draining
+// flag. Every world operation — Boot, Exec, Close — runs OUTSIDE
+// Server.mu: handlers look the entry up under the lock, release it, and
+// then call into the world, which serializes its own sessions on its
+// own lock. Server.mu is therefore never held while a world lock is,
+// and a slow session in one world never delays another tenant's create
+// or delete. Deleting a world that is mid-session is safe for the same
+// reason: Close blocks on the world lock until the session finishes,
+// and a later Exec on the closed world fails cleanly.
+package worldd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interpose/internal/image"
+	"interpose/internal/kernel"
+	"interpose/internal/telemetry"
+	"interpose/internal/world"
+)
+
+// Config wires the server to its world template: the host-side hooks a
+// wire Spec cannot carry.
+type Config struct {
+	// Register populates every world's image registry (required).
+	Register func(*image.Registry)
+	// Setup hooks prepended to every world's Setup (optional fixtures).
+	Setup []func(*kernel.Kernel) error
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// entry is one hosted world. The session counter is the server's own
+// (telemetry is per-spec optional, but "how busy is this tenant" must
+// always be answerable).
+type entry struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	Created  time.Time `json:"created"`
+	w        *world.World
+	sessions atomic.Uint64
+	execErrs atomic.Uint64
+}
+
+// Info is the wire representation of one hosted world.
+type Info struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	Created  time.Time `json:"created"`
+	Sessions uint64    `json:"sessions"`
+	ExecErrs uint64    `json:"exec_errs,omitempty"`
+	Crashed  bool      `json:"crashed,omitempty"`
+}
+
+// Metrics is the fleet-wide view served at /1.0/metrics.
+type Metrics struct {
+	Worlds    int                `json:"worlds"`
+	Created   uint64             `json:"worlds_created"`
+	Closed    uint64             `json:"worlds_closed"`
+	Sessions  uint64             `json:"sessions"`
+	ExecErrs  uint64             `json:"exec_errs"`
+	Draining  bool               `json:"draining"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// Server hosts the world table. See the package comment for the lock
+// ordering discipline.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	worlds   map[string]*entry
+	nextID   uint64
+	draining bool
+
+	created  atomic.Uint64
+	closed   atomic.Uint64
+	sessions atomic.Uint64
+	execErrs atomic.Uint64
+
+	httpSrv *http.Server
+}
+
+// New builds a server from its config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Register == nil {
+		return nil, fmt.Errorf("worldd: config has no image registry hook")
+	}
+	s := &Server{cfg: cfg, worlds: make(map[string]*entry)}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the API mux (exported so tests can drive the server
+// without a socket).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /1.0/worlds", s.handleCreate)
+	mux.HandleFunc("GET /1.0/worlds", s.handleList)
+	mux.HandleFunc("GET /1.0/worlds/{id}", s.handleGet)
+	mux.HandleFunc("POST /1.0/worlds/{id}/exec", s.handleExec)
+	mux.HandleFunc("DELETE /1.0/worlds/{id}", s.handleDelete)
+	mux.HandleFunc("GET /1.0/metrics", s.handleMetrics)
+	return mux
+}
+
+// Serve accepts connections on ln until Shutdown. It owns ln.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenUnix binds the API socket. The daemon owns its socket path: a
+// stale socket file left by a dead predecessor is removed before bind
+// (a unix socket never rebinds over an existing file).
+func ListenUnix(path string) (net.Listener, error) {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("worldd: socket: %w", err)
+	}
+	return net.Listen("unix", path)
+}
+
+// Shutdown drains the server: new creates are refused (503), in-flight
+// requests finish, every world is closed (sessions run to completion
+// first — Close serializes on the world lock). The listener closes
+// before the worlds do, so a supervisor watching the socket sees the
+// server gone only after it stopped accepting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	err := s.httpSrv.Shutdown(ctx)
+
+	s.mu.Lock()
+	var victims []*entry
+	for _, e := range s.worlds {
+		victims = append(victims, e)
+	}
+	s.worlds = make(map[string]*entry)
+	s.mu.Unlock()
+
+	for _, e := range victims {
+		if cerr := e.w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.closed.Add(1)
+	}
+	s.logf("worldd: drained %d worlds", len(victims))
+	return err
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// reply writes a JSON success body.
+func reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec world.Spec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	// The wire spec carries budgets and options; the server owns the
+	// host-side wiring.
+	spec.Register = s.cfg.Register
+	spec.Setup = append(append([]func(*kernel.Kernel) error{}, s.cfg.Setup...), spec.Setup...)
+	spec.RestoreFrom = nil
+	spec.Mirror = nil
+	spec.OnQuarantine = nil
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("w%d", s.nextID)
+	s.mu.Unlock()
+
+	// Boot outside the table lock: a restore or journal replay can be
+	// slow, and siblings must not wait on it.
+	wd, err := world.Boot(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "boot: %v", err)
+		return
+	}
+	e := &entry{ID: id, Name: spec.Name, Created: time.Now(), w: wd}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		wd.Close()
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.worlds[id] = e
+	s.mu.Unlock()
+
+	s.created.Add(1)
+	s.logf("worldd: created %s (%s)", id, spec.Name)
+	reply(w, http.StatusCreated, s.info(e))
+}
+
+// lookup finds a world entry by id, briefly under the table lock.
+func (s *Server) lookup(id string) (*entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.worlds[id]
+	return e, ok
+}
+
+func (s *Server) info(e *entry) Info {
+	return Info{
+		ID:       e.ID,
+		Name:     e.Name,
+		Created:  e.Created,
+		Sessions: e.sessions.Load(),
+		ExecErrs: e.execErrs.Load(),
+		Crashed:  e.w.Crashed(),
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.worlds))
+	for _, e := range s.worlds {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+
+	infos := make([]Info, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, s.info(e))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Created.Before(infos[j].Created) })
+	reply(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such world")
+		return
+	}
+	reply(w, http.StatusOK, s.info(e))
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such world")
+		return
+	}
+	var req world.ExecRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad exec request: %v", err)
+		return
+	}
+	// The session runs outside every server lock; the world serializes
+	// its own console.
+	res, err := e.w.Exec(req)
+	if err != nil {
+		e.execErrs.Add(1)
+		s.execErrs.Add(1)
+		httpError(w, http.StatusConflict, "exec: %v", err)
+		return
+	}
+	e.sessions.Add(1)
+	s.sessions.Add(1)
+	reply(w, http.StatusOK, res)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e, ok := s.worlds[id]
+	if ok {
+		delete(s.worlds, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such world")
+		return
+	}
+	// Close outside the table lock: it waits for an in-flight session.
+	if err := e.w.Close(); err != nil {
+		s.closed.Add(1)
+		httpError(w, http.StatusInternalServerError, "close: %v", err)
+		return
+	}
+	s.closed.Add(1)
+	s.logf("worldd: deleted %s", id)
+	reply(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.worlds))
+	for _, e := range s.worlds {
+		entries = append(entries, e)
+	}
+	draining := s.draining
+	s.mu.Unlock()
+
+	// Per-world snapshots merge into one fleet view; worlds without a
+	// telemetry registry still count, they just contribute no rows.
+	var snaps []telemetry.Snapshot
+	for _, e := range entries {
+		if reg := e.w.Telemetry(); reg != nil {
+			snaps = append(snaps, reg.Snapshot())
+		}
+	}
+	reply(w, http.StatusOK, Metrics{
+		Worlds:    len(entries),
+		Created:   s.created.Load(),
+		Closed:    s.closed.Load(),
+		Sessions:  s.sessions.Load(),
+		ExecErrs:  s.execErrs.Load(),
+		Draining:  draining,
+		Telemetry: telemetry.Merge(snaps),
+	})
+}
+
+// Worlds reports the current table size (for tests and the drain log).
+func (s *Server) Worlds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.worlds)
+}
