@@ -3,11 +3,13 @@
 // (internal/world) in one process, each with its own agent stack,
 // resource budgets, and optional journal.
 //
-//	worldd [-socket /run/worldd.sock] [-quiet]
+//	worldd [-socket /run/worldd.sock] [-state-dir /var/lib/worldd] [-quiet]
 //
-// Talk to it with curl:
+// A tenant's `journal` field names a key, not a path: the daemon keeps
+// every journal file inside -state-dir, so the wire API can never reach
+// another host file. Talk to it with curl:
 //
-//	curl --unix-socket /run/worldd.sock -X POST -d '{"name":"t1","agents":["trace"]}' \
+//	curl --unix-socket /run/worldd.sock -X POST -d '{"name":"t1","agents":["trace"],"journal":"t1"}' \
 //	    http://worldd/1.0/worlds
 //	curl --unix-socket /run/worldd.sock -X POST -d '{"argv":["echo","hello"]}' \
 //	    http://worldd/1.0/worlds/w1/exec
@@ -35,11 +37,12 @@ import (
 
 func main() {
 	socket := flag.String("socket", "worldd.sock", "unix socket path for the API")
+	stateDir := flag.String("state-dir", "worldd.state", "directory for tenant journal files (empty refuses file-backed journals)")
 	quiet := flag.Bool("quiet", false, "suppress per-event log lines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain after SIGTERM")
 	flag.Parse()
 
-	cfg := worldd.Config{Register: apps.Register}
+	cfg := worldd.Config{Register: apps.Register, StateDir: *stateDir}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}

@@ -750,3 +750,48 @@ func atoi(s string) int {
 
 // rootCredForTest builds the super-user credentials for direct FS pokes.
 func rootCredForTest() vfs.Cred { return vfs.Cred{UID: 0, GID: 0} }
+
+// TestShutdownRacesStart: Shutdown exits a not-yet-started process
+// directly, and a concurrent Start may be spawning that process's
+// goroutine at the same instant. The finishExit election must keep the
+// host and the late goroutine from running teardown twice (double
+// ProcExit hooks, double exitDone close); run under -race.
+func TestShutdownRacesStart(t *testing.T) {
+	reg := image.NewRegistry()
+	reg.Register("noop", libc.Main(func(lt *libc.T) int { return 0 }))
+	for i := 0; i < 200; i++ {
+		k := kernel.New(reg)
+		if err := k.InstallProgram("/bin/noop", "noop"); err != nil {
+			t.Fatal(err)
+		}
+		p := k.NewProc()
+		started := make(chan struct{})
+		go func() {
+			// The launch may lose the race and target an already-reaped
+			// process; only the double-teardown matters here.
+			p.Start("/bin/noop", []string{"noop"}, nil)
+			close(started)
+		}()
+		k.Shutdown()
+		<-started
+		if n := k.ProcCount(); n != 0 {
+			t.Fatalf("iter %d: %d procs after shutdown", i, n)
+		}
+	}
+}
+
+// TestDiscardReapsUnstartedProc: a published process whose launch fails
+// must be removable without Shutdown, and Discard must leave the table
+// empty.
+func TestDiscardReapsUnstartedProc(t *testing.T) {
+	reg := image.NewRegistry()
+	k := kernel.New(reg)
+	p := k.NewProc()
+	if err := p.Start("/bin/definitely-missing", []string{"x"}, nil); err == nil {
+		t.Fatal("start of missing image succeeded")
+	}
+	k.Discard(p)
+	if n := k.ProcCount(); n != 0 {
+		t.Fatalf("%d procs after discard", n)
+	}
+}

@@ -53,6 +53,12 @@ type Proc struct {
 	// can never process a signal, so Shutdown exits it directly.
 	started atomic.Bool
 
+	// finished elects the single finishExit caller. Normally only the
+	// process's own goroutine exits it, but host-side Shutdown may race
+	// a concurrent Start on a not-yet-started process; the CAS makes the
+	// loser a no-op instead of a double teardown.
+	finished atomic.Bool
+
 	as *mem.AS // has its own internal lock
 
 	// mu guards per-process identity: working directories, credentials,

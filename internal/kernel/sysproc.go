@@ -15,11 +15,18 @@ func (k *Kernel) sysExit(p *Proc, a sys.Args) {
 }
 
 // finishExit turns p into a zombie: closes descriptors, reparents children,
-// and notifies the parent. Safe to call once; later calls are no-ops. It
-// runs in three phases so descriptor teardown — which takes per-object
-// pipe and flock locks and wakes peers — happens outside the
-// process-table lock.
+// and notifies the parent. The p.finished CAS elects exactly one
+// finisher — later or concurrent calls are no-ops — because the caller
+// is not always the process's own goroutine: host-side Shutdown exits a
+// process whose Start it raced, and the eventual exit of that process's
+// goroutine must not run teardown a second time (WaitExit still
+// synchronizes on exitDone, which only the winner closes). It runs in
+// three phases so descriptor teardown — which takes per-object pipe and
+// flock locks and wakes peers — happens outside the process-table lock.
 func (k *Kernel) finishExit(p *Proc, status sys.Word) {
+	if !p.finished.CompareAndSwap(false, true) {
+		return
+	}
 	k.pmu.Lock()
 	if st := p.loadState(); st == procZombie || st == procDead {
 		k.pmu.Unlock()
@@ -28,9 +35,9 @@ func (k *Kernel) finishExit(p *Proc, status sys.Word) {
 	k.stopITimerLocked(p)
 	k.pmu.Unlock()
 
-	// Phase 2: teardown that takes narrower locks. Only the process's own
-	// goroutine reaches here, so there is no double-run hazard in the
-	// window before the state flips to zombie below.
+	// Phase 2: teardown that takes narrower locks. The CAS above means
+	// only one goroutine reaches here, so there is no double-run hazard
+	// in the window before the state flips to zombie below.
 	p.fdMu.Lock()
 	for fd := range p.fds {
 		if p.fds[fd].file != nil {
@@ -65,10 +72,9 @@ func (k *Kernel) finishExit(p *Proc, status sys.Word) {
 		}
 	}
 	// Publish the exit call's root span for the wait causal edge before
-	// the zombie transition makes the process reapable. finishExit always
-	// runs on the process's own goroutine; holding k.pmu here is what
-	// makes the copy visible to the reaping parent, which reads exitSpan
-	// under k.pmu.
+	// the zombie transition makes the process reapable. Holding k.pmu
+	// here is what makes the copy visible to the reaping parent, which
+	// reads exitSpan under k.pmu.
 	p.exitSpan = p.curSpan.Load()
 	p.exitStatus = status
 	p.setStateLocked(procZombie)
@@ -472,6 +478,17 @@ func (k *Kernel) WaitExit(p *Proc) sys.Word {
 	return status
 }
 
+// Discard exits and reaps a process that NewProc published but whose
+// host-side launch then failed (console wiring, rlimit setup, or image
+// load): nothing will ever run it, so the caller retires it directly.
+// Without this, every failed launch would leave a process and its
+// address space in the table until Shutdown — unbounded growth in a
+// long-lived multi-tenant kernel.
+func (k *Kernel) Discard(p *Proc) {
+	k.finishExit(p, sys.WStatusSignal(sys.SIGKILL))
+	k.WaitExit(p)
+}
+
 // Shutdown kills and reaps every live process: each gets an unmaskable
 // SIGKILL (waking any kernel sleep, per the no-re-block-on-exit
 // guarantee), and the caller then waits for every process goroutine to
@@ -502,7 +519,9 @@ func (k *Kernel) Shutdown() {
 			// A host-driven process with no goroutine (NewProc without
 			// Start, or a Start that failed to load): nothing will ever
 			// deliver the signal, so shutdown performs its exit directly.
-			// finishExit is idempotent, so a racing late Start is benign.
+			// A Start racing this check is benign: finishExit's CAS
+			// elects one finisher, and the late goroutine's own exit
+			// becomes the no-op side.
 			k.finishExit(victim, sys.WStatusSignal(sys.SIGKILL))
 		}
 		k.WaitExit(victim)

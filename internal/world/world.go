@@ -99,7 +99,9 @@ type Spec struct {
 
 	// JournalPath attaches a write-ahead journal backed by this host
 	// file; an existing file is replayed (torn tail cut) before the
-	// first program runs.
+	// first program runs. Host callers set a real path; the multi-tenant
+	// server treats the wire value as a bare key and rewrites it to a
+	// file inside its own state directory (see internal/worldd).
 	JournalPath string `json:"journal,omitempty"`
 	// JournalMem attaches an in-memory journal instead (tenants that
 	// want the write-path semantics without host files).
@@ -432,7 +434,11 @@ func (w *World) Exec(req ExecRequest) (ExecResult, error) {
 
 	start := time.Now()
 	p := w.k.NewProc()
+	// Every failure between NewProc and a successful Start must retire
+	// the published process, or each bad argv / bad rlimit a tenant sends
+	// leaks a process table entry and its address space until Close.
 	if err := p.OpenConsole(); err != nil {
+		w.k.Discard(p)
 		return ExecResult{}, fmt.Errorf("world: exec: console: %w", err)
 	}
 	for _, a := range w.stack {
@@ -441,13 +447,16 @@ func (w *World) Exec(req ExecRequest) (ExecResult, error) {
 	for name, lim := range w.spec.Rlimits {
 		res, ok := kernel.RlimitByName(name)
 		if !ok {
+			w.k.Discard(p)
 			return ExecResult{}, fmt.Errorf("world: exec: unknown rlimit %q", name)
 		}
 		if err := p.SetRlimit(res, sys.Rlimit{Cur: sys.Word(lim), Max: sys.Word(lim)}); err != nil {
+			w.k.Discard(p)
 			return ExecResult{}, fmt.Errorf("world: exec: %w", err)
 		}
 	}
 	if err := p.Start(path, req.Argv, env); err != nil {
+		w.k.Discard(p)
 		return ExecResult{}, fmt.Errorf("world: exec %v: %w", req.Argv, err)
 	}
 	status := w.k.WaitExit(p)

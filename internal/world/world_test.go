@@ -114,6 +114,34 @@ func TestRlimitBudget(t *testing.T) {
 	}
 }
 
+// TestExecErrorsReapProc: every Exec failure after the process is
+// published — bad program, bad rlimit name — must retire it, or a
+// tenant repeatedly sending bad argv grows the process table (and its
+// address spaces) without bound in a long-lived daemon.
+func TestExecErrorsReapProc(t *testing.T) {
+	w := boot(t, apps.Spec())
+	for i := 0; i < 10; i++ {
+		if _, err := w.Exec(world.ExecRequest{Argv: []string{"no-such-program"}}); err == nil {
+			t.Fatal("exec of nonexistent program succeeded")
+		}
+	}
+	if n := w.Kernel().ProcCount(); n != 0 {
+		t.Fatalf("%d procs left after failed execs", n)
+	}
+
+	bad := apps.Spec()
+	bad.Rlimits = map[string]uint64{"nosuch": 1}
+	wb := boot(t, bad)
+	for i := 0; i < 10; i++ {
+		if _, err := wb.Exec(world.ExecRequest{Argv: []string{"echo", "hi"}}); err == nil {
+			t.Fatal("unknown rlimit name accepted")
+		}
+	}
+	if n := wb.Kernel().ProcCount(); n != 0 {
+		t.Fatalf("%d procs left after failed rlimit execs", n)
+	}
+}
+
 func TestJournalRecovery(t *testing.T) {
 	jpath := filepath.Join(t.TempDir(), "w.jnl")
 	spec := apps.Spec()

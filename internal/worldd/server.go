@@ -13,7 +13,12 @@
 // process the world launches, circuit-breaker thresholds for its agent
 // stack, an optional private journal — and the world layer enforces
 // them, so one tenant exhausting its descriptor budget or quarantining
-// its agents cannot perturb a sibling. Idle worlds run zero goroutines;
+// its agents cannot perturb a sibling. Host paths never cross the
+// socket: a wire spec's `journal` field is a bare key the server maps
+// to a file inside its own state directory (one live world per file,
+// enforced by a reservation held until Close), and `restore` is refused
+// outright, so no tenant can make the daemon open, append to, or
+// truncate a host file of its choosing. Idle worlds run zero goroutines;
 // the per-world cost is the kernel's in-memory filesystem plus whatever
 // facilities the spec opted into (telemetry registries carry latency
 // histograms and a flight ring, so memory-conscious fleets leave
@@ -40,7 +45,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +65,12 @@ type Config struct {
 	Register func(*image.Registry)
 	// Setup hooks prepended to every world's Setup (optional fixtures).
 	Setup []func(*kernel.Kernel) error
+	// StateDir is the directory holding tenant journal files. A wire
+	// spec's `journal` field is a bare key, not a host path: the server
+	// maps it to a file under this directory, so a tenant can never
+	// name an arbitrary daemon-writable file. Empty refuses file-backed
+	// journals (JournalMem still works).
+	StateDir string
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +83,7 @@ type entry struct {
 	Name     string    `json:"name,omitempty"`
 	Created  time.Time `json:"created"`
 	w        *world.World
+	journal  string // reserved journal host path, "" if none
 	sessions atomic.Uint64
 	execErrs atomic.Uint64
 }
@@ -102,6 +116,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	worlds   map[string]*entry
+	journals map[string]string // journal host path → holding world id
 	nextID   uint64
 	draining bool
 
@@ -118,9 +133,46 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Register == nil {
 		return nil, fmt.Errorf("worldd: config has no image registry hook")
 	}
-	s := &Server{cfg: cfg, worlds: make(map[string]*entry)}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("worldd: state dir: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		worlds:   make(map[string]*entry),
+		journals: make(map[string]string),
+	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	return s, nil
+}
+
+// journalFile maps a wire journal key to a host file under StateDir.
+// The key must be a bare file name: anything that could resolve
+// elsewhere — separators, "." or "..", an absolute path — is rejected,
+// so a tenant can only ever name a file the server dedicated to
+// journals.
+func (s *Server) journalFile(key string) (string, error) {
+	if s.cfg.StateDir == "" {
+		return "", fmt.Errorf("no journal storage configured")
+	}
+	if key != filepath.Base(key) || key == "." || key == ".." || strings.ContainsAny(key, `/\`) {
+		return "", fmt.Errorf("key %q is not a bare file name", key)
+	}
+	return filepath.Join(s.cfg.StateDir, key+".journal"), nil
+}
+
+// releaseJournal returns a journal file to the pool. It must run only
+// after the holding world's Close (or a failed Boot): the FileStore has
+// the file open — final group commit included — until then, and a new
+// world must never append to it concurrently. No-op for the empty path.
+func (s *Server) releaseJournal(path string) {
+	if path == "" {
+		return
+	}
+	s.mu.Lock()
+	delete(s.journals, path)
+	s.mu.Unlock()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -185,6 +237,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if cerr := e.w.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
+		s.releaseJournal(e.journal)
 		s.closed.Add(1)
 	}
 	s.logf("worldd: drained %d worlds", len(victims))
@@ -212,12 +265,28 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The wire spec carries budgets and options; the server owns the
-	// host-side wiring.
+	// host-side wiring. Host paths never cross the socket: restores are
+	// refused, and the journal field is a key mapped into the server's
+	// own state directory.
 	spec.Register = s.cfg.Register
 	spec.Setup = append(append([]func(*kernel.Kernel) error{}, s.cfg.Setup...), spec.Setup...)
 	spec.RestoreFrom = nil
 	spec.Mirror = nil
 	spec.OnQuarantine = nil
+	if spec.RestorePath != "" {
+		httpError(w, http.StatusBadRequest, "restore is not accepted over the wire")
+		return
+	}
+	jkey, jpath := spec.JournalPath, ""
+	if jkey != "" {
+		p, err := s.journalFile(jkey)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "journal: %v", err)
+			return
+		}
+		jpath = p
+		spec.JournalPath = p
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -225,23 +294,39 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
+	// One live world per journal file: two FileStores appending to the
+	// same host file would interleave frames and corrupt it beyond
+	// recovery. The reservation is taken before Boot opens the file and
+	// held until the holder's Close has closed it.
+	if jpath != "" {
+		if _, busy := s.journals[jpath]; busy {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "journal %q in use", jkey)
+			return
+		}
+	}
 	s.nextID++
 	id := fmt.Sprintf("w%d", s.nextID)
+	if jpath != "" {
+		s.journals[jpath] = id
+	}
 	s.mu.Unlock()
 
-	// Boot outside the table lock: a restore or journal replay can be
-	// slow, and siblings must not wait on it.
+	// Boot outside the table lock: a journal replay can be slow, and
+	// siblings must not wait on it.
 	wd, err := world.Boot(spec)
 	if err != nil {
+		s.releaseJournal(jpath)
 		httpError(w, http.StatusBadRequest, "boot: %v", err)
 		return
 	}
-	e := &entry{ID: id, Name: spec.Name, Created: time.Now(), w: wd}
+	e := &entry{ID: id, Name: spec.Name, Created: time.Now(), w: wd, journal: jpath}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		wd.Close()
+		s.releaseJournal(jpath)
 		httpError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
@@ -335,12 +420,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Close outside the table lock: it waits for an in-flight session.
-	if err := e.w.Close(); err != nil {
-		s.closed.Add(1)
+	// The journal reservation releases only after Close — a create
+	// reusing the key between table removal and here gets 409, never a
+	// second writer on a still-open file.
+	err := e.w.Close()
+	s.releaseJournal(e.journal)
+	s.closed.Add(1)
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, "close: %v", err)
 		return
 	}
-	s.closed.Add(1)
 	s.logf("worldd: deleted %s", id)
 	reply(w, http.StatusOK, map[string]string{"deleted": id})
 }

@@ -24,7 +24,7 @@ import (
 // client for it.
 func testServer(t *testing.T) *client {
 	t.Helper()
-	srv, err := worldd.New(worldd.Config{Register: apps.Register})
+	srv, err := worldd.New(worldd.Config{Register: apps.Register, StateDir: t.TempDir()})
 	if err != nil {
 		t.Fatalf("new server: %v", err)
 	}
@@ -299,16 +299,14 @@ func TestTenantIsolationFaults(t *testing.T) {
 	}
 }
 
-// TestTenantJournalIsolation: two tenants journaling to their own files
-// recover their own state and never each other's.
+// TestTenantJournalIsolation: two tenants journaling to their own keys
+// recover their own state and never each other's. The wire field is a
+// key — the server keeps the backing files in its own state directory.
 func TestTenantJournalIsolation(t *testing.T) {
 	c := testServer(t)
-	dir := t.TempDir()
-	ja := filepath.Join(dir, "a.jnl")
-	jb := filepath.Join(dir, "b.jnl")
 
-	a := c.create(world.Spec{Name: "a", JournalPath: ja})
-	b := c.create(world.Spec{Name: "b", JournalPath: jb})
+	a := c.create(world.Spec{Name: "a", JournalPath: "a"})
+	b := c.create(world.Spec{Name: "b", JournalPath: "b"})
 	if r := c.exec(a, "sh", "-c", "echo alpha > /state"); r.Status != 0 {
 		t.Fatalf("a write: %d", r.Status)
 	}
@@ -318,10 +316,65 @@ func TestTenantJournalIsolation(t *testing.T) {
 	c.do("DELETE", "/1.0/worlds/"+a, nil, nil)
 	c.do("DELETE", "/1.0/worlds/"+b, nil, nil)
 
-	a2 := c.create(world.Spec{Name: "a2", JournalPath: ja})
+	a2 := c.create(world.Spec{Name: "a2", JournalPath: "a"})
 	res := c.exec(a2, "cat", "/state")
 	if res.Status != 0 || res.Output != "alpha\n" {
 		t.Fatalf("a2 recovered %q (status %d)", res.Output, res.Status)
+	}
+}
+
+// TestJournalConfinement: the wire journal field must be a bare key —
+// anything that could escape the server's state directory is rejected,
+// as is any wire restore (the daemon must never open host files a
+// client names).
+func TestJournalConfinement(t *testing.T) {
+	c := testServer(t)
+	for _, bad := range []string{"../evil", "/etc/passwd", "a/b", `a\b`, "..", "."} {
+		var body map[string]string
+		if st := c.do("POST", "/1.0/worlds", world.Spec{Name: "x", JournalPath: bad}, &body); st != http.StatusBadRequest {
+			t.Errorf("journal key %q: status %d, want 400 (%+v)", bad, st, body)
+		}
+	}
+	var body map[string]string
+	if st := c.do("POST", "/1.0/worlds", world.Spec{Name: "x", RestorePath: "/etc/hostname"}, &body); st != http.StatusBadRequest {
+		t.Fatalf("wire restore: status %d, want 400 (%+v)", st, body)
+	}
+
+	// A server with no state dir refuses file-backed journals entirely
+	// (memory journals still work).
+	bare, err := worldd.New(worldd.Config{Register: apps.Register})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(bare.Handler())
+	defer hs.Close()
+	defer bare.Shutdown(context.Background())
+	bc := &client{t: t, base: hs.URL, hc: hs.Client(), srv: bare}
+	if st := bc.do("POST", "/1.0/worlds", world.Spec{Name: "x", JournalPath: "a"}, nil); st != http.StatusBadRequest {
+		t.Fatalf("journal without state dir: status %d, want 400", st)
+	}
+	id := bc.create(world.Spec{Name: "m", JournalMem: true})
+	if res := bc.exec(id, "echo", "ok"); res.Status != 0 {
+		t.Fatalf("mem-journal session: %d", res.Status)
+	}
+}
+
+// TestJournalExclusive: one live world per journal file. A second
+// create naming a held key gets 409; deleting the holder (which closes
+// the file) releases it for reuse.
+func TestJournalExclusive(t *testing.T) {
+	c := testServer(t)
+	a := c.create(world.Spec{Name: "a", JournalPath: "shared"})
+	var body map[string]string
+	if st := c.do("POST", "/1.0/worlds", world.Spec{Name: "b", JournalPath: "shared"}, &body); st != http.StatusConflict {
+		t.Fatalf("duplicate journal key: status %d, want 409 (%+v)", st, body)
+	}
+	if st := c.do("DELETE", "/1.0/worlds/"+a, nil, nil); st != http.StatusOK {
+		t.Fatalf("delete holder: status %d", st)
+	}
+	b := c.create(world.Spec{Name: "b", JournalPath: "shared"})
+	if res := c.exec(b, "echo", "ok"); res.Status != 0 {
+		t.Fatalf("session after release: %d", res.Status)
 	}
 }
 
