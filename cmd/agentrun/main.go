@@ -120,6 +120,7 @@ func main() {
 	traceSample := flag.Float64("trace-sample", -1, "span head-sampling probability in [0,1]; default 1 with -trace-out, else tracing off")
 	traceSlow := flag.Duration("trace-slow", 0, "also retain unsampled calls at least this slow (tail sampling; 0 disables)")
 	journalPath := flag.String("journal", "", "attach a write-ahead journal backed by this host file (with -restore: replay it first, then append)")
+	poolSize := flag.Int("pool", 0, "acquire the session world from a warm pool of this many pre-forked clones (pool gauges show up in -stats)")
 	checkpointPath := flag.String("checkpoint", "", "write a checkpoint of the final world to this file after a clean run")
 	restorePath := flag.String("restore", "", "boot from this checkpoint file instead of a fresh world")
 	flag.Parse()
@@ -184,7 +185,24 @@ func main() {
 		}
 	}
 
-	w, err := world.Boot(spec)
+	// -pool N takes the session world from a warm pool instead of
+	// booting it: the same spec, but the handout is a pool hit (or an
+	// inline COW fork on a miss) and the pool's hit/miss/size/refill
+	// gauges land in the -stats counters. agentrun runs one session, so
+	// the leftover warm clones are torn down as soon as one is taken.
+	var err error
+	if *poolSize > 0 {
+		pool, perr := world.NewPool(spec, *poolSize)
+		if perr != nil {
+			fatal(perr)
+		}
+		w, err = pool.Acquire()
+		if cerr := pool.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	} else {
+		w, err = world.Boot(spec)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -40,6 +40,12 @@ import (
 // is the same. The memory row is what keeps per-world facilities
 // honest: anything attached unconditionally at boot shows up here
 // multiplied by ten thousand.
+// The pool rows guard the warm-pool claim that boot is off the session
+// path: acquire-hit is the pooled request-path cost (a warm-stack pop
+// plus gauge wiring) and fork is the COW clone that refills the stack.
+// The absolute guards catch a fork that starts copying data or an
+// acquire that grows work; the relations below pin the cross-row claims
+// (acquire beats boot, fork cost independent of file bytes) on any host.
 var GuardedRows = []string{
 	"3-5:stat()/without",
 	"3-5:getpid()/with",
@@ -49,6 +55,8 @@ var GuardedRows = []string{
 	"trace:getpid()/sampled",
 	"worldd:session",
 	"worldd:idle-mem/world",
+	"pool:acquire-hit",
+	"pool:fork",
 }
 
 // MaxRegress is the allowed slowdown factor before the check fails:
@@ -73,6 +81,10 @@ var Relations = []Relation{
 		Why: "journal-on write-path overhead must stay within 15% on the write-heavy make workload"},
 	{Left: "crash:restore", Right: "crash:boot", Factor: 1.0,
 		Why: "restoring a checkpoint must beat a full boot"},
+	{Left: "pool:acquire-hit", Right: "pool:boot", Factor: 0.4,
+		Why: "a pool-hit acquire must be far cheaper than the boot it replaces (the <50µs-vs-~113µs claim)"},
+	{Left: "pool:fork/large", Right: "pool:fork", Factor: 2.0,
+		Why: "COW fork cost must be O(#inodes): 256x the file bytes may not move the fork time"},
 }
 
 // CheckRelations enforces Relations over the measured entries.

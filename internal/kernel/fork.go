@@ -1,0 +1,34 @@
+package kernel
+
+import (
+	"interpose/internal/vfs"
+)
+
+// Fork clones a quiesced world's kernel copy-on-write: a fresh kernel
+// shell (empty process table, own console, own driver instances) around
+// a vfs.FS.Fork of the parent's filesystem. File data blocks are shared
+// with the parent behind refcounts until first write, so the cost is
+// O(#inodes), not O(bytes) — the basis of warm-world pooling
+// (internal/world/pool.go).
+//
+// Device inodes in the cloned tree are re-resolved by rdev against the
+// child's own driver table, exactly as Restore does: a clone that kept
+// the parent's ttyDev would write its console output into the parent
+// world. The parent must be quiesced (no running processes, journal
+// committed); Fork takes only the filesystem's per-inode read locks.
+func Fork(parent *Kernel) (*Kernel, error) {
+	k := newKernel(parent.images)
+	parent.pmu.Lock()
+	k.hostname = parent.hostname
+	parent.pmu.Unlock()
+	storeInt64((*int64)(&k.timeOffset), loadInt64((*int64)(&parent.timeOffset)))
+	fs, err := parent.fs.Fork(k.Now, func(rdev uint32) (vfs.Device, bool) {
+		d := k.lookupDevice(rdev)
+		return d, d != nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	k.fs = fs
+	return k, nil
+}

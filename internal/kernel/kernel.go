@@ -95,6 +95,18 @@ type Kernel struct {
 	// exec memoizes execve's image-header parsing per inode, validated by
 	// the inode generation counter (execcache.go).
 	exec execCache
+
+	// extraGauges, when non-nil, contributes host-side gauge rows (e.g.
+	// the warm-pool hit/miss/size gauges a pooled world reports) to the
+	// telemetry snapshot alongside the kernel's own cache gauges, so they
+	// surface in /dev/metrics and agentrun -stats.
+	extraGauges atomic.Pointer[gaugeSourceBox]
+}
+
+// gaugeSourceBox wraps a gauge function so the atomic pointer has a
+// concrete element type.
+type gaugeSourceBox struct {
+	fn func() []telemetry.NamedCounter
 }
 
 // Injector is the kernel-side fault injection hook: consulted after all
@@ -198,7 +210,21 @@ func (k *Kernel) cacheGauges() []telemetry.NamedCounter {
 			telemetry.NamedCounter{Name: "trace.sample_ppm", Value: uint64(t.SampleRate() * 1e6)},
 		)
 	}
+	if g := k.extraGauges.Load(); g != nil {
+		out = append(out, g.fn()...)
+	}
 	return out
+}
+
+// SetExtraGauges installs (or removes, with nil) an additional gauge
+// source whose rows ride along with the kernel's cache gauges in every
+// telemetry snapshot. One source; a second call replaces the first.
+func (k *Kernel) SetExtraGauges(fn func() []telemetry.NamedCounter) {
+	if fn == nil {
+		k.extraGauges.Store(nil)
+		return
+	}
+	k.extraGauges.Store(&gaugeSourceBox{fn: fn})
 }
 
 // Telemetry returns the installed registry, or nil.

@@ -69,7 +69,10 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 
 	for num := range r.syscalls {
-		st := &r.syscalls[num]
+		st := r.syscalls[num].Load()
+		if st == nil {
+			continue // never recorded; no slot was ever allocated
+		}
 		n := st.calls.Load()
 		if n == 0 {
 			continue

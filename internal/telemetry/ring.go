@@ -33,16 +33,20 @@ const (
 	ringShards = 8
 )
 
-// ring is the sharded overwrite-oldest event buffer.
+// ring is the sharded overwrite-oldest event buffer. Shard slot arrays
+// are allocated on a shard's first event, not at init: an idle ring
+// costs eight empty headers, so a pooled idle world with telemetry
+// enabled does not carry ~100 KB of empty flight slots.
 type ring struct {
 	seq    atomic.Uint64
+	per    int // slots per shard, fixed at init
 	shards [ringShards]ringShard
 }
 
 type ringShard struct {
 	mu    sync.Mutex
-	slots []Event
-	n     uint64 // events ever written to this shard
+	slots []Event // nil until the shard's first event
+	n     uint64  // events ever written to this shard
 }
 
 func (r *ring) init(size int) {
@@ -50,18 +54,20 @@ func (r *ring) init(size int) {
 	if per < 1 {
 		per = 1
 	}
-	for i := range r.shards {
-		r.shards[i].slots = make([]Event, per)
-	}
+	r.per = per
 }
 
 // record stores e, overwriting the shard's oldest slot. The shard lock
-// covers a single struct copy, so contention is brief; the global
-// sequence counter keeps cross-shard order reconstructible.
+// covers a single struct copy (plus, once ever, the shard's slot
+// allocation), so contention is brief; the global sequence counter keeps
+// cross-shard order reconstructible.
 func (r *ring) record(e Event) {
 	e.Seq = r.seq.Add(1) - 1
 	s := &r.shards[e.Seq%ringShards]
 	s.mu.Lock()
+	if s.slots == nil {
+		s.slots = make([]Event, r.per)
+	}
 	s.slots[s.n%uint64(len(s.slots))] = e
 	s.n++
 	s.mu.Unlock()

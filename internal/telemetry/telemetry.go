@@ -43,6 +43,10 @@ type layerStat struct {
 }
 
 // syscallStat accumulates one system call number's counters and latency.
+// Slots are allocated on a number's first recording (scstat), not at
+// registry creation: an idle registry costs one pointer array, not
+// MaxSyscall histograms — what keeps a pooled idle world near the
+// no-telemetry heap floor even with telemetry enabled.
 type syscallStat struct {
 	calls Counter
 	errs  Counter
@@ -58,7 +62,10 @@ type Registry struct {
 	named map[string]*Counter
 	order []string
 
-	syscalls [sys.MaxSyscall]syscallStat
+	// syscalls holds the lazily allocated per-number statistics; a nil
+	// slot means the number was never recorded. Slots are installed by
+	// CAS so concurrent first hits agree on one instance.
+	syscalls [sys.MaxSyscall]atomic.Pointer[syscallStat]
 
 	// layers[0] is the kernel; layers[1+i] is emulation layer i
 	// (bottom = 0), matching the kernel's layer indexing.
@@ -112,18 +119,32 @@ func (r *Registry) SetGaugeSource(fn func() []NamedCounter) {
 	r.gauges.Store(&fn)
 }
 
+// scstat returns the statistics slot for one call number, allocating it
+// on the number's first recording. The CAS makes concurrent first hits
+// converge on a single instance; after that the cost is one atomic load.
+func (r *Registry) scstat(num int) *syscallStat {
+	if st := r.syscalls[num].Load(); st != nil {
+		return st
+	}
+	st := &syscallStat{}
+	if !r.syscalls[num].CompareAndSwap(nil, st) {
+		st = r.syscalls[num].Load()
+	}
+	return st
+}
+
 // IncSyscall counts one occurrence of a system call number without latency
 // information (pure counting instruments, e.g. the monitor agent).
 func (r *Registry) IncSyscall(num int) {
 	if num >= 0 && num < sys.MaxSyscall {
-		r.syscalls[num].calls.Add(1)
+		r.scstat(num).calls.Add(1)
 	}
 }
 
 // IncSyscallErr counts one failed occurrence of a system call number.
 func (r *Registry) IncSyscallErr(num int) {
 	if num >= 0 && num < sys.MaxSyscall {
-		r.syscalls[num].errs.Add(1)
+		r.scstat(num).errs.Add(1)
 	}
 }
 
@@ -132,7 +153,7 @@ func (r *Registry) IncSyscallErr(num int) {
 // monitor agent must count exit, which never returns from its downcall).
 func (r *Registry) ObserveLatency(num int, d time.Duration) {
 	if num >= 0 && num < sys.MaxSyscall {
-		r.syscalls[num].hist.Observe(d)
+		r.scstat(num).hist.Observe(d)
 	}
 }
 
@@ -143,8 +164,11 @@ func (r *Registry) SyscallQuantiles(num int, qs ...float64) ([]time.Duration, ui
 	if num < 0 || num >= sys.MaxSyscall {
 		return make([]time.Duration, len(qs)), 0
 	}
-	h := &r.syscalls[num].hist
-	return h.Quantiles(qs...), h.Count()
+	st := r.syscalls[num].Load()
+	if st == nil {
+		return make([]time.Duration, len(qs)), 0
+	}
+	return st.hist.Quantiles(qs...), st.hist.Count()
 }
 
 // SyscallCount returns the number of recorded calls for one number.
@@ -152,14 +176,19 @@ func (r *Registry) SyscallCount(num int) uint64 {
 	if num < 0 || num >= sys.MaxSyscall {
 		return 0
 	}
-	return r.syscalls[num].calls.Load()
+	if st := r.syscalls[num].Load(); st != nil {
+		return st.calls.Load()
+	}
+	return 0
 }
 
 // TotalSyscalls returns the number of recorded calls across all numbers.
 func (r *Registry) TotalSyscalls() uint64 {
 	var n uint64
 	for i := range r.syscalls {
-		n += r.syscalls[i].calls.Load()
+		if st := r.syscalls[i].Load(); st != nil {
+			n += st.calls.Load()
+		}
 	}
 	return n
 }
@@ -168,7 +197,9 @@ func (r *Registry) TotalSyscalls() uint64 {
 func (r *Registry) TotalErrs() uint64 {
 	var n uint64
 	for i := range r.syscalls {
-		n += r.syscalls[i].errs.Load()
+		if st := r.syscalls[i].Load(); st != nil {
+			n += st.errs.Load()
+		}
 	}
 	return n
 }
@@ -179,7 +210,7 @@ func (r *Registry) RecordSyscall(num int, d time.Duration, failed bool) {
 	if num < 0 || num >= sys.MaxSyscall {
 		return
 	}
-	st := &r.syscalls[num]
+	st := r.scstat(num)
 	st.calls.Add(1)
 	if failed {
 		st.errs.Add(1)

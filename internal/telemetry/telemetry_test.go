@@ -255,3 +255,80 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("read count = %d", got)
 	}
 }
+
+// TestLazySyscallSlots pins the lazy-allocation contract that keeps an
+// idle world's registry at its small floor even with telemetry on: no
+// per-syscall stat (with its latency histogram) exists until that call
+// number's first recording, and concurrent first hits converge on a
+// single slot.
+func TestLazySyscallSlots(t *testing.T) {
+	r := NewRegistry()
+	for num := 0; num < sys.MaxSyscall; num++ {
+		if r.syscalls[num].Load() != nil {
+			t.Fatalf("syscall %d has a stat slot before any recording", num)
+		}
+	}
+
+	r.RecordSyscall(7, time.Microsecond, false)
+	for num := 0; num < sys.MaxSyscall; num++ {
+		if (r.syscalls[num].Load() != nil) != (num == 7) {
+			t.Fatalf("after recording 7, slot state wrong at %d", num)
+		}
+	}
+	if got := r.SyscallCount(7); got != 1 {
+		t.Fatalf("count(7) = %d", got)
+	}
+	// Un-recorded numbers answer zero without allocating.
+	if got := r.SyscallCount(9); got != 0 {
+		t.Fatalf("count(9) = %d", got)
+	}
+	if r.syscalls[9].Load() != nil {
+		t.Fatal("read path allocated a stat slot")
+	}
+
+	// Concurrent first hits on one number converge on one slot.
+	r2 := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r2.IncSyscall(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r2.SyscallCount(3); got != 800 {
+		t.Fatalf("concurrent first hits lost counts: %d", got)
+	}
+}
+
+// TestLazyRingShards: flight-ring shard slot arrays allocate on the
+// shard's first event, not at registry creation.
+func TestLazyRingShards(t *testing.T) {
+	r := NewRegistry()
+	for i := range r.ring.shards {
+		if r.ring.shards[i].slots != nil {
+			t.Fatalf("shard %d has slots before any event", i)
+		}
+	}
+	// One event lands in exactly one shard.
+	r.RecordEvent(1, 5, 0, time.Microsecond)
+	allocated := 0
+	for i := range r.ring.shards {
+		if r.ring.shards[i].slots != nil {
+			allocated++
+			if len(r.ring.shards[i].slots) != defaultRingSize/ringShards {
+				t.Fatalf("shard %d sized %d", i, len(r.ring.shards[i].slots))
+			}
+		}
+	}
+	if allocated != 1 {
+		t.Fatalf("%d shards allocated after one event", allocated)
+	}
+	// The snapshot sees the event; empty shards contribute nothing.
+	if evs := r.FlightEvents(); len(evs) != 1 {
+		t.Fatalf("flight events %d", len(evs))
+	}
+}

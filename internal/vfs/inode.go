@@ -42,6 +42,15 @@ type Inode struct {
 	data []byte // regular files
 	link string // symlink target; immutable
 
+	// dataRefs, when non-nil, marks data as a copy-on-write array shared
+	// with forked filesystems (fork.go). The counter holds the number of
+	// inodes referencing the array; while it exceeds one the array is
+	// immutable and the first in-place mutation on either side copies out
+	// (unshareData). Installed by Fork under this inode's read lock via
+	// CAS, cleared by mutators under the write lock — so a writer never
+	// races a fork of the same inode, and unrelated inodes never contend.
+	dataRefs atomic.Pointer[atomic.Int32]
+
 	// Directories: lookup map plus stable insertion order for iteration.
 	entries map[string]*Inode
 	order   []string
@@ -184,6 +193,42 @@ func toTimeval(t time.Time) sys.Timeval {
 	return sys.Timeval{Sec: uint32(t.Unix()), Usec: uint32(t.Nanosecond() / 1000)}
 }
 
+// unshareData makes ip the sole owner of its data array before an
+// in-place mutation. Shared arrays (dataRefs non-nil) are immutable:
+// with other holders remaining the bytes are copied out and this side's
+// reference dropped; as the last holder the array is simply reclaimed.
+// Caller holds ip.mu exclusively, which excludes a concurrent Fork of
+// this inode (Fork reads under ip.mu.RLock).
+func (ip *Inode) unshareData() {
+	refs := ip.dataRefs.Load()
+	if refs == nil {
+		return
+	}
+	if refs.Load() > 1 {
+		nd := make([]byte, len(ip.data))
+		copy(nd, ip.data)
+		ip.data = nd
+		ip.dataRefs.Store(nil)
+		refs.Add(-1)
+		return
+	}
+	// Sole holder: every sibling already copied out (their decrements
+	// happened under their own locks before ours could observe 1), so the
+	// array is exclusively ours again.
+	ip.dataRefs.Store(nil)
+}
+
+// releaseDataRef drops ip's share of a COW array when a mutation is
+// about to replace ip.data wholesale (the growth paths allocate a fresh
+// array anyway, so copying out first would be wasted work). Caller holds
+// ip.mu exclusively and must reassign ip.data before unlocking.
+func (ip *Inode) releaseDataRef() {
+	if refs := ip.dataRefs.Load(); refs != nil {
+		ip.dataRefs.Store(nil)
+		refs.Add(-1)
+	}
+}
+
 // ReadAt copies file data at offset off into p, returning the byte count.
 // Reading at or past EOF returns 0. Device inodes dispatch to their driver.
 func (ip *Inode) ReadAt(p []byte, off int64) (int, sys.Errno) {
@@ -231,7 +276,10 @@ func (ip *Inode) WriteAt(p []byte, off int64, maxSize int64) (int, sys.Errno) {
 	if end > int64(len(ip.data)) {
 		grown := make([]byte, end)
 		copy(grown, ip.data)
+		ip.releaseDataRef()
 		ip.data = grown
+	} else {
+		ip.unshareData()
 	}
 	copy(ip.data[off:], p)
 	now := ip.fs.now()
@@ -259,10 +307,13 @@ func (ip *Inode) Truncate(length int64) sys.Errno {
 	}
 	switch {
 	case int64(len(ip.data)) > length:
+		// Shrink is a reslice: the shared array's bytes are untouched, so
+		// COW sharing (dataRefs) survives a truncate-down.
 		ip.data = ip.data[:length]
 	case int64(len(ip.data)) < length:
 		grown := make([]byte, length)
 		copy(grown, ip.data)
+		ip.releaseDataRef()
 		ip.data = grown
 	}
 	now := ip.fs.now()

@@ -286,7 +286,12 @@ func (rp *Replayer) write(r *journal.Record) error {
 	if end > int64(len(ip.data)) {
 		grown := make([]byte, end)
 		copy(grown, ip.data)
+		ip.releaseDataRef()
 		ip.data = grown
+	} else {
+		// Replay onto a forked world must not scribble on a COW array the
+		// fork sibling still reads (fork.go).
+		ip.unshareData()
 	}
 	copy(ip.data[r.Off:], r.Data)
 	now := rp.now()
@@ -304,10 +309,11 @@ func (rp *Replayer) truncate(r *journal.Record) error {
 	defer ip.mu.Unlock()
 	switch {
 	case int64(len(ip.data)) > r.Size:
-		ip.data = ip.data[:r.Size]
+		ip.data = ip.data[:r.Size] // reslice; COW sharing survives
 	case int64(len(ip.data)) < r.Size:
 		grown := make([]byte, r.Size)
 		copy(grown, ip.data)
+		ip.releaseDataRef()
 		ip.data = grown
 	}
 	now := rp.now()

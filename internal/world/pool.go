@@ -1,0 +1,247 @@
+package world
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interpose/internal/telemetry"
+)
+
+// Pool keeps N pre-warmed copy-on-write clones of one template world so
+// that acquiring a session world is a stack pop, not a boot. The
+// template is booted once — image registry, program installs, Setup
+// hooks — and every member is a Fork of it; the boot cost is paid off
+// the request path, by NewPool and by the asynchronous refiller.
+//
+// Handout is LIFO: the most recently forked member is the one whose
+// inode structs and dentry paths are most likely still cache-warm.
+// Members are consumed, not returned — a used world carries tenant
+// state, and a fresh fork is cheaper than any scrub would be. Close the
+// acquired world as usual when the session ends; Close the pool to tear
+// down the warm stack and the template.
+//
+// Acquire on an empty pool forks inline (a miss): still far cheaper
+// than a boot, since the template's filesystem is shared copy-on-write.
+// Every acquire (hit or miss) kicks the refiller if it is not already
+// running, so the stack climbs back to target in the background.
+type Pool struct {
+	spec     Spec
+	target   int
+	template *World
+
+	mu        sync.Mutex
+	warm      []*World // LIFO: acquire pops, refill pushes
+	refilling bool
+	closed    bool
+	lastErr   error // latest background refill failure, surfaced by Close
+
+	wg sync.WaitGroup
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	refills  atomic.Uint64
+	refillNs atomic.Int64 // total ns spent forking in the background
+}
+
+// PoolStats is a point-in-time view of a pool's gauges.
+type PoolStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Refills uint64 `json:"refills"`
+	Size    int    `json:"size"`
+	Target  int    `json:"target"`
+	// RefillNs is the mean nanoseconds per background refill fork.
+	RefillNs int64 `json:"refill_ns"`
+}
+
+// NewPool boots the template from spec and pre-warms target members
+// synchronously, so the first Acquire already hits. spec is the MEMBER
+// spec: every acquired world gets its declared facilities (telemetry,
+// tracer, journal, agents). The template itself boots bare — Register
+// and Setup only — since it never runs sessions.
+//
+// Restore specs are refused (a pool's members come from the template,
+// not a checkpoint), as are file-backed journals: one journal file
+// backs one live world, which is irreconcilable with N identical
+// members. JournalMem is fine — each member gets its own store.
+func NewPool(spec Spec, target int) (*Pool, error) {
+	if target < 1 {
+		return nil, fmt.Errorf("world: pool %q: target %d, want >= 1", spec.Name, target)
+	}
+	if spec.RestorePath != "" || spec.RestoreFrom != nil {
+		return nil, fmt.Errorf("world: pool %q: cannot pool a restore spec", spec.Name)
+	}
+	if spec.JournalPath != "" {
+		return nil, fmt.Errorf("world: pool %q: file journals are per-world; pooled members must use journal_mem", spec.Name)
+	}
+	tmpl, err := Boot(Spec{
+		Name:     spec.Name + "/template",
+		Register: spec.Register,
+		Setup:    spec.Setup,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("world: pool %q: template: %w", spec.Name, err)
+	}
+	p := &Pool{spec: spec, target: target, template: tmpl}
+	for i := 0; i < target; i++ {
+		w, err := Fork(tmpl, spec)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("world: pool %q: warm: %w", spec.Name, err)
+		}
+		p.warm = append(p.warm, w)
+	}
+	return p, nil
+}
+
+// Template returns the pool's template world (for fleet-level
+// inspection; never exec on it).
+func (p *Pool) Template() *World { return p.template }
+
+// Acquire hands out a warm world (LIFO), or forks one inline when the
+// stack is empty. Either way the background refiller is kicked so the
+// stack returns to target off the request path. The caller owns the
+// world: run sessions on it and Close it when done — it does not return
+// to the pool.
+func (p *Pool) Acquire() (*World, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("world: pool %q: acquire on closed pool", p.spec.Name)
+	}
+	if n := len(p.warm); n > 0 {
+		w := p.warm[n-1]
+		p.warm = p.warm[:n-1]
+		p.kickRefillLocked()
+		p.mu.Unlock()
+		p.hits.Add(1)
+		w.Kernel().SetExtraGauges(p.Gauges)
+		return w, nil
+	}
+	p.kickRefillLocked()
+	p.mu.Unlock()
+	p.misses.Add(1)
+	w, err := Fork(p.template, p.spec)
+	if err != nil {
+		return nil, err
+	}
+	w.Kernel().SetExtraGauges(p.Gauges)
+	return w, nil
+}
+
+// kickRefillLocked starts the refiller unless one is already running.
+// Caller holds p.mu.
+func (p *Pool) kickRefillLocked() {
+	if p.refilling || p.closed {
+		return
+	}
+	p.refilling = true
+	p.wg.Add(1)
+	go p.refill()
+}
+
+// refill forks members until the warm stack is back at target (or the
+// pool closes, or a fork fails). One refiller runs at a time.
+func (p *Pool) refill() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		if p.closed || len(p.warm) >= p.target {
+			p.refilling = false
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+
+		start := time.Now()
+		w, err := Fork(p.template, p.spec)
+		d := time.Since(start)
+
+		p.mu.Lock()
+		if err != nil {
+			p.lastErr = err
+			p.refilling = false
+			p.mu.Unlock()
+			return
+		}
+		p.refills.Add(1)
+		p.refillNs.Add(int64(d))
+		if p.closed {
+			p.mu.Unlock()
+			w.Close()
+			return
+		}
+		p.warm = append(p.warm, w)
+		p.mu.Unlock()
+	}
+}
+
+// Stats returns the pool's current gauges.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	size := len(p.warm)
+	p.mu.Unlock()
+	s := PoolStats{
+		Hits:    p.hits.Load(),
+		Misses:  p.misses.Load(),
+		Refills: p.refills.Load(),
+		Size:    size,
+		Target:  p.target,
+	}
+	if s.Refills > 0 {
+		s.RefillNs = p.refillNs.Load() / int64(s.Refills)
+	}
+	return s
+}
+
+// Gauges renders the pool's stats as telemetry counter rows. Acquire
+// installs this on each handed-out world's kernel, so a pooled tenant's
+// /dev/metrics (and agentrun -stats) shows its pool's health alongside
+// the kernel cache gauges.
+func (p *Pool) Gauges() []telemetry.NamedCounter {
+	s := p.Stats()
+	return []telemetry.NamedCounter{
+		{Name: "pool.hit", Value: s.Hits},
+		{Name: "pool.miss", Value: s.Misses},
+		{Name: "pool.size", Value: uint64(s.Size)},
+		{Name: "pool.refill.ns", Value: uint64(s.RefillNs)},
+	}
+}
+
+// Close tears the pool down: the refiller is stopped and awaited, every
+// warm member and the template are closed. Worlds already acquired are
+// the caller's to close. The first teardown error is returned; a
+// lingering background-refill failure is surfaced if nothing else went
+// wrong.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	warm := p.warm
+	p.warm = nil
+	lastErr := p.lastErr
+	p.mu.Unlock()
+
+	p.wg.Wait()
+
+	var firstErr error
+	for _, w := range warm {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if p.template != nil {
+		if err := p.template.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = lastErr
+	}
+	return firstErr
+}

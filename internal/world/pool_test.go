@@ -1,0 +1,134 @@
+package world
+
+// Internal pool tests: the parts that need to see the warm stack
+// (LIFO order) or poke zero-value corners. The exec-level pool suite —
+// member isolation, gauges, acquire storms — lives in pool_ext_test.go
+// against the real application set (which this package cannot import).
+
+import (
+	"testing"
+	"time"
+
+	"interpose/internal/image"
+	"interpose/internal/kernel"
+	"interpose/internal/libc"
+)
+
+// tinySpec is a pool spec over a single trivial program, enough to boot
+// template and members without the application set.
+func tinySpec() Spec {
+	return Spec{
+		Name: "tiny",
+		Register: func(r *image.Registry) {
+			r.Register("true", libc.Main(func(*libc.T) int { return 0 }))
+		},
+		Setup: []func(*kernel.Kernel) error{
+			func(k *kernel.Kernel) error {
+				return k.WriteFile("/state", []byte("template\n"), 0o644)
+			},
+		},
+	}
+}
+
+func TestPoolRejectsBadSpecs(t *testing.T) {
+	if _, err := NewPool(tinySpec(), 0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	restore := tinySpec()
+	restore.RestorePath = "/nope.ckpt"
+	if _, err := NewPool(restore, 1); err == nil {
+		t.Fatal("restore spec accepted")
+	}
+	filed := tinySpec()
+	filed.JournalPath = "/tmp/nope.jnl"
+	if _, err := NewPool(filed, 1); err == nil {
+		t.Fatal("file journal accepted")
+	}
+}
+
+func TestPoolHitLIFOAndRefill(t *testing.T) {
+	p, err := NewPool(tinySpec(), 3)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	if s := p.Stats(); s.Size != 3 || s.Target != 3 {
+		t.Fatalf("pre-warm stats %+v", s)
+	}
+
+	// LIFO: the acquire must pop the top of the warm stack.
+	p.mu.Lock()
+	top := p.warm[len(p.warm)-1]
+	p.mu.Unlock()
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	if w != top {
+		t.Fatal("acquire did not pop the most recent member")
+	}
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("after one warm acquire: %+v", s)
+	}
+
+	// The refiller climbs the stack back to target off the request path.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Size < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never refilled to 3 (size %d)", p.Stats().Size)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := p.Stats(); s.Refills == 0 || s.RefillNs <= 0 {
+		t.Fatalf("refill gauges after refill: %+v", s)
+	}
+}
+
+func TestPoolMissForksInline(t *testing.T) {
+	p, err := NewPool(tinySpec(), 1)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	// Empty the stack by hand so the next acquire is a guaranteed miss
+	// (draining via Acquire races the refiller).
+	p.mu.Lock()
+	drained := p.warm
+	p.warm = nil
+	p.mu.Unlock()
+	for _, w := range drained {
+		defer w.Close()
+	}
+
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("miss acquire: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	if s := p.Stats(); s.Misses != 1 {
+		t.Fatalf("miss not counted: %+v", s)
+	}
+	// A missed world is a real world: template filesystem and all.
+	if data, err := w.Kernel().ReadFile("/state"); err != nil || string(data) != "template\n" {
+		t.Fatalf("miss world state: %v %q", err, data)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p, err := NewPool(tinySpec(), 2)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := p.Acquire(); err == nil {
+		t.Fatal("acquire on closed pool succeeded")
+	}
+}

@@ -121,6 +121,13 @@ type Spec struct {
 	// launches, by name: nofile, fsize, data, cpu, core, stack, rss.
 	Rlimits map[string]uint64 `json:"rlimits,omitempty"`
 
+	// Pool, when > 0, asks a pooling host (worldd) to serve this world
+	// from a warm pool of this many pre-forked template clones instead
+	// of booting on the request path. Worlds with identical specs (name
+	// and pool size aside) share one pool. The world layer itself
+	// ignores the field; see Pool (pool.go) and internal/worldd.
+	Pool int `json:"pool,omitempty"`
+
 	// OnQuarantine, when set, observes supervisor quarantines.
 	OnQuarantine func(layer string, stack []byte) `json:"-"`
 
@@ -236,6 +243,67 @@ func Boot(spec Spec) (*World, error) {
 		return nil, fmt.Errorf("world: boot: %w", err)
 	}
 	restored := spec.RestoreFrom != nil || spec.RestorePath != ""
+	if err := w.finishBoot(restored); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Fork clones a booted template into a new, independently bootable world
+// without serializing through a checkpoint: the kernel is forked
+// copy-on-write (kernel.Fork → vfs.FS.Fork), so the cost is O(#inodes)
+// and independent of how many bytes the template's filesystem holds.
+// This is the warm-pool fast path (pool.go).
+//
+// The child gets the facilities spec declares — its own telemetry
+// registry, tracer, injector, supervisor, journal, agent stack — wired
+// by the same sequencing Boot uses. Setup hooks do not run (the forked
+// filesystem already carries the template's state, exactly like a
+// restore), and restore fields are refused: a fork's filesystem comes
+// from its parent. spec.Register is not consulted either — the child
+// shares the parent's image registry, which is immutable after boot.
+//
+// Forking seals the parent's journal epoch first (Commit), so a journal
+// recorded by the parent replays onto the child as pure skips — the
+// child carries the parent's applied-sequence watermark.
+func Fork(parent *World, spec Spec) (*World, error) {
+	if spec.RestoreFrom != nil || spec.RestorePath != "" {
+		return nil, fmt.Errorf("world: fork %q: cannot both fork and restore", spec.Name)
+	}
+	parent.mu.Lock()
+	if parent.closed {
+		parent.mu.Unlock()
+		return nil, fmt.Errorf("world: fork %q: parent %s is closed", spec.Name, parent.spec.Name)
+	}
+	if parent.Crashed() {
+		parent.mu.Unlock()
+		return nil, fmt.Errorf("world: fork %q: parent %s crashed", spec.Name, parent.spec.Name)
+	}
+	if jw := parent.k.Journal(); jw != nil {
+		if err := jw.Commit(); err != nil {
+			parent.mu.Unlock()
+			return nil, fmt.Errorf("world: fork: seal parent journal: %w", err)
+		}
+	}
+	k, err := kernel.Fork(parent.k)
+	parent.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("world: fork: %w", err)
+	}
+	w := &World{spec: spec, k: k}
+	if err := w.finishBoot(false); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// finishBoot runs the facility half of the boot sequence on a world
+// whose kernel already exists (freshly booted, restored, or forked):
+// journal replay + attach, the fsck gate, telemetry, tracer, injector,
+// supervisor, console mirror, and the agent stack — in the one order
+// that is correct for all callers (see Boot).
+func (w *World) finishBoot(restored bool) error {
+	spec := w.spec
 
 	// The journal attaches before anything runs. An existing file is
 	// first replayed onto the world — onto the checkpoint on a restore
@@ -246,17 +314,17 @@ func Boot(spec Spec) (*World, error) {
 	case spec.JournalPath != "":
 		st, data, jerr := journal.OpenFileStore(spec.JournalPath)
 		if jerr != nil {
-			return nil, fmt.Errorf("world: journal: %w", jerr)
+			return fmt.Errorf("world: journal: %w", jerr)
 		}
 		applied, skipped, torn, rerr := w.k.ReplayJournal(data)
 		if rerr != nil {
 			st.Close()
-			return nil, fmt.Errorf("world: journal replay: %w", rerr)
+			return fmt.Errorf("world: journal replay: %w", rerr)
 		}
 		if torn != nil {
 			if terr := st.TruncateTo(torn.Off); terr != nil {
 				st.Close()
-				return nil, fmt.Errorf("world: journal: %w", terr)
+				return fmt.Errorf("world: journal: %w", terr)
 			}
 		}
 		w.Applied, w.Skipped = applied, skipped
@@ -276,7 +344,7 @@ func Boot(spec Spec) (*World, error) {
 	if restored || w.Replayed() > 0 {
 		if bad := w.k.FS().Check(); len(bad) != 0 {
 			w.releaseStore()
-			return nil, fmt.Errorf("world: recovered world fails fsck: %s", strings.Join(bad, "; "))
+			return fmt.Errorf("world: recovered world fails fsck: %s", strings.Join(bad, "; "))
 		}
 	}
 
@@ -296,7 +364,7 @@ func Boot(spec Spec) (*World, error) {
 		plan, perr := fault.ParsePlan(spec.Inject)
 		if perr != nil {
 			w.releaseStore()
-			return nil, fmt.Errorf("world: %w", perr)
+			return fmt.Errorf("world: %w", perr)
 		}
 		w.inj = fault.NewInjector(plan)
 		w.inj.OnCrash(func(torn int) {
@@ -315,7 +383,7 @@ func Boot(spec Spec) (*World, error) {
 		mode, supervised, merr := kernel.ParseSuperviseMode(s.Mode)
 		if merr != nil {
 			w.releaseStore()
-			return nil, fmt.Errorf("world: %w", merr)
+			return fmt.Errorf("world: %w", merr)
 		}
 		if supervised {
 			errno := sys.EFAULT
@@ -323,7 +391,7 @@ func Boot(spec Spec) (*World, error) {
 				e, ok := sys.ErrnoByName(s.Errno)
 				if !ok {
 					w.releaseStore()
-					return nil, fmt.Errorf("world: unknown supervise errno %q", s.Errno)
+					return fmt.Errorf("world: unknown supervise errno %q", s.Errno)
 				}
 				errno = e
 			}
@@ -338,7 +406,7 @@ func Boot(spec Spec) (*World, error) {
 			}))
 		} else if s.Deadline != 0 {
 			w.releaseStore()
-			return nil, fmt.Errorf("world: supervise deadline requires strict or bypass mode")
+			return fmt.Errorf("world: supervise deadline requires strict or bypass mode")
 		}
 	}
 	if spec.Mirror != nil {
@@ -347,9 +415,9 @@ func Boot(spec Spec) (*World, error) {
 
 	if err := w.Attach(); err != nil {
 		w.releaseStore()
-		return nil, err
+		return err
 	}
-	return w, nil
+	return nil
 }
 
 // releaseStore closes a host-file journal store during failed boots.

@@ -18,7 +18,14 @@
 // to a file inside its own state directory (one live world per file,
 // enforced by a reservation held until Close), and `restore` is refused
 // outright, so no tenant can make the daemon open, append to, or
-// truncate a host file of its choosing. Idle worlds run zero goroutines;
+// truncate a host file of its choosing. A wire spec with `pool` > 0 is
+// served from a warm pool instead of a boot: worlds with identical
+// specs (name and pool size aside) share one pool of pre-forked
+// copy-on-write template clones, so tenant creation is a stack pop off
+// the request path (see world.Pool); pooled members are otherwise
+// ordinary tenants — they run sessions, stay fully isolated (COW
+// unsharing means a write in one never appears in a sibling), and are
+// closed, not recycled, on DELETE. Idle worlds run zero goroutines;
 // the per-world cost is the kernel's in-memory filesystem plus whatever
 // facilities the spec opted into (telemetry registries carry latency
 // histograms and a flight ring, so memory-conscious fleets leave
@@ -98,6 +105,14 @@ type Info struct {
 	Crashed  bool      `json:"crashed,omitempty"`
 }
 
+// PoolInfo is one warm pool's gauges in the fleet metrics view.
+type PoolInfo struct {
+	// Name is the first creator's world name (pools are keyed by spec,
+	// not name — this is a label, not an identity).
+	Name string `json:"name,omitempty"`
+	world.PoolStats
+}
+
 // Metrics is the fleet-wide view served at /1.0/metrics.
 type Metrics struct {
 	Worlds    int                `json:"worlds"`
@@ -106,7 +121,20 @@ type Metrics struct {
 	Sessions  uint64             `json:"sessions"`
 	ExecErrs  uint64             `json:"exec_errs"`
 	Draining  bool               `json:"draining"`
+	Pools     []PoolInfo         `json:"pools,omitempty"`
 	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// poolSlot is one warm-world pool plus its create-once latch. The slot
+// is inserted into the pool table under Server.mu, but the expensive
+// pool construction (template boot + N forks) runs outside it, guarded
+// by the slot's own once — concurrent first creates for the same spec
+// wait for one construction instead of racing N.
+type poolSlot struct {
+	once sync.Once
+	pool *world.Pool
+	err  error
+	name string // first creator's world name, for the metrics view
 }
 
 // Server hosts the world table. See the package comment for the lock
@@ -116,7 +144,8 @@ type Server struct {
 
 	mu       sync.Mutex
 	worlds   map[string]*entry
-	journals map[string]string // journal host path → holding world id
+	journals map[string]string    // journal host path → holding world id
+	pools    map[string]*poolSlot // canonical spec → warm pool
 	nextID   uint64
 	draining bool
 
@@ -142,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		worlds:   make(map[string]*entry),
 		journals: make(map[string]string),
+		pools:    make(map[string]*poolSlot),
 	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	return s, nil
@@ -240,6 +270,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.releaseJournal(e.journal)
 		s.closed.Add(1)
 	}
+
+	// Pools go last: their warm members and templates are not in the
+	// world table, and closing a pool stops its background refiller.
+	s.mu.Lock()
+	slots := make([]*poolSlot, 0, len(s.pools))
+	for _, slot := range s.pools {
+		slots = append(slots, slot)
+	}
+	s.pools = make(map[string]*poolSlot)
+	s.mu.Unlock()
+	for _, slot := range slots {
+		slot.once.Do(func() {}) // synchronize with construction
+		if slot.pool == nil {
+			continue
+		}
+		if cerr := slot.pool.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+
 	s.logf("worldd: drained %d worlds", len(victims))
 	return err
 }
@@ -275,6 +325,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	spec.OnQuarantine = nil
 	if spec.RestorePath != "" {
 		httpError(w, http.StatusBadRequest, "restore is not accepted over the wire")
+		return
+	}
+	if spec.Pool > 0 {
+		// Pooled tenants take the warm-fork fast path; file journals are
+		// per-world host files and cannot back N identical members.
+		if spec.JournalPath != "" {
+			httpError(w, http.StatusBadRequest, "pooled worlds cannot use a file journal; use journal_mem")
+			return
+		}
+		s.createFromPool(w, spec)
 		return
 	}
 	jkey, jpath := spec.JournalPath, ""
@@ -335,6 +395,77 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 	s.created.Add(1)
 	s.logf("worldd: created %s (%s)", id, spec.Name)
+	reply(w, http.StatusCreated, s.info(e))
+}
+
+// poolKey canonicalizes a sanitized wire spec for pool sharing: two
+// creates whose specs differ only in name and pool size draw from the
+// same pool. Only wire fields participate (the host-side func fields
+// are json:"-" and identical for every tenant anyway).
+func poolKey(spec world.Spec) string {
+	spec.Name, spec.Pool = "", 0
+	b, _ := json.Marshal(spec)
+	return string(b)
+}
+
+// createFromPool serves a pooled create: the spec's pool is found (or
+// built, once, by the first creator) and a member acquired from it — a
+// warm copy-on-write fork, not a boot. The acquired world is a normal
+// tenant from then on: it appears in the table, runs sessions, and
+// DELETE closes it (members are consumed, never returned to the pool).
+func (s *Server) createFromPool(w http.ResponseWriter, spec world.Spec) {
+	key := poolKey(spec)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	slot := s.pools[key]
+	if slot == nil {
+		slot = &poolSlot{name: spec.Name}
+		s.pools[key] = slot
+	}
+	s.nextID++
+	id := fmt.Sprintf("w%d", s.nextID)
+	s.mu.Unlock()
+
+	// Build the pool outside every server lock (template boot + N warm
+	// forks); concurrent first creates wait here instead of racing.
+	slot.once.Do(func() {
+		slot.pool, slot.err = world.NewPool(spec, spec.Pool)
+	})
+	if slot.err != nil {
+		// A failed construction does not poison the key forever.
+		s.mu.Lock()
+		if s.pools[key] == slot {
+			delete(s.pools, key)
+		}
+		s.mu.Unlock()
+		httpError(w, http.StatusBadRequest, "pool: %v", slot.err)
+		return
+	}
+
+	wd, err := slot.pool.Acquire()
+	if err != nil {
+		httpError(w, http.StatusConflict, "pool: %v", err)
+		return
+	}
+	e := &entry{ID: id, Name: spec.Name, Created: time.Now(), w: wd}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		wd.Close()
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.worlds[id] = e
+	s.mu.Unlock()
+
+	s.created.Add(1)
+	s.logf("worldd: created %s (%s) from pool", id, spec.Name)
 	reply(w, http.StatusCreated, s.info(e))
 }
 
@@ -443,6 +574,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 
+	s.mu.Lock()
+	slots := make([]*poolSlot, 0, len(s.pools))
+	for _, slot := range s.pools {
+		slots = append(slots, slot)
+	}
+	s.mu.Unlock()
+	var pools []PoolInfo
+	for _, slot := range slots {
+		slot.once.Do(func() {}) // synchronize with (and wait out) construction
+		if slot.pool != nil {
+			pools = append(pools, PoolInfo{Name: slot.name, PoolStats: slot.pool.Stats()})
+		}
+	}
+	sort.Slice(pools, func(i, j int) bool { return pools[i].Name < pools[j].Name })
+
 	// Per-world snapshots merge into one fleet view; worlds without a
 	// telemetry registry still count, they just contribute no rows.
 	var snaps []telemetry.Snapshot
@@ -458,6 +604,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Sessions:  s.sessions.Load(),
 		ExecErrs:  s.execErrs.Load(),
 		Draining:  draining,
+		Pools:     pools,
 		Telemetry: telemetry.Merge(snaps),
 	})
 }
