@@ -142,6 +142,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: agentrun [-a agent[=arg]]... -- PROGRAM [args...]")
 		os.Exit(2)
 	}
+	// Pool members are anonymous COW clones of one template; a journal
+	// names one world's durable history and a checkpoint restores one
+	// world's state. Neither identity can be shared by a pool, so say so
+	// up front instead of letting the pool constructor refuse later.
+	if *poolSize > 0 && (*journalPath != "" || *restorePath != "") {
+		fmt.Fprintln(os.Stderr, "agentrun: -pool cannot be combined with -journal or -restore (pooled worlds are anonymous clones; journals and checkpoints name a single world)")
+		os.Exit(2)
+	}
 
 	// The flags are a world.Spec in command-line clothing. The lifecycle
 	// layer owns the sequencing (restore vs fresh boot, journal replay

@@ -2,7 +2,7 @@
 // section against this reproduction:
 //
 //	experiments              # all tables
-//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace, crash, worldd, pool)
+//	experiments -table 3-2   # one table (3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace, crash, worldd, pool, resil)
 //	experiments -runs 9      # timed repetitions per row (paper used 9)
 //	experiments -json        # also write BENCH_<date>.json (per-table ns/op)
 //
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "comma-separated tables to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace, crash, worldd, pool, all")
+	table := flag.String("table", "all", "comma-separated tables to run: 3-1, 3-2, 3-3, 3-4, 3-5, dfs, scale, obs, sup, trace, crash, worldd, pool, resil, all")
 	runs := flag.Int("runs", 9, "timed repetitions per row (after one discarded run)")
 	programs := flag.Int("programs", 8, "program count for the make workload")
 	benchJSON := flag.Bool("json", false, "write measured rows to BENCH_<date>.json")
@@ -172,6 +172,15 @@ func main() {
 		}
 		experiments.PrintPool(os.Stdout, rows)
 		entries = append(entries, experiments.PoolEntries(rows)...)
+	}
+
+	if want("resil") {
+		rows, err := experiments.RunResilTable(*runs)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintResil(os.Stdout, rows)
+		entries = append(entries, experiments.ResilEntries(rows)...)
 	}
 
 	if *benchJSON {

@@ -4,10 +4,15 @@
 // resource budgets, and optional journal.
 //
 //	worldd [-socket /run/worldd.sock] [-state-dir /var/lib/worldd] [-quiet]
+//	       [-no-health] [-health-interval 1s] [-session-deadline 30s]
+//	       [-restart-budget 5] [-max-inflight 1024]
 //
 // A tenant's `journal` field names a key, not a path: the daemon keeps
 // every journal file inside -state-dir, so the wire API can never reach
-// another host file. Talk to it with curl:
+// another host file. A health watchdog (on by default) probes idle
+// worlds, declares crashed/wedged ones dead, and rebuilds them under a
+// per-tenant restart budget; a tenant's `admission` spec caps its
+// concurrent sessions and session rate. Talk to it with curl:
 //
 //	curl --unix-socket /run/worldd.sock -X POST -d '{"name":"t1","agents":["trace"],"journal":"t1"}' \
 //	    http://worldd/1.0/worlds
@@ -40,9 +45,28 @@ func main() {
 	stateDir := flag.String("state-dir", "worldd.state", "directory for tenant journal files (empty refuses file-backed journals)")
 	quiet := flag.Bool("quiet", false, "suppress per-event log lines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain after SIGTERM")
+	noHealth := flag.Bool("no-health", false, "disable the health watchdog (no probes, no automatic recovery)")
+	probeInterval := flag.Duration("health-interval", 0, "watchdog sweep period and idle-probe cadence (0 = default 1s)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "liveness probe deadline before a world is declared dead (0 = default 1s)")
+	sessionDeadline := flag.Duration("session-deadline", 0, "session age marking a world suspect, dead at twice it (0 = default 30s)")
+	restartBudget := flag.Int("restart-budget", 0, "recovery attempts per world within the restart window before it is parked (0 = default 5)")
+	restartWindow := flag.Duration("restart-window", 0, "sliding window for the restart budget (0 = default 1m)")
+	maxInflight := flag.Int("max-inflight", 0, "global concurrent-session cap before requests are shed with 429 (0 = default 1024, negative disables)")
 	flag.Parse()
 
-	cfg := worldd.Config{Register: apps.Register, StateDir: *stateDir}
+	cfg := worldd.Config{
+		Register: apps.Register,
+		StateDir: *stateDir,
+		Health: worldd.HealthConfig{
+			Disabled:        *noHealth,
+			ProbeInterval:   *probeInterval,
+			ProbeTimeout:    *probeTimeout,
+			SessionDeadline: *sessionDeadline,
+			RestartBudget:   *restartBudget,
+			RestartWindow:   *restartWindow,
+		},
+		MaxInflight: *maxInflight,
+	}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}

@@ -46,6 +46,11 @@ import (
 // The absolute guards catch a fork that starts copying data or an
 // acquire that grows work; the relations below pin the cross-row claims
 // (acquire beats boot, fork cost independent of file bytes) on any host.
+// The resil rows guard the self-healing layer's pay-per-use contract:
+// probe is the watchdog's recurring per-probe cost on an idle tenant,
+// and session/admit is the daemon exec round trip with every admission
+// gate engaged but none rejecting — the admitted fast path must not
+// grow work as the health machinery evolves.
 var GuardedRows = []string{
 	"3-5:stat()/without",
 	"3-5:getpid()/with",
@@ -57,6 +62,8 @@ var GuardedRows = []string{
 	"worldd:idle-mem/world",
 	"pool:acquire-hit",
 	"pool:fork",
+	"resil:probe",
+	"resil:session/admit",
 }
 
 // MaxRegress is the allowed slowdown factor before the check fails:
@@ -85,6 +92,10 @@ var Relations = []Relation{
 		Why: "a pool-hit acquire must be far cheaper than the boot it replaces (the <50µs-vs-~113µs claim)"},
 	{Left: "pool:fork/large", Right: "pool:fork", Factor: 2.0,
 		Why: "COW fork cost must be O(#inodes): 256x the file bytes may not move the fork time"},
+	{Left: "resil:recover/pool", Right: "resil:boot", Factor: 1.0,
+		Why: "recovery through the warm pool must beat the cold boot it replaces"},
+	{Left: "resil:session/admit", Right: "resil:session", Factor: 1.15,
+		Why: "the admission gates must add no measurable cost to the admitted session fast path"},
 }
 
 // CheckRelations enforces Relations over the measured entries.

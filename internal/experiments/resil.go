@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"interpose/internal/apps"
+	"interpose/internal/world"
+	"interpose/internal/worldd"
+)
+
+// The resilience table ("resil"): what self-healing worldd costs and
+// what it buys. Five claims are measured:
+//
+//   - probe: one liveness probe (an exec of /bin/true straight through
+//     the world, exactly what the watchdog runs on an idle tenant) — the
+//     recurring cost of health monitoring;
+//   - boot: a cold world boot + close — the recovery cost floor without
+//     a warm pool, and the comparator for the recovery rows;
+//   - recover/pool and recover/journal: the daemon's measured rebuild
+//     time (teardown + replacement, excluding detection and backoff, as
+//     reported by the world's rebuild_ns gauge) after an injected
+//     kernel crash, for a pooled and a journaled tenant;
+//   - session and session/admit: the daemon exec round trip without and
+//     with the admission machinery engaged (global inflight gate, health
+//     gate, per-tenant session cap + token bucket, none rejecting) —
+//     the pair that prices the admit fast path.
+//
+// The probe and session/admit rows are guarded against the baseline;
+// the relations pin recovery-from-pool under cold boot and the admit
+// path within 15% of the bare session on any host.
+
+// ResilRow is one measured row, in nanoseconds.
+type ResilRow struct {
+	Name  string
+	Value int64
+}
+
+// resilProbes is the per-round probe count of the probe row.
+const resilProbes = 200
+
+// resilBoots is the world count of the boot row.
+const resilBoots = 200
+
+// resilKills is the injected-crash count behind each recovery row.
+const resilKills = 30
+
+// resilSessions is the per-round session count of the session rows.
+const resilSessions = 200
+
+// measureRecovery boots a crashy tenant in a throwaway daemon, kills it
+// resilKills times by injected crash, waits out each recovery, and
+// returns the daemon's mean rebuild time.
+func measureRecovery(spec []byte, stateDir string) (int64, error) {
+	srv, err := worldd.New(worldd.Config{
+		Register: apps.Register,
+		StateDir: stateDir,
+		Health: worldd.HealthConfig{
+			// Detection is the crash hook (push), not the sweep, so the
+			// interval only paces background probes; the tiny backoff
+			// keeps the measured cycle close to pure rebuild.
+			ProbeInterval:   50 * time.Millisecond,
+			SessionDeadline: time.Minute,
+			RestartBudget:   resilKills * 2,
+			RestartWindow:   time.Hour,
+			BackoffBase:     time.Millisecond,
+			BackoffMax:      2 * time.Millisecond,
+			Seed:            1,
+		},
+	})
+	if err != nil {
+		return 0, fmt.Errorf("resil table: %w", err)
+	}
+	defer srv.Shutdown(context.Background())
+	h := srv.Handler()
+
+	var info worldd.Info
+	if err := apiCall(h, "POST", "/1.0/worlds", spec, &info); err != nil {
+		return 0, err
+	}
+	poison := []byte(`{"argv":["cat","/boom"]}`)
+	for i := 0; i < resilKills; i++ {
+		// The poison session dies with its world: 503 is the expected
+		// answer, so the call goes out raw and only transport-level
+		// trouble matters.
+		apiCall(h, "POST", "/1.0/worlds/"+info.ID+"/exec", poison, nil)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			var in worldd.Info
+			if err := apiCall(h, "GET", "/1.0/worlds/"+info.ID, nil, &in); err != nil {
+				return 0, err
+			}
+			if in.Health == "healthy" && in.Restarts >= uint64(i+1) {
+				info = in
+				break
+			}
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("resil table: tenant never recovered from kill %d (%+v)", i, in)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	if info.RebuildNs <= 0 {
+		return 0, fmt.Errorf("resil table: no rebuild time recorded (%+v)", info)
+	}
+	return info.RebuildNs, nil
+}
+
+// measureSessions times the daemon exec round trip, best of runs.
+func measureSessions(runs int, cfg worldd.Config, spec []byte) (int64, error) {
+	srv, err := worldd.New(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("resil table: %w", err)
+	}
+	defer srv.Shutdown(context.Background())
+	h := srv.Handler()
+	var info worldd.Info
+	if err := apiCall(h, "POST", "/1.0/worlds", spec, &info); err != nil {
+		return 0, err
+	}
+	execBody := []byte(`{"argv":["true"]}`)
+	round := func() (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < resilSessions; i++ {
+			var res world.ExecResult
+			if err := apiCall(h, "POST", "/1.0/worlds/"+info.ID+"/exec", execBody, &res); err != nil {
+				return 0, err
+			}
+			if res.Status != 0 {
+				return 0, fmt.Errorf("resil table: session exited %d", res.Status)
+			}
+		}
+		return time.Since(start), nil
+	}
+	if _, err := round(); err != nil { // warm-up
+		return 0, err
+	}
+	var best time.Duration
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		d, err := round()
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return (best / resilSessions).Nanoseconds(), nil
+}
+
+// RunResilTable measures the resilience table.
+func RunResilTable(runs int) ([]ResilRow, error) {
+	// Probe: what one watchdog liveness check costs the probed world.
+	w, err := world.Boot(apps.Spec())
+	if err != nil {
+		return nil, fmt.Errorf("resil table: boot: %w", err)
+	}
+	probeReq := world.ExecRequest{Argv: []string{"true"}}
+	probeRound := func() (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < resilProbes; i++ {
+			res, err := w.Exec(probeReq)
+			if err != nil {
+				return 0, err
+			}
+			if res.Status != 0 {
+				return 0, fmt.Errorf("resil table: probe exited %d", res.Status)
+			}
+		}
+		return time.Since(start), nil
+	}
+	if _, err := probeRound(); err != nil { // warm-up
+		w.Close()
+		return nil, err
+	}
+	var probeBest time.Duration
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		d, err := probeRound()
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if r == 0 || d < probeBest {
+			probeBest = d
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("resil table: close: %w", err)
+	}
+	probePer := (probeBest / resilProbes).Nanoseconds()
+
+	// Boot: the cold-recovery floor.
+	start := time.Now()
+	for i := 0; i < resilBoots; i++ {
+		bw, err := world.Boot(apps.Spec())
+		if err != nil {
+			return nil, fmt.Errorf("resil table: boot: %w", err)
+		}
+		if err := bw.Close(); err != nil {
+			return nil, fmt.Errorf("resil table: close: %w", err)
+		}
+	}
+	bootPer := (time.Since(start) / resilBoots).Nanoseconds()
+
+	// Recovery: mean rebuild time after an injected crash, pooled vs
+	// journal-replaying.
+	recoverPool, err := measureRecovery(
+		[]byte(`{"name":"rp","pool":2,"inject":"seed=1,open:/boom=crash@1"}`), "")
+	if err != nil {
+		return nil, err
+	}
+	stateDir, err := os.MkdirTemp("", "resil-journal-")
+	if err != nil {
+		return nil, fmt.Errorf("resil table: %w", err)
+	}
+	defer os.RemoveAll(stateDir)
+	recoverJournal, err := measureRecovery(
+		[]byte(`{"name":"rj","journal":"rj","inject":"seed=1,open:/boom=crash@1"}`), stateDir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sessions: the admitted fast path, bare vs fully gated.
+	session, err := measureSessions(runs, worldd.Config{
+		Register: apps.Register,
+		Health:   worldd.HealthConfig{Disabled: true},
+	}, []byte(`{"name":"bare"}`))
+	if err != nil {
+		return nil, err
+	}
+	sessionAdmit, err := measureSessions(runs, worldd.Config{
+		Register: apps.Register,
+	}, []byte(`{"name":"gated","admission":{"max_sessions":1024,"rate":1e9}}`))
+	if err != nil {
+		return nil, err
+	}
+
+	return []ResilRow{
+		{Name: "probe", Value: probePer},
+		{Name: "boot", Value: bootPer},
+		{Name: "recover/pool", Value: recoverPool},
+		{Name: "recover/journal", Value: recoverJournal},
+		{Name: "session", Value: session},
+		{Name: "session/admit", Value: sessionAdmit},
+	}, nil
+}
+
+// PrintResil renders the resilience table.
+func PrintResil(w io.Writer, rows []ResilRow) {
+	fmt.Fprintf(w, "Self-healing worldd (%d injected crashes per recovery row):\n", resilKills)
+	for _, r := range rows {
+		switch r.Name {
+		case "probe":
+			fmt.Fprintf(w, "  %-18s %10dns   (idle watchdog cost per probe)\n", r.Name, r.Value)
+		case "recover/pool", "recover/journal":
+			fmt.Fprintf(w, "  %-18s %10dns   (teardown + rebuild, detection excluded)\n", r.Name, r.Value)
+		case "session/admit":
+			fmt.Fprintf(w, "  %-18s %10dns   (admission gates engaged, none rejecting)\n", r.Name, r.Value)
+		default:
+			fmt.Fprintf(w, "  %-18s %10dns\n", r.Name, r.Value)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// ResilEntries converts the rows for the bench JSON / baseline check.
+func ResilEntries(rows []ResilRow) []BenchEntry {
+	var es []BenchEntry
+	for _, r := range rows {
+		es = append(es, BenchEntry{Table: "resil", Row: r.Name, NsPerOp: r.Value})
+	}
+	return es
+}

@@ -99,7 +99,13 @@ func RunWorlddTable(runs int) ([]WorlddRow, error) {
 
 	// Session: the full daemon round trip on one long-lived tenant. One
 	// warm-up round, then runs timed rounds, like measureStacks.
-	srv, err := worldd.New(worldd.Config{Register: apps.Register})
+	// Health disabled: a watchdog probing a 10,000-world idle fleet
+	// would measure the probes, not the daemon (the resil table prices
+	// the watchdog on its own).
+	srv, err := worldd.New(worldd.Config{
+		Register: apps.Register,
+		Health:   worldd.HealthConfig{Disabled: true},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("worldd table: %w", err)
 	}

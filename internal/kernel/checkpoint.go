@@ -138,12 +138,29 @@ func (k *Kernel) Injector() Injector {
 	return nil
 }
 
+// SetCrashHook installs (or removes, with nil) a function invoked at
+// the top of every Crash, before the process-table lock is taken. It
+// gives a machine supervisor a push-path death signal; the hook runs on
+// the crashing goroutine and must not block or call back into Crash's
+// caller synchronously (re-entering Crash itself is safe — the hook
+// fires again, so it must be idempotent).
+func (k *Kernel) SetCrashHook(fn func()) {
+	if fn == nil {
+		k.crashHook.Store(nil)
+		return
+	}
+	k.crashHook.Store(&fn)
+}
+
 // Crash kills the world: every live process gets an unmaskable,
 // uncatchable SIGKILL, exactly as if the machine lost power with the
 // filesystem's journal frozen at its current prefix. Callers freeze the
 // journal store first (the injected-crash path does), then WaitExit the
 // top-level process and recover.
 func (k *Kernel) Crash() {
+	if fn := k.crashHook.Load(); fn != nil {
+		(*fn)()
+	}
 	k.pmu.Lock()
 	defer k.pmu.Unlock()
 	for _, p := range k.procs {

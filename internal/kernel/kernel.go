@@ -101,6 +101,12 @@ type Kernel struct {
 	// telemetry snapshot alongside the kernel's own cache gauges, so they
 	// surface in /dev/metrics and agentrun -stats.
 	extraGauges atomic.Pointer[gaugeSourceBox]
+
+	// crashHook, when non-nil, is invoked at the top of Crash — before
+	// any kernel lock is taken — so a machine supervisor (worldd's
+	// health watchdog) learns of a crash-freeze the moment it happens
+	// instead of on its next poll. The hook must not block.
+	crashHook atomic.Pointer[func()]
 }
 
 // gaugeSourceBox wraps a gauge function so the atomic pointer has a
@@ -225,6 +231,30 @@ func (k *Kernel) SetExtraGauges(fn func() []telemetry.NamedCounter) {
 		return
 	}
 	k.extraGauges.Store(&gaugeSourceBox{fn: fn})
+}
+
+// AddExtraGauges chains fn onto the current extra gauge source instead
+// of replacing it, so independent facilities (a warm pool's gauges, a
+// health watchdog's state rows) can each contribute without knowing
+// about the other. Rows append in installation order. A nil fn is a
+// no-op; SetExtraGauges(nil) still clears the whole chain.
+func (k *Kernel) AddExtraGauges(fn func() []telemetry.NamedCounter) {
+	if fn == nil {
+		return
+	}
+	for {
+		old := k.extraGauges.Load()
+		combined := fn
+		if old != nil {
+			prev := old.fn
+			combined = func() []telemetry.NamedCounter {
+				return append(prev(), fn()...)
+			}
+		}
+		if k.extraGauges.CompareAndSwap(old, &gaugeSourceBox{fn: combined}) {
+			return
+		}
+	}
 }
 
 // Telemetry returns the installed registry, or nil.

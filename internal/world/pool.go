@@ -222,12 +222,20 @@ func (p *Pool) Close() error {
 		return nil
 	}
 	p.closed = true
+	p.mu.Unlock()
+
+	// Wait out the refiller BEFORE snapshotting the warm stack: the
+	// refiller re-checks closed under p.mu on every iteration, so once
+	// the wait returns no fork can start again — and any member it
+	// pushed (or failure it recorded) during the wait is in warm and
+	// lastErr, not silently dropped.
+	p.wg.Wait()
+
+	p.mu.Lock()
 	warm := p.warm
 	p.warm = nil
 	lastErr := p.lastErr
 	p.mu.Unlock()
-
-	p.wg.Wait()
 
 	var firstErr error
 	for _, w := range warm {

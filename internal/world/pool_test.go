@@ -6,6 +6,7 @@ package world
 // against the real application set (which this package cannot import).
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -130,5 +131,63 @@ func TestPoolClose(t *testing.T) {
 	}
 	if _, err := p.Acquire(); err == nil {
 		t.Fatal("acquire on closed pool succeeded")
+	}
+}
+
+// TestPoolCloseRefillerRace hammers Acquire from several goroutines
+// while Close lands mid-refill (run under -race). The contract under
+// test: once Close returns, the refiller has observed closed and will
+// never fork again — the warm stack stays empty, the refill counter
+// stops moving, and a failure from the refiller's final fork is not
+// silently dropped between Close's snapshot and its wait.
+func TestPoolCloseRefillerRace(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		p, err := NewPool(tinySpec(), 2)
+		if err != nil {
+			t.Fatalf("pool: %v", err)
+		}
+
+		acquired := make(chan *World, 64)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					w, err := p.Acquire()
+					if err != nil {
+						return // pool closed under us: expected
+					}
+					acquired <- w
+				}
+			}()
+		}
+		closeErr := make(chan error, 1)
+		go func() { closeErr <- p.Close() }()
+		wg.Wait()
+		if err := <-closeErr; err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+
+		// Close has returned: the refiller must be quiescent. Any fork
+		// completing after this point would push a member onto the warm
+		// stack (a leak — nothing will ever close it) or bump refills.
+		refills := p.refills.Load()
+		if n := len(p.warm); n != 0 {
+			t.Fatalf("round %d: %d warm members left after close", round, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if got := p.refills.Load(); got != refills {
+			t.Fatalf("round %d: refiller forked after Close returned (%d -> %d)",
+				round, refills, got)
+		}
+		if n := len(p.warm); n != 0 {
+			t.Fatalf("round %d: late fork leaked %d members", round, n)
+		}
+
+		close(acquired)
+		for w := range acquired {
+			w.Close()
+		}
 	}
 }

@@ -22,11 +22,13 @@
 package world
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interpose/internal/agents"
@@ -69,6 +71,21 @@ type SuperviseSpec struct {
 	Cooldown time.Duration `json:"cooldown_ns,omitempty"`
 	// Deadline bounds each supervised upcall (0 = off).
 	Deadline time.Duration `json:"deadline_ns,omitempty"`
+}
+
+// AdmissionSpec is a tenant's session admission budget. Like Pool, the
+// world layer itself ignores it: a session-hosting server (worldd)
+// enforces the caps at its front door, before a request ever reaches
+// the world lock, so an over-subscribed tenant is shed with a retryable
+// status instead of queueing unboundedly on the console.
+type AdmissionSpec struct {
+	// MaxSessions caps concurrent sessions for this world (0 = no cap).
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// Rate is the sustained sessions-per-second refill of the tenant's
+	// token bucket (0 = unlimited).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket depth (default: max(1, ceil(Rate))).
+	Burst int `json:"burst,omitempty"`
 }
 
 // Spec declares a world. The JSON-visible fields form the wire spec a
@@ -128,6 +145,11 @@ type Spec struct {
 	// ignores the field; see Pool (pool.go) and internal/worldd.
 	Pool int `json:"pool,omitempty"`
 
+	// Admission, when set, asks a session-hosting server (worldd) to
+	// bound this tenant's session traffic: a concurrent-session cap and
+	// a token-bucket rate limit. The world layer ignores the field.
+	Admission *AdmissionSpec `json:"admission,omitempty"`
+
 	// OnQuarantine, when set, observes supervisor quarantines.
 	OnQuarantine func(layer string, stack []byte) `json:"-"`
 
@@ -166,6 +188,11 @@ func (r ExecResult) Exited() bool { return r.Signal == "" }
 // terminal); distinct worlds are fully independent.
 type World struct {
 	spec Spec
+
+	// dying is latched by Kill: the world is being torn down by a
+	// supervisor-of-worlds and must fail new sessions fast instead of
+	// queueing on the world lock behind a wedged one.
+	dying atomic.Bool
 
 	mu     sync.Mutex
 	k      *kernel.Kernel
@@ -468,14 +495,48 @@ func (w *World) Spec() Spec { return w.spec }
 // Crashed reports whether an injected fault killed the world.
 func (w *World) Crashed() bool { return w.inj != nil && w.inj.Crashed() }
 
+// ErrDying is the error new sessions see on a world that Kill has
+// condemned. It is retryable by contract: the supervisor that killed
+// the world is already rebuilding a replacement.
+var ErrDying = errors.New("world is being recycled")
+
+// Dying reports whether Kill has condemned the world.
+func (w *World) Dying() bool { return w.dying.Load() }
+
+// Kill condemns a wedged or broken world so Close can reclaim it: the
+// dying latch makes new sessions fail fast with ErrDying, and every
+// guest process is killed with an unmaskable SIGKILL — which is what
+// unblocks a session stuck under the world lock (the process table
+// lock, not the world lock, guards signal posting, so Kill never
+// queues behind the session it is trying to break). Unlike an injected
+// crash, Kill does not freeze the journal store: the follow-up Close
+// still commits the pending group, so a journal-backed world killed by
+// its supervisor recovers everything it had durably written. Kill is
+// idempotent and safe from any goroutine.
+func (w *World) Kill() {
+	if !w.dying.CompareAndSwap(false, true) {
+		return
+	}
+	w.k.Crash()
+}
+
 // Exec runs one session to completion: launch req.Argv under the
 // world's agent stack with the spec's resource budgets applied, wait
 // for it, and return its status and console output. Sessions on one
 // world are serialized — the console is a single terminal and its
 // captured output belongs to one session at a time.
 func (w *World) Exec(req ExecRequest) (ExecResult, error) {
+	// Fail fast before queueing on the world lock: a wedged session may
+	// hold it until Kill's SIGKILL lands, and new arrivals must not pile
+	// up behind it.
+	if w.dying.Load() {
+		return ExecResult{}, fmt.Errorf("world: %s: %w", w.spec.Name, ErrDying)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.dying.Load() {
+		return ExecResult{}, fmt.Errorf("world: %s: %w", w.spec.Name, ErrDying)
+	}
 	if w.closed {
 		return ExecResult{}, fmt.Errorf("world: %s: exec on closed world", w.spec.Name)
 	}

@@ -47,8 +47,8 @@ package worldd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
@@ -80,19 +80,59 @@ type Config struct {
 	StateDir string
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+	// Health tunes the per-world watchdog and recovery machinery
+	// (health.go). The zero value enables it with defaults.
+	Health HealthConfig
+	// MaxInflight is the global concurrent-exec ceiling: requests past
+	// it are shed with 429 before any decode or world work, so overload
+	// degrades tenants' latency, never the daemon. 0 selects
+	// DefaultMaxInflight; negative disables shedding.
+	MaxInflight int
 }
+
+// DefaultMaxInflight is the global exec concurrency ceiling when the
+// config leaves MaxInflight zero.
+const DefaultMaxInflight = 1024
 
 // entry is one hosted world. The session counter is the server's own
 // (telemetry is per-spec optional, but "how busy is this tenant" must
-// always be answerable).
+// always be answerable). The world pointer is atomic because recovery
+// swaps a rebuilt world in while handlers read it lock-free; the
+// entry's own mutex serializes only structural transitions — recovery
+// rebuild vs DELETE vs Shutdown — and is never taken under Server.mu.
 type entry struct {
-	ID       string    `json:"id"`
-	Name     string    `json:"name,omitempty"`
-	Created  time.Time `json:"created"`
-	w        *world.World
-	journal  string // reserved journal host path, "" if none
+	ID      string
+	Name    string
+	Created time.Time
+
+	mu   sync.Mutex // serializes rebuild / delete / shutdown
+	gone bool       // set by DELETE and Shutdown; recovery stops
+
+	w       atomic.Pointer[world.World]
+	spec    world.Spec  // sanitized boot spec, reused by recovery rebuilds
+	pool    *world.Pool // non-nil for pooled tenants (rebuild = Acquire)
+	journal string      // reserved journal host path, "" if none
+
 	sessions atomic.Uint64
 	execErrs atomic.Uint64
+
+	// Health state machine (health.go). The session-age pair tracks the
+	// time since the last session completion while the world is busy:
+	// inflight rises on every exec, and the start stamp resets on each
+	// completion, so only a session that stops making progress ages.
+	health       atomic.Int32
+	reason       atomic.Pointer[string]
+	recovering   atomic.Bool
+	probing      atomic.Bool
+	lastProbeNs  atomic.Int64
+	sessInflight atomic.Int64
+	sessStartNs  atomic.Int64
+	restarts     atomic.Uint64
+	rebuildNs    atomic.Int64 // total ns across successful rebuilds
+	retryAtNs    atomic.Int64 // next recovery attempt, for Retry-After
+	attempts     []time.Time  // recovery attempts in the budget window (guarded by mu)
+
+	admit *admitState // nil when the spec declares no admission budget
 }
 
 // Info is the wire representation of one hosted world.
@@ -103,6 +143,16 @@ type Info struct {
 	Sessions uint64    `json:"sessions"`
 	ExecErrs uint64    `json:"exec_errs,omitempty"`
 	Crashed  bool      `json:"crashed,omitempty"`
+	// Health is the watchdog's current verdict: healthy, suspect, dead,
+	// or parked (health.go).
+	Health string `json:"health"`
+	// Reason is the latest health transition cause, empty when healthy.
+	Reason string `json:"health_reason,omitempty"`
+	// Restarts counts successful automatic recoveries.
+	Restarts uint64 `json:"restarts,omitempty"`
+	// RebuildNs is the mean nanoseconds per successful rebuild (the
+	// teardown + boot/acquire cost, excluding detection and backoff).
+	RebuildNs int64 `json:"rebuild_ns,omitempty"`
 }
 
 // PoolInfo is one warm pool's gauges in the fleet metrics view.
@@ -115,12 +165,25 @@ type PoolInfo struct {
 
 // Metrics is the fleet-wide view served at /1.0/metrics.
 type Metrics struct {
-	Worlds    int                `json:"worlds"`
-	Created   uint64             `json:"worlds_created"`
-	Closed    uint64             `json:"worlds_closed"`
-	Sessions  uint64             `json:"sessions"`
-	ExecErrs  uint64             `json:"exec_errs"`
-	Draining  bool               `json:"draining"`
+	Worlds   int    `json:"worlds"`
+	Created  uint64 `json:"worlds_created"`
+	Closed   uint64 `json:"worlds_closed"`
+	Sessions uint64 `json:"sessions"`
+	ExecErrs uint64 `json:"exec_errs"`
+	Draining bool   `json:"draining"`
+	// Shed counts execs rejected by the global queue-depth limiter,
+	// Throttled those rejected by a tenant's own admission budget.
+	Shed      uint64 `json:"shed"`
+	Throttled uint64 `json:"throttled"`
+	// Deaths/Recoveries/Parks count watchdog verdicts; Probes and
+	// ProbeFails count liveness probes (never tenant sessions).
+	Deaths     uint64 `json:"deaths"`
+	Recoveries uint64 `json:"recoveries"`
+	Parks      uint64 `json:"parks"`
+	Probes     uint64 `json:"probes"`
+	ProbeFails uint64 `json:"probe_fails"`
+	// Health counts worlds per current health state.
+	Health    map[string]int     `json:"health"`
 	Pools     []PoolInfo         `json:"pools,omitempty"`
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 }
@@ -154,10 +217,29 @@ type Server struct {
 	sessions atomic.Uint64
 	execErrs atomic.Uint64
 
+	// Resilience counters and machinery (health.go).
+	deaths     atomic.Uint64
+	recoveries atomic.Uint64
+	parks      atomic.Uint64
+	probes     atomic.Uint64
+	probeFails atomic.Uint64
+	shed       atomic.Uint64
+	throttled  atomic.Uint64
+
+	inflight    atomic.Int64 // concurrent exec handlers, for the shed gate
+	maxInflight int64        // 0 = shedding disabled
+
+	rng    atomic.Uint64 // seeded xorshift state for backoff jitter
+	wdStop chan struct{}
+	wdOnce sync.Once      // closes wdStop exactly once
+	wdWG   sync.WaitGroup // the watchdog goroutine
+	recWG  sync.WaitGroup // in-flight recovery loops
+
 	httpSrv *http.Server
 }
 
-// New builds a server from its config.
+// New builds a server from its config and starts the health watchdog
+// (unless disabled).
 func New(cfg Config) (*Server, error) {
 	if cfg.Register == nil {
 		return nil, fmt.Errorf("worldd: config has no image registry hook")
@@ -167,14 +249,34 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("worldd: state dir: %w", err)
 		}
 	}
+	cfg.Health = cfg.Health.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		worlds:   make(map[string]*entry),
 		journals: make(map[string]string),
 		pools:    make(map[string]*poolSlot),
+		wdStop:   make(chan struct{}),
 	}
+	switch {
+	case cfg.MaxInflight > 0:
+		s.maxInflight = int64(cfg.MaxInflight)
+	case cfg.MaxInflight == 0:
+		s.maxInflight = DefaultMaxInflight
+	}
+	s.rng.Store(cfg.Health.Seed)
 	s.httpSrv = &http.Server{Handler: s.Handler()}
+	if !cfg.Health.Disabled {
+		s.wdWG.Add(1)
+		go s.watchdog()
+	}
 	return s, nil
+}
+
+// isDraining reports the drain flag, briefly under the table lock.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // journalFile maps a wire journal key to a host file under StateDir.
@@ -243,15 +345,25 @@ func ListenUnix(path string) (net.Listener, error) {
 	return net.Listen("unix", path)
 }
 
-// Shutdown drains the server: new creates are refused (503), in-flight
-// requests finish, every world is closed (sessions run to completion
-// first — Close serializes on the world lock). The listener closes
-// before the worlds do, so a supervisor watching the socket sees the
-// server gone only after it stopped accepting.
+// Shutdown drains the server: new creates are refused (503), the
+// watchdog and any in-flight recovery loops stop (so no rebuild races
+// the teardown), in-flight requests finish, every world is closed
+// (sessions run to completion first — Close serializes on the world
+// lock). The listener closes before the worlds do, so a supervisor
+// watching the socket sees the server gone only after it stopped
+// accepting.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+
+	// Stop the health machinery first: the watchdog quits its sweep
+	// loop, and recovery loops abort at their next checkpoint (their
+	// backoff sleeps select on wdStop, so this is prompt). After the
+	// waits, no goroutine will install a fresh world behind our back.
+	s.wdOnce.Do(func() { close(s.wdStop) })
+	s.wdWG.Wait()
+	s.recWG.Wait()
 
 	err := s.httpSrv.Shutdown(ctx)
 
@@ -264,8 +376,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	for _, e := range victims {
-		if cerr := e.w.Close(); cerr != nil && err == nil {
-			err = cerr
+		e.mu.Lock()
+		e.gone = true
+		wd := e.w.Load()
+		e.mu.Unlock()
+		if wd != nil {
+			if cerr := wd.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
 		s.releaseJournal(e.journal)
 		s.closed.Add(1)
@@ -301,6 +419,47 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// maxBodyBytes caps request bodies: specs and exec requests are small,
+// and an unbounded body is an invitation to exhaust the daemon's heap.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes one request body strictly: unknown fields are
+// rejected (a typoed spec field must not silently no-op) and the body
+// is hard-capped at maxBodyBytes.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// retryable writes a 503 with a Retry-After hint: the caller should
+// repeat the request — a replacement world is on its way (or, for a
+// parked tenant, an operator is needed; retryable is false there).
+func retryable(w http.ResponseWriter, afterSecs int64, canRetry bool, format string, args ...any) {
+	if afterSecs < 1 {
+		afterSecs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", afterSecs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":     fmt.Sprintf(format, args...),
+		"retryable": canRetry,
+	})
+}
+
+// deadRetrySecs derives a Retry-After from the recovery loop's next
+// scheduled attempt.
+func (e *entry) deadRetrySecs() int64 {
+	if at := e.retryAtNs.Load(); at > 0 {
+		if d := time.Until(time.Unix(0, at)); d > 0 {
+			return int64(d.Seconds()) + 1
+		}
+	}
+	return 1
+}
+
 // reply writes a JSON success body.
 func reply(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -310,7 +469,7 @@ func reply(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var spec world.Spec
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+	if err := decodeJSON(w, r, &spec); err != nil {
 		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
@@ -325,6 +484,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	spec.OnQuarantine = nil
 	if spec.RestorePath != "" {
 		httpError(w, http.StatusBadRequest, "restore is not accepted over the wire")
+		return
+	}
+	if a := spec.Admission; a != nil && (a.MaxSessions < 0 || a.Rate < 0 || a.Burst < 0) {
+		httpError(w, http.StatusBadRequest, "admission: negative budget")
 		return
 	}
 	if spec.Pool > 0 {
@@ -380,7 +543,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "boot: %v", err)
 		return
 	}
-	e := &entry{ID: id, Name: spec.Name, Created: time.Now(), w: wd, journal: jpath}
+	e := &entry{ID: id, Name: spec.Name, Created: time.Now(), journal: jpath,
+		spec: spec, admit: newAdmitState(spec.Admission)}
+	e.w.Store(wd)
+	s.adopt(e, wd)
 
 	s.mu.Lock()
 	if s.draining {
@@ -452,7 +618,10 @@ func (s *Server) createFromPool(w http.ResponseWriter, spec world.Spec) {
 		httpError(w, http.StatusConflict, "pool: %v", err)
 		return
 	}
-	e := &entry{ID: id, Name: spec.Name, Created: time.Now(), w: wd}
+	e := &entry{ID: id, Name: spec.Name, Created: time.Now(),
+		spec: spec, pool: slot.pool, admit: newAdmitState(spec.Admission)}
+	e.w.Store(wd)
+	s.adopt(e, wd)
 
 	s.mu.Lock()
 	if s.draining {
@@ -478,14 +647,23 @@ func (s *Server) lookup(id string) (*entry, bool) {
 }
 
 func (s *Server) info(e *entry) Info {
-	return Info{
+	in := Info{
 		ID:       e.ID,
 		Name:     e.Name,
 		Created:  e.Created,
 		Sessions: e.sessions.Load(),
 		ExecErrs: e.execErrs.Load(),
-		Crashed:  e.w.Crashed(),
+		Health:   healthName(e.health.Load()),
+		Reason:   e.healthReason(),
+		Restarts: e.restarts.Load(),
 	}
+	if wd := e.w.Load(); wd != nil {
+		in.Crashed = wd.Crashed()
+	}
+	if n := in.Restarts; n > 0 {
+		in.RebuildNs = e.rebuildNs.Load() / int64(n)
+	}
+	return in
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -519,22 +697,90 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such world")
 		return
 	}
+
+	// Admission, cheapest gate first. The global queue-depth limiter
+	// sheds before any decode or world work — overload must cost the
+	// daemon nothing but an atomic add and a 429.
+	if s.maxInflight > 0 {
+		if s.inflight.Add(1) > s.maxInflight {
+			s.inflight.Add(-1)
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "server at capacity")
+			return
+		}
+		defer s.inflight.Add(-1)
+	}
+
+	switch e.health.Load() {
+	case healthDead:
+		retryable(w, e.deadRetrySecs(), true, "world %s is recovering", e.ID)
+		return
+	case healthParked:
+		retryable(w, int64(s.cfg.Health.RestartWindow.Seconds()), false,
+			"world %s is parked: %s", e.ID, e.healthReason())
+		return
+	}
+
+	// The tenant's own budget: concurrent-session cap + token bucket.
+	if a := e.admit; a != nil {
+		ok, reason := a.acquire(time.Now())
+		if !ok {
+			s.throttled.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "admission: %s", reason)
+			return
+		}
+		defer a.release()
+	}
+
 	var req world.ExecRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad exec request: %v", err)
 		return
 	}
+
 	// The session runs outside every server lock; the world serializes
-	// its own console.
-	res, err := e.w.Exec(req)
+	// its own console. The inflight/start pair feeds the watchdog's
+	// session-deadline check: the stamp resets on every completion, so
+	// it measures time without progress, not queueing depth.
+	wd := e.w.Load()
+	e.sessInflight.Add(1)
+	e.sessStartNs.CompareAndSwap(0, time.Now().UnixNano())
+	res, err := wd.Exec(req)
+	if e.sessInflight.Add(-1) == 0 {
+		e.sessStartNs.Store(0)
+	} else {
+		e.sessStartNs.Store(time.Now().UnixNano())
+	}
 	if err != nil {
+		if errors.Is(err, world.ErrDying) || wd.Dying() {
+			// The watchdog condemned this world; a replacement is on
+			// the way. Fail fast and retryable, not as a tenant error.
+			retryable(w, e.deadRetrySecs(), true, "exec: %v", err)
+			return
+		}
 		e.execErrs.Add(1)
 		s.execErrs.Add(1)
 		httpError(w, http.StatusConflict, "exec: %v", err)
 		return
 	}
+	if res.Signal == "SIGKILL" && wd.Dying() {
+		// The session was collateral of a health kill (Kill breaks a
+		// wedged world loose with SIGKILL): report it retryable rather
+		// than handing the tenant a result the program never produced.
+		retryable(w, e.deadRetrySecs(), true, "session killed by world recovery")
+		return
+	}
 	e.sessions.Add(1)
 	s.sessions.Add(1)
+	// Group commit at the session boundary: a journaled tenant's
+	// completed sessions are durable, so crash recovery replays whole
+	// sessions, never a torn one. A commit failure latches in the
+	// writer, where the watchdog's journal check picks it up.
+	if jw := wd.Kernel().Journal(); jw != nil {
+		_ = jw.Commit()
+	}
 	reply(w, http.StatusOK, res)
 }
 
@@ -551,10 +797,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Close outside the table lock: it waits for an in-flight session.
-	// The journal reservation releases only after Close — a create
-	// reusing the key between table removal and here gets 409, never a
-	// second writer on a still-open file.
-	err := e.w.Close()
+	// The entry lock serializes against a recovery rebuild — if one is
+	// mid-swap we wait for it and close the replacement; if one is
+	// sleeping in backoff, the gone flag stops it. The journal
+	// reservation releases only after Close — a create reusing the key
+	// between table removal and here gets 409, never a second writer on
+	// a still-open file.
+	e.mu.Lock()
+	e.gone = true
+	wd := e.w.Load()
+	e.mu.Unlock()
+	var err error
+	if wd != nil {
+		err = wd.Close()
+	}
 	s.releaseJournal(e.journal)
 	s.closed.Add(1)
 	if err != nil {
@@ -571,15 +827,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, e := range s.worlds {
 		entries = append(entries, e)
 	}
-	draining := s.draining
-	s.mu.Unlock()
-
-	s.mu.Lock()
 	slots := make([]*poolSlot, 0, len(s.pools))
 	for _, slot := range s.pools {
 		slots = append(slots, slot)
 	}
+	draining := s.draining
 	s.mu.Unlock()
+
 	var pools []PoolInfo
 	for _, slot := range slots {
 		slot.once.Do(func() {}) // synchronize with (and wait out) construction
@@ -592,20 +846,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Per-world snapshots merge into one fleet view; worlds without a
 	// telemetry registry still count, they just contribute no rows.
 	var snaps []telemetry.Snapshot
+	health := make(map[string]int)
 	for _, e := range entries {
-		if reg := e.w.Telemetry(); reg != nil {
-			snaps = append(snaps, reg.Snapshot())
+		health[healthName(e.health.Load())]++
+		if wd := e.w.Load(); wd != nil {
+			if reg := wd.Telemetry(); reg != nil {
+				snaps = append(snaps, reg.Snapshot())
+			}
 		}
 	}
+	// Load closed before created: each lifecycle increments created at
+	// create time and closed strictly later, so this read order keeps
+	// the closed <= created invariant under any interleaving — the
+	// fleet view is never torn into an impossible state.
+	closed := s.closed.Load()
+	created := s.created.Load()
 	reply(w, http.StatusOK, Metrics{
-		Worlds:    len(entries),
-		Created:   s.created.Load(),
-		Closed:    s.closed.Load(),
-		Sessions:  s.sessions.Load(),
-		ExecErrs:  s.execErrs.Load(),
-		Draining:  draining,
-		Pools:     pools,
-		Telemetry: telemetry.Merge(snaps),
+		Worlds:     len(entries),
+		Created:    created,
+		Closed:     closed,
+		Sessions:   s.sessions.Load(),
+		ExecErrs:   s.execErrs.Load(),
+		Draining:   draining,
+		Shed:       s.shed.Load(),
+		Throttled:  s.throttled.Load(),
+		Deaths:     s.deaths.Load(),
+		Recoveries: s.recoveries.Load(),
+		Parks:      s.parks.Load(),
+		Probes:     s.probes.Load(),
+		ProbeFails: s.probeFails.Load(),
+		Health:     health,
+		Pools:      pools,
+		Telemetry:  telemetry.Merge(snaps),
 	})
 }
 
